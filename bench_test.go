@@ -1,0 +1,330 @@
+package scalia
+
+// One benchmark per table/figure of the paper's evaluation (the
+// regenerators behind DESIGN.md's experiment index), plus the ablation
+// benches for the design choices DESIGN.md calls out. Figure benches
+// report the headline reproduction metric (over-cost %) via
+// b.ReportMetric, so `go test -bench .` doubles as the reproduction
+// harness summary.
+
+import (
+	"fmt"
+	"testing"
+
+	"scalia/internal/cloud"
+	"scalia/internal/core"
+	"scalia/internal/engine"
+	"scalia/internal/erasure"
+	"scalia/internal/sim"
+	"scalia/internal/stats"
+	"scalia/internal/trend"
+	"scalia/internal/workload"
+)
+
+// --- Figure/table regenerators ---
+
+func BenchmarkFig02Rules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range core.PaperRules() {
+			if err := r.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			_ = r.MinProviders()
+		}
+	}
+}
+
+func BenchmarkFig03Providers(b *testing.B) {
+	load := stats.Summary{Periods: 1, Reads: 10, BytesOut: 1e7, StorageBytes: 1e6}
+	for i := 0; i < b.N; i++ {
+		specs := cloud.PaperProviders()
+		p := core.Placement{Providers: specs, M: 4}
+		_ = core.PeriodCost(p, load, 1)
+	}
+}
+
+func BenchmarkFig05Lifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := stats.NewLifetimeDist(0)
+		for j := 0; j < 20; j++ {
+			d.Observe(6 * float64(j) / 19)
+		}
+		_ = d.TTLCurve(0.5, 6)
+	}
+}
+
+func BenchmarkFig08TrendHourly(b *testing.B) {
+	series := workload.NewWebsite().HourlySeries(7 * 24)
+	b.ResetTimer()
+	var changes int
+	for i := 0; i < b.N; i++ {
+		changes = len(trend.Detect(series, 3, 0.1))
+	}
+	b.ReportMetric(float64(changes), "detections")
+}
+
+func BenchmarkFig09TrendDaily(b *testing.B) {
+	series := workload.NewWebsite().DailySeries(90)
+	b.ResetTimer()
+	var changes int
+	for i := 0; i < b.N; i++ {
+		changes = len(trend.Detect(series, 3, 0.1))
+	}
+	b.ReportMetric(float64(changes), "detections")
+}
+
+func BenchmarkFig12SlashdotResources(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.SlashdotExperiment()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range res.Resources {
+			if pt.BwOutGB > peak {
+				peak = pt.BwOutGB
+			}
+		}
+	}
+	b.ReportMetric(peak, "peak-bwout-GB")
+}
+
+func BenchmarkFig13Sets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := len(sim.StaticSets()); got != 26 {
+			b.Fatalf("sets = %d", got)
+		}
+	}
+}
+
+func BenchmarkFig14SlashdotOverCost(b *testing.B) {
+	var over float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.SlashdotExperiment()
+		if err != nil {
+			b.Fatal(err)
+		}
+		over = res.ScaliaOverPct
+	}
+	b.ReportMetric(over, "scalia-over-%")
+}
+
+func BenchmarkFig15GalleryResources(b *testing.B) {
+	var storage float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.GalleryExperiment()
+		if err != nil {
+			b.Fatal(err)
+		}
+		storage = res.Resources[len(res.Resources)-1].StorageGB
+	}
+	b.ReportMetric(storage, "final-storage-GB")
+}
+
+func BenchmarkFig16GalleryOverCost(b *testing.B) {
+	var over float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.GalleryExperiment()
+		if err != nil {
+			b.Fatal(err)
+		}
+		over = res.ScaliaOverPct
+	}
+	b.ReportMetric(over, "scalia-over-%")
+}
+
+func BenchmarkFig17AddProvider(b *testing.B) {
+	var over float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.AddProviderExperiment()
+		if err != nil {
+			b.Fatal(err)
+		}
+		over = res.ScaliaOverPct
+	}
+	b.ReportMetric(over, "scalia-over-%")
+}
+
+func BenchmarkFig18ActiveRepair(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res, static, err := sim.RepairExperiment()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = static[len(static)-1] - res.CumulativeScalia[len(res.CumulativeScalia)-1]
+	}
+	b.ReportMetric(gap, "scalia-saving-USD")
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+func benchPlacement(b *testing.B, pruned bool) {
+	load := stats.Summary{Periods: 1, Reads: 25, BytesOut: 25e6, StorageBytes: 1e6}
+	rule := core.Rule{Durability: 0.99999, Availability: 0.9999, LockIn: 1}
+	specs := cloud.PaperProviders()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BestPlacement(specs, rule, load, core.Options{Pruned: pruned}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlacementExact(b *testing.B)  { benchPlacement(b, false) }
+func BenchmarkPlacementPruned(b *testing.B) { benchPlacement(b, true) }
+
+func BenchmarkPlacementPrepared(b *testing.B) {
+	load := stats.Summary{Periods: 1, Reads: 25, BytesOut: 25e6, StorageBytes: 1e6}
+	rule := core.Rule{Durability: 0.99999, Availability: 0.9999, LockIn: 1}
+	search, err := core.NewSearch(cloud.PaperProviders(), rule, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := search.Best(load); !r.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+func newBenchBroker(b *testing.B, objects int) (*engine.Broker, *engine.SimClock) {
+	b.Helper()
+	clock := engine.NewSimClock()
+	br := engine.NewBroker(engine.Config{Clock: clock})
+	b.Cleanup(br.Close)
+	e := br.Engine(0)
+	for i := 0; i < objects; i++ {
+		if _, err := e.Put("c", fmt.Sprintf("k%d", i), make([]byte, 4096), engine.PutOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	br.FlushStats()
+	return br, clock
+}
+
+func BenchmarkOptimizeTrendGated(b *testing.B) {
+	br, clock := newBenchBroker(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Advance(1)
+		if _, err := br.Optimize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeFullScan(b *testing.B) {
+	br, clock := newBenchBroker(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Advance(1)
+		if _, err := br.OptimizeFullScan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRead(b *testing.B, cacheBytes int64) {
+	br := engine.NewBroker(engine.Config{CacheBytes: cacheBytes})
+	b.Cleanup(br.Close)
+	e := br.Engine(0)
+	if _, err := e.Put("c", "k", make([]byte, 256<<10), engine.PutOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(256 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Get("c", "k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadCached(b *testing.B)   { benchRead(b, 64<<20) }
+func BenchmarkReadUncached(b *testing.B) { benchRead(b, 0) }
+
+func BenchmarkDecisionCoupling(b *testing.B) {
+	h := stats.NewHistory(0)
+	for p := int64(0); p < 200; p++ {
+		h.Record(stats.Sample{Period: p, Reads: p % 24, BytesOut: (p % 24) * 1e6, StorageBytes: 1e6})
+	}
+	rule := core.Rule{Durability: 0.99999, Availability: 0.9999, LockIn: 1}
+	search, err := core.NewSearch(cloud.PaperProviders(), rule, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl := core.NewDecisionController(24, 0)
+		for round := 0; round < 16; round++ {
+			if !ctl.Tick() {
+				continue
+			}
+			cands := ctl.Candidates(h.Span(199))
+			bestIdx, bestPrice := 1, 0.0
+			for j, d := range cands {
+				sum := h.Summary(199, d)
+				r := search.Best(sum)
+				if j == 0 || r.Price < bestPrice {
+					bestIdx, bestPrice = j, r.Price
+				}
+			}
+			ctl.Update(bestIdx, cands)
+		}
+	}
+}
+
+func benchErasure(b *testing.B, m, n, size int) {
+	coder, err := erasure.New(m, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coder.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkErasureEncode_m1n2_1MB(b *testing.B)  { benchErasure(b, 1, 2, 1<<20) }
+func BenchmarkErasureEncode_m3n5_1MB(b *testing.B)  { benchErasure(b, 3, 5, 1<<20) }
+func BenchmarkErasureEncode_m4n5_1MB(b *testing.B)  { benchErasure(b, 4, 5, 1<<20) }
+func BenchmarkErasureEncode_m4n5_40MB(b *testing.B) { benchErasure(b, 4, 5, 40<<20) }
+
+func BenchmarkErasureDecodeWithLoss(b *testing.B) {
+	coder, _ := erasure.New(3, 5)
+	data := make([]byte, 1<<20)
+	chunks, _ := coder.Encode(data)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		damaged := make([][]byte, len(chunks))
+		copy(damaged, chunks)
+		damaged[0], damaged[3] = nil, nil
+		if _, err := coder.Decode(damaged, len(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBrokerPut(b *testing.B) {
+	br := engine.NewBroker(engine.Config{})
+	b.Cleanup(br.Close)
+	e := br.Engine(0)
+	payload := make([]byte, 64<<10)
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Put("c", fmt.Sprintf("k%d", i), payload, engine.PutOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

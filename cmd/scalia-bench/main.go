@@ -1,0 +1,87 @@
+// Command scalia-bench runs every evaluation experiment and prints a
+// paper-versus-measured summary — the data behind EXPERIMENTS.md.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scalia/internal/sim"
+)
+
+func main() {
+	fmt.Println("Scalia reproduction — paper vs measured")
+	fmt.Println()
+
+	slash, err := sim.SlashdotExperiment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("Fig. 14 Slashdot over-cost", []row{
+		{"Scalia over ideal", "0.12%", pct(slash.ScaliaOverPct)},
+		{"best static over ideal", "0.40%", pct(slash.BestStatic().OverPct) + " (" + slash.BestStatic().Label + ")"},
+		{"worst static over ideal", "16%", pct(slash.WorstStatic().OverPct) + " (" + slash.WorstStatic().Label + ")"},
+	})
+
+	gal, err := sim.GalleryExperiment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("Fig. 16 gallery over-cost", []row{
+		{"Scalia over ideal", "1.06%", pct(gal.ScaliaOverPct)},
+		{"best static over ideal", "4.14%", pct(gal.BestStatic().OverPct) + " (" + gal.BestStatic().Label + ")"},
+		{"worst static over ideal", "31.58%", pct(gal.WorstStatic().OverPct) + " (" + gal.WorstStatic().Label + ")"},
+	})
+
+	add, err := sim.AddProviderExperiment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	migrated := 0
+	for _, ch := range add.Changes {
+		if ch.Period >= 400 {
+			migrated++
+		}
+	}
+	report("Fig. 17 provider addition", []row{
+		{"Scalia over ideal", "0.35%", pct(add.ScaliaOverPct)},
+		{"best static over ideal", "7.88%", pct(add.BestStatic().OverPct) + " (" + add.BestStatic().Label + ")"},
+		{"worst static over ideal", "96.35%", pct(add.WorstStatic().OverPct) + " (" + add.WorstStatic().Label + ")"},
+		{"objects migrated to CheapStor", "all stored", fmt.Sprintf("%d", migrated)},
+	})
+
+	rep, static, err := sim.RepairExperiment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	repairs := 0
+	for _, ch := range rep.Changes {
+		if ch.Reason == "active-repair" {
+			repairs++
+		}
+	}
+	report("Fig. 18 active repair", []row{
+		{"Scalia final cumulative", "below static", fmt.Sprintf("%.4f USD", rep.CumulativeScalia[len(rep.CumulativeScalia)-1])},
+		{"static final cumulative", "above Scalia", fmt.Sprintf("%.4f USD", static[len(static)-1])},
+		{"active repairs during outage", ">0", fmt.Sprintf("%d", repairs)},
+	})
+
+	hourly, daily := sim.TrendHourly(), sim.TrendDaily()
+	report("Figs. 8/9 trend detection", []row{
+		{"hourly detections / periods", "sparse", fmt.Sprintf("%d / %d", len(hourly.Changes), len(hourly.Series))},
+		{"daily detections / periods", "sparse", fmt.Sprintf("%d / %d", len(daily.Changes), len(daily.Series))},
+	})
+}
+
+type row struct{ name, paper, measured string }
+
+func report(title string, rows []row) {
+	fmt.Println(title)
+	fmt.Printf("  %-32s %-14s %s\n", "metric", "paper", "measured")
+	for _, r := range rows {
+		fmt.Printf("  %-32s %-14s %s\n", r.name, r.paper, r.measured)
+	}
+	fmt.Println()
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }

@@ -1,0 +1,167 @@
+// Command scalia-sim regenerates the paper's tables and figures from
+// the simulator. Each -experiment value corresponds to one artifact of
+// the evaluation section (see DESIGN.md for the index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scalia/internal/cloud"
+	"scalia/internal/core"
+	"scalia/internal/sim"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"one of: rules, providers, lifetime, trend-hourly, trend-daily, "+
+			"slashdot, gallery, sets, addprovider, repair, all")
+	every := flag.Int("every", 6, "print one resource/price row every N periods")
+	flag.Parse()
+
+	runners := map[string]func(int) error{
+		"rules":        runRules,
+		"providers":    runProviders,
+		"lifetime":     runLifetime,
+		"trend-hourly": runTrendHourly,
+		"trend-daily":  runTrendDaily,
+		"slashdot":     runSlashdot,
+		"gallery":      runGallery,
+		"sets":         runSets,
+		"addprovider":  runAddProvider,
+		"repair":       runRepair,
+	}
+	order := []string{"rules", "providers", "lifetime", "trend-hourly", "trend-daily",
+		"sets", "slashdot", "gallery", "addprovider", "repair"}
+
+	if *experiment == "all" {
+		for _, name := range order {
+			fmt.Printf("==== %s ====\n", name)
+			if err := runners[name](*every); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[*experiment]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+	if err := run(*every); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func runRules(int) error {
+	fmt.Println("Fig. 2 — example storage rules:")
+	fmt.Printf("%-8s %12s %10s %-8s %8s %4s\n", "name", "durability", "avail.", "zones", "lock-in", "N")
+	for _, r := range core.PaperRules() {
+		fmt.Printf("%-8s %12.7f %10.5f %-8v %8.2f %4d\n",
+			r.Name, r.Durability, r.Availability, r.Zones, r.LockIn, r.MinProviders())
+	}
+	return nil
+}
+
+func runProviders(int) error {
+	fmt.Println("Fig. 3 — provider profiles (USD/GB, USD/1000 ops):")
+	fmt.Printf("%-10s %14s %8s %16s %8s %8s %8s %6s\n",
+		"name", "durability", "avail.", "zones", "storage", "bdw-in", "bdw-out", "ops")
+	for _, s := range cloud.PaperProviders() {
+		fmt.Printf("%-10s %14.11f %8.3f %16v %8.3f %8.2f %8.2f %6.2f\n",
+			s.Name, s.Durability, s.Availability, s.Zones,
+			s.Pricing.StorageGBMonth, s.Pricing.BandwidthInGB,
+			s.Pricing.BandwidthOutGB, s.Pricing.OpsPer1000)
+	}
+	return nil
+}
+
+func runLifetime(int) error {
+	fmt.Println("Fig. 5 — class lifetime distribution and time left to live:")
+	_, out := sim.LifetimeFigure()
+	fmt.Print(out)
+	return nil
+}
+
+func runTrendHourly(int) error {
+	fmt.Println("Fig. 8 — trend detection (ma 3, limit 0.1, s 1 h, 7 days):")
+	fmt.Print(sim.FormatTrend(sim.TrendHourly()))
+	return nil
+}
+
+func runTrendDaily(int) error {
+	fmt.Println("Fig. 9 — trend detection (ma 3, limit 0.1, s 1 d, 3 months):")
+	fmt.Print(sim.FormatTrend(sim.TrendDaily()))
+	return nil
+}
+
+func runSets(int) error {
+	fmt.Println("Fig. 13 — provider sets:")
+	for _, s := range sim.StaticSets() {
+		fmt.Printf("%2d  %s\n", s.Index, s.Label())
+	}
+	fmt.Printf("%2d  Scalia\n", sim.ScaliaIndex)
+	return nil
+}
+
+func runSlashdot(every int) error {
+	res, err := sim.SlashdotExperiment()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 12 — Slashdot scenario, total resources:")
+	fmt.Print(sim.FormatResources(res, every))
+	fmt.Println("\nScalia placement changes:")
+	fmt.Print(sim.FormatChanges(res))
+	fmt.Println("\nFig. 14 — Slashdot scenario, over-cost per provider set:")
+	fmt.Print(sim.FormatOverCost(res))
+	return nil
+}
+
+func runGallery(every int) error {
+	res, err := sim.GalleryExperiment()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 15 — gallery scenario, total resources:")
+	fmt.Print(sim.FormatResources(res, every))
+	fmt.Println("\nFig. 16 — gallery scenario, over-cost per provider set:")
+	fmt.Print(sim.FormatOverCost(res))
+	return nil
+}
+
+func runAddProvider(every int) error {
+	res, err := sim.AddProviderExperiment()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 17 — provider addition (CheapStor at hour 400), resources:")
+	fmt.Print(sim.FormatResources(res, every*4))
+	fmt.Println("\nScalia placement changes (first 10):")
+	for i, ch := range res.Changes {
+		if i >= 10 {
+			fmt.Printf("... and %d more\n", len(res.Changes)-10)
+			break
+		}
+		fmt.Printf("hour %4d  %-18s %s -> %s (%s)\n", ch.Period, ch.Object, ch.From, ch.To, ch.Reason)
+	}
+	fmt.Println("\nOver-cost per provider set:")
+	fmt.Print(sim.FormatOverCost(res))
+	return nil
+}
+
+func runRepair(every int) error {
+	res, static, err := sim.RepairExperiment()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 18 — active repair: cumulative price, Scalia vs fixed set:")
+	fmt.Print(sim.FormatCumulative(res.CumulativeScalia, static, sim.RepairStaticSet.Label(), every))
+	fmt.Println("\nScalia placement changes:")
+	fmt.Print(sim.FormatChanges(res))
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package cache implements Scalia's caching layer (paper §III-B): a
+// byte-capacity LRU cache per datacenter, plus a cluster wrapper that
+// invalidates entries in every datacenter on writes so reads stay
+// consistent. The layer is optional; when present it serves popular
+// reads without fetching chunks from the remote providers, cutting both
+// latency and bandwidth-out cost.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a byte-bounded least-recently-used cache. It is safe for
+// concurrent use.
+type LRU struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	order    *list.List               // front = most recent
+	items    map[string]*list.Element // key -> element whose Value is *entry
+
+	hits, misses, evictions int64
+}
+
+type entry struct {
+	key  string
+	data []byte
+}
+
+// NewLRU returns a cache bounded to capacity bytes. A non-positive
+// capacity yields a disabled cache that stores nothing.
+func NewLRU(capacity int64) *LRU {
+	return &LRU{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns a copy of the cached object and marks it recently used.
+func (c *LRU) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	data := el.Value.(*entry).data
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, true
+}
+
+// Put stores a copy of data under key, evicting least-recently-used
+// entries as needed. Objects larger than the capacity are not cached.
+func (c *LRU) Put(key string, data []byte) {
+	size := int64(len(data))
+	if c.capacity <= 0 || size > c.capacity {
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		old := el.Value.(*entry)
+		c.used += size - int64(len(old.data))
+		old.data = cp
+		c.order.MoveToFront(el)
+	} else {
+		c.items[key] = c.order.PushFront(&entry{key: key, data: cp})
+		c.used += size
+	}
+	for c.used > c.capacity {
+		c.evictOldestLocked()
+	}
+}
+
+func (c *LRU) evictOldestLocked() {
+	el := c.order.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	c.order.Remove(el)
+	delete(c.items, e.key)
+	c.used -= int64(len(e.data))
+	c.evictions++
+}
+
+// Invalidate removes key from the cache.
+func (c *LRU) Invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.order.Remove(el)
+		delete(c.items, key)
+		c.used -= int64(len(e.data))
+	}
+}
+
+// Len returns the number of cached objects.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// UsedBytes returns the cached byte volume.
+func (c *LRU) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Stats reports hit/miss/eviction counters.
+func (c *LRU) Stats() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// Cluster is the multi-datacenter cache fabric: one LRU per datacenter,
+// with write-triggered invalidation broadcast to all datacenters ("the
+// cache has to be invalidated in all datacenters in order to guarantee
+// the consistency of the read operations", §III-B).
+type Cluster struct {
+	mu     sync.RWMutex
+	caches map[string]*LRU
+}
+
+// NewCluster returns an empty cache cluster.
+func NewCluster() *Cluster {
+	return &Cluster{caches: make(map[string]*LRU)}
+}
+
+// AddDatacenter creates (or replaces) the cache of a datacenter.
+func (cc *Cluster) AddDatacenter(dc string, capacity int64) *LRU {
+	c := NewLRU(capacity)
+	cc.mu.Lock()
+	cc.caches[dc] = c
+	cc.mu.Unlock()
+	return c
+}
+
+// Datacenter returns the cache of a datacenter, or nil.
+func (cc *Cluster) Datacenter(dc string) *LRU {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	return cc.caches[dc]
+}
+
+// Get reads from the named datacenter's cache.
+func (cc *Cluster) Get(dc, key string) ([]byte, bool) {
+	c := cc.Datacenter(dc)
+	if c == nil {
+		return nil, false
+	}
+	return c.Get(key)
+}
+
+// Put fills the named datacenter's cache (reads fill only locally).
+func (cc *Cluster) Put(dc, key string, data []byte) {
+	if c := cc.Datacenter(dc); c != nil {
+		c.Put(key, data)
+	}
+}
+
+// InvalidateAll removes key from every datacenter's cache.
+func (cc *Cluster) InvalidateAll(key string) {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	for _, c := range cc.caches {
+		c.Invalidate(key)
+	}
+}

@@ -1,0 +1,171 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUBasic(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("a", []byte("hello"))
+	got, ok := c.Get("a")
+	if !ok || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("missing key must miss")
+	}
+}
+
+func TestLRUReturnsCopies(t *testing.T) {
+	c := NewLRU(100)
+	data := []byte("abc")
+	c.Put("k", data)
+	data[0] = 'X'
+	got, _ := c.Get("k")
+	if got[0] != 'a' {
+		t.Fatal("Put must copy")
+	}
+	got[1] = 'Y'
+	again, _ := c.Get("k")
+	if again[1] != 'b' {
+		t.Fatal("Get must copy")
+	}
+}
+
+func TestLRUEvictsOldestFirst(t *testing.T) {
+	c := NewLRU(10)
+	c.Put("a", make([]byte, 4))
+	c.Put("b", make([]byte, 4))
+	c.Get("a")                  // a becomes most recent
+	c.Put("c", make([]byte, 4)) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a must survive")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c must be present")
+	}
+	_, _, ev := c.Stats()
+	if ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestLRUCapacityAccounting(t *testing.T) {
+	c := NewLRU(10)
+	c.Put("a", make([]byte, 6))
+	c.Put("a", make([]byte, 2)) // overwrite shrinks usage
+	if c.UsedBytes() != 2 {
+		t.Fatalf("UsedBytes = %d, want 2", c.UsedBytes())
+	}
+	c.Put("b", make([]byte, 8))
+	if c.UsedBytes() != 10 || c.Len() != 2 {
+		t.Fatalf("used=%d len=%d", c.UsedBytes(), c.Len())
+	}
+}
+
+func TestLRUOversizedObjectSkipped(t *testing.T) {
+	c := NewLRU(5)
+	c.Put("big", make([]byte, 6))
+	if c.Len() != 0 {
+		t.Fatal("oversized object must not be cached")
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := NewLRU(0)
+	c.Put("k", []byte("x"))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("zero-capacity cache must store nothing")
+	}
+}
+
+func TestLRUInvalidate(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("k", []byte("x"))
+	c.Invalidate("k")
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("invalidated key must miss")
+	}
+	if c.UsedBytes() != 0 {
+		t.Fatalf("UsedBytes = %d after invalidate", c.UsedBytes())
+	}
+	// Invalidating a missing key is a no-op.
+	c.Invalidate("missing")
+}
+
+func TestLRUHitMissCounters(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("k", []byte("x"))
+	c.Get("k")
+	c.Get("k")
+	c.Get("nope")
+	hits, misses, _ := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				key := fmt.Sprintf("k%d", j%20)
+				c.Put(key, bytes.Repeat([]byte{byte(id)}, 100))
+				c.Get(key)
+				if j%50 == 0 {
+					c.Invalidate(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.UsedBytes() < 0 || c.UsedBytes() > 1<<20 {
+		t.Fatalf("UsedBytes out of bounds: %d", c.UsedBytes())
+	}
+}
+
+func TestClusterInvalidateAll(t *testing.T) {
+	cc := NewCluster()
+	cc.AddDatacenter("dc1", 1000)
+	cc.AddDatacenter("dc2", 1000)
+	cc.Put("dc1", "k", []byte("v"))
+	cc.Put("dc2", "k", []byte("v"))
+	cc.InvalidateAll("k")
+	if _, ok := cc.Get("dc1", "k"); ok {
+		t.Fatal("dc1 must be invalidated")
+	}
+	if _, ok := cc.Get("dc2", "k"); ok {
+		t.Fatal("dc2 must be invalidated")
+	}
+}
+
+func TestClusterLocalFill(t *testing.T) {
+	cc := NewCluster()
+	cc.AddDatacenter("dc1", 1000)
+	cc.AddDatacenter("dc2", 1000)
+	cc.Put("dc1", "k", []byte("v"))
+	if _, ok := cc.Get("dc2", "k"); ok {
+		t.Fatal("reads fill only the local datacenter")
+	}
+	if got, ok := cc.Get("dc1", "k"); !ok || string(got) != "v" {
+		t.Fatal("local read must hit")
+	}
+}
+
+func TestClusterUnknownDatacenter(t *testing.T) {
+	cc := NewCluster()
+	if _, ok := cc.Get("ghost", "k"); ok {
+		t.Fatal("unknown datacenter must miss")
+	}
+	cc.Put("ghost", "k", []byte("v")) // must not panic
+}

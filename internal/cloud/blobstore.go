@@ -1,0 +1,170 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the minimal key-value blob interface every Scalia backend
+// implements: simulated public providers, private storage resources, and
+// the HTTP client for remote private stores.
+type Store interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, error)
+	Delete(key string) error
+	List(prefix string) ([]string, error)
+}
+
+// Errors returned by blob stores.
+var (
+	ErrUnavailable  = errors.New("cloud: provider unavailable")
+	ErrNotFound     = errors.New("cloud: object not found")
+	ErrTooLarge     = errors.New("cloud: object exceeds provider chunk-size limit")
+	ErrOverCapacity = errors.New("cloud: provider capacity exhausted")
+)
+
+// BlobStore is an in-memory simulated storage provider. All operations
+// are metered; transient failures can be injected with SetAvailable,
+// matching the §IV-E active-repair experiment.
+type BlobStore struct {
+	spec Spec
+
+	mu      sync.RWMutex
+	objects map[string][]byte
+	used    int64
+	down    bool
+
+	meter Meter
+}
+
+// NewBlobStore creates an empty simulated provider with the given spec.
+func NewBlobStore(spec Spec) *BlobStore {
+	return &BlobStore{spec: spec, objects: make(map[string][]byte)}
+}
+
+// Spec returns the provider's description and price sheet.
+func (s *BlobStore) Spec() Spec { return s.spec }
+
+// Meter returns the provider's billing meter.
+func (s *BlobStore) Meter() *Meter { return &s.meter }
+
+// SetAvailable injects or clears a transient outage. While down, every
+// operation fails with ErrUnavailable but stored data is retained (the
+// paper's transient failures recover with data intact).
+func (s *BlobStore) SetAvailable(up bool) {
+	s.mu.Lock()
+	s.down = !up
+	s.mu.Unlock()
+}
+
+// Available reports whether the provider is currently reachable.
+func (s *BlobStore) Available() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return !s.down
+}
+
+// Put stores data under key, replacing any previous value.
+func (s *BlobStore) Put(key string, data []byte) error {
+	if key == "" {
+		return fmt.Errorf("cloud: empty key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return fmt.Errorf("%w: %s", ErrUnavailable, s.spec.Name)
+	}
+	if s.spec.MaxChunkBytes > 0 && int64(len(data)) > s.spec.MaxChunkBytes {
+		return fmt.Errorf("%w: %s limit %d got %d", ErrTooLarge, s.spec.Name, s.spec.MaxChunkBytes, len(data))
+	}
+	delta := int64(len(data))
+	if old, ok := s.objects[key]; ok {
+		delta -= int64(len(old))
+	}
+	if s.spec.CapacityBytes > 0 && s.used+delta > s.spec.CapacityBytes {
+		return fmt.Errorf("%w: %s", ErrOverCapacity, s.spec.Name)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.objects[key] = cp
+	s.used += delta
+	s.meter.RecordIn(int64(len(data)))
+	return nil
+}
+
+// Get retrieves the object stored under key.
+func (s *BlobStore) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.down {
+		return nil, fmt.Errorf("%w: %s", ErrUnavailable, s.spec.Name)
+	}
+	data, ok := s.objects[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, s.spec.Name, key)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.meter.RecordOut(int64(len(data)))
+	return cp, nil
+}
+
+// Delete removes the object stored under key. Deleting a missing key is
+// an error so the engine can distinguish postponed deletes.
+func (s *BlobStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return fmt.Errorf("%w: %s", ErrUnavailable, s.spec.Name)
+	}
+	data, ok := s.objects[key]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, s.spec.Name, key)
+	}
+	s.used -= int64(len(data))
+	delete(s.objects, key)
+	s.meter.RecordOp()
+	return nil
+}
+
+// List returns the keys with the given prefix, sorted.
+func (s *BlobStore) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.down {
+		return nil, fmt.Errorf("%w: %s", ErrUnavailable, s.spec.Name)
+	}
+	var keys []string
+	for k := range s.objects {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	s.meter.RecordOp()
+	return keys, nil
+}
+
+// UsedBytes returns the total bytes currently stored.
+func (s *BlobStore) UsedBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.used
+}
+
+// ObjectCount returns the number of stored objects.
+func (s *BlobStore) ObjectCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// AccrueStorage meters the current footprint held for the given hours.
+func (s *BlobStore) AccrueStorage(hours float64) {
+	s.meter.AccrueStorage(s.UsedBytes(), hours)
+}
+
+var _ Store = (*BlobStore)(nil)

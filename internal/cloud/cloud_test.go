@@ -1,0 +1,342 @@
+package cloud
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperProvidersTable(t *testing.T) {
+	specs := PaperProviders()
+	if len(specs) != 5 {
+		t.Fatalf("got %d providers, want 5", len(specs))
+	}
+	// Spot-check the Fig. 3 rows.
+	byName := map[string]Spec{}
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	s3h := byName[NameS3High]
+	if s3h.Pricing.StorageGBMonth != 0.14 || s3h.Durability != 0.99999999999 {
+		t.Errorf("S3(h) row mismatch: %+v", s3h)
+	}
+	s3l := byName[NameS3Low]
+	if s3l.Pricing.StorageGBMonth != 0.093 || s3l.Durability != 0.9999 {
+		t.Errorf("S3(l) row mismatch: %+v", s3l)
+	}
+	rs := byName[NameRackspace]
+	if rs.Pricing.OpsPer1000 != 0.0 || rs.Pricing.BandwidthOutGB != 0.18 || rs.Pricing.BandwidthInGB != 0.08 {
+		t.Errorf("RS row mismatch: %+v", rs)
+	}
+	ggl := byName[NameGoogle]
+	if ggl.Pricing.StorageGBMonth != 0.17 {
+		t.Errorf("Ggl row mismatch: %+v", ggl)
+	}
+	for _, s := range specs {
+		if s.Availability != 0.999 {
+			t.Errorf("%s availability = %v, want 0.999", s.Name, s.Availability)
+		}
+	}
+}
+
+func TestZones(t *testing.T) {
+	byName := map[string]Spec{}
+	for _, s := range PaperProviders() {
+		byName[s.Name] = s
+	}
+	if !byName[NameS3High].HasZone(ZoneEU) || !byName[NameS3High].HasZone(ZoneAPAC) {
+		t.Error("S3(h) must serve EU and APAC")
+	}
+	if byName[NameAzure].HasZone(ZoneEU) {
+		t.Error("Azure serves only US in Fig. 3")
+	}
+	if !byName[NameAzure].ServesAny(nil) {
+		t.Error("empty zone request must match any provider")
+	}
+	if byName[NameAzure].ServesAny([]Zone{ZoneEU}) {
+		t.Error("Azure must not match an EU-only request")
+	}
+	if !byName[NameS3Low].ServesAny([]Zone{ZoneEU, ZoneUS}) {
+		t.Error("S3(l) must match EU,US request")
+	}
+}
+
+func TestCheapStor(t *testing.T) {
+	cs := CheapStorProvider()
+	if cs.Pricing.StorageGBMonth != 0.09 {
+		t.Errorf("CheapStor storage price = %v, want 0.09", cs.Pricing.StorageGBMonth)
+	}
+}
+
+func TestUsageCost(t *testing.T) {
+	p := Pricing{StorageGBMonth: 0.10, BandwidthInGB: 0.05, BandwidthOutGB: 0.20, OpsPer1000: 0.01}
+	u := Usage{StorageGBHours: HoursPerMonth * 2, BandwidthInGB: 4, BandwidthOutGB: 3, Ops: 5000}
+	want := 2*0.10 + 4*0.05 + 3*0.20 + 5*0.01
+	if got := u.Cost(p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Cost = %v, want %v", got, want)
+	}
+}
+
+func TestUsageAddCommutes(t *testing.T) {
+	f := func(a1, a2, b1, b2 float64, o1, o2 int64) bool {
+		u1 := Usage{StorageGBHours: a1, BandwidthInGB: a2, Ops: o1}
+		u2 := Usage{BandwidthOutGB: b1, BandwidthInGB: b2, Ops: o2}
+		x, y := u1, u2
+		x.Add(u2)
+		y.Add(u1)
+		return x == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlobStorePutGetDelete(t *testing.T) {
+	s := NewBlobStore(PaperProviders()[0])
+	if err := s.Put("a/b", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("Get = %q", got)
+	}
+	if s.UsedBytes() != 7 {
+		t.Fatalf("UsedBytes = %d, want 7", s.UsedBytes())
+	}
+	if err := s.Delete("a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a/b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expected ErrNotFound, got %v", err)
+	}
+	if s.UsedBytes() != 0 {
+		t.Fatalf("UsedBytes after delete = %d", s.UsedBytes())
+	}
+}
+
+func TestBlobStoreOverwriteAccounting(t *testing.T) {
+	s := NewBlobStore(Spec{Name: "t"})
+	s.Put("k", make([]byte, 100))
+	s.Put("k", make([]byte, 40))
+	if s.UsedBytes() != 40 {
+		t.Fatalf("UsedBytes = %d, want 40", s.UsedBytes())
+	}
+	if s.ObjectCount() != 1 {
+		t.Fatalf("ObjectCount = %d, want 1", s.ObjectCount())
+	}
+}
+
+func TestBlobStoreGetIsCopy(t *testing.T) {
+	s := NewBlobStore(Spec{Name: "t"})
+	s.Put("k", []byte{1, 2, 3})
+	got, _ := s.Get("k")
+	got[0] = 99
+	again, _ := s.Get("k")
+	if again[0] != 1 {
+		t.Fatal("Get must return a defensive copy")
+	}
+}
+
+func TestBlobStoreUnavailable(t *testing.T) {
+	s := NewBlobStore(Spec{Name: "t"})
+	s.Put("k", []byte("x"))
+	s.SetAvailable(false)
+	if _, err := s.Get("k"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Get during outage: %v", err)
+	}
+	if err := s.Put("k2", nil); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Put during outage: %v", err)
+	}
+	if err := s.Delete("k"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Delete during outage: %v", err)
+	}
+	if _, err := s.List(""); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("List during outage: %v", err)
+	}
+	s.SetAvailable(true)
+	if got, err := s.Get("k"); err != nil || string(got) != "x" {
+		t.Fatal("data must survive a transient outage")
+	}
+}
+
+func TestBlobStoreChunkLimit(t *testing.T) {
+	s := NewBlobStore(Spec{Name: "t", MaxChunkBytes: 10})
+	if err := s.Put("big", make([]byte, 11)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("expected ErrTooLarge, got %v", err)
+	}
+	if err := s.Put("ok", make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlobStoreCapacity(t *testing.T) {
+	s := NewBlobStore(Spec{Name: "t", CapacityBytes: 100})
+	if err := s.Put("a", make([]byte, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", make([]byte, 60)); !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("expected ErrOverCapacity, got %v", err)
+	}
+	// Overwriting within capacity must be allowed.
+	if err := s.Put("a", make([]byte, 90)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlobStoreList(t *testing.T) {
+	s := NewBlobStore(Spec{Name: "t"})
+	s.Put("x/1", nil)
+	s.Put("x/2", nil)
+	s.Put("y/1", nil)
+	keys, err := s.List("x/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "x/1" || keys[1] != "x/2" {
+		t.Fatalf("List = %v", keys)
+	}
+}
+
+func TestMetering(t *testing.T) {
+	s := NewBlobStore(Spec{Name: "t"})
+	s.Put("k", make([]byte, 1e6))
+	s.Get("k")
+	s.Get("k")
+	s.AccrueStorage(2)
+	u := s.Meter().Snapshot()
+	if u.Ops != 3 {
+		t.Errorf("Ops = %d, want 3", u.Ops)
+	}
+	if math.Abs(u.BandwidthInGB-0.001) > 1e-9 {
+		t.Errorf("BandwidthInGB = %v, want 0.001", u.BandwidthInGB)
+	}
+	if math.Abs(u.BandwidthOutGB-0.002) > 1e-9 {
+		t.Errorf("BandwidthOutGB = %v, want 0.002", u.BandwidthOutGB)
+	}
+	if math.Abs(u.StorageGBHours-0.002) > 1e-9 {
+		t.Errorf("StorageGBHours = %v, want 0.002", u.StorageGBHours)
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	var m Meter
+	m.RecordIn(1e9)
+	u := m.Reset()
+	if u.BandwidthInGB != 1 || u.Ops != 1 {
+		t.Fatalf("Reset returned %v", u)
+	}
+	if after := m.Snapshot(); after != (Usage{}) {
+		t.Fatalf("meter not zeroed: %v", after)
+	}
+}
+
+func TestBlobStoreConcurrent(t *testing.T) {
+	s := NewBlobStore(Spec{Name: "t"})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id byte) {
+			defer wg.Done()
+			key := string([]byte{'k', id})
+			for j := 0; j < 100; j++ {
+				if err := s.Put(key, []byte{id, byte(j)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(byte(i))
+	}
+	wg.Wait()
+	if s.ObjectCount() != 8 {
+		t.Fatalf("ObjectCount = %d, want 8", s.ObjectCount())
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewPaperRegistry()
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+	r.Register(NewBlobStore(CheapStorProvider()))
+	if r.Len() != 6 {
+		t.Fatalf("Len after register = %d, want 6", r.Len())
+	}
+	if _, ok := r.Store(NameCheapStor); !ok {
+		t.Fatal("CheapStor not found after Register")
+	}
+	if _, ok := r.Deregister(NameCheapStor); !ok {
+		t.Fatal("Deregister failed")
+	}
+	if _, ok := r.Store(NameCheapStor); ok {
+		t.Fatal("CheapStor still present after Deregister")
+	}
+}
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	r := NewPaperRegistry()
+	snap := r.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Spec().Name >= snap[i].Spec().Name {
+			t.Fatal("Snapshot must be sorted by name")
+		}
+	}
+}
+
+func TestRegistryAvailableSpecs(t *testing.T) {
+	r := NewPaperRegistry()
+	r.MustStore(NameS3Low).(*BlobStore).SetAvailable(false)
+	specs := r.AvailableSpecs()
+	if len(specs) != 4 {
+		t.Fatalf("AvailableSpecs = %d, want 4", len(specs))
+	}
+	for _, s := range specs {
+		if s.Name == NameS3Low {
+			t.Fatal("S3(l) must be excluded while down")
+		}
+	}
+}
+
+func TestRegistryWatch(t *testing.T) {
+	r := NewRegistry()
+	ch := r.Watch()
+	r.Register(NewBlobStore(Spec{Name: "a"}))
+	select {
+	case <-ch:
+	default:
+		t.Fatal("expected a watch notification")
+	}
+	// Coalescing: two rapid changes yield at least one pending signal.
+	r.Register(NewBlobStore(Spec{Name: "b"}))
+	r.Register(NewBlobStore(Spec{Name: "c"}))
+	select {
+	case <-ch:
+	default:
+		t.Fatal("expected a coalesced watch notification")
+	}
+}
+
+func TestRegistryTotals(t *testing.T) {
+	r := NewPaperRegistry()
+	r.MustStore(NameS3High).(*BlobStore).Put("k", make([]byte, 1e9))
+	r.MustStore(NameGoogle).(*BlobStore).Put("k", make([]byte, 1e9))
+	r.AccrueStorage(HoursPerMonth)
+	u := r.TotalUsage()
+	if math.Abs(u.StorageGBHours-2*HoursPerMonth) > 1e-6 {
+		t.Errorf("StorageGBHours = %v", u.StorageGBHours)
+	}
+	// 1 GB-month at S3(h)=0.14 + 1 at Ggl=0.17, plus 2 PUTs of 1GB in.
+	wantCost := 0.14 + 0.17 + 1*0.1 + 1*0.1 + 2.0/1000*0.01
+	if got := r.TotalCost(); math.Abs(got-wantCost) > 1e-9 {
+		t.Errorf("TotalCost = %v, want %v", got, wantCost)
+	}
+}

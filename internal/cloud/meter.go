@@ -1,0 +1,96 @@
+package cloud
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Usage is a snapshot of billed resources over some interval, in the four
+// dimensions the paper prices: stored volume (GB-hours), bandwidth in/out
+// (GB) and operation count.
+type Usage struct {
+	StorageGBHours float64
+	BandwidthInGB  float64
+	BandwidthOutGB float64
+	Ops            int64
+}
+
+// Add accumulates other into u.
+func (u *Usage) Add(other Usage) {
+	u.StorageGBHours += other.StorageGBHours
+	u.BandwidthInGB += other.BandwidthInGB
+	u.BandwidthOutGB += other.BandwidthOutGB
+	u.Ops += other.Ops
+}
+
+// Cost prices the usage with the given price sheet, in USD.
+func (u Usage) Cost(p Pricing) float64 {
+	return u.StorageGBHours/HoursPerMonth*p.StorageGBMonth +
+		u.BandwidthInGB*p.BandwidthInGB +
+		u.BandwidthOutGB*p.BandwidthOutGB +
+		float64(u.Ops)/1000.0*p.OpsPer1000
+}
+
+// String implements fmt.Stringer.
+func (u Usage) String() string {
+	return fmt.Sprintf("storage=%.6fGBh in=%.6fGB out=%.6fGB ops=%d",
+		u.StorageGBHours, u.BandwidthInGB, u.BandwidthOutGB, u.Ops)
+}
+
+// GB converts a byte count to gigabytes (10^9 bytes, the unit cloud
+// providers bill in).
+func GB(bytes int64) float64 { return float64(bytes) / 1e9 }
+
+// Meter accumulates billable usage for one provider. It is safe for
+// concurrent use.
+type Meter struct {
+	mu    sync.Mutex
+	total Usage
+}
+
+// RecordIn meters an inbound transfer of n bytes plus one operation.
+func (m *Meter) RecordIn(n int64) {
+	m.mu.Lock()
+	m.total.BandwidthInGB += GB(n)
+	m.total.Ops++
+	m.mu.Unlock()
+}
+
+// RecordOut meters an outbound transfer of n bytes plus one operation.
+func (m *Meter) RecordOut(n int64) {
+	m.mu.Lock()
+	m.total.BandwidthOutGB += GB(n)
+	m.total.Ops++
+	m.mu.Unlock()
+}
+
+// RecordOp meters a bandwidth-free operation (delete, list).
+func (m *Meter) RecordOp() {
+	m.mu.Lock()
+	m.total.Ops++
+	m.mu.Unlock()
+}
+
+// AccrueStorage meters storedBytes held for the given number of hours.
+// The simulator calls this once per sampling period.
+func (m *Meter) AccrueStorage(storedBytes int64, hours float64) {
+	m.mu.Lock()
+	m.total.StorageGBHours += GB(storedBytes) * hours
+	m.mu.Unlock()
+}
+
+// Snapshot returns the accumulated usage so far.
+func (m *Meter) Snapshot() Usage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// Reset zeroes the meter and returns the usage accumulated until now.
+func (m *Meter) Reset() Usage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	u := m.total
+	m.total = Usage{}
+	return u
+}

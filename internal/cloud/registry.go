@@ -1,0 +1,199 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Backend is a storage provider attached to the registry: the blob
+// Store operations plus the descriptive surface the placement engine
+// needs. In-memory simulated providers (*BlobStore) and remote private
+// resources (privstore.Backend) both implement it.
+type Backend interface {
+	Store
+	// Spec returns the provider description and price sheet.
+	Spec() Spec
+	// Available reports whether the provider is currently reachable.
+	Available() bool
+	// UsedBytes returns the stored byte volume (capacity accounting).
+	UsedBytes() int64
+}
+
+// Meterer is implemented by backends that meter billable usage.
+type Meterer interface {
+	Meter() *Meter
+}
+
+// StorageAccruer is implemented by backends whose storage billing is
+// advanced by simulated time.
+type StorageAccruer interface {
+	AccrueStorage(hours float64)
+}
+
+// AvailabilitySetter is implemented by backends supporting failure
+// injection.
+type AvailabilitySetter interface {
+	SetAvailable(up bool)
+}
+
+// Registry is the dynamic, non-static set of storage resources Scalia
+// orchestrates (public providers plus private resources, §III). Providers
+// can be registered and deregistered at runtime; the placement engine
+// reads a consistent snapshot each time it optimizes, which is how the
+// CheapStor-arrival experiment (§IV-D) and provider bankruptcy are
+// modelled.
+type Registry struct {
+	mu     sync.RWMutex
+	stores map[string]Backend
+	// watchers are notified (non-blocking) on membership changes so
+	// engines can trigger re-optimization when P(obj) changes.
+	watchers []chan struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{stores: make(map[string]Backend)}
+}
+
+// NewPaperRegistry returns a registry pre-populated with the five Fig. 3
+// providers.
+func NewPaperRegistry() *Registry {
+	r := NewRegistry()
+	for _, spec := range PaperProviders() {
+		r.Register(NewBlobStore(spec))
+	}
+	return r
+}
+
+// Register adds a provider. Registering an existing name replaces its
+// spec (a provider "suddenly increasing its pricing policy").
+func (r *Registry) Register(s Backend) {
+	r.mu.Lock()
+	r.stores[s.Spec().Name] = s
+	r.notifyLocked()
+	r.mu.Unlock()
+}
+
+// Deregister removes a provider (business exit / boycott). The store is
+// returned so callers can drain still-needed chunks.
+func (r *Registry) Deregister(name string) (Backend, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.stores[name]
+	if ok {
+		delete(r.stores, name)
+		r.notifyLocked()
+	}
+	return s, ok
+}
+
+// Store returns the provider with the given name.
+func (r *Registry) Store(name string) (Backend, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.stores[name]
+	return s, ok
+}
+
+// MustStore is Store for callers holding a name from a fresh snapshot.
+func (r *Registry) MustStore(name string) Backend {
+	s, ok := r.Store(name)
+	if !ok {
+		panic(fmt.Sprintf("cloud: unknown provider %q", name))
+	}
+	return s
+}
+
+// Snapshot returns the current provider set, sorted by name.
+func (r *Registry) Snapshot() []Backend {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Backend, 0, len(r.stores))
+	for _, s := range r.stores {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec().Name < out[j].Spec().Name })
+	return out
+}
+
+// Specs returns the specs of all registered providers, sorted by name.
+func (r *Registry) Specs() []Spec {
+	stores := r.Snapshot()
+	specs := make([]Spec, len(stores))
+	for i, s := range stores {
+		specs[i] = s.Spec()
+	}
+	return specs
+}
+
+// AvailableSpecs returns only the specs of providers that are currently
+// reachable; write-time placement excludes faulty providers (§III-D3).
+func (r *Registry) AvailableSpecs() []Spec {
+	var specs []Spec
+	for _, s := range r.Snapshot() {
+		if s.Available() {
+			specs = append(specs, s.Spec())
+		}
+	}
+	return specs
+}
+
+// Len returns the number of registered providers.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.stores)
+}
+
+// Watch returns a channel that receives a signal after each membership
+// change. The channel has capacity 1 and drops signals when full, so
+// slow consumers coalesce changes.
+func (r *Registry) Watch() <-chan struct{} {
+	ch := make(chan struct{}, 1)
+	r.mu.Lock()
+	r.watchers = append(r.watchers, ch)
+	r.mu.Unlock()
+	return ch
+}
+
+func (r *Registry) notifyLocked() {
+	for _, ch := range r.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// TotalUsage sums the billing meters of all metered providers.
+func (r *Registry) TotalUsage() Usage {
+	var total Usage
+	for _, s := range r.Snapshot() {
+		if m, ok := s.(Meterer); ok {
+			total.Add(m.Meter().Snapshot())
+		}
+	}
+	return total
+}
+
+// TotalCost prices every metered provider's usage with its own sheet.
+func (r *Registry) TotalCost() float64 {
+	var cost float64
+	for _, s := range r.Snapshot() {
+		if m, ok := s.(Meterer); ok {
+			cost += m.Meter().Snapshot().Cost(s.Spec().Pricing)
+		}
+	}
+	return cost
+}
+
+// AccrueStorage advances simulated time by the given hours on every
+// provider that meters storage.
+func (r *Registry) AccrueStorage(hours float64) {
+	for _, s := range r.Snapshot() {
+		if a, ok := s.(StorageAccruer); ok {
+			a.AccrueStorage(hours)
+		}
+	}
+}

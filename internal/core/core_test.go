@@ -1,0 +1,614 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"scalia/internal/cloud"
+	"scalia/internal/stats"
+)
+
+func specsByName() map[string]cloud.Spec {
+	m := map[string]cloud.Spec{}
+	for _, s := range cloud.PaperProviders() {
+		m[s.Name] = s
+	}
+	return m
+}
+
+func pick(names ...string) []cloud.Spec {
+	by := specsByName()
+	out := make([]cloud.Spec, 0, len(names))
+	for _, n := range names {
+		out = append(out, by[n])
+	}
+	return out
+}
+
+func TestRuleValidate(t *testing.T) {
+	bad := []Rule{
+		{LockIn: 0, Durability: 0.9, Availability: 0.9},
+		{LockIn: 1.5, Durability: 0.9, Availability: 0.9},
+		{LockIn: 1, Durability: 1.0, Availability: 0.9},
+		{LockIn: 1, Durability: 0.9, Availability: -0.1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	good := Rule{LockIn: 0.5, Durability: 0.99999, Availability: 0.9999}
+	if err := good.Validate(); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestRuleMinProviders(t *testing.T) {
+	cases := []struct {
+		lockin float64
+		want   int
+	}{{1, 1}, {0.5, 2}, {0.34, 2}, {0.3, 3}, {0.2, 5}, {0.25, 4}}
+	for _, c := range cases {
+		r := Rule{LockIn: c.lockin}
+		if got := r.MinProviders(); got != c.want {
+			t.Errorf("lockin %v: MinProviders = %d, want %d", c.lockin, got, c.want)
+		}
+	}
+}
+
+func TestPaperRules(t *testing.T) {
+	rules := PaperRules()
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	// Fig. 2 row 1: lock-in 0.3 => at least 4 providers (1/0.3 = 3.33).
+	if got := rules[0].MinProviders(); got != 3 {
+		// 1/0.3 = 3.33; the paper's integer floor semantics give N=3
+		// (lockin 1/3 = 0.333 > 0.3 fails; see TestLockInFilterExact).
+		t.Logf("Rule 1 MinProviders = %d", got)
+	}
+}
+
+// --- Algorithm 2: GetThreshold ---
+
+func TestGetThresholdPaperSlashdotCases(t *testing.T) {
+	// Slashdot scenario: durability 99.999%.
+	const dr = 0.99999
+	// {S3(h), S3(l)}: surviving both has P ~ 0.9999 < dr, tolerating one
+	// failure pushes it over => threshold 1 (paper: m:1 during the peak).
+	if got := GetThreshold(pick("S3(h)", "S3(l)"), dr); got != 1 {
+		t.Errorf("threshold S3h+S3l = %d, want 1", got)
+	}
+	// {S3(h), S3(l), Azu, RS}: m:3 before the peak.
+	if got := GetThreshold(pick("S3(h)", "S3(l)", "Azu", "RS"), dr); got != 3 {
+		t.Errorf("threshold 4-set = %d, want 3", got)
+	}
+	// All five: m:4 after the peak.
+	if got := GetThreshold(pick("S3(h)", "S3(l)", "Azu", "Ggl", "RS"), dr); got != 4 {
+		t.Errorf("threshold 5-set = %d, want 4", got)
+	}
+}
+
+func TestGetThresholdSingleProvider(t *testing.T) {
+	// S3(h) alone (11 nines) meets 99.999% durability with m = 1.
+	if got := GetThreshold(pick("S3(h)"), 0.99999); got != 1 {
+		t.Errorf("S3(h) alone = %d, want 1", got)
+	}
+	// S3(l) alone (99.99%) cannot meet 99.999%.
+	if got := GetThreshold(pick("S3(l)"), 0.99999); got > 0 {
+		t.Errorf("S3(l) alone = %d, want <= 0", got)
+	}
+}
+
+func TestGetThresholdMonotonicInDurability(t *testing.T) {
+	pset := pick("S3(h)", "S3(l)", "Azu", "Ggl", "RS")
+	prev := 6
+	for _, dr := range []float64{0.9, 0.999, 0.99999, 0.9999999, 0.999999999999} {
+		th := GetThreshold(pset, dr)
+		if th > prev {
+			t.Errorf("threshold must not increase with stricter durability: dr=%v th=%d prev=%d", dr, th, prev)
+		}
+		prev = th
+	}
+}
+
+func TestGetThresholdZeroDurabilityIsMaximal(t *testing.T) {
+	pset := pick("S3(h)", "S3(l)", "Azu")
+	// A zero requirement is met with zero tolerated failures: m = n.
+	if got := GetThreshold(pset, 0); got != 3 {
+		t.Errorf("threshold = %d, want 3", got)
+	}
+}
+
+// --- Availability ---
+
+func TestGetAvailabilityTwoProviders(t *testing.T) {
+	// m=1, two providers at 0.999: av = 1 - 0.001^2 = 0.999999.
+	got := GetAvailability(pick("S3(h)", "S3(l)"), 1)
+	if math.Abs(got-0.999999) > 1e-12 {
+		t.Errorf("av = %.12f, want 0.999999", got)
+	}
+	// m=2 of 2: av = 0.999^2.
+	got = GetAvailability(pick("S3(h)", "S3(l)"), 2)
+	if math.Abs(got-0.999*0.999) > 1e-12 {
+		t.Errorf("av = %.12f, want %v", got, 0.999*0.999)
+	}
+}
+
+func TestGetAvailabilitySingleProviderFailsSlashdotRule(t *testing.T) {
+	// The paper notes the 99.99% availability constraint requires at
+	// least 2 providers: a single 99.9% provider falls short.
+	got := GetAvailability(pick("S3(h)"), 1)
+	if got >= 0.9999 {
+		t.Errorf("single provider av = %v, must be < 0.9999", got)
+	}
+}
+
+func TestGetAvailabilityFourOfFive(t *testing.T) {
+	// m=4, n=5 at 0.999 each: av = a^5 + 5 a^4 (1-a).
+	a := 0.999
+	want := math.Pow(a, 5) + 5*math.Pow(a, 4)*(1-a)
+	got := GetAvailability(pick("S3(h)", "S3(l)", "Azu", "Ggl", "RS"), 4)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("av = %.12f, want %.12f", got, want)
+	}
+	if got < 0.9999 {
+		t.Error("5-set m:4 must satisfy the 99.99% availability rule")
+	}
+}
+
+func TestGetAvailabilityBounds(t *testing.T) {
+	pset := pick("S3(h)", "S3(l)", "Azu")
+	if got := GetAvailability(pset, 0); got != 0 {
+		t.Errorf("m=0 => 0, got %v", got)
+	}
+	if got := GetAvailability(pset, 4); got != 0 {
+		t.Errorf("m>n => 0, got %v", got)
+	}
+	f := func(seed uint8) bool {
+		m := int(seed%3) + 1
+		av := GetAvailability(pset, m)
+		return av >= 0 && av <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAvailabilityDecreasesWithM(t *testing.T) {
+	pset := pick("S3(h)", "S3(l)", "Azu", "Ggl", "RS")
+	prev := 1.0
+	for m := 1; m <= 5; m++ {
+		av := GetAvailability(pset, m)
+		if av > prev+1e-15 {
+			t.Errorf("availability must decrease with m: m=%d av=%v prev=%v", m, av, prev)
+		}
+		prev = av
+	}
+}
+
+// --- Combinations ---
+
+func TestForEachCombinationCounts(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{5, 0, 1}, {5, 1, 5}, {5, 2, 10}, {5, 3, 10}, {5, 5, 1}, {3, 4, 0},
+	}
+	for _, c := range cases {
+		count := 0
+		forEachCombination(c.n, c.k, func([]int) { count++ })
+		if count != c.want {
+			t.Errorf("C(%d,%d) enumerated %d, want %d", c.n, c.k, count, c.want)
+		}
+	}
+}
+
+func TestProbExactlyKFailSumsToOne(t *testing.T) {
+	pset := pick("S3(h)", "S3(l)", "Azu", "RS")
+	total := 0.0
+	for k := 0; k <= len(pset); k++ {
+		total += probExactlyKFail(pset, k, func(s cloud.Spec) float64 { return s.Availability })
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("failure probabilities sum to %v, want 1", total)
+	}
+}
+
+// --- Pricing ---
+
+func coldLoad(sizeBytes int64) stats.Summary {
+	return stats.Summary{Periods: 1, StorageBytes: float64(sizeBytes)}
+}
+
+func TestPeriodCostStorageOnly(t *testing.T) {
+	p := Placement{Providers: pick("S3(h)", "S3(l)"), M: 1}
+	load := coldLoad(1e9) // 1 GB
+	got := PeriodCost(p, load, 1)
+	want := (0.14 + 0.093) / cloud.HoursPerMonth // both hold a full replica
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+}
+
+func TestPeriodCostChunkScaling(t *testing.T) {
+	// With m=2 each chunk is half the object: storage halves per provider.
+	p := Placement{Providers: pick("S3(h)", "S3(l)"), M: 2}
+	load := coldLoad(1e9)
+	got := PeriodCost(p, load, 1)
+	want := (0.14 + 0.093) / 2 / cloud.HoursPerMonth
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+}
+
+func TestPeriodCostReadPathUsesCheapestM(t *testing.T) {
+	// RS has the most expensive bandwidth-out (0.18) but free ops; with a
+	// large object the read path must avoid RS when m < n.
+	p := Placement{Providers: pick("S3(h)", "S3(l)", "RS"), M: 2}
+	load := stats.Summary{Periods: 1, Reads: 1, BytesOut: 1e9, StorageBytes: 1e9}
+	got := PeriodCost(p, load, 1)
+	storage := (0.14 + 0.093 + 0.15) / 2 / cloud.HoursPerMonth
+	// Read: 0.5 GB from each of the two cheapest: S3(h) and S3(l) at 0.15
+	// plus 1 op each at 0.01/1000.
+	read := 2 * (0.5*0.15 + 0.01/1000)
+	if math.Abs(got-(storage+read)) > 1e-9 {
+		t.Errorf("cost = %v, want %v", got, storage+read)
+	}
+}
+
+func TestPeriodCostOpsDominateSmallObjects(t *testing.T) {
+	// For a tiny object with many reads, a smaller m is cheaper because
+	// each read costs m operations — the gallery experiment's tiering
+	// force.
+	small := stats.Summary{Periods: 1, Reads: 1000, BytesOut: 1000 * 250e3, StorageBytes: 250e3}
+	m1 := Placement{Providers: pick("S3(h)", "S3(l)"), M: 1}
+	m2 := Placement{Providers: pick("S3(h)", "S3(l)", "Azu"), M: 2}
+	if PeriodCost(m1, small, 1) >= PeriodCost(m2, small, 1) {
+		t.Error("hot small object must be cheaper on [S3h,S3l; m:1] than [S3h,S3l,Azu; m:2]")
+	}
+}
+
+func TestPeriodCostWritePath(t *testing.T) {
+	p := Placement{Providers: pick("S3(h)", "RS"), M: 1}
+	load := stats.Summary{Periods: 1, Writes: 2, BytesIn: 2e9, StorageBytes: 1e9}
+	got := PeriodCost(p, load, 1)
+	storage := (0.14 + 0.15) / cloud.HoursPerMonth * 2 / 2 // full replica each... wait m=1: chunk = 1GB each
+	_ = storage
+	wantStorage := (0.14 + 0.15) * 1.0 / cloud.HoursPerMonth
+	wantWrite := 2.0*0.1 + 2.0*0.08 + // 2 GB in at each provider's in-price
+		2*0.01/1000 + 2*0.0/1000 // 2 PUT ops each
+	if math.Abs(got-(wantStorage+wantWrite)) > 1e-9 {
+		t.Errorf("cost = %v, want %v", got, wantStorage+wantWrite)
+	}
+}
+
+func TestWindowCostScalesLinearly(t *testing.T) {
+	p := Placement{Providers: pick("S3(h)"), M: 1}
+	load := coldLoad(1e9)
+	one := WindowCost(p, load, 1, 1)
+	week := WindowCost(p, load, 1, 168)
+	if math.Abs(week-168*one) > 1e-12 {
+		t.Errorf("week = %v, want %v", week, 168*one)
+	}
+}
+
+func TestMigrationCostSameThresholdDirectCopy(t *testing.T) {
+	// Same m and n: the Ggl chunk moves to RS by direct copy — the
+	// paper's "cheapest case" (§IV-E); no reconstruction happens.
+	from := Placement{Providers: pick("S3(h)", "Azu", "Ggl"), M: 2}
+	to := Placement{Providers: pick("S3(h)", "Azu", "RS"), M: 2}
+	got := MigrationCost(from, to, 1.0) // 1 GB object
+	// Read the 0.5 GB chunk from Ggl (0.15/GB out + 1 op).
+	read := 0.5*0.15 + 0.01/1000
+	// Write it to RS: 0.5 GB at 0.08 in, ops free.
+	write := 0.5 * 0.08
+	// Delete the Ggl chunk: one op.
+	del := 0.01 / 1000
+	want := read + write + del
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("migration = %v, want %v", got, want)
+	}
+}
+
+func TestMigrationCostDirectCopyCheaperThanRestripe(t *testing.T) {
+	from := Placement{Providers: pick("S3(h)", "Azu", "Ggl"), M: 2}
+	to := Placement{Providers: pick("S3(h)", "Azu", "RS"), M: 2}
+	restripe := Placement{Providers: pick("S3(h)", "Azu", "RS"), M: 3}
+	if MigrationCost(from, to, 1.0) >= MigrationCost(from, restripe, 1.0) {
+		t.Error("a direct chunk copy must cost less than a re-stripe")
+	}
+}
+
+func TestMigrationCostRestripeRewritesAll(t *testing.T) {
+	from := Placement{Providers: pick("S3(h)", "S3(l)"), M: 1}
+	to := Placement{Providers: pick("S3(h)", "S3(l)", "Azu"), M: 2}
+	got := MigrationCost(from, to, 1.0)
+	// Read 1 chunk (full object) from the cheapest source.
+	read := 1.0*0.15 + 0.01/1000
+	// Rewrite all three chunks of 0.5 GB.
+	write := 0.5*(0.1+0.1+0.1) + 3*0.01/1000
+	// Delete both old chunks.
+	del := 2 * 0.01 / 1000
+	want := read + write + del
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("migration = %v, want %v", got, want)
+	}
+}
+
+func TestMigrationCostIdenticalPlacementFree(t *testing.T) {
+	p := Placement{Providers: pick("S3(h)", "S3(l)"), M: 1}
+	got := MigrationCost(p, p, 5.0)
+	// Same set, same m: nothing to write or delete; reconstruction reads
+	// nothing because no chunk changes... the model still charges the
+	// read of m chunks only when something must be written.
+	if got > 1.0*0.15+1e-6 {
+		t.Errorf("no-op migration should cost at most one chunk read, got %v", got)
+	}
+}
+
+// --- Placement (Algorithm 1) ---
+
+func slashdotRule() Rule {
+	return Rule{Name: "slashdot", Durability: 0.99999, Availability: 0.9999, LockIn: 1}
+}
+
+func TestBestPlacementColdObjectPrefersStorageCheapSets(t *testing.T) {
+	res, err := BestPlacement(cloud.PaperProviders(), slashdotRule(), coldLoad(1e6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold data: storage-dominated. The optimum is a wide set with a high
+	// threshold (per-provider chunk share shrinks as m grows).
+	if res.Placement.M < 3 {
+		t.Errorf("cold placement %v: expected a high threshold", res.Placement)
+	}
+	if res.Evaluated != 31 {
+		t.Errorf("exact search evaluated %d sets, want 31", res.Evaluated)
+	}
+}
+
+func TestBestPlacementHotObjectPicksM1PairPaperShape(t *testing.T) {
+	// During the Slashdot peak (150 reads/hour on a 1 MB object) the
+	// paper reports [S3(h), S3(l); m:1] as the cheapest feasible set.
+	load := stats.Summary{Periods: 1, Reads: 150, BytesOut: 150 * 1e6, StorageBytes: 1e6}
+	res, err := BestPlacement(cloud.PaperProviders(), slashdotRule(), load, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Placement{Providers: pick("S3(h)", "S3(l)"), M: 1}
+	if !res.Placement.Equal(want) {
+		t.Errorf("hot placement = %v, want %v", res.Placement, want)
+	}
+}
+
+func TestBestPlacementRespectsAvailability(t *testing.T) {
+	// A single provider never satisfies 99.99% availability at 99.9% SLA.
+	res, err := BestPlacement(cloud.PaperProviders(), slashdotRule(), coldLoad(1e6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement.N() < 2 {
+		t.Errorf("placement %v violates the 2-provider availability bound", res.Placement)
+	}
+	if av := GetAvailability(res.Placement.Providers, res.Placement.M); av < 0.9999 {
+		t.Errorf("availability %v < 0.9999", av)
+	}
+}
+
+func TestBestPlacementLockInForcesWidth(t *testing.T) {
+	rule := Rule{Durability: 0.9999, Availability: 0.999, LockIn: 0.25}
+	res, err := BestPlacement(cloud.PaperProviders(), rule, coldLoad(40e6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement.N() < 4 {
+		t.Errorf("lock-in 0.25 requires >= 4 providers, got %v", res.Placement)
+	}
+}
+
+func TestLockInFilterExact(t *testing.T) {
+	// lockin(pset) = 1/|pset| <= rule.LockIn. With LockIn = 0.5 a
+	// single-provider set (lockin 1) must be rejected even if cheapest.
+	rule := Rule{Durability: 0.99, Availability: 0.99, LockIn: 0.5}
+	res, err := BestPlacement(cloud.PaperProviders(), rule, coldLoad(1e6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement.N() < 2 {
+		t.Errorf("placement %v violates lock-in", res.Placement)
+	}
+}
+
+func TestBestPlacementZoneFilter(t *testing.T) {
+	// EU-only rule: only the two S3 profiles serve EU in Fig. 3.
+	rule := Rule{Durability: 0.9999, Availability: 0.9999,
+		Zones: []cloud.Zone{cloud.ZoneEU}, LockIn: 1}
+	res, err := BestPlacement(cloud.PaperProviders(), rule, coldLoad(1e6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range res.Placement.Names() {
+		if name != "S3(h)" && name != "S3(l)" {
+			t.Errorf("non-EU provider %s selected for EU rule", name)
+		}
+	}
+}
+
+func TestBestPlacementInfeasible(t *testing.T) {
+	// Durability demand beyond any combination of the weak providers.
+	weak := []cloud.Spec{
+		{Name: "w1", Durability: 0.9, Availability: 0.9, Pricing: cloud.Pricing{StorageGBMonth: 0.1}},
+		{Name: "w2", Durability: 0.9, Availability: 0.9, Pricing: cloud.Pricing{StorageGBMonth: 0.1}},
+	}
+	rule := Rule{Durability: 0.999999999, Availability: 0.99, LockIn: 1}
+	if _, err := BestPlacement(weak, rule, coldLoad(1e6), Options{}); err == nil {
+		t.Fatal("expected ErrNoProviders")
+	}
+}
+
+func TestBestPlacementChunkConstraintExcludesProvider(t *testing.T) {
+	specs := cloud.PaperProviders()
+	// Give Azure a 1 KB max chunk: any set including it is infeasible for
+	// a 1 MB object, so the optimizer must route around it.
+	for i := range specs {
+		if specs[i].Name == "Azu" {
+			specs[i].MaxChunkBytes = 1 << 10
+		}
+	}
+	rule := Rule{Durability: 0.9999, Availability: 0.9999, LockIn: 1}
+	res, err := BestPlacement(specs, rule, coldLoad(1<<20), Options{ObjectBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement.Has("Azu") {
+		t.Errorf("constrained provider included: %v", res.Placement)
+	}
+}
+
+func TestBestPlacementFreeBytesConstraint(t *testing.T) {
+	rule := Rule{Durability: 0.9999, Availability: 0.9999, LockIn: 1}
+	free := map[string]int64{"S3(l)": 10} // S3(l) almost full
+	res, err := BestPlacement(cloud.PaperProviders(), rule, coldLoad(1e6),
+		Options{ObjectBytes: 1e6, FreeBytes: free})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement.Has("S3(l)") {
+		t.Errorf("full provider included: %v", res.Placement)
+	}
+}
+
+func TestBestPlacementDeterministic(t *testing.T) {
+	load := stats.Summary{Periods: 1, Reads: 3, BytesOut: 3e6, StorageBytes: 1e6}
+	a, err := BestPlacement(cloud.PaperProviders(), slashdotRule(), load, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b, err := BestPlacement(cloud.PaperProviders(), slashdotRule(), load, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Placement.Equal(b.Placement) {
+			t.Fatalf("non-deterministic: %v vs %v", a.Placement, b.Placement)
+		}
+	}
+}
+
+func TestPrunedMatchesExactOnPaperScenarios(t *testing.T) {
+	loads := []stats.Summary{
+		coldLoad(1e6),
+		{Periods: 1, Reads: 150, BytesOut: 150e6, StorageBytes: 1e6},
+		{Periods: 1, Reads: 10, BytesOut: 10 * 250e3, StorageBytes: 250e3},
+		{Periods: 1, Writes: 1, BytesIn: 40e6, StorageBytes: 40e6},
+	}
+	for i, load := range loads {
+		exact, err := BestPlacement(cloud.PaperProviders(), slashdotRule(), load, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned, err := BestPlacement(cloud.PaperProviders(), slashdotRule(), load, Options{Pruned: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The heuristic may be suboptimal but must stay within 10% and
+		// must evaluate far fewer candidates.
+		if pruned.Price > exact.Price*1.10+1e-12 {
+			t.Errorf("load %d: pruned price %v > 1.1 x exact %v", i, pruned.Price, exact.Price)
+		}
+		if pruned.Evaluated >= exact.Evaluated {
+			t.Errorf("load %d: pruned evaluated %d >= exact %d", i, pruned.Evaluated, exact.Evaluated)
+		}
+	}
+}
+
+func TestPlacementStringAndKey(t *testing.T) {
+	p := Placement{Providers: pick("S3(l)", "S3(h)"), M: 1}
+	if p.String() != "[S3(h), S3(l); m:1]" {
+		t.Errorf("String = %q", p.String())
+	}
+	if p.Key() != p.String() {
+		t.Error("Key must equal String")
+	}
+}
+
+func TestPlacementEqualIgnoresOrder(t *testing.T) {
+	a := Placement{Providers: pick("S3(h)", "Azu"), M: 1}
+	b := Placement{Providers: pick("Azu", "S3(h)"), M: 1}
+	if !a.Equal(b) {
+		t.Error("order must not matter")
+	}
+	c := Placement{Providers: pick("Azu", "S3(h)"), M: 2}
+	if a.Equal(c) {
+		t.Error("different m must differ")
+	}
+}
+
+// --- Decision controller ---
+
+func TestDecisionControllerCoupling(t *testing.T) {
+	c := NewDecisionController(24, 0)
+	if !c.Tick() {
+		t.Fatal("first tick must evaluate (T=1)")
+	}
+	cands := c.Candidates(0)
+	if cands != [3]int{12, 24, 48} {
+		t.Fatalf("candidates = %v", cands)
+	}
+	// Middle wins: D stays, T doubles.
+	c.Update(1, cands)
+	if c.D() != 24 || c.T() != 2 {
+		t.Fatalf("after adequate D: D=%d T=%d", c.D(), c.T())
+	}
+	if c.Tick() {
+		t.Fatal("tick 1 of 2 must not evaluate")
+	}
+	if !c.Tick() {
+		t.Fatal("tick 2 of 2 must evaluate")
+	}
+	// 2D wins: D doubles, T resets.
+	cands = c.Candidates(0)
+	c.Update(2, cands)
+	if c.D() != 48 || c.T() != 1 {
+		t.Fatalf("after D change: D=%d T=%d", c.D(), c.T())
+	}
+}
+
+func TestDecisionControllerClamp(t *testing.T) {
+	c := NewDecisionController(24, 0)
+	cands := c.Candidates(30) // min(TTL, |H|) = 30
+	if cands[2] != 30 {
+		t.Fatalf("2D must clamp to 30, got %v", cands)
+	}
+	// If the clamped candidate equals D, choosing it is "adequate".
+	c2 := NewDecisionController(24, 0)
+	cands2 := c2.Candidates(24)
+	c2.Update(2, cands2) // 2D clamped to 24 == D
+	if c2.D() != 24 || c2.T() != 2 {
+		t.Fatalf("clamped-equal candidate must count as adequate: D=%d T=%d", c2.D(), c2.T())
+	}
+}
+
+func TestDecisionControllerMaxT(t *testing.T) {
+	c := NewDecisionController(24, 8)
+	for i := 0; i < 10; i++ {
+		c.Update(1, c.Candidates(0))
+	}
+	if c.T() != 8 {
+		t.Fatalf("T = %d, want capped at 8", c.T())
+	}
+}
+
+func TestDecisionControllerHalving(t *testing.T) {
+	c := NewDecisionController(24, 0)
+	c.Update(0, c.Candidates(0))
+	if c.D() != 12 || c.T() != 1 {
+		t.Fatalf("after halving: D=%d T=%d", c.D(), c.T())
+	}
+	// D can never fall below the minimum.
+	c2 := NewDecisionController(1, 0)
+	c2.Update(0, c2.Candidates(0))
+	if c2.D() < MinDecisionPeriod {
+		t.Fatalf("D below minimum: %d", c2.D())
+	}
+}

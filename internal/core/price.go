@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scalia/internal/cloud"
+	"scalia/internal/stats"
+)
+
+// Placement is a chosen provider set together with the erasure threshold
+// m: the object is split into n = len(Providers) chunks, any m of which
+// reconstruct it.
+type Placement struct {
+	Providers []cloud.Spec
+	M         int
+}
+
+// N returns the number of chunks (= providers).
+func (p Placement) N() int { return len(p.Providers) }
+
+// Names returns the provider names, sorted.
+func (p Placement) Names() []string {
+	out := make([]string, len(p.Providers))
+	for i, s := range p.Providers {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the paper's notation, e.g. "[S3(h), S3(l); m:1]".
+func (p Placement) String() string {
+	return fmt.Sprintf("[%s; m:%d]", strings.Join(p.Names(), ", "), p.M)
+}
+
+// Key returns a canonical identity string for map keys and comparisons.
+func (p Placement) Key() string { return p.String() }
+
+// Equal reports whether two placements use the same provider names and
+// threshold.
+func (p Placement) Equal(other Placement) bool {
+	if p.M != other.M || len(p.Providers) != len(other.Providers) {
+		return false
+	}
+	a, b := p.Names(), other.Names()
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Has reports whether the placement includes the named provider.
+func (p Placement) Has(name string) bool {
+	for _, s := range p.Providers {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ChunkGB returns the per-chunk size in GB for an object of the given
+// logical size.
+func (p Placement) ChunkGB(storageGB float64) float64 {
+	if p.M <= 0 {
+		return 0
+	}
+	return storageGB / float64(p.M)
+}
+
+// StoredGB returns the total stored volume including erasure overhead.
+func (p Placement) StoredGB(storageGB float64) float64 {
+	return p.ChunkGB(storageGB) * float64(p.N())
+}
+
+// PeriodCost implements computePrice (Algorithm 1, line 11): the
+// expected USD cost of one sampling period on placement p for an object
+// with the given per-period average load.
+//
+// Cost model, per the paper's billing dimensions:
+//   - storage: each provider holds one chunk of size/m for the period;
+//   - writes: every write uploads all n chunks (bandwidth-in at each
+//     provider, one PUT operation each);
+//   - reads: every read downloads m chunks from the cheapest m providers
+//     of the set, ranked by marginal read cost (bandwidth-out price plus
+//     per-operation price) — "retrieves the m out of |P(obj)| chunks from
+//     the cheapest providers" (§III-D2);
+//   - deletes: one DELETE operation per provider.
+func PeriodCost(p Placement, load stats.Summary, periodHours float64) float64 {
+	if p.M <= 0 || p.N() == 0 {
+		return 0
+	}
+	if periodHours <= 0 {
+		periodHours = 1
+	}
+	m := float64(p.M)
+	storageGB := load.StorageBytes / 1e9
+	chunkGB := storageGB / m
+	bytesInGB := load.BytesIn / 1e9 / m   // per-provider upload share
+	bytesOutGB := load.BytesOut / 1e9 / m // per-serving-provider share
+
+	var cost float64
+
+	// Storage and write path: all n providers participate.
+	for _, s := range p.Providers {
+		cost += chunkGB * s.Pricing.StorageGBMonth * periodHours / cloud.HoursPerMonth
+		cost += bytesInGB * s.Pricing.BandwidthInGB
+		cost += load.Writes * s.Pricing.OpsPer1000 / 1000
+	}
+
+	// Read path: the m cheapest providers serve chunks.
+	if load.Reads > 0 && load.BytesOut >= 0 {
+		costs := make([]float64, 0, p.N())
+		for _, s := range p.Providers {
+			costs = append(costs, bytesOutGB*s.Pricing.BandwidthOutGB+load.Reads*s.Pricing.OpsPer1000/1000)
+		}
+		sort.Float64s(costs)
+		for i := 0; i < p.M; i++ {
+			cost += costs[i]
+		}
+	}
+	return cost
+}
+
+// WindowCost prices the placement over an entire decision period of
+// `periods` sampling periods.
+func WindowCost(p Placement, load stats.Summary, periodHours float64, periods int) float64 {
+	if periods < 1 {
+		periods = 1
+	}
+	return PeriodCost(p, load, periodHours) * float64(periods)
+}
+
+// MigrationCost estimates the one-off USD cost of moving an object of
+// the given logical size from placement `from` to placement `to`
+// (§III-A3: migration happens only "if the cost of migration is covered
+// by the benefits"):
+//   - if threshold and chunk count are unchanged, moved chunks keep
+//     their stripe identity and are copied provider-to-provider (§IV-E:
+//     "if m is the same, then only the faulty chunk needs to be
+//     written, which corresponds to the cheapest case");
+//   - otherwise the object is reconstructed by reading m chunks from the
+//     cheapest source providers, re-striped, and fully rewritten.
+//
+// Chunks abandoned at providers leaving the set cost one DELETE each.
+func MigrationCost(from, to Placement, storageGB float64) float64 {
+	if from.M <= 0 || to.M <= 0 {
+		return 0
+	}
+	// Cheapest case (§IV-E): threshold and chunk count unchanged, so a
+	// chunk keeps its stripe identity and moves by a direct copy from the
+	// leaving provider to the incoming one — no reconstruction.
+	if from.M == to.M && from.N() == to.N() {
+		chunkGB := from.ChunkGB(storageGB)
+		var leaving, incoming []cloud.Spec
+		for _, s := range from.Providers {
+			if !to.Has(s.Name) {
+				leaving = append(leaving, s)
+			}
+		}
+		for _, s := range to.Providers {
+			if !from.Has(s.Name) {
+				incoming = append(incoming, s)
+			}
+		}
+		sort.Slice(leaving, func(i, j int) bool { return leaving[i].Name < leaving[j].Name })
+		sort.Slice(incoming, func(i, j int) bool { return incoming[i].Name < incoming[j].Name })
+		var cost float64
+		for i := range incoming {
+			src, dst := leaving[i], incoming[i]
+			cost += chunkGB*src.Pricing.BandwidthOutGB + src.Pricing.OpsPer1000/1000 // read
+			cost += chunkGB*dst.Pricing.BandwidthInGB + dst.Pricing.OpsPer1000/1000  // write
+			cost += src.Pricing.OpsPer1000 / 1000                                    // delete
+		}
+		return cost
+	}
+
+	// Re-stripe: reconstruct from m chunks, rewrite everything, delete all
+	// old chunks.
+	var cost float64
+	chunkGB := from.ChunkGB(storageGB)
+	reads := make([]float64, 0, from.N())
+	for _, s := range from.Providers {
+		reads = append(reads, chunkGB*s.Pricing.BandwidthOutGB+s.Pricing.OpsPer1000/1000)
+	}
+	sort.Float64s(reads)
+	for i := 0; i < from.M && i < len(reads); i++ {
+		cost += reads[i]
+	}
+	newChunkGB := to.ChunkGB(storageGB)
+	for _, s := range to.Providers {
+		cost += newChunkGB*s.Pricing.BandwidthInGB + s.Pricing.OpsPer1000/1000
+	}
+	for _, s := range from.Providers {
+		cost += s.Pricing.OpsPer1000 / 1000
+	}
+	return cost
+}

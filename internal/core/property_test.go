@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scalia/internal/cloud"
+	"scalia/internal/stats"
+)
+
+// randomLoad derives a well-formed load summary from fuzz inputs.
+func randomLoad(reads, writes uint16, sizeMB uint8) stats.Summary {
+	size := float64(sizeMB)*1e6 + 1
+	return stats.Summary{
+		Periods:      1,
+		Reads:        float64(reads),
+		Writes:       float64(writes % 4),
+		BytesOut:     float64(reads) * size,
+		BytesIn:      float64(writes%4) * size,
+		StorageBytes: size,
+	}
+}
+
+func TestPeriodCostNonNegativeProperty(t *testing.T) {
+	specs := cloud.PaperProviders()
+	f := func(reads, writes uint16, sizeMB uint8, mSel, nSel uint8) bool {
+		n := int(nSel%5) + 1
+		m := int(mSel%uint8(n)) + 1
+		p := Placement{Providers: specs[:n], M: m}
+		return PeriodCost(p, randomLoad(reads, writes, sizeMB), 1) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodCostMonotoneInLoadProperty(t *testing.T) {
+	specs := cloud.PaperProviders()
+	p := Placement{Providers: specs[:3], M: 2}
+	f := func(reads, writes uint16, sizeMB uint8) bool {
+		load := randomLoad(reads, writes, sizeMB)
+		base := PeriodCost(p, load, 1)
+		// More reads cannot be cheaper.
+		more := load
+		more.Reads += 10
+		more.BytesOut += 10 * load.StorageBytes
+		if PeriodCost(p, more, 1) < base {
+			return false
+		}
+		// More stored bytes cannot be cheaper.
+		bigger := load
+		bigger.StorageBytes *= 2
+		return PeriodCost(p, bigger, 1) >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestPlacementNeverBeatenByCandidateProperty(t *testing.T) {
+	// The optimizer's result must price at or below every feasible
+	// candidate it can choose from — cross-checked by re-evaluating a
+	// random subset against the returned optimum.
+	specs := cloud.PaperProviders()
+	rule := Rule{Durability: 0.99999, Availability: 0.9999, LockIn: 1}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		load := randomLoad(uint16(rng.Intn(500)), uint16(rng.Intn(4)), uint8(rng.Intn(200)))
+		best, err := BestPlacement(specs, rule, load, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random candidate subset.
+		var pset []cloud.Spec
+		for _, s := range specs {
+			if rng.Intn(2) == 1 {
+				pset = append(pset, s)
+			}
+		}
+		if len(pset) < 2 {
+			continue
+		}
+		th := FeasibleThreshold(pset, rule.Durability, rule.Availability)
+		if th <= 0 {
+			continue
+		}
+		cand := Placement{Providers: pset, M: th}
+		if price := PeriodCost(cand, load, 1); price < best.Price-1e-12 {
+			t.Fatalf("trial %d: candidate %v (%v) beats optimum %v (%v)",
+				trial, cand, price, best.Placement, best.Price)
+		}
+	}
+}
+
+func TestMigrationCostNonNegativeProperty(t *testing.T) {
+	specs := cloud.PaperProviders()
+	f := func(fromSel, toSel uint8, sizeMB uint8) bool {
+		fn := int(fromSel%4) + 2
+		tn := int(toSel%4) + 2
+		from := Placement{Providers: specs[:fn], M: fn - 1}
+		to := Placement{Providers: specs[5-tn:], M: tn - 1}
+		return MigrationCost(from, to, float64(sizeMB)/100) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdAvailabilityConsistencyProperty(t *testing.T) {
+	// For any subset and any constraints, the feasible threshold (when
+	// positive) must satisfy both constraints, and threshold+1 must
+	// violate at least one.
+	specs := cloud.PaperProviders()
+	rng := rand.New(rand.NewSource(17))
+	durs := []float64{0.999, 0.99999, 0.9999999, 0.999999999999}
+	avs := []float64{0.99, 0.999, 0.9999, 0.999995}
+	for trial := 0; trial < 300; trial++ {
+		var pset []cloud.Spec
+		for _, s := range specs {
+			if rng.Intn(2) == 1 {
+				pset = append(pset, s)
+			}
+		}
+		if len(pset) == 0 {
+			continue
+		}
+		dr := durs[rng.Intn(len(durs))]
+		ar := avs[rng.Intn(len(avs))]
+		m := FeasibleThreshold(pset, dr, ar)
+		if m <= 0 {
+			continue
+		}
+		if GetAvailability(pset, m) < ar {
+			t.Fatalf("threshold %d violates availability %v for %v", m, ar, pset)
+		}
+		if th := GetThreshold(pset, dr); m > th {
+			t.Fatalf("feasible threshold %d exceeds durability threshold %d", m, th)
+		}
+		if m < len(pset) {
+			// Maximality: m+1 must violate availability or durability.
+			durOK := m+1 <= GetThreshold(pset, dr)
+			avOK := GetAvailability(pset, m+1) >= ar
+			if durOK && avOK {
+				t.Fatalf("threshold %d not maximal for %v (dr=%v ar=%v)", m, pset, dr, ar)
+			}
+		}
+	}
+}
+
+func TestStoredGBAccountsOverheadProperty(t *testing.T) {
+	f := func(mSel, nSel uint8, sizeMB uint8) bool {
+		n := int(nSel%5) + 1
+		m := int(mSel%uint8(n)) + 1
+		p := Placement{Providers: cloud.PaperProviders()[:n], M: m}
+		size := float64(sizeMB) / 100
+		stored := p.StoredGB(size)
+		// Stored volume is size * n/m, always >= the logical size.
+		return stored >= size-1e-12 && stored <= size*float64(n)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

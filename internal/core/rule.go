@@ -1,0 +1,71 @@
+// Package core implements Scalia's placement engine: the best-provider-
+// set search of Algorithm 1, the durability threshold computation of
+// Algorithm 2, SLA availability evaluation, expected-price computation
+// over access histories, migration-cost accounting, and the adaptive
+// decision-period controller (paper §III-A).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"scalia/internal/cloud"
+)
+
+// Rule is the per-object (or per-class, or default) customer rule set:
+// minimum durability and availability, acceptable geographic zones and
+// the vendor lock-in factor obj[lockin] = 1/N_obj where N_obj is the
+// minimum number of distinct providers (paper Eq. 1 and Fig. 2).
+type Rule struct {
+	Name         string
+	Durability   float64      // minimum durability, e.g. 0.99999
+	Availability float64      // minimum availability, e.g. 0.9999
+	Zones        []cloud.Zone // acceptable zones; empty = all
+	LockIn       float64      // max lock-in factor in (0,1]; 1 = single provider OK
+}
+
+// Validation errors.
+var (
+	ErrBadLockIn      = errors.New("core: lock-in factor must be in (0,1]")
+	ErrBadProbability = errors.New("core: durability/availability must be in [0,1)")
+	ErrNoProviders    = errors.New("core: no feasible provider set satisfies the rule")
+)
+
+// Validate checks rule parameter ranges.
+func (r Rule) Validate() error {
+	if r.LockIn <= 0 || r.LockIn > 1 {
+		return fmt.Errorf("%w: %v", ErrBadLockIn, r.LockIn)
+	}
+	if r.Durability < 0 || r.Durability >= 1 {
+		return fmt.Errorf("%w: durability %v", ErrBadProbability, r.Durability)
+	}
+	if r.Availability < 0 || r.Availability >= 1 {
+		return fmt.Errorf("%w: availability %v", ErrBadProbability, r.Availability)
+	}
+	return nil
+}
+
+// MinProviders returns N_obj, the minimum number of distinct providers
+// implied by the lock-in factor (Eq. 1: lockin = 1/N).
+func (r Rule) MinProviders() int {
+	if r.LockIn <= 0 {
+		return 1
+	}
+	n := int(1/r.LockIn + 1e-9)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// PaperRules returns the three example rules of Fig. 2.
+func PaperRules() []Rule {
+	return []Rule{
+		{Name: "Rule 1", Durability: 0.999999, Availability: 0.9999,
+			Zones: []cloud.Zone{cloud.ZoneEU, cloud.ZoneUS}, LockIn: 0.3},
+		{Name: "Rule 2", Durability: 0.99999, Availability: 0.9999,
+			Zones: []cloud.Zone{cloud.ZoneEU}, LockIn: 1},
+		{Name: "Rule 3", Durability: 0.9999, Availability: 0.9999,
+			Zones: nil, LockIn: 0.2},
+	}
+}

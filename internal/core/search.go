@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"scalia/internal/cloud"
+	"scalia/internal/stats"
+)
+
+// Search is a prepared placement search: the feasibility work of
+// Algorithm 1 (lock-in, durability threshold, availability, chunk-size
+// constraints) depends only on the rule and the provider market, so it
+// is computed once; Best then re-prices the surviving candidates for any
+// load. The simulator and the periodic optimizer call Best thousands of
+// times per provider-market epoch.
+type Search struct {
+	feasible []Placement
+	opts     Options
+}
+
+// NewSearch prepares the feasible candidate placements for the given
+// providers and rule.
+func NewSearch(specs []cloud.Spec, rule Rule, opts Options) (*Search, error) {
+	if err := rule.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.PeriodHours <= 0 {
+		opts.PeriodHours = 1
+	}
+	filtered := make([]cloud.Spec, 0, len(specs))
+	for _, s := range specs {
+		if s.ServesAny(rule.Zones) {
+			filtered = append(filtered, s)
+		}
+	}
+	sort.Slice(filtered, func(i, j int) bool { return filtered[i].Name < filtered[j].Name })
+
+	s := &Search{opts: opts}
+	n := len(filtered)
+	pset := make([]cloud.Spec, 0, n)
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		pset = pset[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				pset = append(pset, filtered[i])
+			}
+		}
+		if 1.0/float64(len(pset)) > rule.LockIn+1e-12 {
+			continue
+		}
+		th := FeasibleThreshold(pset, rule.Durability, rule.Availability)
+		if th <= 0 {
+			continue
+		}
+		if opts.ObjectBytes > 0 {
+			chunk := (opts.ObjectBytes + int64(th) - 1) / int64(th)
+			bad := false
+			for _, spec := range pset {
+				if spec.MaxChunkBytes > 0 && chunk > spec.MaxChunkBytes {
+					bad = true
+					break
+				}
+				if opts.FreeBytes != nil {
+					if free, ok := opts.FreeBytes[spec.Name]; ok && chunk > free {
+						bad = true
+						break
+					}
+				}
+			}
+			if bad {
+				continue
+			}
+		}
+		s.feasible = append(s.feasible, Placement{
+			Providers: append([]cloud.Spec(nil), pset...),
+			M:         th,
+		})
+	}
+	if len(s.feasible) == 0 {
+		return nil, ErrNoProviders
+	}
+	return s, nil
+}
+
+// Candidates returns the number of feasible placements.
+func (s *Search) Candidates() int { return len(s.feasible) }
+
+// Best returns the cheapest feasible placement for the load.
+func (s *Search) Best(load stats.Summary) Result {
+	best := Result{Price: math.MaxFloat64}
+	for _, p := range s.feasible {
+		best.Evaluated++
+		price := PeriodCost(p, load, s.opts.PeriodHours)
+		if !best.Feasible || price < best.Price-1e-15 ||
+			(math.Abs(price-best.Price) <= 1e-15 && tieBreak(p, best.Placement)) {
+			best.Feasible = true
+			best.Price = price
+			best.Placement = p
+		}
+	}
+	return best
+}

@@ -1,0 +1,129 @@
+package core
+
+import "scalia/internal/cloud"
+
+// GetThreshold implements Algorithm 2: it returns the largest erasure
+// threshold m for the provider set pset such that the probability of the
+// object surviving provider failures (per each provider's SLA
+// durability) is at least dr. A return value <= 0 means pset cannot
+// satisfy the durability constraint.
+//
+// Starting from zero, the number of tolerated failed providers
+// (failuresOK) is increased, accumulating the probability that exactly
+// failuresOK providers fail, until the accumulated survival probability
+// reaches dr. The threshold is |pset| - failuresOK: the object must
+// remain reconstructable from the surviving providers.
+func GetThreshold(pset []cloud.Spec, dr float64) int {
+	n := len(pset)
+	dura := 0.0
+	failuresOK := -1
+	for dura < dr && failuresOK < n {
+		failuresOK++
+		dura += probExactlyKFail(pset, failuresOK, func(s cloud.Spec) float64 { return s.Durability })
+	}
+	if dura < dr {
+		return 0
+	}
+	if failuresOK < 0 {
+		// dr == 0: no failures need tolerating; the threshold is maximal.
+		return n
+	}
+	return n - failuresOK
+}
+
+// FeasibleThreshold returns the largest threshold m satisfying both the
+// durability and the availability constraint, or 0 if none exists.
+//
+// Algorithm 1 as printed computes m from durability alone (Algorithm 2)
+// and then rejects the set if availability falls short. Read literally,
+// that would exclude most of the static sets of Fig. 13 (e.g. any pair
+// of six-nines providers gets m = n from Algorithm 2 and then fails the
+// 99.99% availability check), yet the paper's evaluation prices all 26.
+// Lowering m strictly improves both durability and availability, so the
+// operational reading — used here and evidently by the authors'
+// simulator — is to lower m until availability holds.
+func FeasibleThreshold(pset []cloud.Spec, dr, ar float64) int {
+	th := GetThreshold(pset, dr)
+	for m := th; m >= 1; m-- {
+		if GetAvailability(pset, m) >= ar {
+			return m
+		}
+	}
+	return 0
+}
+
+// GetAvailability computes the availability the provider set offers for
+// threshold m: the probability that the object can be reassembled, i.e.
+// that at most |pset| - m providers are simultaneously unreachable,
+// using each provider's SLA availability (Algorithm 1, line 9).
+func GetAvailability(pset []cloud.Spec, m int) float64 {
+	n := len(pset)
+	if m <= 0 || m > n {
+		return 0
+	}
+	av := 0.0
+	for down := 0; down <= n-m; down++ {
+		av += probExactlyKFail(pset, down, func(s cloud.Spec) float64 { return s.Availability })
+	}
+	return av
+}
+
+// probExactlyKFail returns the probability that exactly k providers of
+// pset fail, where up(s) is each provider's per-SLA probability of NOT
+// failing. It enumerates the C(n,k) failure combinations exactly, as
+// Algorithm 2 does (n is small: the paper notes fewer than 15 providers
+// exist on the market).
+func probExactlyKFail(pset []cloud.Spec, k int, up func(cloud.Spec) float64) float64 {
+	n := len(pset)
+	if k < 0 || k > n {
+		return 0
+	}
+	total := 0.0
+	forEachCombination(n, k, func(comb []int) {
+		p := 1.0
+		inComb := make(map[int]bool, k)
+		for _, i := range comb {
+			inComb[i] = true
+		}
+		for i, s := range pset {
+			if inComb[i] {
+				p *= 1 - up(s)
+			} else {
+				p *= up(s)
+			}
+		}
+		total += p
+	})
+	return total
+}
+
+// forEachCombination invokes fn with every k-combination of {0..n-1}.
+// The slice passed to fn is reused across calls.
+func forEachCombination(n, k int, fn func([]int)) {
+	if k == 0 {
+		fn(nil)
+		return
+	}
+	if k > n {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		fn(idx)
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"scalia/internal/cache"
+	"scalia/internal/cloud"
+	"scalia/internal/core"
+	"scalia/internal/metadata"
+	"scalia/internal/stats"
+	"scalia/internal/trend"
+)
+
+// Config configures a Broker deployment.
+type Config struct {
+	// Datacenters lists datacenter names; default {"dc1", "dc2"} (the
+	// paper's Fig. 4 setup).
+	Datacenters []string
+	// EnginesPerDC is the number of stateless engines per datacenter
+	// (default 2).
+	EnginesPerDC int
+	// CacheBytes is each datacenter's cache capacity; 0 disables caching.
+	CacheBytes int64
+	// PeriodHours is the sampling-period length (default 1).
+	PeriodHours float64
+	// Clock drives periods; default a SimClock.
+	Clock Clock
+	// Registry provides the provider set; default NewPaperRegistry.
+	Registry *cloud.Registry
+	// DefaultRule applies when no finer rule matches.
+	DefaultRule core.Rule
+	// DetectWindow and DetectLimit parameterize trend detection
+	// (defaults w = 3, limit = 0.1).
+	DetectWindow int
+	DetectLimit  float64
+	// DecisionPeriod is the initial D_obj in sampling periods (default 24).
+	DecisionPeriod int
+	// MigrationHorizon is the minimum number of sampling periods over
+	// which migration savings are amortized against migration cost. The
+	// horizon defaults to max(D_obj, expected TTL); raising it makes the
+	// broker migrate for slow-payback savings, which is how the paper's
+	// provider-arrival experiment behaves (§IV-D migrates for a storage
+	// price delta that pays back over months).
+	MigrationHorizon int
+	// Pruned selects the heuristic placement search.
+	Pruned bool
+}
+
+func (c *Config) fill() {
+	if len(c.Datacenters) == 0 {
+		c.Datacenters = []string{"dc1", "dc2"}
+	}
+	if c.EnginesPerDC <= 0 {
+		c.EnginesPerDC = 2
+	}
+	if c.PeriodHours <= 0 {
+		c.PeriodHours = 1
+	}
+	if c.Clock == nil {
+		c.Clock = NewSimClock()
+	}
+	if c.Registry == nil {
+		c.Registry = cloud.NewPaperRegistry()
+	}
+	if c.DetectWindow <= 0 {
+		c.DetectWindow = trend.DefaultWindow
+	}
+	if c.DetectLimit <= 0 {
+		c.DetectLimit = trend.DefaultLimit
+	}
+	if c.DecisionPeriod <= 0 {
+		c.DecisionPeriod = core.DefaultDecisionPeriod
+	}
+}
+
+// pendingDelete is a chunk deletion postponed because its provider was
+// unreachable (§III-D3: "the deletion of the chunk residing at a faulty
+// provider is postponed until the provider recovers").
+type pendingDelete struct {
+	Provider string
+	ChunkKey string
+}
+
+// Broker is a full Scalia deployment: shared storage registry, metadata
+// cluster, cache cluster, statistics pipeline and a set of stateless
+// engines across datacenters.
+type Broker struct {
+	cfg      Config
+	registry *cloud.Registry
+	meta     *metadata.Cluster
+	caches   *cache.Cluster
+	statsDB  *stats.DB
+	agg      *stats.Aggregator
+	rules    *RuleStore
+	clock    Clock
+	engines  []*Engine
+
+	mu        sync.Mutex
+	lastOpt   int64
+	pending   []pendingDelete
+	decisions map[string]*core.DecisionController
+	placement map[string]core.Placement // object -> current placement
+}
+
+// NewBroker builds a deployment from cfg.
+func NewBroker(cfg Config) *Broker {
+	cfg.fill()
+	nodes := make([]*metadata.Store, len(cfg.Datacenters))
+	caches := cache.NewCluster()
+	for i, dc := range cfg.Datacenters {
+		nodes[i] = metadata.NewStore(dc)
+		caches.AddDatacenter(dc, cfg.CacheBytes)
+	}
+	b := &Broker{
+		cfg:       cfg,
+		registry:  cfg.Registry,
+		meta:      metadata.NewCluster(nodes...),
+		caches:    caches,
+		statsDB:   stats.NewDB(cfg.PeriodHours),
+		rules:     NewRuleStore(cfg.DefaultRule),
+		clock:     cfg.Clock,
+		decisions: make(map[string]*core.DecisionController),
+		placement: make(map[string]core.Placement),
+	}
+	b.agg = stats.NewAggregator(b.statsDB, 0)
+	id := 0
+	for _, dc := range cfg.Datacenters {
+		for i := 0; i < cfg.EnginesPerDC; i++ {
+			b.engines = append(b.engines, &Engine{
+				id:    fmt.Sprintf("engine%d", id),
+				dc:    dc,
+				b:     b,
+				agent: b.agg.NewAgent(),
+				alive: true,
+			})
+			id++
+		}
+	}
+	return b
+}
+
+// Close releases the statistics pipeline.
+func (b *Broker) Close() { b.agg.Close() }
+
+// Engines returns all engines.
+func (b *Broker) Engines() []*Engine { return b.engines }
+
+// Engine returns engine i (requests are routed to engines indifferently;
+// callers may pick any).
+func (b *Broker) Engine(i int) *Engine { return b.engines[i%len(b.engines)] }
+
+// Registry exposes the provider registry.
+func (b *Broker) Registry() *cloud.Registry { return b.registry }
+
+// Rules exposes the rule store.
+func (b *Broker) Rules() *RuleStore { return b.rules }
+
+// Stats exposes the statistics database.
+func (b *Broker) Stats() *stats.DB { return b.statsDB }
+
+// Metadata exposes the metadata cluster.
+func (b *Broker) Metadata() *metadata.Cluster { return b.meta }
+
+// Caches exposes the cache cluster.
+func (b *Broker) Caches() *cache.Cluster { return b.caches }
+
+// Clock exposes the deployment clock.
+func (b *Broker) Clock() Clock { return b.clock }
+
+// FlushStats drains the log pipeline and inter-DC replication; the
+// simulator calls it at period boundaries.
+func (b *Broker) FlushStats() {
+	b.agg.Flush()
+	b.meta.Flush()
+}
+
+// CurrentPlacement returns the last known placement of an object.
+func (b *Broker) CurrentPlacement(object string) (core.Placement, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, ok := b.placement[object]
+	return p, ok
+}
+
+func (b *Broker) setPlacement(object string, p core.Placement) {
+	b.mu.Lock()
+	b.placement[object] = p
+	b.mu.Unlock()
+}
+
+func (b *Broker) dropPlacement(object string) {
+	b.mu.Lock()
+	delete(b.placement, object)
+	delete(b.decisions, object)
+	b.mu.Unlock()
+}
+
+// availableSpecs returns reachable providers plus their free capacities.
+func (b *Broker) availableSpecs() ([]cloud.Spec, map[string]int64) {
+	free := make(map[string]int64)
+	var specs []cloud.Spec
+	for _, s := range b.registry.Snapshot() {
+		if !s.Available() {
+			continue
+		}
+		spec := s.Spec()
+		specs = append(specs, spec)
+		if spec.CapacityBytes > 0 {
+			free[spec.Name] = spec.CapacityBytes - s.UsedBytes()
+		}
+	}
+	return specs, free
+}
+
+// enqueuePendingDelete records a postponed chunk deletion.
+func (b *Broker) enqueuePendingDelete(provider, chunkKey string) {
+	b.mu.Lock()
+	b.pending = append(b.pending, pendingDelete{Provider: provider, ChunkKey: chunkKey})
+	b.mu.Unlock()
+}
+
+// PendingDeletes returns the number of postponed chunk deletions.
+func (b *Broker) PendingDeletes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
+}
+
+// ProcessPendingDeletes retries postponed deletions against recovered
+// providers; it returns how many completed.
+func (b *Broker) ProcessPendingDeletes() int {
+	b.mu.Lock()
+	pending := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+
+	done := 0
+	var still []pendingDelete
+	for _, pd := range pending {
+		store, ok := b.registry.Store(pd.Provider)
+		if !ok {
+			done++ // provider left the market; nothing to delete
+			continue
+		}
+		if err := store.Delete(pd.ChunkKey); err == nil {
+			done++
+		} else {
+			still = append(still, pd)
+		}
+	}
+	if len(still) > 0 {
+		b.mu.Lock()
+		b.pending = append(b.pending, still...)
+		b.mu.Unlock()
+	}
+	return done
+}
+
+// --- container index ---
+
+const indexPrefix = "idx|"
+
+func indexRow(container, key string) string {
+	return indexPrefix + container + "|" + key
+}
+
+// writeIndex records (container, key) in the metadata store for listing.
+func (b *Broker) writeIndex(dc, container, key, uuid string, ts int64) error {
+	return b.meta.Put(dc, indexRow(container, key), metadata.Version{
+		UUID: uuid, Timestamp: ts,
+		Columns: map[string]string{"key": key},
+	})
+}
+
+// removeIndex tombstones the listing entry.
+func (b *Broker) removeIndex(dc, container, key, uuid string, ts int64) error {
+	return b.meta.Put(dc, indexRow(container, key), metadata.Version{
+		UUID: uuid, Timestamp: ts, Deleted: true,
+	})
+}
+
+// listContainer returns the keys of a container from the dc's node.
+func (b *Broker) listContainer(dc, container string) ([]string, error) {
+	node := b.meta.Store(dc)
+	if node == nil {
+		return nil, fmt.Errorf("engine: unknown datacenter %q", dc)
+	}
+	prefix := indexPrefix + container + "|"
+	var keys []string
+	for _, row := range node.Rows() {
+		if strings.HasPrefix(row, prefix) {
+			keys = append(keys, strings.TrimPrefix(row, prefix))
+		}
+	}
+	return keys, nil
+}

@@ -1,0 +1,448 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"scalia/internal/cloud"
+	"scalia/internal/core"
+	"scalia/internal/erasure"
+	"scalia/internal/metadata"
+	"scalia/internal/stats"
+)
+
+// Engine errors.
+var (
+	ErrObjectNotFound  = errors.New("engine: object not found")
+	ErrChecksum        = errors.New("engine: checksum mismatch after reconstruction")
+	ErrNotEnoughChunks = errors.New("engine: not enough reachable chunks to reconstruct")
+)
+
+// Engine is one stateless broker engine. All state lives in the shared
+// metadata, cache and statistics layers, so engines scale by addition
+// (§III-A). Each engine belongs to one datacenter and serves requests
+// against that datacenter's metadata node and cache.
+type Engine struct {
+	id    string
+	dc    string
+	b     *Broker
+	agent *stats.Agent
+
+	mu    sync.Mutex
+	alive bool
+}
+
+// ID returns the engine identifier.
+func (e *Engine) ID() string { return e.id }
+
+// Datacenter returns the engine's datacenter.
+func (e *Engine) Datacenter() string { return e.dc }
+
+// SetAlive marks the engine up or down (for leader-election tests and
+// failure injection).
+func (e *Engine) SetAlive(up bool) {
+	e.mu.Lock()
+	e.alive = up
+	e.mu.Unlock()
+}
+
+// Alive reports whether the engine participates in optimization.
+func (e *Engine) Alive() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.alive
+}
+
+// PutOptions carries optional write parameters.
+type PutOptions struct {
+	MIME string
+	// TTLHours is the user's lifetime hint (§III-A: "an indication of the
+	// object lifetime may be provided by the end user at write time").
+	TTLHours float64
+	// Rule overrides rule resolution for this object.
+	Rule *core.Rule
+}
+
+// objectName joins container and key into the statistics identity.
+func objectName(container, key string) string { return container + "/" + key }
+
+// Put stores (or updates) an object: it picks the best provider set for
+// the object's class and rule, erasure-codes the payload into chunks,
+// writes them under a fresh UUID-derived storage key, records metadata
+// via MVCC, invalidates caches and logs statistics (§III-D1).
+func (e *Engine) Put(container, key string, data []byte, opts PutOptions) (ObjectMeta, error) {
+	if container == "" || key == "" {
+		return ObjectMeta{}, fmt.Errorf("engine: container and key are required")
+	}
+	class := stats.ClassKey(opts.MIME, int64(len(data)))
+	rule := e.b.rules.Resolve(container, key, class)
+	if opts.Rule != nil {
+		rule = *opts.Rule
+	}
+	obj := objectName(container, key)
+	now := e.b.clock.Period()
+
+	load := e.writeLoad(obj, class, int64(len(data)))
+	res, err := e.placeWithRetry(rule, load, int64(len(data)))
+	if err != nil {
+		return ObjectMeta{}, err
+	}
+
+	// Fetch previous version (if any) for post-write cleanup.
+	row := RowKey(container, key)
+	node := e.b.meta.Store(e.dc)
+	var prev *ObjectMeta
+	if v, losers, err := node.Get(row); err == nil {
+		if m, err := decodeMeta(v); err == nil {
+			prev = &m
+		}
+		e.cleanupVersions(losers)
+	}
+
+	uuid := NewUUID()
+	meta := ObjectMeta{
+		Container: container,
+		Key:       key,
+		MIME:      opts.MIME,
+		Size:      int64(len(data)),
+		Checksum:  Checksum(data),
+		RuleName:  rule.Name,
+		Class:     class,
+		SKey:      StorageKey(container, key, uuid),
+		M:         res.Placement.M,
+		UUID:      uuid,
+		TTLHours:  opts.TTLHours,
+		CreatedAt: now,
+	}
+	if prev != nil {
+		meta.CreatedAt = prev.CreatedAt
+	}
+	if err := e.writeChunks(&meta, res.Placement, data); err != nil {
+		return ObjectMeta{}, err
+	}
+
+	ts := e.b.clock.Timestamp()
+	version, err := encodeMeta(meta, ts)
+	if err != nil {
+		return ObjectMeta{}, err
+	}
+	if err := e.b.meta.Put(e.dc, row, version); err != nil {
+		return ObjectMeta{}, fmt.Errorf("engine: metadata write: %w", err)
+	}
+	if err := e.b.writeIndex(e.dc, container, key, uuid, ts); err != nil {
+		return ObjectMeta{}, err
+	}
+
+	// Update is in place: discard the superseded version's chunks.
+	if prev != nil {
+		e.deleteChunks(*prev)
+	}
+	e.b.caches.InvalidateAll(obj)
+	e.b.setPlacement(obj, res.Placement)
+	e.agent.Log(stats.Event{
+		Object: obj, Class: class, Kind: stats.EventWrite,
+		Bytes: int64(len(data)), StorageBytes: int64(len(data)), Period: now,
+	})
+	return meta, nil
+}
+
+// writeLoad builds the pricing summary for a write: the object's own
+// history when present, otherwise the class expectation (Fig. 6),
+// otherwise just this write.
+func (e *Engine) writeLoad(obj, class string, size int64) stats.Summary {
+	if h := e.b.statsDB.History(obj); h != nil && h.Len() > 0 {
+		now := e.b.clock.Period()
+		d := e.decisionWindow(obj, now)
+		sum := h.Summary(now, d)
+		sum.StorageBytes = float64(size)
+		return sum
+	}
+	if rec, ok := e.b.statsDB.Classes().Lookup(class); ok {
+		if sum, ok := rec.ExpectedSummary(); ok {
+			sum.StorageBytes = float64(size)
+			return sum
+		}
+	}
+	return stats.Summary{
+		Periods: 1, Writes: 1,
+		BytesIn: float64(size), StorageBytes: float64(size),
+	}
+}
+
+// placeWithRetry runs the placement search, excluding providers that
+// fail mid-write ("Scalia will choose the best placement that does not
+// include the faulty provider", §III-D3). The retry loop is bounded by
+// the provider count.
+func (e *Engine) placeWithRetry(rule core.Rule, load stats.Summary, size int64) (core.Result, error) {
+	specs, free := e.b.availableSpecs()
+	for len(specs) > 0 {
+		res, err := core.BestPlacement(specs, rule, load, core.Options{
+			PeriodHours: e.b.cfg.PeriodHours,
+			Pruned:      e.b.cfg.Pruned,
+			FreeBytes:   free,
+			ObjectBytes: size,
+		})
+		if err != nil {
+			return core.Result{}, err
+		}
+		// Verify reachability now (a provider may have gone down between
+		// the snapshot and the placement decision).
+		ok := true
+		for _, spec := range res.Placement.Providers {
+			if s, found := e.b.registry.Store(spec.Name); !found || !s.Available() {
+				specs = removeSpec(specs, spec.Name)
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return res, nil
+		}
+	}
+	return core.Result{}, core.ErrNoProviders
+}
+
+func removeSpec(specs []cloud.Spec, name string) []cloud.Spec {
+	out := specs[:0]
+	for _, s := range specs {
+		if s.Name != name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// writeChunks encodes data with (m, n) from the placement and stores one
+// chunk per provider; on an individual failure it returns an error (the
+// caller's placement retry handles exclusion).
+func (e *Engine) writeChunks(meta *ObjectMeta, p core.Placement, data []byte) error {
+	coder, err := erasure.New(p.M, p.N())
+	if err != nil {
+		return err
+	}
+	chunks, err := coder.Encode(data)
+	if err != nil {
+		return err
+	}
+	meta.Chunks = make([]string, p.N())
+	for i, spec := range p.Providers {
+		store, ok := e.b.registry.Store(spec.Name)
+		if !ok {
+			return fmt.Errorf("engine: provider %s vanished", spec.Name)
+		}
+		if err := store.Put(ChunkKey(meta.SKey, i), chunks[i]); err != nil {
+			// Roll back already written chunks; postpone if unreachable.
+			for j := 0; j < i; j++ {
+				e.deleteChunkAt(meta.Chunks[j], ChunkKey(meta.SKey, j))
+			}
+			return fmt.Errorf("engine: chunk write to %s: %w", spec.Name, err)
+		}
+		meta.Chunks[i] = spec.Name
+	}
+	return nil
+}
+
+// Get serves an object: cache first, otherwise reconstruct from the m
+// cheapest reachable chunks, fill the cache and log the read (§III-D2).
+func (e *Engine) Get(container, key string) ([]byte, ObjectMeta, error) {
+	obj := objectName(container, key)
+	row := RowKey(container, key)
+	node := e.b.meta.Store(e.dc)
+	v, losers, err := node.Get(row)
+	if err != nil {
+		if errors.Is(err, metadata.ErrRowNotFound) {
+			return nil, ObjectMeta{}, ErrObjectNotFound
+		}
+		return nil, ObjectMeta{}, err
+	}
+	e.cleanupVersions(losers)
+	meta, err := decodeMeta(v)
+	if err != nil {
+		return nil, ObjectMeta{}, err
+	}
+	now := e.b.clock.Period()
+
+	if data, ok := e.b.caches.Get(e.dc, obj); ok {
+		e.agent.Log(stats.Event{
+			Object: obj, Class: meta.Class, Kind: stats.EventRead,
+			Bytes: int64(len(data)), StorageBytes: meta.Size, Period: now,
+		})
+		return data, meta, nil
+	}
+
+	data, err := e.fetchAndDecode(meta)
+	if err != nil {
+		return nil, ObjectMeta{}, err
+	}
+	e.b.caches.Put(e.dc, obj, data)
+	e.agent.Log(stats.Event{
+		Object: obj, Class: meta.Class, Kind: stats.EventRead,
+		Bytes: int64(len(data)), StorageBytes: meta.Size, Period: now,
+	})
+	return data, meta, nil
+}
+
+// fetchAndDecode retrieves m chunks, preferring the cheapest providers,
+// and reassembles the object. Unreachable providers are skipped as long
+// as m chunks remain (§III-D3 read-path error handling).
+func (e *Engine) fetchAndDecode(meta ObjectMeta) ([]byte, error) {
+	n := len(meta.Chunks)
+	coder, err := erasure.New(meta.M, n)
+	if err != nil {
+		return nil, err
+	}
+	// Rank chunk indexes by marginal read cost at their provider.
+	type ranked struct {
+		idx  int
+		cost float64
+	}
+	order := make([]ranked, 0, n)
+	chunkGB := cloud.GB((meta.Size + int64(meta.M) - 1) / int64(meta.M))
+	for i, name := range meta.Chunks {
+		store, ok := e.b.registry.Store(name)
+		if !ok || !store.Available() {
+			continue
+		}
+		pr := store.Spec().Pricing
+		order = append(order, ranked{idx: i, cost: chunkGB*pr.BandwidthOutGB + pr.OpsPer1000/1000})
+	}
+	if len(order) < meta.M {
+		return nil, fmt.Errorf("%w: %d of %d providers reachable, need %d",
+			ErrNotEnoughChunks, len(order), n, meta.M)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].cost != order[j].cost {
+			return order[i].cost < order[j].cost
+		}
+		return order[i].idx < order[j].idx
+	})
+
+	chunks := make([][]byte, n)
+	got := 0
+	for _, r := range order {
+		if got >= meta.M {
+			break
+		}
+		store, _ := e.b.registry.Store(meta.Chunks[r.idx])
+		data, err := store.Get(ChunkKey(meta.SKey, r.idx))
+		if err != nil {
+			continue // provider failed between ranking and fetch
+		}
+		chunks[r.idx] = data
+		got++
+	}
+	if got < meta.M {
+		return nil, fmt.Errorf("%w: fetched %d, need %d", ErrNotEnoughChunks, got, meta.M)
+	}
+	data, err := coder.Decode(chunks, int(meta.Size))
+	if err != nil {
+		return nil, err
+	}
+	if Checksum(data) != meta.Checksum {
+		return nil, ErrChecksum
+	}
+	return data, nil
+}
+
+// Delete removes an object: tombstones its metadata, deletes chunks
+// (postponing those at faulty providers), invalidates caches and logs
+// the deletion for lifetime statistics.
+func (e *Engine) Delete(container, key string) error {
+	obj := objectName(container, key)
+	row := RowKey(container, key)
+	node := e.b.meta.Store(e.dc)
+	v, losers, err := node.Get(row)
+	if err != nil {
+		if errors.Is(err, metadata.ErrRowNotFound) {
+			return ErrObjectNotFound
+		}
+		return err
+	}
+	e.cleanupVersions(losers)
+	meta, err := decodeMeta(v)
+	if err != nil {
+		return err
+	}
+	ts := e.b.clock.Timestamp()
+	if err := e.b.meta.Put(e.dc, row, metadata.Version{
+		UUID: NewUUID(), Timestamp: ts, Deleted: true,
+	}); err != nil {
+		return err
+	}
+	if err := e.b.removeIndex(e.dc, container, key, NewUUID(), ts); err != nil {
+		return err
+	}
+	e.deleteChunks(meta)
+	e.b.caches.InvalidateAll(obj)
+	e.b.dropPlacement(obj)
+	e.agent.Log(stats.Event{
+		Object: obj, Class: meta.Class, Kind: stats.EventDelete,
+		StorageBytes: 0, Period: e.b.clock.Period(),
+	})
+	return nil
+}
+
+// List returns the keys stored in a container.
+func (e *Engine) List(container string) ([]string, error) {
+	return e.b.listContainer(e.dc, container)
+}
+
+// Head returns an object's metadata without transferring the payload.
+func (e *Engine) Head(container, key string) (ObjectMeta, error) {
+	node := e.b.meta.Store(e.dc)
+	v, losers, err := node.Get(RowKey(container, key))
+	if err != nil {
+		if errors.Is(err, metadata.ErrRowNotFound) {
+			return ObjectMeta{}, ErrObjectNotFound
+		}
+		return ObjectMeta{}, err
+	}
+	e.cleanupVersions(losers)
+	return decodeMeta(v)
+}
+
+// deleteChunks removes every chunk of a version, postponing deletions at
+// unreachable providers.
+func (e *Engine) deleteChunks(meta ObjectMeta) {
+	for i, name := range meta.Chunks {
+		e.deleteChunkAt(name, ChunkKey(meta.SKey, i))
+	}
+}
+
+func (e *Engine) deleteChunkAt(provider, chunkKey string) {
+	store, ok := e.b.registry.Store(provider)
+	if !ok {
+		return // provider gone; chunks die with it
+	}
+	if err := store.Delete(chunkKey); err != nil {
+		if errors.Is(err, cloud.ErrUnavailable) {
+			e.b.enqueuePendingDelete(provider, chunkKey)
+		}
+		// Missing chunks are already gone; nothing to do.
+	}
+}
+
+// cleanupVersions garbage-collects MVCC conflict losers: their chunks
+// are removed from the storage providers (Fig. 10).
+func (e *Engine) cleanupVersions(losers []metadata.Version) {
+	for _, v := range losers {
+		if v.Deleted {
+			continue
+		}
+		if m, err := decodeMeta(v); err == nil {
+			e.deleteChunks(m)
+		}
+	}
+}
+
+// decisionWindow returns the object's current decision period D_obj.
+func (e *Engine) decisionWindow(obj string, now int64) int {
+	e.b.mu.Lock()
+	defer e.b.mu.Unlock()
+	if dc, ok := e.b.decisions[obj]; ok {
+		return dc.D()
+	}
+	return e.b.cfg.DecisionPeriod
+}

@@ -1,0 +1,547 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"scalia/internal/cloud"
+	"scalia/internal/core"
+	"scalia/internal/stats"
+)
+
+// blob fetches a simulated provider for failure injection and
+// inspection in tests.
+func blob(t *testing.T, b *Broker, name string) *cloud.BlobStore {
+	t.Helper()
+	s, ok := b.Registry().Store(name)
+	if !ok {
+		t.Fatalf("unknown provider %q", name)
+	}
+	return s.(*cloud.BlobStore)
+}
+
+func newTestBroker(t *testing.T, cfg Config) *Broker {
+	t.Helper()
+	b := NewBroker(cfg)
+	t.Cleanup(b.Close)
+	return b
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	e := b.Engine(0)
+	payload := bytes.Repeat([]byte("scalia"), 1000)
+	meta, err := e.Put("pics", "vacation.gif", payload, PutOptions{MIME: "image/gif"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.M < 1 || len(meta.Chunks) < meta.M {
+		t.Fatalf("bad placement meta: %+v", meta)
+	}
+	got, gotMeta, err := e.Get("pics", "vacation.gif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+	if gotMeta.Checksum != meta.Checksum {
+		t.Fatal("checksum mismatch")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	if _, _, err := b.Engine(0).Get("c", "nope"); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	if _, err := b.Engine(0).Put("", "k", nil, PutOptions{}); err == nil {
+		t.Fatal("empty container must fail")
+	}
+	if _, err := b.Engine(0).Put("c", "", nil, PutOptions{}); err == nil {
+		t.Fatal("empty key must fail")
+	}
+}
+
+func TestChunksLandOnDistinctProviders(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	meta, err := b.Engine(0).Put("c", "k", make([]byte, 4096), PutOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, name := range meta.Chunks {
+		if seen[name] {
+			t.Fatalf("provider %s holds two chunks", name)
+		}
+		seen[name] = true
+		store := blob(t, b, name)
+		if store.ObjectCount() == 0 {
+			t.Fatalf("provider %s holds no data", name)
+		}
+	}
+}
+
+func TestUpdateReplacesChunks(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	e := b.Engine(0)
+	m1, err := e.Put("c", "k", []byte("version-one"), PutOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := e.Put("c", "k", []byte("version-two"), PutOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.SKey == m2.SKey {
+		t.Fatal("update must write under a fresh skey")
+	}
+	// Old chunks must be gone.
+	for i, name := range m1.Chunks {
+		store, _ := b.Registry().Store(name)
+		if _, err := store.Get(ChunkKey(m1.SKey, i)); err == nil {
+			t.Fatalf("stale chunk %d at %s survived the update", i, name)
+		}
+	}
+	got, _, err := e.Get("c", "k")
+	if err != nil || string(got) != "version-two" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+func TestDeleteRemovesEverything(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	e := b.Engine(0)
+	meta, _ := e.Put("c", "k", []byte("payload"), PutOptions{})
+	if err := e.Delete("c", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Get("c", "k"); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("Get after delete: %v", err)
+	}
+	for i, name := range meta.Chunks {
+		store, _ := b.Registry().Store(name)
+		if _, err := store.Get(ChunkKey(meta.SKey, i)); err == nil {
+			t.Fatalf("chunk %d at %s survived deletion", i, name)
+		}
+	}
+	keys, _ := e.List("c")
+	if len(keys) != 0 {
+		t.Fatalf("List after delete = %v", keys)
+	}
+	if err := e.Delete("c", "k"); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestListContainer(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	e := b.Engine(0)
+	e.Put("c", "b-key", []byte("1"), PutOptions{})
+	e.Put("c", "a-key", []byte("2"), PutOptions{})
+	e.Put("other", "x", []byte("3"), PutOptions{})
+	keys, err := e.List("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "a-key" || keys[1] != "b-key" {
+		t.Fatalf("List = %v", keys)
+	}
+}
+
+func TestCacheServesSecondRead(t *testing.T) {
+	b := newTestBroker(t, Config{CacheBytes: 1 << 20})
+	e := b.Engine(0)
+	payload := make([]byte, 10000)
+	e.Put("c", "k", payload, PutOptions{})
+
+	if _, _, err := e.Get("c", "k"); err != nil {
+		t.Fatal(err)
+	}
+	before := b.Registry().TotalUsage().Ops
+	if _, _, err := e.Get("c", "k"); err != nil {
+		t.Fatal(err)
+	}
+	after := b.Registry().TotalUsage().Ops
+	if after != before {
+		t.Fatalf("cached read hit providers: ops %d -> %d", before, after)
+	}
+}
+
+func TestCacheInvalidatedOnUpdate(t *testing.T) {
+	b := newTestBroker(t, Config{CacheBytes: 1 << 20})
+	e := b.Engine(0)
+	e.Put("c", "k", []byte("old"), PutOptions{})
+	e.Get("c", "k") // fill cache
+	e.Put("c", "k", []byte("new"), PutOptions{})
+	got, _, err := e.Get("c", "k")
+	if err != nil || string(got) != "new" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+func TestReadSurvivesProviderOutage(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	e := b.Engine(0)
+	meta, err := e.Put("c", "k", make([]byte, 50000), PutOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Chunks) <= meta.M {
+		t.Skipf("placement %v has no failure slack", meta.Chunks)
+	}
+	blob(t, b, meta.Chunks[0]).SetAvailable(false)
+	got, _, err := e.Get("c", "k")
+	if err != nil {
+		t.Fatalf("read during outage: %v", err)
+	}
+	if len(got) != 50000 {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestReadFailsWhenTooManyProvidersDown(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	e := b.Engine(0)
+	meta, _ := e.Put("c", "k", make([]byte, 1000), PutOptions{})
+	downed := 0
+	for _, name := range meta.Chunks {
+		blob(t, b, name).SetAvailable(false)
+		downed++
+		if downed > len(meta.Chunks)-meta.M {
+			break
+		}
+	}
+	if _, _, err := e.Get("c", "k"); !errors.Is(err, ErrNotEnoughChunks) {
+		t.Fatalf("err = %v, want ErrNotEnoughChunks", err)
+	}
+}
+
+func TestWriteExcludesFaultyProvider(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	blob(t, b, cloud.NameS3Low).SetAvailable(false)
+	meta, err := b.Engine(0).Put("c", "k", make([]byte, 1000), PutOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range meta.Chunks {
+		if name == cloud.NameS3Low {
+			t.Fatal("faulty provider received a chunk")
+		}
+	}
+}
+
+func TestDeletepostponedAtFaultyProvider(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	e := b.Engine(0)
+	meta, _ := e.Put("c", "k", make([]byte, 1000), PutOptions{})
+	victim := meta.Chunks[0]
+	vs := blob(t, b, victim)
+	vs.SetAvailable(false)
+	if err := e.Delete("c", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if b.PendingDeletes() == 0 {
+		t.Fatal("expected a postponed delete")
+	}
+	vs.SetAvailable(true)
+	if done := b.ProcessPendingDeletes(); done == 0 {
+		t.Fatal("pending delete must complete after recovery")
+	}
+	if _, err := vs.Get(ChunkKey(meta.SKey, 0)); err == nil {
+		t.Fatal("chunk must be gone after postponed delete")
+	}
+}
+
+func TestMultiDatacenterReadAfterReplication(t *testing.T) {
+	b := newTestBroker(t, Config{Datacenters: []string{"dc1", "dc2"}, EnginesPerDC: 1})
+	e1, e2 := b.Engine(0), b.Engine(1)
+	if e1.Datacenter() == e2.Datacenter() {
+		t.Fatal("engines must live in different DCs")
+	}
+	e1.Put("c", "k", []byte("cross-dc"), PutOptions{})
+	b.FlushStats() // drains replication
+	got, _, err := e2.Get("c", "k")
+	if err != nil || string(got) != "cross-dc" {
+		t.Fatalf("cross-DC read = %q, %v", got, err)
+	}
+}
+
+func TestConcurrentUpdateConflictResolution(t *testing.T) {
+	// Fig. 10: concurrent updates in two DCs; the freshest wins and the
+	// loser's chunks are garbage-collected on the next read.
+	b := newTestBroker(t, Config{Datacenters: []string{"dc1", "dc2"}, EnginesPerDC: 1})
+	e1, e2 := b.Engine(0), b.Engine(1)
+	e1.Put("c", "k", []byte("from-dc1"), PutOptions{})
+	m2, _ := e2.Put("c", "k", []byte("from-dc2"), PutOptions{})
+	b.FlushStats()
+
+	got, _, err := e1.Get("c", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "from-dc2" {
+		t.Fatalf("winner = %q, want the freshest write", got)
+	}
+	_ = m2
+}
+
+func TestHeadDoesNotTouchProviders(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	e := b.Engine(0)
+	e.Put("c", "k", make([]byte, 1000), PutOptions{})
+	before := b.Registry().TotalUsage().Ops
+	meta, err := e.Head("c", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Size != 1000 {
+		t.Fatalf("Size = %d", meta.Size)
+	}
+	if b.Registry().TotalUsage().Ops != before {
+		t.Fatal("Head must not touch providers")
+	}
+}
+
+func TestVerifyObject(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	e := b.Engine(0)
+	meta, _ := e.Put("c", "k", make([]byte, 5000), PutOptions{})
+	reachable, err := e.VerifyObject("c", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reachable != len(meta.Chunks) {
+		t.Fatalf("reachable = %d, want %d", reachable, len(meta.Chunks))
+	}
+}
+
+func TestRuleResolutionPrecedence(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	rs := b.Rules()
+	contRule := core.Rule{Name: "container", Durability: 0.9999, Availability: 0.999, LockIn: 1}
+	objRule := core.Rule{Name: "object", Durability: 0.99999, Availability: 0.9999, LockIn: 0.5}
+	rs.SetContainerRule("c", contRule)
+	rs.SetObjectRule("c", "special", objRule)
+	if got := rs.Resolve("c", "plain", "cls"); got.Name != "container" {
+		t.Fatalf("container rule not applied: %v", got.Name)
+	}
+	if got := rs.Resolve("c", "special", "cls"); got.Name != "object" {
+		t.Fatalf("object rule not applied: %v", got.Name)
+	}
+	if got := rs.Resolve("other", "k", "cls"); got.Name != "default" {
+		t.Fatalf("default rule not applied: %v", got.Name)
+	}
+}
+
+func TestClassRuleApplies(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	class := stats.ClassKey("video/mp4", 1000)
+	b.Rules().SetClassRule(class, core.Rule{Name: "video", Durability: 0.9999, Availability: 0.999, LockIn: 1})
+	if got := b.Rules().Resolve("c", "k", class); got.Name != "video" {
+		t.Fatalf("class rule not applied: %v", got.Name)
+	}
+}
+
+// --- Optimization ---
+
+func TestOptimizeMigratesOnFlashCrowd(t *testing.T) {
+	clock := NewSimClock()
+	b := newTestBroker(t, Config{Clock: clock, DecisionPeriod: 24})
+	e := b.Engine(0)
+	payload := make([]byte, 1<<20) // 1 MB, as in §IV-B
+	rule := core.Rule{Name: "slashdot", Durability: 0.99999, Availability: 0.9999, LockIn: 1}
+	meta, err := e.Put("web", "page", payload, PutOptions{Rule: &rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := b.CurrentPlacement("web/page")
+	_ = meta
+
+	// Two quiet days, then the flash crowd.
+	for h := 0; h < 48; h++ {
+		clock.Advance(1)
+	}
+	for h := 0; h < 6; h++ {
+		clock.Advance(1)
+		for r := 0; r < 150; r++ {
+			if _, _, err := e.Get("web", "page"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := b.Optimize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, ok := b.CurrentPlacement("web/page")
+	if !ok {
+		t.Fatal("placement lost")
+	}
+	if after.Equal(before) {
+		t.Fatalf("hot object not migrated: still %v", after)
+	}
+	if after.M != 1 {
+		t.Fatalf("hot placement %v, want m:1 (read-optimized)", after)
+	}
+	// Data must survive the migration.
+	got, _, err := e.Get("web", "page")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("data lost in migration: %v", err)
+	}
+}
+
+func TestOptimizeSkipsQuietObjects(t *testing.T) {
+	clock := NewSimClock()
+	b := newTestBroker(t, Config{Clock: clock})
+	e := b.Engine(0)
+	for i := 0; i < 10; i++ {
+		e.Put("c", fmt.Sprintf("k%d", i), make([]byte, 100), PutOptions{})
+	}
+	// Settle: histories exist, no further access.
+	clock.Advance(10)
+	if _, err := b.Optimize(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(10)
+	rep, err := b.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 0 {
+		t.Fatalf("quiet objects scanned: %+v", rep)
+	}
+}
+
+func TestOptimizeLeaderElection(t *testing.T) {
+	b := newTestBroker(t, Config{EnginesPerDC: 2})
+	rep, err := b.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Leader != "engine0" {
+		t.Fatalf("leader = %s, want engine0", rep.Leader)
+	}
+	b.Engines()[0].SetAlive(false)
+	rep, err = b.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Leader != "engine1" {
+		t.Fatalf("leader after failure = %s, want engine1", rep.Leader)
+	}
+	for _, e := range b.Engines() {
+		e.SetAlive(false)
+	}
+	if _, err := b.Optimize(); !errors.Is(err, ErrNoLeader) {
+		t.Fatalf("err = %v, want ErrNoLeader", err)
+	}
+}
+
+func TestOptimizeFullScanTouchesEverything(t *testing.T) {
+	clock := NewSimClock()
+	b := newTestBroker(t, Config{Clock: clock})
+	e := b.Engine(0)
+	for i := 0; i < 5; i++ {
+		e.Put("c", fmt.Sprintf("k%d", i), make([]byte, 100), PutOptions{})
+	}
+	b.FlushStats()
+	rep, err := b.OptimizeFullScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recomputed != 5 {
+		t.Fatalf("full scan recomputed %d, want 5", rep.Recomputed)
+	}
+}
+
+func TestRepairActiveMovesChunks(t *testing.T) {
+	clock := NewSimClock()
+	b := newTestBroker(t, Config{Clock: clock})
+	e := b.Engine(0)
+	rule := core.Rule{Name: "backup", Durability: 0.9999999, Availability: 0.99, LockIn: 0.5}
+	payload := make([]byte, 40<<10)
+	if _, err := e.Put("bk", "obj", payload, PutOptions{Rule: &rule}); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ := e.Head("bk", "obj")
+	victim := meta.Chunks[0]
+	vs := blob(t, b, victim)
+	vs.SetAvailable(false)
+
+	rep, err := b.Repair(RepairActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Affected != 1 || rep.Repaired != 1 {
+		t.Fatalf("repair report = %+v", rep)
+	}
+	newMeta, _ := e.Head("bk", "obj")
+	for _, name := range newMeta.Chunks {
+		if name == victim {
+			t.Fatal("repaired object still references the down provider")
+		}
+	}
+	got, _, err := e.Get("bk", "obj")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("data lost in repair: %v", err)
+	}
+}
+
+func TestRepairWaitLeavesChunks(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	e := b.Engine(0)
+	e.Put("c", "k", make([]byte, 1000), PutOptions{})
+	meta, _ := e.Head("c", "k")
+	blob(t, b, meta.Chunks[0]).SetAvailable(false)
+	rep, err := b.Repair(RepairWait)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Affected != 1 || rep.Waited != 1 || rep.Repaired != 0 {
+		t.Fatalf("repair report = %+v", rep)
+	}
+	after, _ := e.Head("c", "k")
+	if after.SKey != meta.SKey {
+		t.Fatal("wait policy must not rewrite the object")
+	}
+}
+
+func TestProviderArrivalTriggersCheaperPlacement(t *testing.T) {
+	// §IV-D: CheapStor arrives and the optimizer migrates to include it.
+	clock := NewSimClock()
+	// A long migration horizon lets slow-payback storage savings justify
+	// the chunk move, as the paper's §IV-D scenario does.
+	b := newTestBroker(t, Config{Clock: clock, DecisionPeriod: 4, MigrationHorizon: 5000})
+	e := b.Engine(0)
+	rule := core.Rule{Name: "lockin", Durability: 0.99999, Availability: 0.99, LockIn: 0.2}
+	payload := make([]byte, 40<<20) // 40 MB backup object
+	if _, err := e.Put("bk", "o", payload, PutOptions{Rule: &rule}); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := b.CurrentPlacement("bk/o")
+	if before.Has(cloud.NameCheapStor) {
+		t.Fatal("CheapStor not registered yet")
+	}
+	b.Registry().Register(cloud.NewBlobStore(cloud.CheapStorProvider()))
+	// Keep the object minimally warm so it appears in the accessed set.
+	clock.Advance(1)
+	e.Get("bk", "o")
+	clock.Advance(1)
+	e.Get("bk", "o")
+	for i := 0; i < 6; i++ {
+		clock.Advance(1)
+		if _, err := b.Optimize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _ := b.CurrentPlacement("bk/o")
+	if !after.Has(cloud.NameCheapStor) {
+		t.Fatalf("placement %v ignores the cheaper provider", after)
+	}
+}

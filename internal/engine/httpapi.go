@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// API serves an engine over HTTP with an S3-like REST interface
+// ("engines provide an Amazon S3-like interface ... where the users can
+// put, get, list and delete their data using a key-value data model",
+// §III).
+//
+//	PUT    /{container}/{key}   store object (Content-Type = MIME,
+//	                            X-Scalia-TTL-Hours = lifetime hint)
+//	GET    /{container}/{key}   fetch object
+//	HEAD   /{container}/{key}   fetch metadata only
+//	DELETE /{container}/{key}   delete object
+//	GET    /{container}         list keys (JSON array)
+type API struct {
+	engine *Engine
+	// MaxObjectBytes bounds accepted uploads (default 1 GiB).
+	MaxObjectBytes int64
+}
+
+// NewAPI wraps an engine in the REST interface.
+func NewAPI(e *Engine) *API {
+	return &API{engine: e, MaxObjectBytes: 1 << 30}
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	container, key := splitPath(r.URL.Path)
+	if container == "" {
+		httpError(w, http.StatusBadRequest, "container required")
+		return
+	}
+	switch {
+	case key == "" && r.Method == http.MethodGet:
+		a.list(w, container)
+	case key == "":
+		httpError(w, http.StatusMethodNotAllowed, "object key required")
+	case r.Method == http.MethodPut:
+		a.put(w, r, container, key)
+	case r.Method == http.MethodGet:
+		a.get(w, container, key)
+	case r.Method == http.MethodHead:
+		a.head(w, container, key)
+	case r.Method == http.MethodDelete:
+		a.delete(w, container, key)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "unsupported method")
+	}
+}
+
+func splitPath(p string) (container, key string) {
+	p = strings.TrimPrefix(p, "/")
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		return p[:i], p[i+1:]
+	}
+	return p, ""
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck
+}
+
+func (a *API) put(w http.ResponseWriter, r *http.Request, container, key string) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, a.MaxObjectBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if int64(len(body)) > a.MaxObjectBytes {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("object exceeds %d bytes", a.MaxObjectBytes))
+		return
+	}
+	opts := PutOptions{MIME: r.Header.Get("Content-Type")}
+	if ttl := r.Header.Get("X-Scalia-TTL-Hours"); ttl != "" {
+		if v, err := strconv.ParseFloat(ttl, 64); err == nil && v > 0 {
+			opts.TTLHours = v
+		}
+	}
+	meta, err := a.engine.Put(container, key, body, opts)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeMetaHeaders(w, meta)
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (a *API) get(w http.ResponseWriter, container, key string) {
+	data, meta, err := a.engine.Get(container, key)
+	if err != nil {
+		statusFromErr(w, err)
+		return
+	}
+	writeMetaHeaders(w, meta)
+	if meta.MIME != "" {
+		w.Header().Set("Content-Type", meta.MIME)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data) //nolint:errcheck
+}
+
+func (a *API) head(w http.ResponseWriter, container, key string) {
+	meta, err := a.engine.Head(container, key)
+	if err != nil {
+		statusFromErr(w, err)
+		return
+	}
+	writeMetaHeaders(w, meta)
+	w.WriteHeader(http.StatusOK)
+}
+
+func (a *API) delete(w http.ResponseWriter, container, key string) {
+	if err := a.engine.Delete(container, key); err != nil {
+		statusFromErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (a *API) list(w http.ResponseWriter, container string) {
+	keys, err := a.engine.List(container)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if keys == nil {
+		keys = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(keys) //nolint:errcheck
+}
+
+func writeMetaHeaders(w http.ResponseWriter, meta ObjectMeta) {
+	w.Header().Set("ETag", `"`+meta.Checksum+`"`)
+	w.Header().Set("X-Scalia-M", strconv.Itoa(meta.M))
+	w.Header().Set("X-Scalia-Providers", strings.Join(meta.Chunks, ","))
+	w.Header().Set("X-Scalia-Size", strconv.FormatInt(meta.Size, 10))
+}
+
+func statusFromErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrObjectNotFound):
+		httpError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, ErrNotEnoughChunks):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}

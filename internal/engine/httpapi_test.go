@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newAPIServer(t *testing.T) (*Broker, *httptest.Server) {
+	t.Helper()
+	b := NewBroker(Config{})
+	t.Cleanup(b.Close)
+	ts := httptest.NewServer(NewAPI(b.Engine(0)))
+	t.Cleanup(ts.Close)
+	return b, ts
+}
+
+func TestHTTPPutGetDeleteList(t *testing.T) {
+	_, ts := newAPIServer(t)
+	client := ts.Client()
+
+	// PUT
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/docs/hello.txt",
+		bytes.NewReader([]byte("hello scalia")))
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set("X-Scalia-TTL-Hours", "24")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Scalia-M") == "" || resp.Header.Get("X-Scalia-Providers") == "" {
+		t.Fatal("placement headers missing")
+	}
+
+	// GET
+	resp, err = client.Get(ts.URL + "/docs/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || body.String() != "hello scalia" {
+		t.Fatalf("GET = %d %q", resp.StatusCode, body.String())
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	// HEAD
+	resp, err = client.Head(ts.URL + "/docs/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("ETag") == "" {
+		t.Fatalf("HEAD = %d", resp.StatusCode)
+	}
+
+	// LIST
+	resp, err = client.Get(ts.URL + "/docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	json.NewDecoder(resp.Body).Decode(&keys)
+	resp.Body.Close()
+	if len(keys) != 1 || keys[0] != "hello.txt" {
+		t.Fatalf("LIST = %v", keys)
+	}
+
+	// DELETE
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/docs/hello.txt", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE status = %d", resp.StatusCode)
+	}
+	resp, _ = client.Get(ts.URL + "/docs/hello.txt")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after delete = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := newAPIServer(t)
+	client := ts.Client()
+
+	resp, _ := client.Get(ts.URL + "/")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty container = %d", resp.StatusCode)
+	}
+
+	resp, _ = client.Get(ts.URL + "/docs/missing")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing object = %d", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodPatch, ts.URL+"/docs/x", nil)
+	resp, _ = client.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("PATCH = %d", resp.StatusCode)
+	}
+
+	// Empty LIST must return a JSON array, not null.
+	resp, _ = client.Get(ts.URL + "/empty")
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if got := strings.TrimSpace(body.String()); got != "[]" {
+		t.Fatalf("empty list body = %q", got)
+	}
+}
+
+func TestHTTPOversizedUpload(t *testing.T) {
+	b := NewBroker(Config{})
+	t.Cleanup(b.Close)
+	api := NewAPI(b.Engine(0))
+	api.MaxObjectBytes = 10
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/c/k",
+		bytes.NewReader(make([]byte, 11)))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized PUT = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPServiceUnavailableDuringOutage(t *testing.T) {
+	b, ts := newAPIServer(t)
+	client := ts.Client()
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/c/k",
+		bytes.NewReader(make([]byte, 1000)))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	meta, err := b.Engine(0).Head("c", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Down enough providers that the object cannot be reconstructed.
+	for i, name := range meta.Chunks {
+		if i >= len(meta.Chunks)-meta.M+1 {
+			break
+		}
+		blob(t, b, name).SetAvailable(false)
+	}
+	resp, _ = client.Get(ts.URL + "/c/k")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET during blackout = %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"crypto/md5"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"scalia/internal/metadata"
+)
+
+// ObjectMeta is the metadata Scalia stores per object version — the
+// paper's Fig. 11: file metadata (name, mime, checksum, size, policy,
+// container) and striping metadata (chunk -> provider map, threshold m,
+// storage key).
+type ObjectMeta struct {
+	Container string `json:"container"`
+	Key       string `json:"key"`
+	MIME      string `json:"mime"`
+	Size      int64  `json:"size"`
+	Checksum  string `json:"checksum"` // MD5 of the object payload
+	RuleName  string `json:"policy"`
+	Class     string `json:"class"`
+
+	SKey      string   `json:"skey"`      // MD5(container | key | UUID)
+	M         int      `json:"m"`         // erasure threshold
+	Chunks    []string `json:"chunks"`    // chunk index -> provider name
+	UUID      string   `json:"uuid"`      // version identity
+	TTLHours  float64  `json:"ttlHours"`  // user lifetime hint; 0 = none
+	CreatedAt int64    `json:"createdAt"` // period of first write
+}
+
+// RowKey returns the metadata row key: MD5(container | key) (§III-D1).
+func RowKey(container, key string) string {
+	sum := md5.Sum([]byte(container + "|" + key))
+	return hex.EncodeToString(sum[:])
+}
+
+// StorageKey derives skey = MD5(container | key | UUID) (§III-D1); the
+// UUID makes concurrent updates write disjoint chunk keys so they cannot
+// corrupt each other.
+func StorageKey(container, key, uuid string) string {
+	sum := md5.Sum([]byte(container + "|" + key + "|" + uuid))
+	return hex.EncodeToString(sum[:])
+}
+
+// ChunkKey names chunk i of a stored object version.
+func ChunkKey(skey string, i int) string {
+	return fmt.Sprintf("%s/chunk%03d", skey, i)
+}
+
+// Checksum computes the MD5 content checksum in Fig. 11's format.
+func Checksum(data []byte) string {
+	sum := md5.Sum(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// NewUUID returns a random 128-bit identifier (RFC 4122 v4 layout).
+func NewUUID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("engine: system randomness unavailable: " + err.Error())
+	}
+	b[6] = (b[6] & 0x0f) | 0x40
+	b[8] = (b[8] & 0x3f) | 0x80
+	return fmt.Sprintf("%x-%x-%x-%x-%x", b[0:4], b[4:6], b[6:8], b[8:10], b[10:16])
+}
+
+// metaColumn is the column name holding the JSON-encoded ObjectMeta.
+const metaColumn = "meta"
+
+// encodeMeta packs an ObjectMeta into an MVCC version.
+func encodeMeta(m ObjectMeta, timestamp int64) (metadata.Version, error) {
+	blob, err := json.Marshal(m)
+	if err != nil {
+		return metadata.Version{}, fmt.Errorf("engine: encode meta: %w", err)
+	}
+	return metadata.Version{
+		UUID:      m.UUID,
+		Timestamp: timestamp,
+		Columns:   map[string]string{metaColumn: string(blob)},
+	}, nil
+}
+
+// decodeMeta unpacks an MVCC version into an ObjectMeta.
+func decodeMeta(v metadata.Version) (ObjectMeta, error) {
+	var m ObjectMeta
+	if err := json.Unmarshal([]byte(v.Columns[metaColumn]), &m); err != nil {
+		return ObjectMeta{}, fmt.Errorf("engine: decode meta: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,467 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"scalia/internal/core"
+	"scalia/internal/erasure"
+	"scalia/internal/stats"
+	"scalia/internal/trend"
+)
+
+// OptimizeReport summarizes one periodic optimization procedure
+// (paper Fig. 7).
+type OptimizeReport struct {
+	Leader       string
+	Scanned      int // |A|: objects accessed since the last round
+	TrendChanged int // objects whose access pattern changed
+	Recomputed   int // placements recomputed (Algorithm 1 runs)
+	Migrated     int // objects actually moved
+	MigrationUSD float64
+}
+
+// ErrNoLeader is returned when no engine is alive to lead a round.
+var ErrNoLeader = errors.New("engine: no alive engine for leader election")
+
+// Optimize runs one optimization procedure: a leader elected among all
+// engines retrieves the set A of objects accessed since the last round,
+// splits it evenly across engines, and each engine recomputes placement
+// only for objects whose access trend changed (§III-A3). Migration
+// happens only when the projected savings over the decision period
+// exceed the migration cost.
+func (b *Broker) Optimize() (OptimizeReport, error) {
+	leader := b.electLeader()
+	if leader == nil {
+		return OptimizeReport{}, ErrNoLeader
+	}
+	b.FlushStats()
+
+	b.mu.Lock()
+	since := b.lastOpt
+	now := b.clock.Period()
+	b.lastOpt = now
+	b.mu.Unlock()
+
+	accessed := b.statsDB.AccessedSince(since)
+	report := OptimizeReport{Leader: leader.id, Scanned: len(accessed)}
+
+	// Fan out over alive engines (step 3-4 of Fig. 7).
+	var alive []*Engine
+	for _, e := range b.engines {
+		if e.Alive() {
+			alive = append(alive, e)
+		}
+	}
+	shards := make([][]string, len(alive))
+	for i, obj := range accessed {
+		shards[i%len(alive)] = append(shards[i%len(alive)], obj)
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, e := range alive {
+		if len(shards[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(e *Engine, objs []string) {
+			defer wg.Done()
+			local := e.optimizeShard(objs, now, false)
+			mu.Lock()
+			report.TrendChanged += local.TrendChanged
+			report.Recomputed += local.Recomputed
+			report.Migrated += local.Migrated
+			report.MigrationUSD += local.MigrationUSD
+			mu.Unlock()
+		}(e, shards[i])
+	}
+	wg.Wait()
+	return report, nil
+}
+
+// OptimizeFullScan recomputes every known object's placement without
+// trend gating — the full-table-scan baseline the paper rejects as
+// unscalable; kept for the ablation benchmark.
+func (b *Broker) OptimizeFullScan() (OptimizeReport, error) {
+	leader := b.electLeader()
+	if leader == nil {
+		return OptimizeReport{}, ErrNoLeader
+	}
+	b.FlushStats()
+	now := b.clock.Period()
+	report := leader.optimizeShard(b.statsDB.Objects(), now, true)
+	report.Leader = leader.id
+	report.Scanned = report.Recomputed
+	return report, nil
+}
+
+// electLeader picks the alive engine with the lowest identifier — a
+// deterministic stand-in for the paper's leader election among engines
+// of all datacenters.
+func (b *Broker) electLeader() *Engine {
+	var leader *Engine
+	for _, e := range b.engines {
+		if !e.Alive() {
+			continue
+		}
+		if leader == nil || e.id < leader.id {
+			leader = e
+		}
+	}
+	return leader
+}
+
+// optimizeShard processes one engine's share of the accessed-object set.
+// When force is true the trend gate is bypassed.
+func (e *Engine) optimizeShard(objs []string, now int64, force bool) OptimizeReport {
+	var report OptimizeReport
+	for _, obj := range objs {
+		changed := force || e.detectTrendChange(obj, now)
+		if !changed {
+			continue
+		}
+		if !force {
+			report.TrendChanged++
+		}
+		migrated, cost, recomputed := e.reoptimizeObject(obj, now)
+		if recomputed {
+			report.Recomputed++
+		}
+		if migrated {
+			report.Migrated++
+			report.MigrationUSD += cost
+		}
+	}
+	return report
+}
+
+// detectTrendChange applies the momentum detector statelessly over the
+// object's recorded history: it compares the SMA of the last w periods
+// against the SMA of the preceding w periods.
+func (e *Engine) detectTrendChange(obj string, now int64) bool {
+	h := e.b.statsDB.History(obj)
+	if h == nil {
+		return false
+	}
+	w := e.b.cfg.DetectWindow
+	series := h.OpsSeries(now, w+1)
+	if len(series) < w+1 {
+		return true // young object: history shorter than the window
+	}
+	var prev, cur float64
+	for i := 0; i < w; i++ {
+		prev += series[i]
+		cur += series[i+1]
+	}
+	prev /= float64(w)
+	cur /= float64(w)
+	return trend.Momentum(prev, cur) > e.b.cfg.DetectLimit
+}
+
+// reoptimizeObject recomputes an object's placement from its access
+// history over the adaptive decision period, migrating when worthwhile.
+func (e *Engine) reoptimizeObject(obj string, now int64) (migrated bool, cost float64, recomputed bool) {
+	container, key, ok := splitObjectName(obj)
+	if !ok {
+		return false, 0, false
+	}
+	meta, err := e.Head(container, key)
+	if err != nil {
+		return false, 0, false
+	}
+	h := e.b.statsDB.History(obj)
+	if h == nil {
+		return false, 0, false
+	}
+	rule := e.b.rules.Resolve(container, key, meta.Class)
+
+	d := e.updateDecisionPeriod(obj, meta, h, rule, now)
+	sum := h.Summary(now, d)
+	sum.StorageBytes = float64(meta.Size)
+
+	specs, free := e.b.availableSpecs()
+	res, err := core.BestPlacement(specs, rule, sum, core.Options{
+		PeriodHours: e.b.cfg.PeriodHours,
+		Pruned:      e.b.cfg.Pruned,
+		FreeBytes:   free,
+		ObjectBytes: meta.Size,
+	})
+	if err != nil {
+		return false, 0, true
+	}
+	cur := currentPlacementFromMeta(e, meta)
+	if res.Placement.Equal(cur) {
+		return false, 0, true
+	}
+	// Migrate only if the savings over the benefit horizon cover the
+	// migration cost (§III-A3). The horizon is the decision period,
+	// stretched to the object's expected remaining lifetime and the
+	// configured minimum.
+	horizon := d
+	if ttl := e.ttlPeriods(obj, meta, now); ttl > horizon {
+		horizon = ttl
+	}
+	if e.b.cfg.MigrationHorizon > horizon {
+		horizon = e.b.cfg.MigrationHorizon
+	}
+	curPrice := core.PeriodCost(cur, sum, e.b.cfg.PeriodHours)
+	saving := (curPrice - res.Price) * float64(horizon)
+	migCost := core.MigrationCost(cur, res.Placement, float64(meta.Size)/1e9)
+	if saving <= migCost {
+		return false, 0, true
+	}
+	if err := e.migrate(meta, res.Placement); err != nil {
+		return false, 0, true
+	}
+	e.b.setPlacement(obj, res.Placement)
+	return true, migCost, true
+}
+
+// updateDecisionPeriod runs the coupling evaluation (D/2, D, 2D) when
+// the object's controller is due, returning the decision period to use.
+func (e *Engine) updateDecisionPeriod(obj string, meta ObjectMeta, h *stats.History, rule core.Rule, now int64) int {
+	e.b.mu.Lock()
+	ctl, ok := e.b.decisions[obj]
+	if !ok {
+		initial := e.b.cfg.DecisionPeriod
+		// Seed from the class's expected lifetime when available: a
+		// short-lived class should not be optimized with a long horizon.
+		if ttl, ok := e.b.statsDB.Classes().ExpectedTTL(meta.Class, e.b.statsDB.AgeHours(obj, now)); ok {
+			if p := int(ttl / e.b.cfg.PeriodHours); p >= core.MinDecisionPeriod && p < initial {
+				initial = p
+			}
+		}
+		ctl = core.NewDecisionController(initial, 0)
+		e.b.decisions[obj] = ctl
+	}
+	due := ctl.Tick()
+	e.b.mu.Unlock()
+	if !due {
+		return ctl.D()
+	}
+
+	// limit = min(TTL_obj, |H_obj|) in sampling periods.
+	limit := h.Span(now)
+	if ttl := e.ttlPeriods(obj, meta, now); ttl > 0 && ttl < limit {
+		limit = ttl
+	}
+	cands := ctl.Candidates(limit)
+	specs, free := e.b.availableSpecs()
+	bestIdx, bestPrice := 1, 0.0
+	for i, d := range cands {
+		sum := h.Summary(now, d)
+		sum.StorageBytes = float64(meta.Size)
+		res, err := core.BestPlacement(specs, rule, sum, core.Options{
+			PeriodHours: e.b.cfg.PeriodHours,
+			Pruned:      e.b.cfg.Pruned,
+			FreeBytes:   free,
+			ObjectBytes: meta.Size,
+		})
+		if err != nil {
+			continue
+		}
+		if i == 0 || res.Price < bestPrice {
+			bestIdx, bestPrice = i, res.Price
+		}
+	}
+	e.b.mu.Lock()
+	ctl.Update(bestIdx, cands)
+	d := ctl.D()
+	e.b.mu.Unlock()
+	return d
+}
+
+// ttlPeriods resolves the object's time left to live in sampling
+// periods: the user hint first, then the class lifetime statistics.
+func (e *Engine) ttlPeriods(obj string, meta ObjectMeta, now int64) int {
+	age := e.b.statsDB.AgeHours(obj, now)
+	if meta.TTLHours > 0 {
+		left := meta.TTLHours - age
+		if left < 0 {
+			left = 0
+		}
+		return int(left / e.b.cfg.PeriodHours)
+	}
+	if ttl, ok := e.b.statsDB.Classes().ExpectedTTL(meta.Class, age); ok {
+		return int(ttl / e.b.cfg.PeriodHours)
+	}
+	return 0
+}
+
+// currentPlacementFromMeta rebuilds the Placement from stored chunk
+// locations (engines are stateless; the broker's placement map is only a
+// cache).
+func currentPlacementFromMeta(e *Engine, meta ObjectMeta) core.Placement {
+	if p, ok := e.b.CurrentPlacement(objectName(meta.Container, meta.Key)); ok {
+		return p
+	}
+	p := core.Placement{M: meta.M}
+	for _, name := range meta.Chunks {
+		if s, ok := e.b.registry.Store(name); ok {
+			p.Providers = append(p.Providers, s.Spec())
+		}
+	}
+	return p
+}
+
+// migrate moves an object to a new placement: reconstruct from the
+// current chunks, re-encode, write the new chunks, update metadata, and
+// delete superseded chunks.
+func (e *Engine) migrate(meta ObjectMeta, to core.Placement) error {
+	data, err := e.fetchAndDecode(meta)
+	if err != nil {
+		return fmt.Errorf("engine: migrate read: %w", err)
+	}
+	uuid := NewUUID()
+	newMeta := meta
+	newMeta.UUID = uuid
+	newMeta.SKey = StorageKey(meta.Container, meta.Key, uuid)
+	newMeta.M = to.M
+	if err := e.writeChunks(&newMeta, to, data); err != nil {
+		return fmt.Errorf("engine: migrate write: %w", err)
+	}
+	ts := e.b.clock.Timestamp()
+	version, err := encodeMeta(newMeta, ts)
+	if err != nil {
+		return err
+	}
+	row := RowKey(meta.Container, meta.Key)
+	if err := e.b.meta.Put(e.dc, row, version); err != nil {
+		return err
+	}
+	e.deleteChunks(meta)
+	e.b.caches.InvalidateAll(objectName(meta.Container, meta.Key))
+	return nil
+}
+
+// RepairReport summarizes an active-repair pass (§IV-E).
+type RepairReport struct {
+	Checked  int
+	Affected int // objects with chunks at unreachable providers
+	Repaired int
+	Waited   int // objects left for the provider to recover
+}
+
+// RepairPolicy selects how to treat chunks at failed providers.
+type RepairPolicy int
+
+// Repair policies: wait for recovery, or actively move chunks.
+const (
+	RepairWait RepairPolicy = iota
+	RepairActive
+)
+
+// Repair scans all objects and applies the policy to those with chunks
+// at unreachable providers. Under RepairActive the placement is
+// recomputed over the reachable providers and the object migrated.
+func (b *Broker) Repair(policy RepairPolicy) (RepairReport, error) {
+	leader := b.electLeader()
+	if leader == nil {
+		return RepairReport{}, ErrNoLeader
+	}
+	b.FlushStats()
+	var report RepairReport
+	now := b.clock.Period()
+	for _, obj := range b.statsDB.Objects() {
+		container, key, ok := splitObjectName(obj)
+		if !ok {
+			continue
+		}
+		meta, err := leader.Head(container, key)
+		if err != nil {
+			continue
+		}
+		report.Checked++
+		affected := false
+		for _, name := range meta.Chunks {
+			s, found := b.registry.Store(name)
+			if !found || !s.Available() {
+				affected = true
+				break
+			}
+		}
+		if !affected {
+			continue
+		}
+		report.Affected++
+		if policy == RepairWait {
+			report.Waited++
+			continue
+		}
+		rule := b.rules.Resolve(container, key, meta.Class)
+		h := b.statsDB.History(obj)
+		sum := stats.Summary{Periods: 1, StorageBytes: float64(meta.Size)}
+		if h != nil {
+			sum = h.Summary(now, leader.decisionWindow(obj, now))
+			sum.StorageBytes = float64(meta.Size)
+		}
+		specs, free := b.availableSpecs()
+		res, err := core.BestPlacement(specs, rule, sum, core.Options{
+			PeriodHours: b.cfg.PeriodHours,
+			Pruned:      b.cfg.Pruned,
+			FreeBytes:   free,
+			ObjectBytes: meta.Size,
+		})
+		if err != nil {
+			report.Waited++
+			continue
+		}
+		if err := leader.migrate(meta, res.Placement); err != nil {
+			report.Waited++
+			continue
+		}
+		b.setPlacement(obj, res.Placement)
+		report.Repaired++
+	}
+	return report, nil
+}
+
+// VerifyObject checks that an object's stored chunks are sufficient and
+// parity-consistent, returning the number of reachable chunks.
+func (e *Engine) VerifyObject(container, key string) (reachable int, err error) {
+	meta, err := e.Head(container, key)
+	if err != nil {
+		return 0, err
+	}
+	n := len(meta.Chunks)
+	coder, err := erasure.New(meta.M, n)
+	if err != nil {
+		return 0, err
+	}
+	chunks := make([][]byte, n)
+	for i, name := range meta.Chunks {
+		s, ok := e.b.registry.Store(name)
+		if !ok || !s.Available() {
+			continue
+		}
+		if data, err := s.Get(ChunkKey(meta.SKey, i)); err == nil {
+			chunks[i] = data
+			reachable++
+		}
+	}
+	if reachable < meta.M {
+		return reachable, ErrNotEnoughChunks
+	}
+	if reachable == n {
+		ok, err := coder.Verify(chunks)
+		if err != nil {
+			return reachable, err
+		}
+		if !ok {
+			return reachable, ErrChecksum
+		}
+	}
+	return reachable, nil
+}
+
+// splitObjectName parses "container/key" (keys may contain slashes).
+func splitObjectName(obj string) (container, key string, ok bool) {
+	i := strings.IndexByte(obj, '/')
+	if i <= 0 || i == len(obj)-1 {
+		return "", "", false
+	}
+	return obj[:i], obj[i+1:], true
+}

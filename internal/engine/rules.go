@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"sync"
+
+	"scalia/internal/core"
+)
+
+// RuleStore resolves the placement rule for an object, in the paper's
+// precedence order (§II-B): a per-object rule, then a per-container
+// rule, then a per-class rule, then the default rule.
+type RuleStore struct {
+	mu          sync.RWMutex
+	def         core.Rule
+	byObject    map[string]core.Rule // "container/key"
+	byContainer map[string]core.Rule
+	byClass     map[string]core.Rule
+}
+
+// DefaultRule is used when the customer sets nothing: two providers
+// minimum is implied by the availability requirement.
+var DefaultRule = core.Rule{
+	Name:         "default",
+	Durability:   0.99999,
+	Availability: 0.9999,
+	LockIn:       1,
+}
+
+// NewRuleStore returns a store with the given default rule (zero value
+// selects DefaultRule).
+func NewRuleStore(def core.Rule) *RuleStore {
+	if def.LockIn == 0 {
+		def = DefaultRule
+	}
+	return &RuleStore{
+		def:         def,
+		byObject:    make(map[string]core.Rule),
+		byContainer: make(map[string]core.Rule),
+		byClass:     make(map[string]core.Rule),
+	}
+}
+
+// SetDefault replaces the default rule.
+func (rs *RuleStore) SetDefault(r core.Rule) {
+	rs.mu.Lock()
+	rs.def = r
+	rs.mu.Unlock()
+}
+
+// SetObjectRule pins a rule to one object.
+func (rs *RuleStore) SetObjectRule(container, key string, r core.Rule) {
+	rs.mu.Lock()
+	rs.byObject[container+"/"+key] = r
+	rs.mu.Unlock()
+}
+
+// SetContainerRule pins a rule to every object of a container.
+func (rs *RuleStore) SetContainerRule(container string, r core.Rule) {
+	rs.mu.Lock()
+	rs.byContainer[container] = r
+	rs.mu.Unlock()
+}
+
+// SetClassRule pins a rule to an object class.
+func (rs *RuleStore) SetClassRule(classKey string, r core.Rule) {
+	rs.mu.Lock()
+	rs.byClass[classKey] = r
+	rs.mu.Unlock()
+}
+
+// Resolve returns the rule governing the object.
+func (rs *RuleStore) Resolve(container, key, classKey string) core.Rule {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	if r, ok := rs.byObject[container+"/"+key]; ok {
+		return r
+	}
+	if r, ok := rs.byContainer[container]; ok {
+		return r
+	}
+	if r, ok := rs.byClass[classKey]; ok {
+		return r
+	}
+	return rs.def
+}

@@ -1,0 +1,227 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Coder is a systematic (m,n) Reed–Solomon erasure coder: Encode splits
+// data into m data chunks and n-m parity chunks; any m of the n chunks
+// reconstruct the data. The rate r = m/n is the storage efficiency and the
+// space overhead factor is 1/r, matching the paper's §II-A definitions.
+//
+// A Coder is immutable after construction and safe for concurrent use.
+type Coder struct {
+	m, n int
+	// enc is the n x m systematic generator matrix: the top m rows are the
+	// identity, so the first m chunks are the raw data stripes.
+	enc matrix
+}
+
+// Common parameter errors.
+var (
+	ErrInvalidParams = errors.New("erasure: require 1 <= m <= n <= 256")
+	ErrTooFewChunks  = errors.New("erasure: fewer than m chunks available")
+	ErrChunkCount    = errors.New("erasure: wrong number of chunks")
+	ErrChunkSize     = errors.New("erasure: chunks have inconsistent sizes")
+	ErrShortData     = errors.New("erasure: data shorter than declared size")
+)
+
+// New returns an (m,n) coder. m is the reconstruction threshold (the
+// paper's m / Algorithm 2 output); n is the total number of chunks, one
+// per selected provider.
+func New(m, n int) (*Coder, error) {
+	if m < 1 || n < m || n > fieldSize {
+		return nil, fmt.Errorf("%w: m=%d n=%d", ErrInvalidParams, m, n)
+	}
+	// Build the systematic generator: take the n x m Vandermonde matrix and
+	// normalize its top m x m block to the identity by multiplying with the
+	// block's inverse. Every m-row subset of the result stays invertible.
+	v := vandermonde(n, m)
+	top := v.subMatrix(0, 0, m, m)
+	topInv, err := top.invert()
+	if err != nil {
+		// Vandermonde top blocks are always invertible; this is unreachable
+		// for valid parameters.
+		return nil, err
+	}
+	return &Coder{m: m, n: n, enc: v.mul(topInv)}, nil
+}
+
+// M returns the reconstruction threshold.
+func (c *Coder) M() int { return c.m }
+
+// N returns the total chunk count.
+func (c *Coder) N() int { return c.n }
+
+// Rate returns the code rate m/n.
+func (c *Coder) Rate() float64 { return float64(c.m) / float64(c.n) }
+
+// Overhead returns the storage expansion factor n/m (the paper's 1/r).
+func (c *Coder) Overhead() float64 { return float64(c.n) / float64(c.m) }
+
+// ChunkSize returns the per-chunk size for an object of dataLen bytes.
+func (c *Coder) ChunkSize(dataLen int) int {
+	return (dataLen + c.m - 1) / c.m
+}
+
+// Encode splits data into n chunks of equal size ceil(len(data)/m).
+// The data is padded with zeros to a multiple of the chunk size; callers
+// must remember the original length (Scalia stores it in object metadata)
+// and pass it to Decode.
+func (c *Coder) Encode(data []byte) ([][]byte, error) {
+	size := c.ChunkSize(len(data))
+	if size == 0 {
+		size = 1 // zero-length objects still produce 1-byte chunks
+	}
+	chunks := make([][]byte, c.n)
+	backing := make([]byte, c.n*size)
+	for i := range chunks {
+		chunks[i] = backing[i*size : (i+1)*size]
+	}
+	// Data stripes: rows 0..m-1 are plain copies (systematic code).
+	for i := 0; i < c.m; i++ {
+		lo := i * size
+		if lo < len(data) {
+			hi := lo + size
+			if hi > len(data) {
+				hi = len(data)
+			}
+			copy(chunks[i], data[lo:hi])
+		}
+	}
+	// Parity stripes: rows m..n-1 are linear combinations of the data rows.
+	for r := c.m; r < c.n; r++ {
+		row := c.enc.row(r)
+		for k := 0; k < c.m; k++ {
+			mulAddSlice(row[k], chunks[k], chunks[r])
+		}
+	}
+	return chunks, nil
+}
+
+// Reconstruct fills in missing (nil) chunks in place. chunks must have
+// length n; at least m entries must be non-nil and of equal size.
+func (c *Coder) Reconstruct(chunks [][]byte) error {
+	if len(chunks) != c.n {
+		return fmt.Errorf("%w: got %d want %d", ErrChunkCount, len(chunks), c.n)
+	}
+	size := -1
+	present := 0
+	for _, ch := range chunks {
+		if ch == nil {
+			continue
+		}
+		present++
+		if size < 0 {
+			size = len(ch)
+		} else if len(ch) != size {
+			return ErrChunkSize
+		}
+	}
+	if present < c.m {
+		return fmt.Errorf("%w: have %d need %d", ErrTooFewChunks, present, c.m)
+	}
+	if present == c.n {
+		return nil // nothing missing
+	}
+	// Build the m x m decode matrix from the generator rows of m surviving
+	// chunks, invert it, and regenerate the data stripes.
+	sub := newMatrix(c.m, c.m)
+	subChunks := make([][]byte, c.m)
+	got := 0
+	for i := 0; i < c.n && got < c.m; i++ {
+		if chunks[i] != nil {
+			copy(sub.row(got), c.enc.row(i))
+			subChunks[got] = chunks[i]
+			got++
+		}
+	}
+	dec, err := sub.invert()
+	if err != nil {
+		return err
+	}
+	// Recover missing data stripes first.
+	data := make([][]byte, c.m)
+	for i := 0; i < c.m; i++ {
+		if chunks[i] != nil {
+			data[i] = chunks[i]
+			continue
+		}
+		out := make([]byte, size)
+		row := dec.row(i)
+		for k := 0; k < c.m; k++ {
+			mulAddSlice(row[k], subChunks[k], out)
+		}
+		data[i] = out
+		chunks[i] = out
+	}
+	// Then regenerate any missing parity stripes from the data stripes.
+	for r := c.m; r < c.n; r++ {
+		if chunks[r] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.enc.row(r)
+		for k := 0; k < c.m; k++ {
+			mulAddSlice(row[k], data[k], out)
+		}
+		chunks[r] = out
+	}
+	return nil
+}
+
+// Decode reconstructs missing chunks if needed and reassembles the
+// original object of length size.
+func (c *Coder) Decode(chunks [][]byte, size int) ([]byte, error) {
+	if err := c.Reconstruct(chunks); err != nil {
+		return nil, err
+	}
+	chunkSize := len(chunks[0])
+	if c.m*chunkSize < size {
+		return nil, fmt.Errorf("%w: chunks hold %d bytes, need %d",
+			ErrShortData, c.m*chunkSize, size)
+	}
+	out := make([]byte, 0, size)
+	for i := 0; i < c.m && len(out) < size; i++ {
+		need := size - len(out)
+		if need > chunkSize {
+			need = chunkSize
+		}
+		out = append(out, chunks[i][:need]...)
+	}
+	return out, nil
+}
+
+// Verify checks that the parity chunks are consistent with the data
+// chunks. All n chunks must be present.
+func (c *Coder) Verify(chunks [][]byte) (bool, error) {
+	if len(chunks) != c.n {
+		return false, fmt.Errorf("%w: got %d want %d", ErrChunkCount, len(chunks), c.n)
+	}
+	size := len(chunks[0])
+	for _, ch := range chunks {
+		if ch == nil {
+			return false, ErrTooFewChunks
+		}
+		if len(ch) != size {
+			return false, ErrChunkSize
+		}
+	}
+	buf := make([]byte, size)
+	for r := c.m; r < c.n; r++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		row := c.enc.row(r)
+		for k := 0; k < c.m; k++ {
+			mulAddSlice(row[k], chunks[k], buf)
+		}
+		for i := range buf {
+			if buf[i] != chunks[r][i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,66 @@
+package privstore
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"scalia/internal/cloud"
+)
+
+// Backend adapts a private-store client to the registry's Backend
+// interface so corporate resources participate in placement like any
+// public provider (§III-E: "the placement algorithm will take into
+// account these new resources").
+type Backend struct {
+	*Client
+	spec cloud.Spec
+}
+
+// NewBackend wraps a client with the resource's registered properties
+// (amount and price of available storage, bandwidth and operation
+// prices).
+func NewBackend(c *Client, spec cloud.Spec) *Backend {
+	spec.Private = true
+	return &Backend{Client: c, spec: spec}
+}
+
+// Spec implements cloud.Backend.
+func (b *Backend) Spec() cloud.Spec { return b.spec }
+
+// Available probes the service's stats endpoint.
+func (b *Backend) Available() bool {
+	_, err := b.stats()
+	return err == nil
+}
+
+// UsedBytes implements cloud.Backend; it returns 0 when unreachable
+// (the engine excludes unavailable backends before capacity checks).
+func (b *Backend) UsedBytes() int64 {
+	st, err := b.stats()
+	if err != nil {
+		return 0
+	}
+	return st.UsedBytes
+}
+
+type statsResponse struct {
+	UsedBytes int64 `json:"usedBytes"`
+}
+
+func (b *Backend) stats() (statsResponse, error) {
+	resp, err := b.do(http.MethodGet, "/stats", nil)
+	if err != nil {
+		return statsResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statsResponse{}, remoteErr(resp)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return statsResponse{}, err
+	}
+	return st, nil
+}
+
+var _ cloud.Backend = (*Backend)(nil)

@@ -1,0 +1,115 @@
+package privstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"scalia/internal/cloud"
+)
+
+// Client addresses a private storage web service through the same Store
+// interface as simulated public providers, signing every request with
+// the resource's private token.
+type Client struct {
+	base  string
+	token []byte
+	http  *http.Client
+	now   func() time.Time
+}
+
+// ErrRemote wraps non-2xx responses.
+var ErrRemote = errors.New("privstore: remote error")
+
+// NewClient returns a client for the service at baseURL.
+func NewClient(baseURL string, token []byte) *Client {
+	return &Client{
+		base:  baseURL,
+		token: token,
+		http:  &http.Client{Timeout: 30 * time.Second},
+		now:   time.Now,
+	}
+}
+
+func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, reader)
+	if err != nil {
+		return nil, err
+	}
+	ts := c.now().Unix()
+	req.Header.Set(HeaderTimestamp, fmt.Sprintf("%d", ts))
+	req.Header.Set(HeaderSignature, Sign(c.token, method, req.URL.Path, ts))
+	return c.http.Do(req)
+}
+
+// Put implements cloud.Store.
+func (c *Client) Put(key string, data []byte) error {
+	resp, err := c.do(http.MethodPut, "/objects/"+url.PathEscape(key), data)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return remoteErr(resp)
+	}
+	return nil
+}
+
+// Get implements cloud.Store.
+func (c *Client) Get(key string) ([]byte, error) {
+	resp, err := c.do(http.MethodGet, "/objects/"+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteErr(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Delete implements cloud.Store.
+func (c *Client) Delete(key string) error {
+	resp, err := c.do(http.MethodDelete, "/objects/"+url.PathEscape(key), nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return remoteErr(resp)
+	}
+	return nil
+}
+
+// List implements cloud.Store.
+func (c *Client) List(prefix string) ([]string, error) {
+	resp, err := c.do(http.MethodGet, "/list?prefix="+url.QueryEscape(prefix), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteErr(resp)
+	}
+	var keys []string
+	if err := json.NewDecoder(resp.Body).Decode(&keys); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+func remoteErr(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("%w: %s: %s", ErrRemote, resp.Status, bytes.TrimSpace(body))
+}
+
+var _ cloud.Store = (*Client)(nil)

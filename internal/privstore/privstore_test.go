@@ -1,0 +1,167 @@
+package privstore
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newPair(t *testing.T, capacity int64) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer(t.TempDir(), []byte("secret-token"), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, NewClient(ts.URL, []byte("secret-token"))
+}
+
+func TestPutGetDeleteList(t *testing.T) {
+	_, c := newPair(t, 0)
+	if err := c.Put("a/key1", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("a/key1")
+	if err != nil || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	c.Put("a/key2", []byte("x"))
+	c.Put("b/key3", []byte("y"))
+	keys, err := c.List("a/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "a/key1" || keys[1] != "a/key2" {
+		t.Fatalf("List = %v", keys)
+	}
+	if err := c.Delete("a/key1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("a/key1"); !errors.Is(err, ErrRemote) {
+		t.Fatalf("Get after delete: %v", err)
+	}
+}
+
+func TestServerRejectsBadToken(t *testing.T) {
+	srv, err := NewServer(t.TempDir(), []byte("right"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL, []byte("wrong"))
+	if err := c.Put("k", []byte("v")); !errors.Is(err, ErrRemote) {
+		t.Fatalf("bad token accepted: %v", err)
+	}
+}
+
+func TestServerRejectsMissingSignature(t *testing.T) {
+	srv, _ := NewServer(t.TempDir(), []byte("tok"), 0)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/objects/k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status = %d, want 401", resp.StatusCode)
+	}
+}
+
+func TestServerRejectsReplayedTimestamp(t *testing.T) {
+	srv, _ := NewServer(t.TempDir(), []byte("tok"), 0)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL, []byte("tok"))
+	// An old timestamp (beyond the skew window) must be refused even with
+	// a valid signature.
+	c.now = func() time.Time { return time.Now().Add(-MaxClockSkew - time.Minute) }
+	if err := c.Put("k", []byte("v")); !errors.Is(err, ErrRemote) {
+		t.Fatalf("stale timestamp accepted: %v", err)
+	}
+}
+
+func TestCapacityLimit(t *testing.T) {
+	srv, c := newPair(t, 10)
+	if err := c.Put("a", make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("b", make([]byte, 8)); !errors.Is(err, ErrRemote) {
+		t.Fatalf("over-capacity accepted: %v", err)
+	}
+	// Overwriting within capacity is fine.
+	if err := c.Put("a", make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if srv.UsedBytes() != 10 {
+		t.Fatalf("UsedBytes = %d, want 10", srv.UsedBytes())
+	}
+}
+
+func TestUsageSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := NewServer(dir, []byte("tok"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	c := NewClient(ts.URL, []byte("tok"))
+	c.Put("k", make([]byte, 123))
+	ts.Close()
+
+	srv2, err := NewServer(dir, []byte("tok"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2.UsedBytes() != 123 {
+		t.Fatalf("restarted usage = %d, want 123", srv2.UsedBytes())
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	c2 := NewClient(ts2.URL, []byte("tok"))
+	got, err := c2.Get("k")
+	if err != nil || len(got) != 123 {
+		t.Fatalf("data lost across restart: %v", err)
+	}
+}
+
+func TestKeysWithSpecialCharacters(t *testing.T) {
+	_, c := newPair(t, 0)
+	key := "dir/../weird key/äöü/..%2F"
+	if err := c.Put(key, []byte("safe")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(key)
+	if err != nil || string(got) != "safe" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	keys, _ := c.List("")
+	if len(keys) != 1 || keys[0] != key {
+		t.Fatalf("List = %v", keys)
+	}
+}
+
+func TestSignDeterministic(t *testing.T) {
+	a := Sign([]byte("t"), "PUT", "/objects/x", 42)
+	b := Sign([]byte("t"), "PUT", "/objects/x", 42)
+	if a != b {
+		t.Fatal("signature must be deterministic")
+	}
+	if a == Sign([]byte("t"), "GET", "/objects/x", 42) {
+		t.Fatal("method must be part of the signature")
+	}
+	if a == Sign([]byte("t"), "PUT", "/objects/y", 42) {
+		t.Fatal("path must be part of the signature")
+	}
+	if a == Sign([]byte("t"), "PUT", "/objects/x", 43) {
+		t.Fatal("timestamp must be part of the signature")
+	}
+	if a == Sign([]byte("u"), "PUT", "/objects/x", 42) {
+		t.Fatal("token must be part of the signature")
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"scalia/internal/cloud"
+	"scalia/internal/core"
+	"scalia/internal/workload"
+)
+
+// Rules of the evaluation scenarios (§IV). Where the paper leaves a
+// constraint unspecified the value is chosen so the paper's reported
+// thresholds come out of Algorithm 2 (see EXPERIMENTS.md).
+var (
+	// SlashdotRule: "1 MB, minimum availability 99.99% and durability
+	// 99.999%" (§IV-B).
+	SlashdotRule = core.Rule{
+		Name: "slashdot", Durability: 0.99999, Availability: 0.9999, LockIn: 1,
+	}
+	// GalleryRule: "minimum availability per picture is set to 99.99%"
+	// (§IV-C); durability as in the Slashdot scenario.
+	GalleryRule = core.Rule{
+		Name: "gallery", Durability: 0.99999, Availability: 0.9999, LockIn: 1,
+	}
+	// BackupRule: "each object has to be stored at 2 different providers
+	// at least" (§IV-D) — lock-in 0.5; "unlike preceding scenarios ...
+	// the availability constraint" is not the driver, so it is lax, and
+	// durability is high enough that every pair must tolerate one
+	// provider loss — which yields the paper's m = n-1 thresholds and its
+	// [S3(h), S3(l), Azu, Ggl, RS; m:4] pre-arrival placement.
+	BackupRule = core.Rule{
+		Name: "backup", Durability: 0.9999999, Availability: 0.99, LockIn: 0.5,
+	}
+	// RepairRule (§IV-E): the paper's Scalia chooses [S3(h), S3(l), Azu;
+	// m:2] there, which Algorithm 1 only produces when availability is
+	// tight enough to exclude the wider m = n-1 sets: 0.999995 admits
+	// triples at m:2 (av 0.999997) but rejects quadruples at m:3
+	// (0.999994) and the 5-set at m:4 (0.9999900). §IV-D and §IV-E thus
+	// imply different availability requirements.
+	RepairRule = core.Rule{
+		Name: "repair", Durability: 0.9999999, Availability: 0.999995, LockIn: 0.5,
+	}
+)
+
+// SlashdotExperiment reproduces §IV-B: Figs. 12 (resources) and 14
+// (over-cost of all 27 sets).
+func SlashdotExperiment() (*Result, error) {
+	return Run(workload.NewSlashdot(), Config{
+		Rule:            SlashdotRule,
+		StaticBaselines: StaticSets(),
+		TrackResources:  true,
+		DecisionPeriod:  24,
+	})
+}
+
+// GalleryExperiment reproduces §IV-C: Figs. 15 and 16.
+func GalleryExperiment() (*Result, error) {
+	return Run(workload.NewGallery(), Config{
+		Rule:            GalleryRule,
+		StaticBaselines: StaticSets(),
+		TrackResources:  true,
+		DecisionPeriod:  24,
+	})
+}
+
+// AddProviderExperiment reproduces §IV-D (Fig. 17): a 40 MB backup
+// every 5 hours for 4 weeks; CheapStor registers at hour 400 and Scalia
+// migrates the stored objects. The migration horizon is the objects'
+// effective lifetime (backups live for months), which is what makes the
+// slow-payback storage saving worth the chunk move, as in the paper.
+func AddProviderExperiment() (*Result, error) {
+	return Run(workload.NewBackup(600), Config{
+		Rule:             BackupRule,
+		StaticBaselines:  StaticSets(),
+		TrackResources:   true,
+		DecisionPeriod:   24,
+		MigrationHorizon: 24 * 180, // six months of expected backup lifetime
+		MigrationBilling: BillOpsOnly,
+		Arrivals: []Arrival{{
+			Spec: cloud.CheapStorProvider(), AtPeriod: 400,
+		}},
+	})
+}
+
+// RepairStaticSet is the fixed comparison set of §IV-E.
+var RepairStaticSet = StaticSet{Index: 2, Names: []string{
+	cloud.NameS3High, cloud.NameS3Low, cloud.NameAzure,
+}}
+
+// RepairExperiment reproduces §IV-E (Fig. 18): 40 MB backups every 5
+// hours over 7.5 days, S3(l) unreachable during hours 60-120, Scalia
+// repairing actively versus the fixed set [S3(h), S3(l), Azu].
+// It returns the full result (with Scalia's cumulative price series)
+// plus the static set's cumulative series.
+func RepairExperiment() (*Result, []float64, error) {
+	scenario := workload.NewBackup(180)
+	cfg := Config{
+		Rule:             RepairRule,
+		DecisionPeriod:   24,
+		ActiveRepair:     true,
+		TrackResources:   true,
+		MigrationHorizon: 24 * 180,
+		MigrationBilling: BillOpsOnly,
+		Outages:          []Outage{{Provider: cloud.NameS3Low, From: 60, To: 120}},
+	}
+	res, err := Run(scenario, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	static, err := StaticCumulative(scenario, cfg, RepairStaticSet)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, static, nil
+}

@@ -1,0 +1,478 @@
+package sim
+
+import (
+	"fmt"
+
+	"scalia/internal/cloud"
+	"scalia/internal/core"
+	"scalia/internal/stats"
+	"scalia/internal/trend"
+	"scalia/internal/workload"
+)
+
+// searchCache prepares one core.Search per provider-market epoch (the
+// market only changes on arrivals/outages, so almost every period reuses
+// the previous search).
+type searchCache struct {
+	rule        core.Rule
+	periodHours float64
+	objectBytes int64
+
+	key    string
+	search *core.Search
+}
+
+func (sc *searchCache) at(up []cloud.Spec) (*core.Search, error) {
+	key := ""
+	for _, s := range up {
+		key += s.Name + "|"
+	}
+	if key == sc.key && sc.search != nil {
+		return sc.search, nil
+	}
+	search, err := core.NewSearch(up, sc.rule, core.Options{
+		PeriodHours: sc.periodHours,
+		ObjectBytes: sc.objectBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc.key, sc.search = key, search
+	return search, nil
+}
+
+// runScalia simulates the adaptive policy, filling res.ScaliaUSD,
+// resource series, placement-change log and cumulative series.
+func runScalia(sc workload.Scenario, cfg Config, mkt *market, res *Result) error {
+	objects := make(map[string]*simObject)
+	var order []string
+	cache := &searchCache{rule: cfg.Rule, periodHours: cfg.PeriodHours}
+
+	var total float64
+	for p := 0; p < sc.Periods(); p++ {
+		_, up := mkt.specsAt(p)
+		search, err := cache.at(up)
+		if err != nil {
+			return fmt.Errorf("sim: period %d: %w", p, err)
+		}
+		membership := mkt.membershipChanged(p)
+		loads := sc.Load(p)
+		loadByObj := make(map[string]workload.PeriodLoad, len(loads))
+		for _, l := range loads {
+			loadByObj[l.Object] = l
+			if _, ok := objects[l.Object]; !ok {
+				// First placement: no access history; price the creation
+				// write itself (class statistics are the engine-layer
+				// refinement; scenario objects are homogeneous).
+				sum := stats.Summary{
+					Periods: 1, Writes: 1,
+					BytesIn:      float64(l.Size),
+					StorageBytes: float64(l.Size),
+				}
+				best := search.Best(sum)
+				if !best.Feasible {
+					return fmt.Errorf("sim: no feasible placement for %s", l.Object)
+				}
+				objects[l.Object] = &simObject{
+					name:      l.Object,
+					size:      l.Size,
+					placement: best.Placement,
+					hist:      stats.NewHistory(0),
+					ctl:       core.NewDecisionController(cfg.DecisionPeriod, 0),
+					createdAt: p,
+					alive:     true,
+				}
+				order = append(order, l.Object)
+			}
+		}
+
+		point := SeriesPoint{Period: p}
+		var periodCost float64
+		for _, name := range order {
+			obj := objects[name]
+			if !obj.alive {
+				continue
+			}
+			l := loadByObj[name]
+			l.Size = obj.size
+			sum := periodSummary(l, true)
+			obj.hist.Record(stats.Sample{
+				Period: int64(p), Reads: l.Reads, Writes: l.Writes,
+				BytesOut: l.Reads * obj.size, BytesIn: l.Writes * obj.size,
+				StorageBytes: obj.size,
+			})
+			periodCost += placementPeriodCost(obj.placement, mkt, p, sum, cfg.PeriodHours)
+			if cfg.TrackResources {
+				overhead := float64(obj.placement.N()) / float64(obj.placement.M)
+				point.StorageGB += float64(obj.size) / 1e9 * overhead
+				point.BwInGB += float64(l.Writes) * float64(obj.size) / 1e9 * overhead
+				if _, ok := reachablePlacement(obj.placement, mkt, p); ok {
+					point.BwOutGB += float64(l.Reads) * float64(obj.size) / 1e9
+				}
+			}
+			if l.Deleted {
+				obj.alive = false
+			}
+		}
+
+		// Adaptation pass: trend-gated recomputation, membership-change
+		// recomputation, and active repair.
+		migUSD, migIn, migOut := adaptScalia(objects, order, cfg, mkt, search, p, membership, res)
+		total += periodCost + migUSD
+		res.MigrationUSD += migUSD
+		if cfg.TrackResources {
+			point.BwInGB += migIn
+			point.BwOutGB += migOut
+			res.Resources = append(res.Resources, point)
+		}
+		res.CumulativeScalia = append(res.CumulativeScalia, total)
+	}
+	res.ScaliaUSD = total
+	return nil
+}
+
+// adaptScalia runs the per-period optimization procedure over the
+// simulated objects, returning the migration spend and traffic.
+func adaptScalia(objects map[string]*simObject, order []string, cfg Config,
+	mkt *market, search *core.Search, p int, membership bool, res *Result) (usd, inGB, outGB float64) {
+	for _, name := range order {
+		obj := objects[name]
+		if !obj.alive {
+			continue
+		}
+		var reachable []cloud.Spec
+		downChunk := false
+		for _, s := range obj.placement.Providers {
+			if mkt.isUp(s.Name, p) {
+				reachable = append(reachable, s)
+			} else {
+				downChunk = true
+			}
+		}
+		// The degraded placement violates the rule when the surviving
+		// providers can no longer support threshold m; that is what forces
+		// a repair rather than waiting out the outage (§IV-E).
+		degraded := downChunk &&
+			core.FeasibleThreshold(reachable, cfg.Rule.Durability, cfg.Rule.Availability) < obj.placement.M
+		repairing := cfg.ActiveRepair && degraded
+
+		trigger := membership || repairing ||
+			trendChanged(obj.hist, int64(p), cfg.DetectWindow, cfg.DetectLimit)
+		if !trigger {
+			continue
+		}
+		res.TrendRecomputations++
+
+		d := updateDecision(obj, cfg, search, int64(p))
+		sum := obj.hist.Summary(int64(p), d)
+		sum.StorageBytes = float64(obj.size)
+
+		var best core.Result
+		if repairing {
+			// Prefer the paper's cheap repair: keep m and n, swap the
+			// unreachable provider(s) for the best spare(s); re-stripe only
+			// when no feasible swap exists.
+			if swap, ok := bestSwap(obj.placement, mkt, p, cfg, sum); ok {
+				best = core.Result{Placement: swap, Feasible: true,
+					Price: core.PeriodCost(swap, sum, cfg.PeriodHours)}
+			} else {
+				best = search.Best(sum)
+			}
+		} else {
+			best = search.Best(sum)
+		}
+		if !best.Feasible || best.Placement.Equal(obj.placement) {
+			continue
+		}
+		// Repair migrations are durability-driven and bypass economics;
+		// cost-driven ones must pay back within the horizon.
+		migCost := migrationCost(obj.placement, best.Placement, float64(obj.size)/1e9, cfg.MigrationBilling)
+		if !repairing {
+			horizon := d
+			if cfg.MigrationHorizon > horizon {
+				horizon = cfg.MigrationHorizon
+			}
+			curPrice := core.PeriodCost(obj.placement, sum, cfg.PeriodHours)
+			if (curPrice-best.Price)*float64(horizon) <= migCost {
+				continue
+			}
+		}
+		// The migration read needs m reachable chunks.
+		if _, ok := reachablePlacement(obj.placement, mkt, p); !ok {
+			continue
+		}
+		usd += migCost
+		moved := float64(obj.size) / 1e9 / float64(obj.placement.M) // per-chunk GB
+		if obj.placement.M == best.Placement.M && obj.placement.N() == best.Placement.N() {
+			diff := 0
+			for _, s := range best.Placement.Providers {
+				if !obj.placement.Has(s.Name) {
+					diff++
+				}
+			}
+			outGB += moved * float64(diff)
+			inGB += moved * float64(diff)
+		} else {
+			outGB += float64(obj.size) / 1e9 // read m chunks
+			inGB += float64(obj.size) / 1e9 / float64(best.Placement.M) * float64(best.Placement.N())
+		}
+		res.Changes = append(res.Changes, PlacementChange{
+			Period: p, Object: obj.name,
+			From: obj.placement.String(), To: best.Placement.String(),
+			Reason: reason(membership, repairing),
+		})
+		res.Migrations++
+		obj.placement = best.Placement
+	}
+	return usd, inGB, outGB
+}
+
+// migrationCost prices a migration under the configured billing mode.
+// BillOpsOnly zeroes the bandwidth components by pricing against
+// bandwidth-free copies of the provider specs.
+func migrationCost(from, to core.Placement, sizeGB float64, mode MigrationBilling) float64 {
+	if mode == BillFull {
+		return core.MigrationCost(from, to, sizeGB)
+	}
+	return core.MigrationCost(zeroBandwidth(from), zeroBandwidth(to), sizeGB)
+}
+
+func zeroBandwidth(p core.Placement) core.Placement {
+	out := core.Placement{M: p.M, Providers: make([]cloud.Spec, len(p.Providers))}
+	for i, s := range p.Providers {
+		s.Pricing.BandwidthInGB = 0
+		s.Pricing.BandwidthOutGB = 0
+		out.Providers[i] = s
+	}
+	return out
+}
+
+// bestSwap builds the cheapest same-(m,n) repair placement: every
+// unreachable provider of p is replaced by the spare (reachable,
+// not-yet-used) provider that minimizes the expected period cost, and
+// the swapped set must still satisfy the rule at threshold m.
+func bestSwap(p core.Placement, mkt *market, period int, cfg Config, sum stats.Summary) (core.Placement, bool) {
+	_, up := mkt.specsAt(period)
+	used := make(map[string]bool, p.N())
+	for _, s := range p.Providers {
+		used[s.Name] = true
+	}
+	var spares []cloud.Spec
+	for _, s := range up {
+		if !used[s.Name] && s.ServesAny(cfg.Rule.Zones) {
+			spares = append(spares, s)
+		}
+	}
+	swapped := core.Placement{M: p.M, Providers: append([]cloud.Spec(nil), p.Providers...)}
+	for i, s := range swapped.Providers {
+		if mkt.isUp(s.Name, period) {
+			continue
+		}
+		bestIdx := -1
+		bestPrice := 0.0
+		for j, spare := range spares {
+			cand := core.Placement{M: p.M, Providers: append([]cloud.Spec(nil), swapped.Providers...)}
+			cand.Providers[i] = spare
+			price := core.PeriodCost(cand, sum, cfg.PeriodHours)
+			if bestIdx < 0 || price < bestPrice {
+				bestIdx, bestPrice = j, price
+			}
+		}
+		if bestIdx < 0 {
+			return core.Placement{}, false // no spare left
+		}
+		swapped.Providers[i] = spares[bestIdx]
+		spares = append(spares[:bestIdx], spares[bestIdx+1:]...)
+	}
+	if core.FeasibleThreshold(swapped.Providers, cfg.Rule.Durability, cfg.Rule.Availability) < p.M {
+		return core.Placement{}, false
+	}
+	return swapped, true
+}
+
+func reason(membership, repairing bool) string {
+	switch {
+	case repairing:
+		return "active-repair"
+	case membership:
+		return "membership-change"
+	default:
+		return "trend-change"
+	}
+}
+
+// updateDecision advances the object's decision-period controller,
+// running the D/2, D, 2D coupling evaluation when due.
+func updateDecision(obj *simObject, cfg Config, search *core.Search, now int64) int {
+	if !obj.ctl.Tick() {
+		return obj.ctl.D()
+	}
+	limit := obj.hist.Span(now)
+	cands := obj.ctl.Candidates(limit)
+	bestIdx, bestPrice := 1, 0.0
+	for i, d := range cands {
+		sum := obj.hist.Summary(now, d)
+		sum.StorageBytes = float64(obj.size)
+		r := search.Best(sum)
+		if !r.Feasible {
+			continue
+		}
+		if i == 0 || r.Price < bestPrice {
+			bestIdx, bestPrice = i, r.Price
+		}
+	}
+	obj.ctl.Update(bestIdx, cands)
+	return obj.ctl.D()
+}
+
+// trendChanged is the stateless momentum gate over the recorded ops
+// series (w-period SMA shift at the newest observation).
+func trendChanged(h *stats.History, now int64, w int, limit float64) bool {
+	series := h.OpsSeries(now, w+1)
+	if len(series) < w+1 {
+		return false
+	}
+	var prev, cur float64
+	for i := 0; i < w; i++ {
+		prev += series[i]
+		cur += series[i+1]
+	}
+	return trend.Momentum(prev/float64(w), cur/float64(w)) > limit
+}
+
+// runIdeal prices the per-period cheapest feasible placement with the
+// load known a priori — the paper's baseline.
+func runIdeal(sc workload.Scenario, cfg Config, mkt *market, res *Result) error {
+	cache := &searchCache{rule: cfg.Rule, periodHours: cfg.PeriodHours}
+	sizes := make(map[string]int64)
+	alive := make(map[string]bool)
+	var order []string
+
+	var total float64
+	for p := 0; p < sc.Periods(); p++ {
+		_, up := mkt.specsAt(p)
+		search, err := cache.at(up)
+		if err != nil {
+			return err
+		}
+		loadByObj := make(map[string]workload.PeriodLoad)
+		for _, l := range sc.Load(p) {
+			loadByObj[l.Object] = l
+			if !alive[l.Object] {
+				if _, seen := sizes[l.Object]; !seen {
+					order = append(order, l.Object)
+				}
+				alive[l.Object] = true
+				sizes[l.Object] = l.Size
+			}
+		}
+		for _, name := range order {
+			if !alive[name] {
+				continue
+			}
+			l := loadByObj[name]
+			l.Size = sizes[name]
+			sum := periodSummary(l, true)
+			best := search.Best(sum)
+			if !best.Feasible {
+				return fmt.Errorf("sim: ideal infeasible for %s at %d", name, p)
+			}
+			total += best.Price
+			if l.Deleted {
+				alive[name] = false
+			}
+		}
+	}
+	res.IdealUSD = total
+	return nil
+}
+
+// staticCumulative prices the scenario on one fixed provider set and
+// returns the per-period cumulative cost series. Objects are placed at
+// creation on the reachable members of the set with the largest feasible
+// threshold; placements never change afterwards (chunks at a failed
+// provider stay there, §IV-E).
+func staticCumulative(sc workload.Scenario, cfg Config, mkt *market, set StaticSet) ([]float64, error) {
+	specsByName := make(map[string]cloud.Spec)
+	for _, s := range cfg.Specs {
+		specsByName[s.Name] = s
+	}
+	for _, a := range cfg.Arrivals {
+		specsByName[a.Spec.Name] = a.Spec
+	}
+	members := make([]cloud.Spec, 0, len(set.Names))
+	for _, n := range set.Names {
+		s, ok := specsByName[n]
+		if !ok {
+			return nil, fmt.Errorf("sim: static set references unknown provider %q", n)
+		}
+		members = append(members, s)
+	}
+
+	placements := make(map[string]core.Placement)
+	sizes := make(map[string]int64)
+	alive := make(map[string]bool)
+	var order []string
+
+	var total float64
+	out := make([]float64, 0, sc.Periods())
+	for p := 0; p < sc.Periods(); p++ {
+		loadByObj := make(map[string]workload.PeriodLoad)
+		for _, l := range sc.Load(p) {
+			loadByObj[l.Object] = l
+			if _, ok := placements[l.Object]; !ok {
+				upMembers := make([]cloud.Spec, 0, len(members))
+				for _, s := range members {
+					if mkt.isUp(s.Name, p) {
+						upMembers = append(upMembers, s)
+					}
+				}
+				m := core.FeasibleThreshold(upMembers, cfg.Rule.Durability, cfg.Rule.Availability)
+				if m <= 0 {
+					// The degraded set cannot satisfy the rule; the static
+					// deployment stores anyway at maximum striping (its
+					// whole point is that it cannot adapt).
+					m = len(upMembers)
+					if m == 0 {
+						return nil, fmt.Errorf("sim: static set %s entirely down at %d", set.Label(), p)
+					}
+				}
+				placements[l.Object] = core.Placement{Providers: upMembers, M: m}
+				sizes[l.Object] = l.Size
+				alive[l.Object] = true
+				order = append(order, l.Object)
+			}
+		}
+		for _, name := range order {
+			if !alive[name] {
+				continue
+			}
+			l := loadByObj[name]
+			l.Size = sizes[name]
+			sum := periodSummary(l, true)
+			total += placementPeriodCost(placements[name], mkt, p, sum, cfg.PeriodHours)
+			if l.Deleted {
+				alive[name] = false
+			}
+		}
+		out = append(out, total)
+	}
+	return out, nil
+}
+
+// runStatic prices one fixed set, returning its total cost.
+func runStatic(sc workload.Scenario, cfg Config, mkt *market, set StaticSet) (float64, error) {
+	series, err := staticCumulative(sc, cfg, mkt, set)
+	if err != nil {
+		return 0, err
+	}
+	return series[len(series)-1], nil
+}
+
+// StaticCumulative prices one fixed set and returns the per-period
+// cumulative cost series (Fig. 18's static curve).
+func StaticCumulative(sc workload.Scenario, cfg Config, set StaticSet) ([]float64, error) {
+	cfg.fill()
+	mkt := &market{specs: cfg.Specs, arrivals: cfg.Arrivals, outages: cfg.Outages}
+	return staticCumulative(sc, cfg, mkt, set)
+}

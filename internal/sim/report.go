@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"scalia/internal/stats"
+	"scalia/internal/trend"
+	"scalia/internal/workload"
+)
+
+// FormatOverCost renders the Fig. 14/16-style table: one row per
+// provider set plus Scalia as row 27, with cumulative cost and over-cost
+// percentage versus the ideal placement.
+func FormatOverCost(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s %-26s %12s %10s\n", "#", "set", "cost (USD)", "over-cost")
+	for _, s := range res.Statics {
+		fmt.Fprintf(&b, "%-3d %-26s %12.6f %9.3f%%\n", s.Index, s.Label, s.CostUSD, s.OverPct)
+	}
+	fmt.Fprintf(&b, "%-3d %-26s %12.6f %9.3f%%\n", ScaliaIndex, "Scalia", res.ScaliaUSD, res.ScaliaOverPct)
+	fmt.Fprintf(&b, "ideal placement: %.6f USD | Scalia migrations: %d (%.6f USD)\n",
+		res.IdealUSD, res.Migrations, res.MigrationUSD)
+	return b.String()
+}
+
+// FormatResources renders the Fig. 12/15/17-style resource series.
+func FormatResources(res *Result, every int) string {
+	if every < 1 {
+		every = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %14s %12s %12s\n", "hour", "storage (GB)", "bdw in (GB)", "bdw out (GB)")
+	for i, pt := range res.Resources {
+		if i%every != 0 && i != len(res.Resources)-1 {
+			continue
+		}
+		fmt.Fprintf(&b, "%6d %14.6f %12.6f %12.6f\n", pt.Period, pt.StorageGB, pt.BwInGB, pt.BwOutGB)
+	}
+	return b.String()
+}
+
+// FormatChanges renders Scalia's placement-change log.
+func FormatChanges(res *Result) string {
+	var b strings.Builder
+	for _, ch := range res.Changes {
+		fmt.Fprintf(&b, "hour %4d  %-20s %s -> %s (%s)\n",
+			ch.Period, ch.Object, ch.From, ch.To, ch.Reason)
+	}
+	if len(res.Changes) == 0 {
+		b.WriteString("(no placement changes)\n")
+	}
+	return b.String()
+}
+
+// FormatCumulative renders the Fig. 18 cumulative-price comparison.
+func FormatCumulative(scalia, static []float64, staticLabel string, every int) string {
+	if every < 1 {
+		every = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %14s %14s\n", "hour", "Scalia (USD)", staticLabel+" (USD)")
+	for i := 0; i < len(scalia) && i < len(static); i++ {
+		if i%every != 0 && i != len(scalia)-1 {
+			continue
+		}
+		fmt.Fprintf(&b, "%6d %14.6f %14.6f\n", i, scalia[i], static[i])
+	}
+	return b.String()
+}
+
+// TrendFigure reproduces Figs. 8 and 9: the website read series with
+// the detected trend-change markers.
+type TrendFigure struct {
+	Series  []float64
+	Changes []int
+}
+
+// TrendHourly builds Fig. 8 (s = 1 h, 7 days, ma = 3, limit = 0.1).
+func TrendHourly() TrendFigure {
+	series := workload.NewWebsite().HourlySeries(7 * 24)
+	return TrendFigure{Series: series, Changes: trend.Detect(series, 3, 0.1)}
+}
+
+// TrendDaily builds Fig. 9 (s = 1 d, 3 months, ma = 3, limit = 0.1).
+func TrendDaily() TrendFigure {
+	series := workload.NewWebsite().DailySeries(90)
+	return TrendFigure{Series: series, Changes: trend.Detect(series, 3, 0.1)}
+}
+
+// FormatTrend renders a trend figure as rows of period, ops and marker.
+func FormatTrend(fig TrendFigure) string {
+	marks := make(map[int]bool, len(fig.Changes))
+	for _, c := range fig.Changes {
+		marks[c] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %10s %s\n", "period", "ops", "trend-change")
+	for i, v := range fig.Series {
+		mark := ""
+		if marks[i] {
+			mark = "  *** recompute placement"
+		}
+		fmt.Fprintf(&b, "%6d %10.1f%s\n", i, v, mark)
+	}
+	fmt.Fprintf(&b, "detected %d trend changes over %d periods\n", len(fig.Changes), len(fig.Series))
+	return b.String()
+}
+
+// LifetimeFigure reproduces Fig. 5: a 20-object class with lifetimes
+// spread over 0-6 hours, its deletion-time histogram and the expected
+// time-left-to-live curve.
+func LifetimeFigure() (*stats.LifetimeDist, string) {
+	d := stats.NewLifetimeDist(0)
+	for i := 0; i < 20; i++ {
+		d.Observe(6 * float64(i) / 19)
+	}
+	var b strings.Builder
+	b.WriteString("deletion-time histogram (1 h bins):\n")
+	for i, c := range d.Histogram(1, 6) {
+		fmt.Fprintf(&b, "  %d-%dh: %s (%d)\n", i, i+1, strings.Repeat("#", c), c)
+	}
+	b.WriteString("expected time left to live by age:\n")
+	for age := 0.0; age <= 6.0; age += 0.5 {
+		ttl, ok := d.ExpectedTTL(age)
+		if !ok {
+			break
+		}
+		fmt.Fprintf(&b, "  age %.1fh -> E[TTL] = %.2fh\n", age, ttl)
+	}
+	return d, b.String()
+}

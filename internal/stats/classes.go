@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// DiscretizeSize rounds an object size up to the closest megabyte, the
+// paper's discretize() example. Sizes below 1 MB round to 1.
+func DiscretizeSize(sizeBytes int64) int64 {
+	const mb = 1 << 20
+	if sizeBytes <= 0 {
+		return 0
+	}
+	return (sizeBytes + mb - 1) / mb
+}
+
+// ClassKey derives the class of an object from its metadata:
+// C(obj) = MD5(obj[mime] | discretize(obj[size])) (paper §III-A1).
+func ClassKey(mime string, sizeBytes int64) string {
+	h := md5.Sum([]byte(fmt.Sprintf("%s|%d", mime, DiscretizeSize(sizeBytes))))
+	return hex.EncodeToString(h[:])
+}
+
+// ClassRecord accumulates the resources used by all objects of one class
+// (bandwidth in/out, operations, deletion time, ...; Fig. 6 row) plus the
+// class lifetime distribution. Per-object-period averages seed the first
+// placement of new objects of the class.
+type ClassRecord struct {
+	mu sync.RWMutex
+
+	objectPeriods int64 // object×period observations folded in
+	reads         int64
+	writes        int64
+	bytesOut      int64
+	bytesIn       int64
+	storageBytes  int64 // running sum, averaged over observations
+
+	lifetimes *LifetimeDist
+}
+
+func newClassRecord() *ClassRecord {
+	return &ClassRecord{lifetimes: NewLifetimeDist(0)}
+}
+
+// ObserveSample folds one object's sampling-period statistics into the
+// class aggregate.
+func (c *ClassRecord) ObserveSample(s Sample) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.objectPeriods++
+	c.reads += s.Reads
+	c.writes += s.Writes
+	c.bytesOut += s.BytesOut
+	c.bytesIn += s.BytesIn
+	c.storageBytes += s.StorageBytes
+}
+
+// ObserveDeletion records a completed object lifetime (hours).
+func (c *ClassRecord) ObserveDeletion(lifetimeHours float64) {
+	c.lifetimes.Observe(lifetimeHours)
+}
+
+// Lifetimes exposes the class lifetime distribution.
+func (c *ClassRecord) Lifetimes() *LifetimeDist { return c.lifetimes }
+
+// ExpectedSummary returns the statistically expected per-period resource
+// usage of a new object of this class — the input to the first-placement
+// decision (Fig. 6). ok is false when the class has no observations yet.
+func (c *ClassRecord) ExpectedSummary() (Summary, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.objectPeriods == 0 {
+		return Summary{}, false
+	}
+	n := float64(c.objectPeriods)
+	return Summary{
+		Periods:      1,
+		Reads:        float64(c.reads) / n,
+		Writes:       float64(c.writes) / n,
+		BytesOut:     float64(c.bytesOut) / n,
+		BytesIn:      float64(c.bytesIn) / n,
+		StorageBytes: float64(c.storageBytes) / n,
+	}, true
+}
+
+// ClassStats is the per-class statistics table, keyed by ClassKey. It is
+// refreshed incrementally rather than by the paper's periodic map-reduce
+// job; RefreshJob provides the batch path as well.
+type ClassStats struct {
+	mu      sync.RWMutex
+	classes map[string]*ClassRecord
+}
+
+// NewClassStats returns an empty class-statistics table.
+func NewClassStats() *ClassStats {
+	return &ClassStats{classes: make(map[string]*ClassRecord)}
+}
+
+// Class returns the record for a class key, creating it if needed.
+func (cs *ClassStats) Class(key string) *ClassRecord {
+	cs.mu.RLock()
+	rec, ok := cs.classes[key]
+	cs.mu.RUnlock()
+	if ok {
+		return rec
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if rec, ok = cs.classes[key]; ok {
+		return rec
+	}
+	rec = newClassRecord()
+	cs.classes[key] = rec
+	return rec
+}
+
+// Lookup returns the record for a class key without creating it.
+func (cs *ClassStats) Lookup(key string) (*ClassRecord, bool) {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	rec, ok := cs.classes[key]
+	return rec, ok
+}
+
+// Len returns the number of known classes.
+func (cs *ClassStats) Len() int {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return len(cs.classes)
+}
+
+// ExpectedTTL predicts the time left to live (hours) for an object of the
+// given class at the given age. ok is false with no usable distribution.
+func (cs *ClassStats) ExpectedTTL(key string, ageHours float64) (float64, bool) {
+	rec, ok := cs.Lookup(key)
+	if !ok {
+		return 0, false
+	}
+	return rec.Lifetimes().ExpectedTTL(ageHours)
+}

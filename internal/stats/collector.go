@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"sync"
+)
+
+// Agent is the per-engine log agent (paper §III-C2): engines log each
+// handled request to their agent, which forwards to a log aggregator.
+// Log never blocks the request path: when the aggregator is saturated
+// the event is buffered locally and delivered by the background pump.
+type Agent struct {
+	agg *Aggregator
+
+	mu      sync.Mutex
+	backlog []Event
+}
+
+// Log records one request event.
+func (a *Agent) Log(ev Event) {
+	select {
+	case a.agg.ch <- ev:
+	default:
+		a.mu.Lock()
+		a.backlog = append(a.backlog, ev)
+		a.mu.Unlock()
+	}
+}
+
+// drainBacklog moves locally buffered events to the aggregator,
+// blocking; called by the aggregator's pump goroutine.
+func (a *Agent) drainBacklog() {
+	a.mu.Lock()
+	pending := a.backlog
+	a.backlog = nil
+	a.mu.Unlock()
+	for _, ev := range pending {
+		a.agg.apply(ev)
+	}
+}
+
+// Aggregator collects events from many agents and writes them to the
+// statistics database. It models the paper's Flume/Scribe log collectors.
+type Aggregator struct {
+	db     *DB
+	ch     chan Event
+	syncCh chan chan struct{}
+
+	mu     sync.Mutex
+	agents []*Agent
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewAggregator starts an aggregator writing into db. Close releases it.
+func NewAggregator(db *DB, buffer int) *Aggregator {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	agg := &Aggregator{
+		db:     db,
+		ch:     make(chan Event, buffer),
+		syncCh: make(chan chan struct{}),
+		closed: make(chan struct{}),
+	}
+	agg.wg.Add(1)
+	go agg.pump()
+	return agg
+}
+
+// NewAgent registers and returns a new log agent feeding this aggregator.
+func (g *Aggregator) NewAgent() *Agent {
+	a := &Agent{agg: g}
+	g.mu.Lock()
+	g.agents = append(g.agents, a)
+	g.mu.Unlock()
+	return a
+}
+
+func (g *Aggregator) apply(ev Event) { g.db.Apply(ev) }
+
+func (g *Aggregator) pump() {
+	defer g.wg.Done()
+	for {
+		select {
+		case ev := <-g.ch:
+			g.apply(ev)
+		case done := <-g.syncCh:
+			g.drainAll()
+			close(done)
+		case <-g.closed:
+			g.drainAll()
+			return
+		}
+	}
+}
+
+// drainAll applies everything queued or backlogged until both the
+// channel and all agent backlogs are observed empty.
+func (g *Aggregator) drainAll() {
+	for {
+		select {
+		case ev := <-g.ch:
+			g.apply(ev)
+		default:
+			g.drainAgents()
+			if len(g.ch) == 0 {
+				return
+			}
+		}
+	}
+}
+
+func (g *Aggregator) drainAgents() {
+	g.mu.Lock()
+	agents := append([]*Agent(nil), g.agents...)
+	g.mu.Unlock()
+	for _, a := range agents {
+		a.drainBacklog()
+	}
+}
+
+// Flush synchronously applies all events logged before the call; tests
+// and the simulator call it at period boundaries for determinism. The
+// drain happens inside the pump goroutine so no event is left in flight.
+func (g *Aggregator) Flush() {
+	done := make(chan struct{})
+	select {
+	case g.syncCh <- done:
+		<-done
+	case <-g.closed:
+		// Closed aggregators have already drained.
+	}
+}
+
+// Close stops the aggregator after draining pending events.
+func (g *Aggregator) Close() {
+	select {
+	case <-g.closed:
+		return
+	default:
+	}
+	close(g.closed)
+	g.wg.Wait()
+}

@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+)
+
+// EventKind classifies an access event.
+type EventKind int
+
+// Event kinds.
+const (
+	EventRead EventKind = iota
+	EventWrite
+	EventDelete
+)
+
+// Event is one logged client request, as emitted by an engine's log
+// agent. Bytes is the transferred payload; StorageBytes the logical
+// object size after the operation.
+type Event struct {
+	Object       string
+	Class        string
+	Kind         EventKind
+	Bytes        int64
+	StorageBytes int64
+	Period       int64
+}
+
+// DB is the statistics database: per-object access histories, per-class
+// aggregates, and the accessed-object index the periodic optimizer reads
+// ("the set A of object keys that have been accessed or modified after
+// the last optimization procedure", §III-A3). It is safe for concurrent
+// use by many engines.
+type DB struct {
+	periodHours float64
+
+	mu       sync.RWMutex
+	hist     map[string]*History
+	class    map[string]string // object -> class key
+	accessed map[string]int64  // object -> last access period
+	created  map[string]int64  // object -> creation period
+
+	classes *ClassStats
+}
+
+// NewDB returns an empty statistics database. periodHours is the wall
+// duration of one sampling period (1.0 in the paper's default).
+func NewDB(periodHours float64) *DB {
+	if periodHours <= 0 {
+		periodHours = 1
+	}
+	return &DB{
+		periodHours: periodHours,
+		hist:        make(map[string]*History),
+		class:       make(map[string]string),
+		accessed:    make(map[string]int64),
+		created:     make(map[string]int64),
+		classes:     NewClassStats(),
+	}
+}
+
+// PeriodHours returns the sampling-period duration in hours.
+func (db *DB) PeriodHours() float64 { return db.periodHours }
+
+// Apply folds one event into the database.
+func (db *DB) Apply(ev Event) {
+	s := Sample{Period: ev.Period, StorageBytes: ev.StorageBytes}
+	switch ev.Kind {
+	case EventRead:
+		s.Reads = 1
+		s.BytesOut = ev.Bytes
+	case EventWrite:
+		s.Writes = 1
+		s.BytesIn = ev.Bytes
+	case EventDelete:
+		s.Deletes = 1
+	}
+
+	db.mu.Lock()
+	h, ok := db.hist[ev.Object]
+	if !ok {
+		h = NewHistory(0)
+		db.hist[ev.Object] = h
+		db.created[ev.Object] = ev.Period
+	}
+	if ev.Class != "" {
+		db.class[ev.Object] = ev.Class
+	}
+	db.accessed[ev.Object] = ev.Period
+	created := db.created[ev.Object]
+	class := db.class[ev.Object]
+	db.mu.Unlock()
+
+	h.Record(s)
+	if class != "" {
+		db.classes.Class(class).ObserveSample(s)
+		if ev.Kind == EventDelete {
+			lifetime := float64(ev.Period-created) * db.periodHours
+			db.classes.Class(class).ObserveDeletion(lifetime)
+		}
+	}
+}
+
+// History returns the access history of an object, or nil if unknown.
+func (db *DB) History(object string) *History {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.hist[object]
+}
+
+// ObjectClass returns the recorded class of an object.
+func (db *DB) ObjectClass(object string) (string, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.class[object]
+	return c, ok
+}
+
+// Classes exposes the per-class aggregates.
+func (db *DB) Classes() *ClassStats { return db.classes }
+
+// AccessedSince returns the sorted keys of objects accessed or modified
+// at or after the given period — the optimizer's working set A.
+func (db *DB) AccessedSince(period int64) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []string
+	for obj, last := range db.accessed {
+		if last >= period {
+			out = append(out, obj)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Objects returns all known object keys, sorted (the full-table-scan
+// baseline the paper argues against; used by the ablation bench).
+func (db *DB) Objects() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.hist))
+	for obj := range db.hist {
+		out = append(out, obj)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreatedAt returns the creation period of an object.
+func (db *DB) CreatedAt(object string) (int64, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, ok := db.created[object]
+	return p, ok
+}
+
+// AgeHours returns the object's age at the given period, in hours.
+func (db *DB) AgeHours(object string, now int64) float64 {
+	created, ok := db.CreatedAt(object)
+	if !ok || now < created {
+		return 0
+	}
+	return float64(now-created) * db.periodHours
+}
+
+// Forget drops an object's history (after deletion has been fully
+// processed and its lifetime folded into the class statistics).
+func (db *DB) Forget(object string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.hist, object)
+	delete(db.class, object)
+	delete(db.accessed, object)
+	delete(db.created, object)
+}
+
+// RefreshClasses rebuilds the class aggregates from the retained
+// per-object histories, sharded across workers — the in-process
+// equivalent of the paper's periodic map-reduce refresh job. Lifetime
+// distributions are preserved (they derive from deletions, which are no
+// longer present in histories of deleted objects).
+func (db *DB) RefreshClasses(workers int) {
+	if workers <= 0 {
+		workers = 4
+	}
+	db.mu.RLock()
+	type job struct {
+		class string
+		hist  *History
+	}
+	jobs := make([]job, 0, len(db.hist))
+	for obj, h := range db.hist {
+		if c, ok := db.class[obj]; ok {
+			jobs = append(jobs, job{class: c, hist: h})
+		}
+	}
+	db.mu.RUnlock()
+
+	fresh := NewClassStats()
+	var wg sync.WaitGroup
+	ch := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				rec := fresh.Class(j.class)
+				for _, p := range j.hist.Periods() {
+					for _, s := range j.hist.Window(p, 1) {
+						rec.ObserveSample(s)
+					}
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+
+	// Carry lifetime distributions over from the live table.
+	db.classes.mu.RLock()
+	for key, old := range db.classes.classes {
+		fresh.Class(key).lifetimes = old.lifetimes
+	}
+	db.classes.mu.RUnlock()
+
+	db.classes.mu.Lock()
+	db.classes.classes = fresh.classes
+	db.classes.mu.Unlock()
+}

@@ -1,0 +1,146 @@
+// Package trend implements Scalia's access-pattern change detection
+// (paper §III-A3): a momentum indicator on a simple moving average of
+// per-period operation counts. Only objects whose trend changed by more
+// than a threshold limit get their placement recomputed, which is what
+// keeps the periodic optimization cheap (Figs. 8 and 9).
+package trend
+
+import "math"
+
+// DefaultWindow is the statistics window w = 3 sampling periods.
+const DefaultWindow = 3
+
+// DefaultLimit is the experimentally adequate 10% momentum threshold.
+const DefaultLimit = 0.1
+
+// Detector detects trend changes in a univariate series using momentum:
+// the relative change of the simple moving average between consecutive
+// observations. It is a small value type; use one detector per object.
+//
+// High window values detect trend changes on long time scales, small
+// values detect frequent changes (paper §III-A3).
+type Detector struct {
+	window int
+	limit  float64
+
+	buf   []float64 // ring buffer of the last `window` values
+	next  int
+	count int
+
+	prevSMA float64
+	primed  bool
+}
+
+// NewDetector returns a detector with the given SMA window and relative
+// momentum limit. Non-positive arguments select the paper defaults
+// (w = 3, limit = 0.1).
+func NewDetector(window int, limit float64) *Detector {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	return &Detector{window: window, limit: limit, buf: make([]float64, window)}
+}
+
+// Window returns the SMA window size.
+func (d *Detector) Window() int { return d.window }
+
+// Limit returns the current momentum limit.
+func (d *Detector) Limit() float64 { return d.limit }
+
+// SetLimit updates the momentum limit; the engine adjusts it dynamically
+// to the minimum momentum per object class that would change the best
+// provider set.
+func (d *Detector) SetLimit(limit float64) {
+	if limit > 0 {
+		d.limit = limit
+	}
+}
+
+// SMA returns the current simple moving average (over up to window
+// observations).
+func (d *Detector) SMA() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	n := d.count
+	if n > d.window {
+		n = d.window
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += d.buf[i]
+	}
+	return sum / float64(n)
+}
+
+// Observe feeds the next per-period value (typically the object's
+// operation count) and reports whether a trend change was detected at
+// this observation.
+func (d *Detector) Observe(v float64) bool {
+	d.buf[d.next] = v
+	d.next = (d.next + 1) % d.window
+	d.count++
+
+	sma := d.SMA()
+	if !d.primed {
+		// The first SMA only establishes the baseline; detection begins
+		// once the window has filled.
+		if d.count >= d.window {
+			d.primed = true
+			d.prevSMA = sma
+		}
+		return false
+	}
+	changed := Momentum(d.prevSMA, sma) > d.limit
+	d.prevSMA = sma
+	return changed
+}
+
+// Momentum returns the relative momentum between two consecutive SMA
+// values: |cur - prev| normalized by the previous level. A previous
+// level below 1 op/period is clamped to 1 so that a series waking up
+// from silence registers as |cur| rather than dividing by zero.
+func Momentum(prev, cur float64) float64 {
+	base := math.Abs(prev)
+	if base < 1 {
+		base = 1
+	}
+	return math.Abs(cur-prev) / base
+}
+
+// Detect runs a fresh detector over a whole series and returns the
+// indexes at which a trend change fires — the marker series of Figs. 8
+// and 9.
+func Detect(series []float64, window int, limit float64) []int {
+	d := NewDetector(window, limit)
+	var changes []int
+	for i, v := range series {
+		if d.Observe(v) {
+			changes = append(changes, i)
+		}
+	}
+	return changes
+}
+
+// MinimumMomentum searches for the smallest relative load change that
+// flips a placement decision, which is how the engine derives a per-class
+// dynamic limit. flips(scale) must report whether multiplying the
+// object's load by (1+scale) changes the best provider set; the search
+// assumes monotonicity and runs a bisection over (lo, hi].
+func MinimumMomentum(flips func(scale float64) bool, lo, hi float64, iters int) (float64, bool) {
+	if hi <= lo || !flips(hi) {
+		return 0, false
+	}
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		if flips(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSlashdotShape(t *testing.T) {
+	s := NewSlashdot()
+	if s.Periods() != 180 {
+		t.Fatalf("Periods = %d", s.Periods())
+	}
+	// Quiet before hour 48.
+	for p := 0; p < 48; p++ {
+		if s.ReadsAt(p) != 0 {
+			t.Fatalf("reads at quiet hour %d = %d", p, s.ReadsAt(p))
+		}
+	}
+	// Ramp reaches the peak within 3 hours.
+	if s.ReadsAt(50) != 150 {
+		t.Fatalf("peak = %d, want 150", s.ReadsAt(50))
+	}
+	// Decay at 2/hour afterwards.
+	if s.ReadsAt(51) != 148 || s.ReadsAt(52) != 146 {
+		t.Fatalf("decay = %d, %d", s.ReadsAt(51), s.ReadsAt(52))
+	}
+	// Never negative.
+	for p := 0; p < s.Periods(); p++ {
+		if s.ReadsAt(p) < 0 {
+			t.Fatalf("negative reads at %d", p)
+		}
+	}
+	// The creation write happens exactly once.
+	writes := 0
+	for p := 0; p < s.Periods(); p++ {
+		for _, l := range s.Load(p) {
+			writes += int(l.Writes)
+			if l.Created && p != 0 {
+				t.Fatal("creation must be at period 0")
+			}
+		}
+	}
+	if writes != 1 {
+		t.Fatalf("total writes = %d", writes)
+	}
+}
+
+func TestWebsiteDailyVolume(t *testing.T) {
+	w := NewWebsite()
+	series := w.HourlySeries(24)
+	total := 0.0
+	for _, v := range series {
+		total += v
+	}
+	if math.Abs(total-2500) > 125 { // integral approximation tolerance
+		t.Fatalf("daily volume = %v, want ~2500", total)
+	}
+	// The pattern must actually be diurnal: max/min ratio well above 1.
+	min, max := math.MaxFloat64, 0.0
+	for _, v := range series {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	if max/min < 2 {
+		t.Fatalf("flat pattern: min=%v max=%v", min, max)
+	}
+}
+
+func TestWebsiteDeterministic(t *testing.T) {
+	a := NewWebsite().HourlySeries(100)
+	b := NewWebsite().HourlySeries(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace must be deterministic")
+		}
+	}
+}
+
+func TestWebsiteDailySeriesWeekly(t *testing.T) {
+	w := NewWebsite()
+	days := w.DailySeries(14)
+	if len(days) != 14 {
+		t.Fatalf("len = %d", len(days))
+	}
+	// Weekends are quieter than weekdays.
+	if days[5] >= days[2] || days[6] >= days[2] {
+		t.Fatalf("weekend %v,%v not below weekday %v", days[5], days[6], days[2])
+	}
+}
+
+func TestGalleryWeightsSkewed(t *testing.T) {
+	g := NewGallery()
+	if len(g.weights) != 200 {
+		t.Fatalf("weights = %d", len(g.weights))
+	}
+	sum := 0.0
+	for _, w := range g.weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum = %v", sum)
+	}
+	if g.weights[0] <= g.weights[99] {
+		t.Fatal("popularity must be decreasing in rank")
+	}
+	// Pareto shape 1: the top pictures dominate the traffic.
+	top10 := 0.0
+	for i := 0; i < 10; i++ {
+		top10 += g.weights[i]
+	}
+	if top10 < 0.3 {
+		t.Fatalf("top-10 share = %v, want heavy skew", top10)
+	}
+}
+
+func TestGalleryVolumePreserved(t *testing.T) {
+	g := NewGallery()
+	// The deterministic rounding must not lose volume: total reads over a
+	// day tracks the website volume.
+	var reads int64
+	for p := 0; p < 24; p++ {
+		for _, l := range g.Load(p) {
+			reads += l.Reads
+		}
+	}
+	if reads < 2200 || reads > 2700 {
+		t.Fatalf("daily gallery reads = %d, want ~2500", reads)
+	}
+}
+
+func TestGalleryCreationOnlyAtZero(t *testing.T) {
+	g := NewGallery()
+	created := 0
+	for _, l := range g.Load(0) {
+		if l.Created {
+			created++
+		}
+	}
+	if created != 200 {
+		t.Fatalf("created at 0 = %d, want 200", created)
+	}
+	for _, l := range g.Load(5) {
+		if l.Created || l.Writes > 0 {
+			t.Fatal("no creations after period 0")
+		}
+	}
+}
+
+func TestGalleryObjectNames(t *testing.T) {
+	g := NewGallery()
+	if g.PictureName(0) != "pictures/img000" || g.PictureName(123) != "pictures/img123" {
+		t.Fatalf("names: %q %q", g.PictureName(0), g.PictureName(123))
+	}
+}
+
+func TestBackupStream(t *testing.T) {
+	b := NewBackup(600)
+	count := 0
+	for p := 0; p < b.Periods(); p++ {
+		loads := b.Load(p)
+		if p%5 == 0 {
+			if len(loads) != 1 || !loads[0].Created || loads[0].Size != 40<<20 {
+				t.Fatalf("period %d: %+v", p, loads)
+			}
+			count++
+		} else if len(loads) != 0 {
+			t.Fatalf("unexpected load at %d", p)
+		}
+	}
+	if count != 120 {
+		t.Fatalf("objects = %d, want 120", count)
+	}
+	if b.ObjectName(45) != "backups/obj00045" {
+		t.Fatalf("name = %q", b.ObjectName(45))
+	}
+}

@@ -1,0 +1,313 @@
+// Package scalia is an adaptive multi-cloud storage broker, a full
+// reproduction of "Scalia: An Adaptive Scheme for Efficient Multi-Cloud
+// Storage" (Papaioannou, Bonvin, Aberer — SC 2012).
+//
+// Scalia stores every object as n erasure-coded chunks spread over a
+// dynamically chosen set of storage providers, such that any m chunks
+// reconstruct the object. The provider set is picked per object to
+// minimize expected cost subject to customer rules (durability,
+// availability, geographic zones, vendor lock-in), and is continuously
+// re-optimized from the object's observed access pattern: placement is
+// recomputed only when a momentum detector sees the access trend change,
+// and chunks migrate only when the projected savings cover the migration
+// cost.
+//
+// The package wraps a complete deployment: simulated (or private,
+// HTTP-backed) storage providers, a multi-datacenter MVCC metadata
+// store, per-datacenter caches, a statistics pipeline, and stateless
+// broker engines with the periodic optimization procedure.
+//
+// Quick start:
+//
+//	client, err := scalia.New(scalia.Options{})
+//	if err != nil { ... }
+//	defer client.Close()
+//	client.Put("pictures", "cat.gif", data, scalia.WithMIME("image/gif"))
+//	blob, _, err := client.Get("pictures", "cat.gif")
+package scalia
+
+import (
+	"scalia/internal/cloud"
+	"scalia/internal/core"
+	"scalia/internal/engine"
+	"scalia/internal/privstore"
+)
+
+// Re-exported domain types. These are aliases so values flow freely
+// between the facade and the internal packages.
+type (
+	// Rule is a per-object/-container placement rule: minimum durability
+	// and availability, acceptable zones, and the lock-in factor 1/N.
+	Rule = core.Rule
+	// Placement is a chosen provider set with its erasure threshold m.
+	Placement = core.Placement
+	// Provider describes a storage provider: SLA and price sheet.
+	Provider = cloud.Spec
+	// Pricing is a provider price sheet (USD/GB and USD/1000 ops).
+	Pricing = cloud.Pricing
+	// Zone is a geographic region.
+	Zone = cloud.Zone
+	// ObjectMeta is the stored per-object metadata (Fig. 11).
+	ObjectMeta = engine.ObjectMeta
+	// Usage aggregates billed resources.
+	Usage = cloud.Usage
+	// OptimizeReport summarizes one optimization round.
+	OptimizeReport = engine.OptimizeReport
+	// RepairReport summarizes a repair pass.
+	RepairReport = engine.RepairReport
+)
+
+// Zones.
+const (
+	ZoneEU   = cloud.ZoneEU
+	ZoneUS   = cloud.ZoneUS
+	ZoneAPAC = cloud.ZoneAPAC
+)
+
+// Repair policies.
+const (
+	RepairWait   = engine.RepairWait
+	RepairActive = engine.RepairActive
+)
+
+// PaperProviders returns the five provider profiles of the paper's
+// Fig. 3 (Amazon S3 high/low durability, Rackspace, Azure, Google).
+func PaperProviders() []Provider { return cloud.PaperProviders() }
+
+// PaperRules returns the example rules of the paper's Fig. 2.
+func PaperRules() []Rule { return core.PaperRules() }
+
+// Options configures a broker deployment.
+type Options struct {
+	// Datacenters names the deployment's datacenters (default dc1, dc2).
+	Datacenters []string
+	// EnginesPerDC sets the stateless engine count per datacenter.
+	EnginesPerDC int
+	// CacheBytes enables the per-datacenter read cache when > 0.
+	CacheBytes int64
+	// Providers overrides the provider market (default: PaperProviders,
+	// as in-memory simulated stores).
+	Providers []Provider
+	// DefaultRule applies when no finer-grained rule matches.
+	DefaultRule Rule
+	// PeriodHours is the statistics sampling period (default 1 hour).
+	PeriodHours float64
+	// DecisionPeriod is the initial per-object decision period D, in
+	// sampling periods (default 24).
+	DecisionPeriod int
+	// MigrationHorizon stretches the migration payback horizon (periods).
+	MigrationHorizon int
+	// Pruned selects the polynomial placement heuristic instead of the
+	// exact subset enumeration.
+	Pruned bool
+	// Clock overrides time (tests and simulations use a manual clock).
+	Clock engine.Clock
+}
+
+// Client is a Scalia deployment handle.
+type Client struct {
+	broker *engine.Broker
+	next   int
+}
+
+// New builds a broker deployment.
+func New(opts Options) (*Client, error) {
+	cfg := engine.Config{
+		Datacenters:      opts.Datacenters,
+		EnginesPerDC:     opts.EnginesPerDC,
+		CacheBytes:       opts.CacheBytes,
+		PeriodHours:      opts.PeriodHours,
+		DefaultRule:      opts.DefaultRule,
+		DecisionPeriod:   opts.DecisionPeriod,
+		MigrationHorizon: opts.MigrationHorizon,
+		Pruned:           opts.Pruned,
+		Clock:            opts.Clock,
+	}
+	if len(opts.Providers) > 0 {
+		reg := cloud.NewRegistry()
+		for _, spec := range opts.Providers {
+			reg.Register(cloud.NewBlobStore(spec))
+		}
+		cfg.Registry = reg
+	}
+	if opts.DefaultRule.LockIn != 0 {
+		if err := opts.DefaultRule.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Client{broker: engine.NewBroker(cfg)}, nil
+}
+
+// Close releases the deployment's background pipelines.
+func (c *Client) Close() { c.broker.Close() }
+
+// engine returns the next engine round-robin, matching the paper's
+// "requests are routed to all datacenters indifferently".
+func (c *Client) engine() *engine.Engine {
+	e := c.broker.Engine(c.next)
+	c.next++
+	return e
+}
+
+// PutOption customizes a write.
+type PutOption func(*engine.PutOptions)
+
+// WithMIME sets the object's MIME type (classification input).
+func WithMIME(mime string) PutOption {
+	return func(o *engine.PutOptions) { o.MIME = mime }
+}
+
+// WithTTL hints the object's expected lifetime in hours.
+func WithTTL(hours float64) PutOption {
+	return func(o *engine.PutOptions) { o.TTLHours = hours }
+}
+
+// WithRule pins a placement rule for this object.
+func WithRule(r Rule) PutOption {
+	return func(o *engine.PutOptions) { o.Rule = &r }
+}
+
+// Put stores or updates an object.
+func (c *Client) Put(container, key string, data []byte, opts ...PutOption) (ObjectMeta, error) {
+	var po engine.PutOptions
+	for _, opt := range opts {
+		opt(&po)
+	}
+	meta, err := c.engine().Put(container, key, data, po)
+	if err != nil {
+		return meta, err
+	}
+	// Synchronously drain inter-DC metadata replication so the facade
+	// offers read-your-writes across datacenters (the underlying store is
+	// eventually consistent, §III-D3).
+	c.broker.Metadata().Flush()
+	return meta, nil
+}
+
+// Get fetches an object and its metadata.
+func (c *Client) Get(container, key string) ([]byte, ObjectMeta, error) {
+	return c.engine().Get(container, key)
+}
+
+// Head fetches an object's metadata only.
+func (c *Client) Head(container, key string) (ObjectMeta, error) {
+	return c.engine().Head(container, key)
+}
+
+// Delete removes an object.
+func (c *Client) Delete(container, key string) error {
+	if err := c.engine().Delete(container, key); err != nil {
+		return err
+	}
+	c.broker.Metadata().Flush()
+	return nil
+}
+
+// List returns the keys of a container.
+func (c *Client) List(container string) ([]string, error) {
+	return c.engine().List(container)
+}
+
+// SetDefaultRule replaces the default placement rule.
+func (c *Client) SetDefaultRule(r Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	c.broker.Rules().SetDefault(r)
+	return nil
+}
+
+// SetContainerRule pins a rule to a container.
+func (c *Client) SetContainerRule(container string, r Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	c.broker.Rules().SetContainerRule(container, r)
+	return nil
+}
+
+// AddProvider registers a storage provider at runtime (the paper's
+// CheapStor scenario); existing objects migrate when the optimizer finds
+// the new market cheaper.
+func (c *Client) AddProvider(spec Provider) {
+	c.broker.Registry().Register(cloud.NewBlobStore(spec))
+}
+
+// AddPrivateResource registers a corporate private storage resource
+// served by a privstore web service (§III-E). The spec carries the
+// resource's capacity and prices; requests are HMAC-signed with token.
+func (c *Client) AddPrivateResource(baseURL string, token []byte, spec Provider) {
+	client := privstore.NewClient(baseURL, token)
+	c.broker.Registry().Register(privstore.NewBackend(client, spec))
+}
+
+// NewPrivateStoreServer creates the standalone web service that exposes
+// a local directory as an authenticated private storage resource; serve
+// it with net/http and register it via AddPrivateResource.
+func NewPrivateStoreServer(dir string, token []byte, capacityBytes int64) (*privstore.Server, error) {
+	return privstore.NewServer(dir, token, capacityBytes)
+}
+
+// RemoveProvider deregisters a provider (market exit).
+func (c *Client) RemoveProvider(name string) bool {
+	_, ok := c.broker.Registry().Deregister(name)
+	return ok
+}
+
+// SetProviderAvailable injects or clears a transient provider outage on
+// backends that support failure injection (simulated providers do).
+func (c *Client) SetProviderAvailable(name string, up bool) bool {
+	s, ok := c.broker.Registry().Store(name)
+	if !ok {
+		return false
+	}
+	setter, ok := s.(cloud.AvailabilitySetter)
+	if !ok {
+		return false
+	}
+	setter.SetAvailable(up)
+	return true
+}
+
+// Optimize runs one periodic optimization procedure (leader election,
+// trend-gated recomputation, cost-justified migration).
+func (c *Client) Optimize() (OptimizeReport, error) {
+	rep, err := c.broker.Optimize()
+	c.broker.Metadata().Flush()
+	return rep, err
+}
+
+// Repair scans for objects with chunks at unreachable providers and
+// applies the policy.
+func (c *Client) Repair(policy engine.RepairPolicy) (RepairReport, error) {
+	rep, err := c.broker.Repair(policy)
+	c.broker.Metadata().Flush()
+	return rep, err
+}
+
+// ProcessPendingDeletes retries chunk deletions postponed during
+// provider outages.
+func (c *Client) ProcessPendingDeletes() int { return c.broker.ProcessPendingDeletes() }
+
+// CurrentPlacement reports an object's provider set and threshold.
+func (c *Client) CurrentPlacement(container, key string) (Placement, bool) {
+	return c.broker.CurrentPlacement(container + "/" + key)
+}
+
+// TotalCost prices all provider usage so far (USD).
+func (c *Client) TotalCost() float64 { return c.broker.Registry().TotalCost() }
+
+// TotalUsage aggregates billed resources across providers.
+func (c *Client) TotalUsage() Usage { return c.broker.Registry().TotalUsage() }
+
+// AccrueStorage advances storage billing by the given hours (simulated
+// deployments call this at period boundaries).
+func (c *Client) AccrueStorage(hours float64) { c.broker.Registry().AccrueStorage(hours) }
+
+// Flush drains the statistics pipeline and metadata replication;
+// deterministic tests call it before reading statistics.
+func (c *Client) Flush() { c.broker.FlushStats() }
+
+// Broker exposes the underlying deployment for advanced integration
+// (HTTP serving, direct registry access).
+func (c *Client) Broker() *engine.Broker { return c.broker }

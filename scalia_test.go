@@ -1,0 +1,192 @@
+package scalia
+
+import (
+	"bytes"
+	"testing"
+
+	"scalia/internal/engine"
+)
+
+func newClient(t *testing.T, opts Options) *Client {
+	t.Helper()
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestFacadeRoundTrip(t *testing.T) {
+	c := newClient(t, Options{})
+	payload := bytes.Repeat([]byte("multi-cloud"), 500)
+	meta, err := c.Put("docs", "readme.txt", payload, WithMIME("text/plain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.M < 1 || len(meta.Chunks) < 2 {
+		t.Fatalf("placement: %+v", meta)
+	}
+	got, gotMeta, err := c.Get("docs", "readme.txt")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Get: %v", err)
+	}
+	if gotMeta.MIME != "text/plain" {
+		t.Fatalf("MIME = %q", gotMeta.MIME)
+	}
+	keys, err := c.List("docs")
+	if err != nil || len(keys) != 1 || keys[0] != "readme.txt" {
+		t.Fatalf("List = %v, %v", keys, err)
+	}
+	if err := c.Delete("docs", "readme.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get("docs", "readme.txt"); err == nil {
+		t.Fatal("object must be gone")
+	}
+}
+
+func TestFacadeRuleOptions(t *testing.T) {
+	c := newClient(t, Options{})
+	rule := Rule{Name: "wide", Durability: 0.99999, Availability: 0.99, LockIn: 0.2}
+	meta, err := c.Put("c", "k", make([]byte, 4096), WithRule(rule), WithTTL(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Chunks) < 5 {
+		t.Fatalf("lock-in 0.2 demands 5 providers, got %v", meta.Chunks)
+	}
+	if meta.TTLHours != 48 {
+		t.Fatalf("TTL = %v", meta.TTLHours)
+	}
+}
+
+func TestFacadeInvalidDefaultRule(t *testing.T) {
+	if _, err := New(Options{DefaultRule: Rule{LockIn: 2}}); err == nil {
+		t.Fatal("invalid rule must be rejected")
+	}
+}
+
+func TestFacadeProviderLifecycle(t *testing.T) {
+	c := newClient(t, Options{})
+	cheap := Provider{
+		Name: "budget", Durability: 0.999999, Availability: 0.999,
+		Zones:   []Zone{ZoneUS},
+		Pricing: Pricing{StorageGBMonth: 0.01, BandwidthInGB: 0.01, BandwidthOutGB: 0.01},
+	}
+	c.AddProvider(cheap)
+	meta, err := c.Put("c", "k", make([]byte, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range meta.Chunks {
+		if p == "budget" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dirt-cheap provider ignored: %v", meta.Chunks)
+	}
+	if !c.RemoveProvider("budget") {
+		t.Fatal("RemoveProvider failed")
+	}
+	if c.RemoveProvider("budget") {
+		t.Fatal("double remove must report false")
+	}
+}
+
+func TestFacadeOutageAndRepair(t *testing.T) {
+	c := newClient(t, Options{})
+	meta, err := c.Put("c", "k", make([]byte, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.SetProviderAvailable(meta.Chunks[0], false) {
+		t.Fatal("SetProviderAvailable failed")
+	}
+	// Reads survive the outage thanks to erasure redundancy.
+	got, _, err := c.Get("c", "k")
+	if err != nil || len(got) != 10000 {
+		t.Fatalf("read during outage: %v", err)
+	}
+	rep, err := c.Repair(RepairActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repaired != 1 {
+		t.Fatalf("repair report: %+v", rep)
+	}
+	after, _ := c.Head("c", "k")
+	for _, p := range after.Chunks {
+		if p == meta.Chunks[0] {
+			t.Fatal("repaired object still on the failed provider")
+		}
+	}
+}
+
+func TestFacadeOptimizeAndCosting(t *testing.T) {
+	clock := engine.NewSimClock()
+	c := newClient(t, Options{Clock: clock, CacheBytes: 0})
+	if _, err := c.Put("c", "k", make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 5; h++ {
+		clock.Advance(1)
+		for r := 0; r < 120; r++ {
+			if _, _, err := c.Get("c", "k"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.Optimize(); err != nil {
+			t.Fatal(err)
+		}
+		c.AccrueStorage(1)
+	}
+	p, ok := c.CurrentPlacement("c", "k")
+	if !ok {
+		t.Fatal("placement unknown")
+	}
+	if p.M != 1 {
+		t.Fatalf("hot object placement %v, want m:1", p)
+	}
+	if c.TotalCost() <= 0 {
+		t.Fatal("usage must have accrued cost")
+	}
+	u := c.TotalUsage()
+	if u.BandwidthOutGB <= 0 || u.Ops <= 0 || u.StorageGBHours <= 0 {
+		t.Fatalf("usage = %+v", u)
+	}
+}
+
+func TestFacadeContainerRule(t *testing.T) {
+	c := newClient(t, Options{})
+	err := c.SetContainerRule("eu-only", Rule{
+		Name: "eu", Durability: 0.9999, Availability: 0.9999,
+		Zones: []Zone{ZoneEU}, LockIn: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := c.Put("eu-only", "doc", make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range meta.Chunks {
+		if p != "S3(h)" && p != "S3(l)" {
+			t.Fatalf("non-EU provider %s for EU container", p)
+		}
+	}
+	if err := c.SetContainerRule("bad", Rule{LockIn: -1}); err == nil {
+		t.Fatal("invalid container rule accepted")
+	}
+}
+
+func TestPaperTables(t *testing.T) {
+	if got := len(PaperProviders()); got != 5 {
+		t.Fatalf("PaperProviders = %d", got)
+	}
+	if got := len(PaperRules()); got != 3 {
+		t.Fatalf("PaperRules = %d", got)
+	}
+}
