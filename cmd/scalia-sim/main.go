@@ -7,19 +7,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"scalia/internal/cloud"
 	"scalia/internal/core"
 	"scalia/internal/sim"
+	"scalia/internal/workload"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all",
 		"one of: rules, providers, lifetime, trend-hourly, trend-daily, "+
-			"slashdot, gallery, sets, addprovider, repair, all")
+			"slashdot, gallery, sets, addprovider, repair, custom, all")
 	every := flag.Int("every", 6, "print one resource/price row every N periods")
+	workloadName := flag.String("workload", "zipf-flashcrowd",
+		"registered workload the custom experiment runs (see -list), or @FILE to replay a trace")
+	exportTrace := flag.String("export-trace", "",
+		"write the -workload scenario as a line-delimited JSON trace to FILE and exit")
+	list := flag.Bool("list", false, "list experiments and registered workloads, then exit")
 	flag.Parse()
 
+	var customScenario workload.Scenario // resolved below, before any runner fires
 	runners := map[string]func(int) error{
 		"rules":        runRules,
 		"providers":    runProviders,
@@ -31,9 +39,43 @@ func main() {
 		"sets":         runSets,
 		"addprovider":  runAddProvider,
 		"repair":       runRepair,
+		"custom":       func(every int) error { return runCustom(customScenario, every) },
 	}
 	order := []string{"rules", "providers", "lifetime", "trend-hourly", "trend-daily",
-		"sets", "slashdot", "gallery", "addprovider", "repair"}
+		"sets", "slashdot", "gallery", "addprovider", "repair", "custom"}
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, name := range order {
+			fmt.Printf("  %s\n", name)
+		}
+		fmt.Println("\nworkloads (-experiment custom -workload NAME):")
+		for _, name := range workload.Names() {
+			e, _ := workload.Describe(name)
+			fmt.Printf("  %-16s %s\n", name, e.Desc)
+		}
+		return
+	}
+
+	// The custom runner and -export-trace share one upfront resolution:
+	// a bad -workload must fail before, not after, ten finished paper
+	// experiments, and an @FILE trace is read exactly once.
+	if *exportTrace != "" || *experiment == "all" || *experiment == "custom" {
+		sc, err := resolveWorkload(*workloadName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
+		}
+		customScenario = sc
+	}
+
+	if *exportTrace != "" {
+		if err := writeTrace(customScenario, *exportTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *experiment == "all" {
 		for _, name := range order {
@@ -149,6 +191,50 @@ func runAddProvider(every int) error {
 		}
 		fmt.Printf("hour %4d  %-18s %s -> %s (%s)\n", ch.Period, ch.Object, ch.From, ch.To, ch.Reason)
 	}
+	fmt.Println("\nOver-cost per provider set:")
+	fmt.Print(sim.FormatOverCost(res))
+	return nil
+}
+
+// resolveWorkload builds a scenario from a registry name, or replays a
+// trace file when the name is "@FILE".
+func resolveWorkload(name string) (workload.Scenario, error) {
+	if !strings.HasPrefix(name, "@") {
+		return workload.New(name)
+	}
+	f, err := os.Open(strings.TrimPrefix(name, "@"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.Import(f)
+}
+
+func writeTrace(sc workload.Scenario, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := workload.Export(f, sc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d-period trace of %q to %s\n", sc.Periods(), sc.Name(), path)
+	return nil
+}
+
+func runCustom(sc workload.Scenario, every int) error {
+	res, err := sim.CustomRun(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("custom workload %q (%d periods) — total resources:\n", res.Scenario, res.Periods)
+	fmt.Print(sim.FormatResources(res, every))
+	fmt.Println("\nScalia placement changes:")
+	fmt.Print(sim.FormatChanges(res))
 	fmt.Println("\nOver-cost per provider set:")
 	fmt.Print(sim.FormatOverCost(res))
 	return nil

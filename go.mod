@@ -1,0 +1,3 @@
+module scalia
+
+go 1.22

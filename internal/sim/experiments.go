@@ -80,6 +80,36 @@ func AddProviderExperiment() (*Result, error) {
 	})
 }
 
+// CustomRule is the rule applied to registry workloads run through
+// CustomExperiment: the Slashdot scenario's constraints (which every
+// paper provider set can satisfy), derived so the two never drift.
+var CustomRule = func() core.Rule {
+	r := SlashdotRule
+	r.Name = "custom"
+	return r
+}()
+
+// CustomExperiment runs any registered workload (see workload.Names)
+// through the standard Scalia-versus-static comparison.
+func CustomExperiment(workloadName string) (*Result, error) {
+	sc, err := workload.New(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	return CustomRun(sc)
+}
+
+// CustomRun runs an arbitrary scenario — registered, combined, or
+// replayed from a trace — through the same comparison.
+func CustomRun(sc workload.Scenario) (*Result, error) {
+	return Run(sc, Config{
+		Rule:            CustomRule,
+		StaticBaselines: StaticSets(),
+		TrackResources:  true,
+		DecisionPeriod:  24,
+	})
+}
+
 // RepairStaticSet is the fixed comparison set of §IV-E.
 var RepairStaticSet = StaticSet{Index: 2, Names: []string{
 	cloud.NameS3High, cloud.NameS3Low, cloud.NameAzure,

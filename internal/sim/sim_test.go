@@ -202,6 +202,30 @@ func TestRepairExperimentShape(t *testing.T) {
 	}
 }
 
+func TestCustomExperimentRegistryWorkloads(t *testing.T) {
+	// The custom experiment must run any registered workload through the
+	// full Scalia-vs-static comparison. zipf-flashcrowd exercises the
+	// combinator layer; churn exercises deletes inside the simulator.
+	for _, name := range []string{"zipf-flashcrowd", "churn"} {
+		res, err := CustomExperiment(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Periods <= 0 || len(res.Statics) != 26 {
+			t.Fatalf("%s: shape periods=%d statics=%d", name, res.Periods, len(res.Statics))
+		}
+		if res.ScaliaOverPct < 0 {
+			t.Fatalf("%s: Scalia cannot beat the ideal: %v", name, res.ScaliaOverPct)
+		}
+		if res.IdealUSD <= 0 || res.ScaliaUSD <= 0 {
+			t.Fatalf("%s: degenerate costs: ideal=%v scalia=%v", name, res.IdealUSD, res.ScaliaUSD)
+		}
+	}
+	if _, err := CustomExperiment("no-such-workload"); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
+
 func TestMarketMembership(t *testing.T) {
 	mkt := &market{
 		specs:    cloud.PaperProviders(),

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The scenario registry maps stable names to scenario constructors so
+// CLIs and experiments can enumerate and build workloads without
+// compile-time knowledge of them. Constructors, not instances, are
+// registered: scenarios may carry internal state and every run deserves
+// a fresh one.
+
+// Entry is one registered scenario constructor.
+type Entry struct {
+	Name  string
+	Desc  string
+	Build func() Scenario
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Entry{}
+)
+
+// Register adds a named scenario constructor; it panics on a duplicate
+// name, which is a programming error (registration happens at init).
+func Register(name, desc string, build func() Scenario) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workload: duplicate scenario %q", name))
+	}
+	registry[name] = Entry{Name: name, Desc: desc, Build: build}
+}
+
+// Names lists the registered scenario names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns a registered entry.
+func Describe(name string) (Entry, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// New builds a fresh instance of a registered scenario.
+func New(name string) (Scenario, error) {
+	e, ok := Describe(name)
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown scenario %q (have %v)", name, Names())
+	}
+	return e.Build(), nil
+}
+
+func init() {
+	Register("slashdot", "paper §IV-B: 1 MB page, flash crowd at hour 48 (Figs. 12, 14)",
+		func() Scenario { return NewSlashdot() })
+	Register("gallery", "paper §IV-C: 200 pictures, Pareto popularity on a diurnal site (Figs. 15, 16)",
+		func() Scenario { return NewGallery() })
+	Register("backup", "paper §IV-D: 40 MB backup every 5 h for 4 weeks (Fig. 17)",
+		func() Scenario { return NewBackup(600) })
+	Register("backup-repair", "paper §IV-E: 40 MB backup every 5 h for 7.5 days (Fig. 18)",
+		func() Scenario { return NewBackup(180) })
+	Register("zipf", "synthetic: 40 objects, Zipf(1.1) popularity, 400 reads/h for a week",
+		func() Scenario { return NewZipf(1) })
+	Register("flashcrowd", "synthetic: 8 pages, one seeded flash crowd each over a week",
+		func() Scenario { return NewFlashCrowd(2) })
+	Register("churn", "synthetic: Poisson arrivals, exponential lifetimes, deletes on expiry",
+		func() Scenario { return NewChurn(3) })
+	Register("zipf-flashcrowd", "combinator demo: zipf steady state mixed with flash crowds",
+		func() Scenario { return Mix(NewZipf(1), NewFlashCrowd(2)) })
+	Register("churn-doubled", "combinator demo: churn at twice the read rate, delayed a day",
+		func() Scenario { return Shift(Scale(NewChurn(3), 2), 24) })
+}

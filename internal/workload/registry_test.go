@@ -1,0 +1,61 @@
+package workload
+
+import "testing"
+
+func TestRegistryBuiltins(t *testing.T) {
+	want := []string{
+		"backup", "backup-repair", "churn", "churn-doubled", "flashcrowd",
+		"gallery", "slashdot", "zipf", "zipf-flashcrowd",
+	}
+	names := Names()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Errorf("builtin %q missing from registry (have %v)", n, names)
+		}
+	}
+}
+
+func TestRegistryBuildsFreshDeterministicScenarios(t *testing.T) {
+	for _, name := range Names() {
+		a, err := New(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, _ := New(name)
+		if a == b {
+			t.Errorf("%s: New must build fresh instances", name)
+		}
+		if a.Periods() <= 0 {
+			t.Errorf("%s: Periods = %d", name, a.Periods())
+		}
+		if a.Name() == "" {
+			t.Errorf("%s: empty scenario name", name)
+		}
+		if !sameScenario(a, b) {
+			t.Errorf("%s: registered scenario not deterministic", name)
+		}
+		e, ok := Describe(name)
+		if !ok || e.Desc == "" {
+			t.Errorf("%s: missing description", name)
+		}
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if _, err := New("no-such-scenario"); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	Register("slashdot", "dup", func() Scenario { return NewSlashdot() })
+}

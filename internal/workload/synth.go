@@ -1,0 +1,310 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Synthetic scenario generators. All randomness is derived by hashing
+// (seed, period, object, draw) with splitmix64, never by advancing a
+// shared stream: the simulator replays Load(p) once per priced policy
+// (Scalia, the ideal, and every static set), so Load must be a pure
+// function of p. Two generators built with the same seed produce
+// byte-identical load sequences in any call order.
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche hash.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rand01 hashes the seed with an arbitrary stream key into [0, 1).
+func rand01(seed uint64, stream ...uint64) float64 {
+	h := mix64(seed)
+	for _, s := range stream {
+		h = mix64(h ^ s)
+	}
+	return float64(h>>11) / (1 << 53)
+}
+
+// poisson draws a Poisson(lambda) variate from the hashed uniform
+// stream (seed, stream..., k) using Knuth's product method; lambda is
+// split into exp(500)-sized slabs so the running product never
+// underflows for large rates.
+func poisson(lambda float64, seed uint64, stream ...uint64) int64 {
+	if lambda <= 0 {
+		return 0
+	}
+	var n int64
+	key := append(append(make([]uint64, 0, len(stream)+1), stream...), 0)
+	draw := &key[len(key)-1]
+	for lambda > 0 {
+		slab := lambda
+		if slab > 500 {
+			slab = 500
+		}
+		lambda -= slab
+		limit := math.Exp(-slab)
+		prod := 1.0
+		for {
+			prod *= rand01(seed, key...)
+			*draw++
+			if prod <= limit {
+				break
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// expVariate draws an Exp(1/mean) variate from the hashed stream.
+func expVariate(mean float64, seed uint64, stream ...uint64) float64 {
+	u := rand01(seed, stream...)
+	return -mean * math.Log(1-u)
+}
+
+// ZipfWeights returns n popularity shares following the rank-size rule
+// weight ~ rank^-s, normalized to sum to 1.
+func ZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	var total float64
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -s)
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// roundCarry floor-rounds x while accumulating the fractional
+// remainder in carry, so a sequence of calls preserves aggregate
+// volume (used when splitting a real-valued rate into integer reads).
+func roundCarry(x float64, carry *float64) int64 {
+	exact := x + *carry
+	whole := math.Floor(exact)
+	*carry = exact - whole
+	return int64(whole)
+}
+
+// ExpDecay returns the exponential decay factor 2^(-age/halfLife) for
+// age >= 0, and 0 for negative ages (the event has not happened yet).
+func ExpDecay(age, halfLife float64) float64 {
+	if age < 0 || halfLife <= 0 {
+		return 0
+	}
+	return math.Exp2(-age / halfLife)
+}
+
+// --- Zipf: skewed static popularity (the gallery's synthetic cousin) ---
+
+// Zipf serves a fixed object population whose per-period reads follow
+// Poisson rates proportional to Zipf popularity ranks: a few hot
+// objects over a long cold tail, constant in time.
+type Zipf struct {
+	Seed         uint64
+	Objects      int
+	SizeBytes    int64
+	Exponent     float64 // rank exponent s (weight ~ rank^-s)
+	OpsPerPeriod float64 // expected total reads per period
+	TotalPeriods int
+
+	weights []float64
+}
+
+// NewZipf returns a week of 40 one-megabyte objects sharing 400
+// reads/hour under a Zipf(1.1) popularity law.
+func NewZipf(seed uint64) *Zipf {
+	z := &Zipf{
+		Seed:         seed,
+		Objects:      40,
+		SizeBytes:    1 << 20,
+		Exponent:     1.1,
+		OpsPerPeriod: 400,
+		TotalPeriods: 7 * 24,
+	}
+	z.weights = ZipfWeights(z.Objects, z.Exponent)
+	return z
+}
+
+// Name implements Scenario.
+func (z *Zipf) Name() string { return fmt.Sprintf("zipf-%d", z.Seed) }
+
+// Periods implements Scenario.
+func (z *Zipf) Periods() int { return z.TotalPeriods }
+
+// Load implements Scenario.
+func (z *Zipf) Load(p int) []PeriodLoad {
+	loads := make([]PeriodLoad, 0, z.Objects)
+	for i := 0; i < z.Objects; i++ {
+		load := PeriodLoad{
+			Object: fmt.Sprintf("zipf/obj%03d", i),
+			Size:   z.SizeBytes,
+			Reads:  poisson(z.OpsPerPeriod*z.weights[i], z.Seed, uint64(p), uint64(i)),
+		}
+		if p == 0 {
+			load.Writes = 1
+			load.Created = true
+		}
+		if load.Reads > 0 || load.Writes > 0 {
+			loads = append(loads, load)
+		}
+	}
+	return loads
+}
+
+// --- FlashCrowd: seeded Slashdot effects ---
+
+// FlashCrowd models a population of quiet objects that each get
+// slashdotted once: at a seeded hour reads jump to a seeded peak and
+// then decay exponentially, on top of a low Poisson base rate.
+type FlashCrowd struct {
+	Seed          uint64
+	Objects       int
+	SizeBytes     int64
+	BaseReads     float64 // expected quiet reads per object-period
+	SpikePeak     float64 // expected reads at the spike's first hour
+	SpikeHalfLife float64 // decay half-life in periods
+	TotalPeriods  int
+}
+
+// NewFlashCrowd returns a week of 8 one-megabyte pages, each spiking
+// once to ~120 reads/hour with a 6-hour half-life.
+func NewFlashCrowd(seed uint64) *FlashCrowd {
+	return &FlashCrowd{
+		Seed:          seed,
+		Objects:       8,
+		SizeBytes:     1 << 20,
+		BaseReads:     2,
+		SpikePeak:     120,
+		SpikeHalfLife: 6,
+		TotalPeriods:  7 * 24,
+	}
+}
+
+// Name implements Scenario.
+func (f *FlashCrowd) Name() string { return fmt.Sprintf("flashcrowd-%d", f.Seed) }
+
+// Periods implements Scenario.
+func (f *FlashCrowd) Periods() int { return f.TotalPeriods }
+
+// SpikeAt returns the seeded hour at which object i's flash crowd
+// starts. Spikes land in the middle [1/8, 7/8) stretch of the scenario
+// so both the quiet baseline and the decay are observable.
+func (f *FlashCrowd) SpikeAt(i int) int {
+	lo := f.TotalPeriods / 8
+	hi := f.TotalPeriods * 7 / 8
+	return lo + int(rand01(f.Seed, uint64(i), 'S')*float64(hi-lo))
+}
+
+// peak is object i's seeded spike height in [0.5, 1.5) x SpikePeak.
+func (f *FlashCrowd) peak(i int) float64 {
+	return f.SpikePeak * (0.5 + rand01(f.Seed, uint64(i), 'P'))
+}
+
+// RateAt returns object i's expected reads during period p.
+func (f *FlashCrowd) RateAt(i, p int) float64 {
+	return f.BaseReads + f.peak(i)*ExpDecay(float64(p-f.SpikeAt(i)), f.SpikeHalfLife)
+}
+
+// Load implements Scenario.
+func (f *FlashCrowd) Load(p int) []PeriodLoad {
+	loads := make([]PeriodLoad, 0, f.Objects)
+	for i := 0; i < f.Objects; i++ {
+		load := PeriodLoad{
+			Object: fmt.Sprintf("flash/page%02d", i),
+			Size:   f.SizeBytes,
+			Reads:  poisson(f.RateAt(i, p), f.Seed, uint64(p), uint64(i)),
+		}
+		if p == 0 {
+			load.Writes = 1
+			load.Created = true
+		}
+		if load.Reads > 0 || load.Writes > 0 {
+			loads = append(loads, load)
+		}
+	}
+	return loads
+}
+
+// --- Churn: Poisson arrivals with lifetime-distributed deletes ---
+
+// Churn models an object population under churn: new objects arrive as
+// a Poisson process, live for an exponentially distributed number of
+// periods while serving reads, and are then deleted — the dynamics
+// behind the paper's lifetime statistics (Fig. 5).
+type Churn struct {
+	Seed              uint64
+	ArrivalsPerPeriod float64 // Poisson arrival rate
+	MeanLifetime      float64 // exponential mean lifetime in periods
+	SizeBytes         int64
+	ReadsPerPeriod    float64 // expected reads per live object-period
+	TotalPeriods      int
+}
+
+// NewChurn returns a week with ~0.5 arrivals/hour of 4 MB objects
+// living ~2 days each and serving ~3 reads/hour while alive.
+func NewChurn(seed uint64) *Churn {
+	return &Churn{
+		Seed:              seed,
+		ArrivalsPerPeriod: 0.5,
+		MeanLifetime:      48,
+		SizeBytes:         4 << 20,
+		ReadsPerPeriod:    3,
+		TotalPeriods:      7 * 24,
+	}
+}
+
+// Name implements Scenario.
+func (c *Churn) Name() string { return fmt.Sprintf("churn-%d", c.Seed) }
+
+// Periods implements Scenario.
+func (c *Churn) Periods() int { return c.TotalPeriods }
+
+// arrivals returns how many objects are created during period q.
+func (c *Churn) arrivals(q int) int64 {
+	return poisson(c.ArrivalsPerPeriod, c.Seed, uint64(q), 'A')
+}
+
+// deathPeriod returns the period at whose end object j born in q is
+// deleted. Every object lives at least its creation period.
+func (c *Churn) deathPeriod(q int, j int64) int {
+	life := expVariate(c.MeanLifetime, c.Seed, uint64(q), uint64(j), 'L')
+	return q + int(life)
+}
+
+// Load implements Scenario: it enumerates every object born at q <= p
+// that is still alive at p. O(p x arrivals) per call, which is fine at
+// simulation scale.
+func (c *Churn) Load(p int) []PeriodLoad {
+	var loads []PeriodLoad
+	for q := 0; q <= p; q++ {
+		n := c.arrivals(q)
+		for j := int64(0); j < n; j++ {
+			death := c.deathPeriod(q, j)
+			if death < p {
+				continue
+			}
+			load := PeriodLoad{
+				Object: fmt.Sprintf("churn/p%04dn%02d", q, j),
+				Size:   c.SizeBytes,
+				Reads:  poisson(c.ReadsPerPeriod, c.Seed, uint64(p), uint64(q), uint64(j), 'R'),
+			}
+			if q == p {
+				load.Writes = 1
+				load.Created = true
+			}
+			if death == p {
+				load.Deleted = true
+			}
+			if load.Reads > 0 || load.Writes > 0 || load.Deleted {
+				loads = append(loads, load)
+			}
+		}
+	}
+	return loads
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// loadsEqual compares two per-period load slices element-wise.
+func loadsEqual(a, b []PeriodLoad) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sameScenario reports whether two scenarios produce identical loads.
+func sameScenario(a, b Scenario) bool {
+	if a.Periods() != b.Periods() {
+		return false
+	}
+	for p := 0; p < a.Periods(); p++ {
+		if !loadsEqual(a.Load(p), b.Load(p)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPoissonMean(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 40, 800} {
+		var sum int64
+		n := 2000
+		for i := 0; i < n; i++ {
+			sum += poisson(lambda, 42, uint64(i))
+		}
+		mean := float64(sum) / float64(n)
+		if math.Abs(mean-lambda) > 4*math.Sqrt(lambda/float64(n))+0.05 {
+			t.Errorf("poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+	if poisson(0, 1, 2) != 0 || poisson(-1, 1, 2) != 0 {
+		t.Error("non-positive rates must yield 0")
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(50, 1.1)
+	sum := 0.0
+	for i, v := range w {
+		sum += v
+		if i > 0 && v >= w[i-1] {
+			t.Fatalf("weights must strictly decrease: w[%d]=%v w[%d]=%v", i-1, w[i-1], i, v)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum = %v", sum)
+	}
+}
+
+func TestExpDecay(t *testing.T) {
+	if ExpDecay(-1, 6) != 0 {
+		t.Fatal("future events must contribute 0")
+	}
+	if ExpDecay(0, 6) != 1 {
+		t.Fatal("decay at age 0 must be 1")
+	}
+	if math.Abs(ExpDecay(6, 6)-0.5) > 1e-12 {
+		t.Fatalf("one half-life = %v", ExpDecay(6, 6))
+	}
+}
+
+func TestGeneratorsDeterministicUnderSeed(t *testing.T) {
+	pairs := []struct {
+		name string
+		a, b Scenario
+	}{
+		{"zipf", NewZipf(7), NewZipf(7)},
+		{"flashcrowd", NewFlashCrowd(7), NewFlashCrowd(7)},
+		{"churn", NewChurn(7), NewChurn(7)},
+	}
+	for _, p := range pairs {
+		if !sameScenario(p.a, p.b) {
+			t.Errorf("%s: same seed must reproduce identical loads", p.name)
+		}
+	}
+	diff := []struct {
+		name string
+		a, b Scenario
+	}{
+		{"zipf", NewZipf(7), NewZipf(8)},
+		{"flashcrowd", NewFlashCrowd(7), NewFlashCrowd(8)},
+		{"churn", NewChurn(7), NewChurn(8)},
+	}
+	for _, p := range diff {
+		if sameScenario(p.a, p.b) {
+			t.Errorf("%s: different seeds must differ", p.name)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1)
+	reads := map[string]int64{}
+	creations := 0
+	for p := 0; p < z.Periods(); p++ {
+		for _, l := range z.Load(p) {
+			reads[l.Object] += l.Reads
+			if l.Created {
+				creations++
+			}
+		}
+	}
+	if creations != z.Objects {
+		t.Fatalf("creations = %d, want %d", creations, z.Objects)
+	}
+	hot, cold := reads["zipf/obj000"], reads["zipf/obj039"]
+	if hot < 10*cold {
+		t.Fatalf("popularity skew too flat: hot=%d cold=%d", hot, cold)
+	}
+	var total int64
+	for _, r := range reads {
+		total += r
+	}
+	want := z.OpsPerPeriod * float64(z.Periods())
+	if math.Abs(float64(total)-want) > 0.1*want {
+		t.Fatalf("total reads = %d, want ~%v", total, want)
+	}
+}
+
+func TestFlashCrowdSpike(t *testing.T) {
+	f := NewFlashCrowd(2)
+	for i := 0; i < f.Objects; i++ {
+		at := f.SpikeAt(i)
+		if at < f.TotalPeriods/8 || at >= f.TotalPeriods*7/8 {
+			t.Fatalf("object %d spikes at %d, outside the mid-run band", i, at)
+		}
+		if f.RateAt(i, at) < f.SpikePeak/2 {
+			t.Fatalf("object %d spike rate = %v, want >= %v", i, f.RateAt(i, at), f.SpikePeak/2)
+		}
+		// Long before the spike the rate is the quiet base.
+		if r := f.RateAt(i, 0); r > f.BaseReads+1 {
+			t.Fatalf("object %d not quiet at start: %v", i, r)
+		}
+		// Decay: well after the spike the rate has come back down.
+		after := at + 10*int(f.SpikeHalfLife)
+		if r := f.RateAt(i, after); r > f.BaseReads+1 {
+			t.Fatalf("object %d not decayed by %d: %v", i, after, r)
+		}
+	}
+}
+
+func TestChurnLifecycle(t *testing.T) {
+	c := NewChurn(3)
+	created := map[string]int{}
+	deleted := map[string]int{}
+	lastSeen := map[string]int{}
+	for p := 0; p < c.Periods(); p++ {
+		for _, l := range c.Load(p) {
+			if l.Created {
+				if _, dup := created[l.Object]; dup {
+					t.Fatalf("%s created twice", l.Object)
+				}
+				created[l.Object] = p
+			}
+			if l.Deleted {
+				if _, dup := deleted[l.Object]; dup {
+					t.Fatalf("%s deleted twice", l.Object)
+				}
+				deleted[l.Object] = p
+			}
+			lastSeen[l.Object] = p
+		}
+	}
+	if len(created) < 20 {
+		t.Fatalf("only %d arrivals in a week at 0.5/hour", len(created))
+	}
+	if len(deleted) == 0 {
+		t.Fatal("48 h mean lifetimes must produce deletes within a week")
+	}
+	if len(deleted) >= len(created) {
+		t.Fatalf("all %d objects died; some must outlive the scenario", len(created))
+	}
+	for obj, dp := range deleted {
+		cp, ok := created[obj]
+		if !ok {
+			t.Fatalf("%s deleted but never created", obj)
+		}
+		if dp < cp {
+			t.Fatalf("%s deleted at %d before creation at %d", obj, dp, cp)
+		}
+		if lastSeen[obj] > dp {
+			t.Fatalf("%s has load at %d after deletion at %d", obj, lastSeen[obj], dp)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace is a fully materialized scenario: every period's loads held in
+// memory. It is what Import returns and what Record produces, making
+// any scenario — including a live capture — replayable bit-for-bit.
+type Trace struct {
+	TraceName string
+	loads     [][]PeriodLoad
+}
+
+// Record materializes a scenario into a trace.
+func Record(s Scenario) *Trace {
+	t := &Trace{TraceName: s.Name(), loads: make([][]PeriodLoad, s.Periods())}
+	for p := range t.loads {
+		t.loads[p] = s.Load(p)
+	}
+	return t
+}
+
+// Name implements Scenario.
+func (t *Trace) Name() string { return t.TraceName }
+
+// Periods implements Scenario.
+func (t *Trace) Periods() int { return len(t.loads) }
+
+// Load implements Scenario.
+func (t *Trace) Load(p int) []PeriodLoad {
+	if p < 0 || p >= len(t.loads) {
+		return nil
+	}
+	return t.loads[p]
+}
+
+// The line-delimited JSON trace format: one header line followed by one
+// line per (period, object) load record. Zero fields are omitted, so
+// quiet periods cost nothing on disk.
+type traceHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+	Periods int    `json:"periods"`
+}
+
+type traceKey struct {
+	period int
+	object string
+}
+
+type traceRecord struct {
+	Period  int    `json:"p"`
+	Object  string `json:"obj"`
+	Size    int64  `json:"size"`
+	Reads   int64  `json:"reads,omitempty"`
+	Writes  int64  `json:"writes,omitempty"`
+	Created bool   `json:"created,omitempty"`
+	Deleted bool   `json:"deleted,omitempty"`
+}
+
+const (
+	traceFormat  = "scalia-workload-trace"
+	traceVersion = 1
+)
+
+// MaxTracePeriods bounds the period count a trace header may declare:
+// the per-period index is allocated from the header before any record
+// is read, so the bound caps what a hostile file can make Import
+// allocate (~24 MB). One million hourly periods is over a century of
+// simulated time.
+const MaxTracePeriods = 1_000_000
+
+// Export writes a scenario as a line-delimited JSON trace.
+func Export(w io.Writer, s Scenario) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{
+		Format: traceFormat, Version: traceVersion,
+		Name: s.Name(), Periods: s.Periods(),
+	}); err != nil {
+		return err
+	}
+	for p := 0; p < s.Periods(); p++ {
+		for _, l := range s.Load(p) {
+			if err := enc.Encode(traceRecord{
+				Period: p, Object: l.Object, Size: l.Size,
+				Reads: l.Reads, Writes: l.Writes,
+				Created: l.Created, Deleted: l.Deleted,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Import reads a line-delimited JSON trace back into a replayable
+// scenario.
+func Import(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	var hdr traceHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("workload: bad trace header: %w", err)
+	}
+	if hdr.Format != traceFormat || hdr.Version != traceVersion {
+		return nil, fmt.Errorf("workload: not a v%d %s file: %+v", traceVersion, traceFormat, hdr)
+	}
+	if hdr.Periods < 0 || hdr.Periods > MaxTracePeriods {
+		return nil, fmt.Errorf("workload: period count %d outside [0,%d]", hdr.Periods, MaxTracePeriods)
+	}
+	t := &Trace{TraceName: hdr.Name, loads: make([][]PeriodLoad, hdr.Periods)}
+	seen := make(map[traceKey]struct{})
+	line := 1
+	for sc.Scan() {
+		line++
+		var rec traceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		if rec.Period < 0 || rec.Period >= hdr.Periods {
+			return nil, fmt.Errorf("workload: trace line %d: period %d outside [0,%d)",
+				line, rec.Period, hdr.Periods)
+		}
+		if rec.Size < 0 || rec.Reads < 0 || rec.Writes < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: negative size/reads/writes: %+v", line, rec)
+		}
+		// The simulator keys a period's loads by object, so a duplicate
+		// would silently drop the earlier record's traffic — reject it.
+		key := traceKey{rec.Period, rec.Object}
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("workload: trace line %d: duplicate record for %q in period %d",
+				line, rec.Object, rec.Period)
+		}
+		seen[key] = struct{}{}
+		t.loads[rec.Period] = append(t.loads[rec.Period], PeriodLoad{
+			Object: rec.Object, Size: rec.Size,
+			Reads: rec.Reads, Writes: rec.Writes,
+			Created: rec.Created, Deleted: rec.Deleted,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Reject records that resurrect a deleted object: the simulator's
+	// policy runners disagree on such input (the adaptive and static
+	// runners skip dead objects forever; the ideal runner re-prices
+	// them), which would silently skew the over-cost comparison.
+	// Records may appear in any line order, so walk periods in order.
+	dead := make(map[string]int)
+	for p, loads := range t.loads {
+		for _, l := range loads {
+			if dp, killed := dead[l.Object]; killed {
+				return nil, fmt.Errorf("workload: record for %q at period %d after its deletion at %d",
+					l.Object, p, dp)
+			}
+			if l.Deleted {
+				dead[l.Object] = p
+			}
+		}
+	}
+	return t, nil
+}

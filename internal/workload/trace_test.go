@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	scenarios := []Scenario{
+		NewSlashdot(),                     // single object, quiet periods
+		NewChurn(3),                       // creations, deletes, empty periods
+		Mix(NewZipf(1), NewFlashCrowd(2)), // combinator output
+	}
+	for _, sc := range scenarios {
+		var buf bytes.Buffer
+		if err := Export(&buf, sc); err != nil {
+			t.Fatalf("%s: export: %v", sc.Name(), err)
+		}
+		got, err := Import(&buf)
+		if err != nil {
+			t.Fatalf("%s: import: %v", sc.Name(), err)
+		}
+		if got.Name() != sc.Name() || got.Periods() != sc.Periods() {
+			t.Fatalf("%s: header mismatch: %q/%d", sc.Name(), got.Name(), got.Periods())
+		}
+		for p := 0; p < sc.Periods(); p++ {
+			if !loadsEqual(got.Load(p), sc.Load(p)) {
+				t.Fatalf("%s: period %d differs:\n got %+v\nwant %+v",
+					sc.Name(), p, got.Load(p), sc.Load(p))
+			}
+		}
+	}
+}
+
+func TestRecordMatchesSource(t *testing.T) {
+	sc := NewGallery()
+	rec := Record(sc)
+	if !sameScenario(rec, sc) {
+		t.Fatal("recorded trace must replay the source exactly")
+	}
+	if rec.Load(-1) != nil || rec.Load(rec.Periods()) != nil {
+		t.Fatal("out-of-range loads must be nil")
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	const hdr = `{"format":"scalia-workload-trace","version":1,"name":"x","periods":1}` + "\n"
+	cases := map[string]string{
+		"empty":         "",
+		"not json":      "hello\n",
+		"wrong format":  `{"format":"other","version":1,"name":"x","periods":1}` + "\n",
+		"wrong version": `{"format":"scalia-workload-trace","version":99,"name":"x","periods":1}` + "\n",
+		"bad record":    hdr + "not json\n",
+		"period out of range": hdr +
+			`{"p":5,"obj":"a","size":1}` + "\n",
+		"periods negative": `{"format":"scalia-workload-trace","version":1,"name":"x","periods":-1}` + "\n",
+		"periods absurd":   `{"format":"scalia-workload-trace","version":1,"name":"x","periods":4611686018427387904}` + "\n",
+		"negative size": hdr +
+			`{"p":0,"obj":"a","size":-1048576,"reads":10}` + "\n",
+		"negative reads": hdr +
+			`{"p":0,"obj":"a","size":1,"reads":-10}` + "\n",
+		"duplicate record": hdr +
+			`{"p":0,"obj":"a","size":1,"reads":10}` + "\n" +
+			`{"p":0,"obj":"a","size":1,"reads":10}` + "\n",
+		"record after delete": `{"format":"scalia-workload-trace","version":1,"name":"x","periods":3}` + "\n" +
+			`{"p":2,"obj":"a","size":1,"reads":1}` + "\n" + // out of line order on purpose
+			`{"p":0,"obj":"a","size":1,"writes":1,"created":true,"deleted":true}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := Import(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: import accepted invalid input", name)
+		}
+	}
+}

@@ -217,20 +217,11 @@ func NewGallery() *Gallery {
 	return g
 }
 
-// computeWeights assigns each picture a popularity share: picture ranks
-// follow the Pareto tail, normalized to sum to 1.
+// computeWeights assigns each picture a popularity share via the
+// rank-size rule for a Pareto(scale=1, shape=a) population:
+// weight ~ rank^(-1/a), normalized to sum to 1.
 func (g *Gallery) computeWeights() {
-	g.weights = make([]float64, g.PictureCount)
-	var total float64
-	for i := range g.weights {
-		// Rank-size rule for a Pareto(scale=1, shape=a) population:
-		// weight ~ rank^(-1/a).
-		g.weights[i] = math.Pow(float64(i+1), -1/g.ParetoShape)
-		total += g.weights[i]
-	}
-	for i := range g.weights {
-		g.weights[i] /= total
-	}
+	g.weights = ZipfWeights(g.PictureCount, 1/g.ParetoShape)
 }
 
 // Name implements Scenario.
@@ -257,13 +248,10 @@ func (g *Gallery) Load(p int) []PeriodLoad {
 	loads := make([]PeriodLoad, 0, g.PictureCount)
 	carry := 0.0
 	for i := 0; i < g.PictureCount; i++ {
-		exact := rate*g.weights[i] + carry
-		reads := math.Floor(exact)
-		carry = exact - reads
 		load := PeriodLoad{
 			Object: g.PictureName(i),
 			Size:   g.PictureBytes,
-			Reads:  int64(reads),
+			Reads:  roundCarry(rate*g.weights[i], &carry),
 		}
 		if p == 0 {
 			load.Writes = 1

@@ -3,6 +3,8 @@ package workload
 import (
 	"math"
 	"testing"
+
+	"scalia/internal/trend"
 )
 
 func TestSlashdotShape(t *testing.T) {
@@ -110,6 +112,37 @@ func TestGalleryWeightsSkewed(t *testing.T) {
 	}
 	if top10 < 0.3 {
 		t.Fatalf("top-10 share = %v, want heavy skew", top10)
+	}
+}
+
+func TestGalleryDecayMonotonic(t *testing.T) {
+	// The popularity decay across ranks must be strictly monotonic: it is
+	// what produces the clean hot/cold tiering of Figs. 15/16.
+	g := NewGallery()
+	for i := 1; i < len(g.weights); i++ {
+		if g.weights[i] >= g.weights[i-1] {
+			t.Fatalf("weight[%d]=%v >= weight[%d]=%v", i, g.weights[i], i-1, g.weights[i-1])
+		}
+	}
+}
+
+func TestWebsiteTrendDetections(t *testing.T) {
+	// Figs. 8 and 9: the synthesized website series must trip the paper's
+	// momentum detector (ma 3, limit 0.1) at the diurnal edges — twice a
+	// day on the hourly series — and on the weekly/burst structure of the
+	// daily series. The series are deterministic, so the counts are exact.
+	hourly := trend.Detect(NewWebsite().HourlySeries(7*24), 3, 0.1)
+	if len(hourly) != 14 {
+		t.Fatalf("hourly detections = %d (%v), want 14 (2/day over 7 days)", len(hourly), hourly)
+	}
+	daily := trend.Detect(NewWebsite().DailySeries(90), 3, 0.1)
+	if len(daily) != 28 {
+		t.Fatalf("daily detections = %d (%v), want 28", len(daily), daily)
+	}
+	// Sparseness is the whole point of the gate: far fewer recomputation
+	// triggers than periods.
+	if len(hourly) > 7*24/4 || len(daily) > 90/2 {
+		t.Fatal("trend gate too chatty on the website series")
 	}
 }
 

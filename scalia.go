@@ -27,6 +27,8 @@
 package scalia
 
 import (
+	"sync/atomic"
+
 	"scalia/internal/cloud"
 	"scalia/internal/core"
 	"scalia/internal/engine"
@@ -104,10 +106,10 @@ type Options struct {
 	Clock engine.Clock
 }
 
-// Client is a Scalia deployment handle.
+// Client is a Scalia deployment handle. It is safe for concurrent use.
 type Client struct {
 	broker *engine.Broker
-	next   int
+	next   atomic.Uint64
 }
 
 // New builds a broker deployment.
@@ -142,11 +144,12 @@ func New(opts Options) (*Client, error) {
 func (c *Client) Close() { c.broker.Close() }
 
 // engine returns the next engine round-robin, matching the paper's
-// "requests are routed to all datacenters indifferently".
+// "requests are routed to all datacenters indifferently". The counter
+// is atomic: Put/Get/Delete may race from many goroutines, and the
+// modulo happens on the uint64 so the index never goes negative.
 func (c *Client) engine() *engine.Engine {
-	e := c.broker.Engine(c.next)
-	c.next++
-	return e
+	n := c.next.Add(1) - 1
+	return c.broker.Engine(int(n % uint64(len(c.broker.Engines()))))
 }
 
 // PutOption customizes a write.

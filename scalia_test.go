@@ -2,6 +2,8 @@ package scalia
 
 import (
 	"bytes"
+	"fmt"
+	"sync"
 	"testing"
 
 	"scalia/internal/engine"
@@ -188,5 +190,43 @@ func TestPaperTables(t *testing.T) {
 	}
 	if got := len(PaperRules()); got != 3 {
 		t.Fatalf("PaperRules = %d", got)
+	}
+}
+
+// TestConcurrentRoundRobin is the -race regression for the engine()
+// round-robin counter: Put/Get/Delete from many goroutines must neither
+// race nor skew the rotation out of range.
+func TestConcurrentRoundRobin(t *testing.T) {
+	c := newClient(t, Options{EnginesPerDC: 3})
+	if _, err := c.Put("c", "shared", bytes.Repeat([]byte("x"), 4096)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("own-%d", g)
+			for i := 0; i < 25; i++ {
+				if _, err := c.Put("c", key, []byte("payload")); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := c.Get("c", "shared"); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := c.Get("c", key); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
