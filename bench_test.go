@@ -183,10 +183,50 @@ func BenchmarkPlacementPrepared(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if r := search.Best(load); !r.Feasible {
+		if r := search.Best(load, 0, nil); !r.Feasible {
 			b.Fatal("infeasible")
 		}
 	}
+}
+
+// BenchmarkPlannerReuse contrasts per-object placement from scratch
+// (core.BestPlacement re-runs feasibility filtering for every object)
+// against the shared planner's epoch-cached prepared searches, across
+// 1k objects with mixed rules — the hot-path win of the planner layer.
+// ns/op is per 1000 placements.
+func BenchmarkPlannerReuse(b *testing.B) {
+	specs := cloud.PaperProviders()
+	rules := core.PaperRules()
+	const objects = 1000
+	loads := make([]stats.Summary, objects)
+	for i := range loads {
+		loads[i] = stats.Summary{
+			Periods: 1, Reads: float64(i % 50), Writes: 1,
+			BytesOut: float64(i%50) * 1e6, BytesIn: 1e6,
+			StorageBytes: float64(1+i%40) * 1e6,
+		}
+	}
+	b.Run("per-object-bestplacement", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < objects; j++ {
+				if _, err := core.BestPlacement(specs, rules[j%len(rules)], loads[j], core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("planner-cached", func(b *testing.B) {
+		b.ReportAllocs()
+		planner := core.NewPlanner(1, false)
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < objects; j++ {
+				if _, err := planner.Best(1, specs, rules[j%len(rules)], loads[j], 0, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 func newBenchBroker(b *testing.B, objects int) (*engine.Broker, *engine.SimClock) {
@@ -266,7 +306,7 @@ func BenchmarkDecisionCoupling(b *testing.B) {
 			bestIdx, bestPrice := 1, 0.0
 			for j, d := range cands {
 				sum := h.Summary(199, d)
-				r := search.Best(sum)
+				r := search.Best(sum, 0, nil)
 				if j == 0 || r.Price < bestPrice {
 					bestIdx, bestPrice = j, r.Price
 				}

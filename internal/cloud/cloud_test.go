@@ -340,3 +340,82 @@ func TestRegistryTotals(t *testing.T) {
 		t.Errorf("TotalCost = %v, want %v", got, wantCost)
 	}
 }
+
+func TestRegistryEpochBumps(t *testing.T) {
+	r := NewPaperRegistry()
+	e0 := r.Epoch()
+	r.Register(NewBlobStore(CheapStorProvider()))
+	e1 := r.Epoch()
+	if e1 <= e0 {
+		t.Fatalf("Register must bump the epoch: %d -> %d", e0, e1)
+	}
+	if !r.SetAvailable(NameS3Low, false) {
+		t.Fatal("SetAvailable on a registered blob store must succeed")
+	}
+	e2 := r.Epoch()
+	if e2 <= e1 {
+		t.Fatalf("SetAvailable must bump the epoch: %d -> %d", e1, e2)
+	}
+	if _, ok := r.Deregister(NameCheapStor); !ok {
+		t.Fatal("Deregister failed")
+	}
+	if e3 := r.Epoch(); e3 <= e2 {
+		t.Fatalf("Deregister must bump the epoch: %d -> %d", e2, e3)
+	}
+	if r.SetAvailable("nope", false) {
+		t.Fatal("SetAvailable on an unknown provider must fail")
+	}
+}
+
+func TestRegistryMarketCachesSnapshot(t *testing.T) {
+	r := NewPaperRegistry()
+	e1, specs1, free1 := r.Market()
+	e2, specs2, _ := r.Market()
+	if e1 != e2 {
+		t.Fatalf("epoch changed without a market event: %d -> %d", e1, e2)
+	}
+	if len(specs1) != 5 || len(specs2) != 5 {
+		t.Fatalf("market sizes = %d, %d, want 5", len(specs1), len(specs2))
+	}
+	if &specs1[0] != &specs2[0] {
+		t.Fatal("unchanged epoch must reuse the cached specs slice")
+	}
+	if free1 != nil {
+		t.Fatalf("paper market has no capacity-bounded providers, free = %v", free1)
+	}
+
+	r.SetAvailable(NameS3Low, false)
+	e3, specs3, _ := r.Market()
+	if e3 == e2 {
+		t.Fatal("outage through the registry must move the epoch")
+	}
+	if len(specs3) != 4 {
+		t.Fatalf("market after outage = %d specs, want 4", len(specs3))
+	}
+	for _, s := range specs3 {
+		if s.Name == NameS3Low {
+			t.Fatal("down provider leaked into the market snapshot")
+		}
+	}
+}
+
+func TestRegistryMarketFreeCapacity(t *testing.T) {
+	r := NewRegistry()
+	r.Register(NewBlobStore(Spec{Name: "pub", Durability: 0.999999, Availability: 0.999}))
+	capped := NewBlobStore(Spec{Name: "priv", Durability: 0.999999, Availability: 0.999,
+		CapacityBytes: 1000, Private: true})
+	r.Register(capped)
+	if err := capped.Put("k", make([]byte, 400)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, free := r.Market()
+	if free == nil {
+		t.Fatal("capacity-bounded provider must appear in the free map")
+	}
+	if got := free["priv"]; got != 600 {
+		t.Fatalf("free[priv] = %d, want 600", got)
+	}
+	if _, ok := free["pub"]; ok {
+		t.Fatal("uncapped provider must not appear in the free map")
+	}
+}

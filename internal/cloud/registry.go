@@ -49,6 +49,21 @@ type Registry struct {
 	// watchers are notified (non-blocking) on membership changes so
 	// engines can trigger re-optimization when P(obj) changes.
 	watchers []chan struct{}
+	// epoch increases monotonically on every market change (Register,
+	// Deregister, SetAvailable). Placement planners key their prepared
+	// searches on it: an unchanged epoch means the feasible-set work of
+	// Algorithm 1 is still valid.
+	epoch uint64
+	// snap caches the available-provider view for the current epoch.
+	snap *marketSnapshot
+}
+
+// marketSnapshot is the immutable available-provider view at one epoch.
+// Callers receive the specs slice directly and must not mutate it.
+type marketSnapshot struct {
+	epoch  uint64
+	specs  []Spec    // available providers, sorted by name
+	capped []Backend // available capacity-bounded backends (free bytes vary per call)
 }
 
 // NewRegistry returns an empty registry.
@@ -71,6 +86,7 @@ func NewPaperRegistry() *Registry {
 func (r *Registry) Register(s Backend) {
 	r.mu.Lock()
 	r.stores[s.Spec().Name] = s
+	r.bumpEpochLocked()
 	r.notifyLocked()
 	r.mu.Unlock()
 }
@@ -83,9 +99,122 @@ func (r *Registry) Deregister(name string) (Backend, bool) {
 	s, ok := r.stores[name]
 	if ok {
 		delete(r.stores, name)
+		r.bumpEpochLocked()
 		r.notifyLocked()
 	}
 	return s, ok
+}
+
+// SetAvailable injects or clears a transient outage on the named
+// provider, when its backend supports failure injection. Routing
+// availability changes through the registry (rather than the backend
+// directly) bumps the market epoch so cached placement searches are
+// invalidated immediately.
+func (r *Registry) SetAvailable(name string, up bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.stores[name]
+	if !ok {
+		return false
+	}
+	setter, ok := s.(AvailabilitySetter)
+	if !ok {
+		return false
+	}
+	setter.SetAvailable(up)
+	r.bumpEpochLocked()
+	r.notifyLocked()
+	return true
+}
+
+// Epoch returns the current market epoch. The epoch increases on every
+// Register, Deregister and SetAvailable; two equal epochs guarantee the
+// available-provider market has not changed through the registry.
+func (r *Registry) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
+
+// bumpEpochLocked advances the market epoch and drops the cached
+// snapshot. Callers hold r.mu.
+func (r *Registry) bumpEpochLocked() {
+	r.epoch++
+	r.snap = nil
+}
+
+// Market returns the epoch-cached view of the available market: the
+// current epoch, the specs of reachable providers (sorted by name, the
+// slice is shared — callers must not mutate it), and the free capacity
+// of capacity-bounded providers (nil when the market has none, the
+// common case). The specs slice is rebuilt only when the epoch changes;
+// free bytes are recomputed per call because they move with every write.
+//
+// Availability flipped directly on a backend (bypassing
+// Registry.SetAvailable) is not visible until the next epoch bump;
+// write paths must re-verify reachability of chosen providers, which
+// the engine's placement retry loop does (§III-D3).
+func (r *Registry) Market() (epoch uint64, specs []Spec, free map[string]int64) {
+	r.mu.RLock()
+	snap := r.snap
+	r.mu.RUnlock()
+	if snap == nil {
+		snap = r.rebuildSnapshot()
+	}
+	if len(snap.capped) > 0 {
+		free = make(map[string]int64, len(snap.capped))
+		for _, s := range snap.capped {
+			spec := s.Spec()
+			free[spec.Name] = spec.CapacityBytes - s.UsedBytes()
+		}
+	}
+	return snap.epoch, snap.specs, free
+}
+
+// rebuildSnapshot recomputes the cached market view. Availability
+// probes run outside the registry lock — a remote private resource
+// answers them over HTTP and must not stall concurrent registry reads.
+func (r *Registry) rebuildSnapshot() *marketSnapshot {
+	r.mu.RLock()
+	if r.snap != nil {
+		snap := r.snap
+		r.mu.RUnlock()
+		return snap
+	}
+	epoch := r.epoch
+	backends := make([]Backend, 0, len(r.stores))
+	for _, s := range r.stores {
+		backends = append(backends, s)
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(backends, func(i, j int) bool {
+		return backends[i].Spec().Name < backends[j].Spec().Name
+	})
+	snap := &marketSnapshot{epoch: epoch}
+	for _, s := range backends {
+		if !s.Available() {
+			continue
+		}
+		spec := s.Spec()
+		snap.specs = append(snap.specs, spec)
+		if spec.CapacityBytes > 0 {
+			snap.capped = append(snap.capped, s)
+		}
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.epoch == epoch {
+		if r.snap == nil {
+			r.snap = snap
+		}
+		return r.snap
+	}
+	// The market moved while we probed: serve the view we built (it was
+	// consistent at probe time) without caching it; the next call
+	// rebuilds against the new epoch.
+	return snap
 }
 
 // Store returns the provider with the given name.

@@ -55,7 +55,12 @@ func BestPlacement(specs []cloud.Spec, rule Rule, load stats.Summary, opts Optio
 	sort.Slice(filtered, func(i, j int) bool { return filtered[i].Name < filtered[j].Name })
 
 	if opts.Pruned {
-		return bestPruned(filtered, rule, load, opts)
+		res := prunedBest(filtered, storageCheapest(filtered), rule, load,
+			opts.PeriodHours, opts.ObjectBytes, opts.FreeBytes)
+		if !res.Feasible {
+			return Result{Evaluated: res.Evaluated}, ErrNoProviders
+		}
+		return res, nil
 	}
 	return bestExact(filtered, rule, load, opts)
 }
@@ -99,18 +104,8 @@ func evaluateCandidate(pset []cloud.Spec, rule Rule, load stats.Summary, opts Op
 	// Chunk-size and capacity constraints (§III-A2): with threshold th the
 	// chunk size is ceil(size/th); providers that cannot hold it make the
 	// set infeasible (the enumeration covers the exclusion alternative).
-	if opts.ObjectBytes > 0 {
-		chunk := (opts.ObjectBytes + int64(th) - 1) / int64(th)
-		for _, s := range pset {
-			if s.MaxChunkBytes > 0 && chunk > s.MaxChunkBytes {
-				return
-			}
-			if opts.FreeBytes != nil {
-				if free, ok := opts.FreeBytes[s.Name]; ok && chunk > free {
-					return
-				}
-			}
-		}
+	if !chunkFits(pset, th, opts.ObjectBytes, opts.FreeBytes) {
+		return
 	}
 	// Line 11: expected price.
 	p := Placement{Providers: append([]cloud.Spec(nil), pset...), M: th}
@@ -139,32 +134,78 @@ func tieBreak(a, b Placement) bool {
 	return false
 }
 
-// bestPruned is the polynomial heuristic: for every set size k it grows
+// storageCheapest returns the specs reordered by storage price, then
+// name — the pruned heuristic's cold-data seed ordering. Computed once
+// per search (or once per prepared Search), not per set size.
+func storageCheapest(specs []cloud.Spec) []cloud.Spec {
+	byStorage := append([]cloud.Spec(nil), specs...)
+	sort.Slice(byStorage, func(i, j int) bool {
+		if byStorage[i].Pricing.StorageGBMonth != byStorage[j].Pricing.StorageGBMonth {
+			return byStorage[i].Pricing.StorageGBMonth < byStorage[j].Pricing.StorageGBMonth
+		}
+		return byStorage[i].Name < byStorage[j].Name
+	})
+	return byStorage
+}
+
+// chunkFits checks the chunk-size and capacity constraints (§III-A2)
+// for a candidate set at threshold m: the chunk size is
+// ceil(objectBytes/m); a provider whose MaxChunkBytes or remaining free
+// capacity cannot hold it makes the set infeasible. objectBytes == 0
+// skips the checks.
+func chunkFits(pset []cloud.Spec, m int, objectBytes int64, free map[string]int64) bool {
+	if objectBytes <= 0 || m <= 0 {
+		return true
+	}
+	chunk := (objectBytes + int64(m) - 1) / int64(m)
+	for _, s := range pset {
+		if s.MaxChunkBytes > 0 && chunk > s.MaxChunkBytes {
+			return false
+		}
+		if free != nil {
+			if f, ok := free[s.Name]; ok && chunk > f {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// prunedBest is the polynomial heuristic: for every set size k it grows
 // a candidate greedily by marginal expected price and evaluates the
-// result, plus a seed set of the k storage-cheapest providers. It
-// examines O(|P|^3) candidates instead of 2^|P|.
-func bestPruned(specs []cloud.Spec, rule Rule, load stats.Summary, opts Options) (Result, error) {
+// result, plus the seed set of the k storage-cheapest providers
+// (byStorage, precomputed by the caller). It examines O(|P|^3)
+// candidates instead of 2^|P|, with all scratch state reused across the
+// greedy-growth inner loop.
+func prunedBest(specs, byStorage []cloud.Spec, rule Rule, load stats.Summary,
+	periodHours float64, objectBytes int64, free map[string]int64) Result {
 	n := len(specs)
 	best := Result{Price: math.MaxFloat64}
 	minK := rule.MinProviders()
 	if minK < 1 {
 		minK = 1
 	}
+	used := make([]bool, n)
+	grown := make([]cloud.Spec, 0, n)
+	cand := make([]cloud.Spec, 0, n) // scratch: grown + one trial provider
 	for k := minK; k <= n; k++ {
 		// Greedy growth by marginal price.
-		var grown []cloud.Spec
-		used := make([]bool, n)
+		grown = grown[:0]
+		for i := range used {
+			used[i] = false
+		}
 		for len(grown) < k {
 			bestIdx, bestPrice := -1, math.MaxFloat64
 			for i, s := range specs {
 				if used[i] {
 					continue
 				}
-				cand := append(append([]cloud.Spec(nil), grown...), s)
+				cand = append(cand[:0], grown...)
+				cand = append(cand, s)
 				// Price with an optimistic threshold equal to |cand| (pure
 				// marginal ranking; feasibility is verified afterwards).
 				p := Placement{Providers: cand, M: len(cand)}
-				price := PeriodCost(p, load, opts.PeriodHours)
+				price := PeriodCost(p, load, periodHours)
 				if price < bestPrice {
 					bestPrice, bestIdx = price, i
 				}
@@ -177,21 +218,19 @@ func bestPruned(specs []cloud.Spec, rule Rule, load stats.Summary, opts Options)
 		}
 		if len(grown) == k {
 			best.Evaluated++
-			evaluateCandidate(grown, rule, load, opts, &best)
+			evaluatePruned(grown, rule, load, periodHours, objectBytes, free, &best)
 		}
 		// Storage-cheapest seed of size k, useful for cold data.
-		byStorage := append([]cloud.Spec(nil), specs...)
-		sort.Slice(byStorage, func(i, j int) bool {
-			if byStorage[i].Pricing.StorageGBMonth != byStorage[j].Pricing.StorageGBMonth {
-				return byStorage[i].Pricing.StorageGBMonth < byStorage[j].Pricing.StorageGBMonth
-			}
-			return byStorage[i].Name < byStorage[j].Name
-		})
 		best.Evaluated++
-		evaluateCandidate(byStorage[:k], rule, load, opts, &best)
+		evaluatePruned(byStorage[:k], rule, load, periodHours, objectBytes, free, &best)
 	}
-	if !best.Feasible {
-		return Result{Evaluated: best.Evaluated}, ErrNoProviders
-	}
-	return best, nil
+	return best
+}
+
+// evaluatePruned is evaluateCandidate with the per-object constraints
+// passed explicitly (the prepared-search path has no Options value).
+func evaluatePruned(pset []cloud.Spec, rule Rule, load stats.Summary,
+	periodHours float64, objectBytes int64, free map[string]int64, best *Result) {
+	opts := Options{PeriodHours: periodHours, ObjectBytes: objectBytes, FreeBytes: free}
+	evaluateCandidate(pset, rule, load, opts, best)
 }

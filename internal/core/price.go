@@ -112,9 +112,15 @@ func PeriodCost(p Placement, load stats.Summary, periodHours float64) float64 {
 		cost += load.Writes * s.Pricing.OpsPer1000 / 1000
 	}
 
-	// Read path: the m cheapest providers serve chunks.
+	// Read path: the m cheapest providers serve chunks. Markets are
+	// small (|P| < 15 per the paper), so a fixed-size stack buffer
+	// avoids a heap allocation on this per-candidate hot path.
 	if load.Reads > 0 && load.BytesOut >= 0 {
-		costs := make([]float64, 0, p.N())
+		var buf [16]float64
+		costs := buf[:0]
+		if p.N() > len(buf) {
+			costs = make([]float64, 0, p.N())
+		}
 		for _, s := range p.Providers {
 			costs = append(costs, bytesOutGB*s.Pricing.BandwidthOutGB+load.Reads*s.Pricing.OpsPer1000/1000)
 		}

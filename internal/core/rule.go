@@ -8,6 +8,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 
 	"scalia/internal/cloud"
 )
@@ -56,6 +59,27 @@ func (r Rule) MinProviders() int {
 		n = 1
 	}
 	return n
+}
+
+// Fingerprint returns a canonical identity string for the rule's
+// placement-relevant parameters. Two rules with equal fingerprints have
+// identical feasible candidate sets on any provider market, so planners
+// use the fingerprint (not the display Name) as a cache key.
+func (r Rule) Fingerprint() string {
+	zones := make([]string, len(r.Zones))
+	for i, z := range r.Zones {
+		zones[i] = string(z)
+	}
+	sort.Strings(zones)
+	var sb strings.Builder
+	sb.WriteString(strconv.FormatFloat(r.Durability, 'g', -1, 64))
+	sb.WriteByte('|')
+	sb.WriteString(strconv.FormatFloat(r.Availability, 'g', -1, 64))
+	sb.WriteByte('|')
+	sb.WriteString(strconv.FormatFloat(r.LockIn, 'g', -1, 64))
+	sb.WriteByte('|')
+	sb.WriteString(strings.Join(zones, ","))
+	return sb.String()
 }
 
 // PaperRules returns the three example rules of Fig. 2.

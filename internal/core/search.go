@@ -9,18 +9,33 @@ import (
 )
 
 // Search is a prepared placement search: the feasibility work of
-// Algorithm 1 (lock-in, durability threshold, availability, chunk-size
-// constraints) depends only on the rule and the provider market, so it
-// is computed once; Best then re-prices the surviving candidates for any
-// load. The simulator and the periodic optimizer call Best thousands of
-// times per provider-market epoch.
+// Algorithm 1 that depends only on the rule and the provider market
+// (zone filtering, lock-in, durability threshold, availability) is
+// computed once; Best then applies the per-object constraints
+// (chunk-size limits, remaining capacity) and re-prices the surviving
+// candidates for any load. One prepared Search serves every object of a
+// rule until the market changes, which is what keeps the periodic
+// optimization procedure cheap at scale (§III-A3) — the Planner caches
+// Searches per (market epoch, rule fingerprint).
 type Search struct {
+	rule        Rule
+	periodHours float64
+	pruned      bool
+
+	// specs is the zone-filtered market, sorted by name.
+	specs []cloud.Spec
+	// feasible holds the market-feasible candidate sets (exact mode).
 	feasible []Placement
-	opts     Options
+	// byStorage is the storage-cheapest ordering of specs (pruned mode).
+	byStorage []cloud.Spec
 }
 
-// NewSearch prepares the feasible candidate placements for the given
-// providers and rule.
+// NewSearch prepares the market-scoped part of Algorithm 1 for the
+// given providers and rule. Per-object constraints (Options.ObjectBytes
+// and Options.FreeBytes) are deliberately not baked in — they are
+// evaluated by Best, so one Search is shared across objects of any
+// size. Options.Pruned selects a prepared variant of the polynomial
+// heuristic instead of the precomputed exponential enumeration.
 func NewSearch(specs []cloud.Spec, rule Rule, opts Options) (*Search, error) {
 	if err := rule.Validate(); err != nil {
 		return nil, err
@@ -36,7 +51,15 @@ func NewSearch(specs []cloud.Spec, rule Rule, opts Options) (*Search, error) {
 	}
 	sort.Slice(filtered, func(i, j int) bool { return filtered[i].Name < filtered[j].Name })
 
-	s := &Search{opts: opts}
+	s := &Search{rule: rule, periodHours: opts.PeriodHours, pruned: opts.Pruned, specs: filtered}
+	if opts.Pruned {
+		if len(filtered) == 0 {
+			return nil, ErrNoProviders
+		}
+		s.byStorage = storageCheapest(filtered)
+		return s, nil
+	}
+
 	n := len(filtered)
 	pset := make([]cloud.Spec, 0, n)
 	for mask := 1; mask < 1<<uint(n); mask++ {
@@ -53,25 +76,6 @@ func NewSearch(specs []cloud.Spec, rule Rule, opts Options) (*Search, error) {
 		if th <= 0 {
 			continue
 		}
-		if opts.ObjectBytes > 0 {
-			chunk := (opts.ObjectBytes + int64(th) - 1) / int64(th)
-			bad := false
-			for _, spec := range pset {
-				if spec.MaxChunkBytes > 0 && chunk > spec.MaxChunkBytes {
-					bad = true
-					break
-				}
-				if opts.FreeBytes != nil {
-					if free, ok := opts.FreeBytes[spec.Name]; ok && chunk > free {
-						bad = true
-						break
-					}
-				}
-			}
-			if bad {
-				continue
-			}
-		}
 		s.feasible = append(s.feasible, Placement{
 			Providers: append([]cloud.Spec(nil), pset...),
 			M:         th,
@@ -83,15 +87,27 @@ func NewSearch(specs []cloud.Spec, rule Rule, opts Options) (*Search, error) {
 	return s, nil
 }
 
-// Candidates returns the number of feasible placements.
+// Candidates returns the number of market-feasible placements (exact
+// mode; zero in pruned mode, which enumerates lazily).
 func (s *Search) Candidates() int { return len(s.feasible) }
 
-// Best returns the cheapest feasible placement for the load.
-func (s *Search) Best(load stats.Summary) Result {
+// Best returns the cheapest feasible placement for the load,
+// applying the per-object chunk-size and capacity constraints
+// (§III-A2) at evaluation time: objectBytes is the logical object size
+// (zero skips the checks) and free caps the chunk a provider can
+// accept (nil means uncapped). The returned Placement shares its
+// Providers slice with the Search; callers must not mutate it.
+func (s *Search) Best(load stats.Summary, objectBytes int64, free map[string]int64) Result {
+	if s.pruned {
+		return prunedBest(s.specs, s.byStorage, s.rule, load, s.periodHours, objectBytes, free)
+	}
 	best := Result{Price: math.MaxFloat64}
 	for _, p := range s.feasible {
 		best.Evaluated++
-		price := PeriodCost(p, load, s.opts.PeriodHours)
+		if !chunkFits(p.Providers, p.M, objectBytes, free) {
+			continue
+		}
+		price := PeriodCost(p, load, s.periodHours)
 		if !best.Feasible || price < best.Price-1e-15 ||
 			(math.Abs(price-best.Price) <= 1e-15 && tieBreak(p, best.Placement)) {
 			best.Feasible = true

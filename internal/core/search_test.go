@@ -29,7 +29,7 @@ func TestSearchMatchesBestPlacement(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := search.Best(load)
+		got := search.Best(load, 0, nil)
 		if !got.Placement.Equal(want.Placement) {
 			t.Fatalf("trial %d: search %v != exact %v (load %+v)",
 				trial, got.Placement, want.Placement, load)
@@ -68,7 +68,7 @@ func TestSearchHonorsZoneFilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := search.Best(stats.Summary{Periods: 1, StorageBytes: 1e6})
+	res := search.Best(stats.Summary{Periods: 1, StorageBytes: 1e6}, 0, nil)
 	for _, name := range res.Placement.Names() {
 		if name != "S3(h)" && name != "S3(l)" {
 			t.Fatalf("non-EU provider %s", name)

@@ -96,6 +96,10 @@ type Broker struct {
 	rules    *RuleStore
 	clock    Clock
 	engines  []*Engine
+	// planner is the shared placement-planning layer: prepared searches
+	// cached per (market epoch, rule fingerprint), used by every engine
+	// for Put, re-optimization, decision coupling and repair.
+	planner *core.Planner
 
 	mu        sync.Mutex
 	lastOpt   int64
@@ -123,6 +127,7 @@ func NewBroker(cfg Config) *Broker {
 		clock:     cfg.Clock,
 		decisions: make(map[string]*core.DecisionController),
 		placement: make(map[string]core.Placement),
+		planner:   core.NewPlanner(cfg.PeriodHours, cfg.Pruned),
 	}
 	b.agg = stats.NewAggregator(b.statsDB, 0)
 	id := 0
@@ -153,6 +158,10 @@ func (b *Broker) Engine(i int) *Engine { return b.engines[i%len(b.engines)] }
 
 // Registry exposes the provider registry.
 func (b *Broker) Registry() *cloud.Registry { return b.registry }
+
+// Planner exposes the shared placement planner (cache statistics,
+// direct planning for integrations).
+func (b *Broker) Planner() *core.Planner { return b.planner }
 
 // Rules exposes the rule store.
 func (b *Broker) Rules() *RuleStore { return b.rules }
@@ -197,21 +206,18 @@ func (b *Broker) dropPlacement(object string) {
 	b.mu.Unlock()
 }
 
-// availableSpecs returns reachable providers plus their free capacities.
-func (b *Broker) availableSpecs() ([]cloud.Spec, map[string]int64) {
-	free := make(map[string]int64)
-	var specs []cloud.Spec
-	for _, s := range b.registry.Snapshot() {
-		if !s.Available() {
-			continue
-		}
-		spec := s.Spec()
-		specs = append(specs, spec)
-		if spec.CapacityBytes > 0 {
-			free[spec.Name] = spec.CapacityBytes - s.UsedBytes()
-		}
-	}
-	return specs, free
+// market returns the registry's epoch-cached available-market view:
+// epoch, reachable provider specs (shared slice — do not mutate) and
+// free capacities of capacity-bounded providers (nil when none).
+func (b *Broker) market() (epoch uint64, specs []cloud.Spec, free map[string]int64) {
+	return b.registry.Market()
+}
+
+// planBest plans the cheapest feasible placement for one object through
+// the shared planner.
+func (b *Broker) planBest(rule core.Rule, load stats.Summary, objectBytes int64) (core.Result, error) {
+	epoch, specs, free := b.market()
+	return b.planner.Best(epoch, specs, rule, load, objectBytes, free)
 }
 
 // enqueuePendingDelete records a postponed chunk deletion.

@@ -171,19 +171,30 @@ func (e *Engine) writeLoad(obj, class string, size int64) stats.Summary {
 	}
 }
 
-// placeWithRetry runs the placement search, excluding providers that
-// fail mid-write ("Scalia will choose the best placement that does not
-// include the faulty provider", §III-D3). The retry loop is bounded by
-// the provider count.
+// placeWithRetry plans the placement through the broker's shared
+// planner, excluding providers that fail mid-write ("Scalia will choose
+// the best placement that does not include the faulty provider",
+// §III-D3). The common case is a single planner hit; a provider found
+// unreachable after the decision (including one whose outage was
+// injected directly on the backend, bypassing the registry's market
+// epoch) drops to an ad-hoc search over the reduced market. The retry
+// loop is bounded by the provider count.
 func (e *Engine) placeWithRetry(rule core.Rule, load stats.Summary, size int64) (core.Result, error) {
-	specs, free := e.b.availableSpecs()
+	epoch, specs, free := e.b.market()
+	planned := true
 	for len(specs) > 0 {
-		res, err := core.BestPlacement(specs, rule, load, core.Options{
-			PeriodHours: e.b.cfg.PeriodHours,
-			Pruned:      e.b.cfg.Pruned,
-			FreeBytes:   free,
-			ObjectBytes: size,
-		})
+		var res core.Result
+		var err error
+		if planned {
+			res, err = e.b.planner.Best(epoch, specs, rule, load, size, free)
+		} else {
+			res, err = core.BestPlacement(specs, rule, load, core.Options{
+				PeriodHours: e.b.cfg.PeriodHours,
+				Pruned:      e.b.cfg.Pruned,
+				FreeBytes:   free,
+				ObjectBytes: size,
+			})
+		}
 		if err != nil {
 			return core.Result{}, err
 		}
@@ -193,6 +204,7 @@ func (e *Engine) placeWithRetry(rule core.Rule, load stats.Summary, size int64) 
 		for _, spec := range res.Placement.Providers {
 			if s, found := e.b.registry.Store(spec.Name); !found || !s.Available() {
 				specs = removeSpec(specs, spec.Name)
+				planned = false
 				ok = false
 				break
 			}
@@ -204,8 +216,10 @@ func (e *Engine) placeWithRetry(rule core.Rule, load stats.Summary, size int64) 
 	return core.Result{}, core.ErrNoProviders
 }
 
+// removeSpec returns specs without the named provider. It copies: the
+// input may be the registry's shared market snapshot.
 func removeSpec(specs []cloud.Spec, name string) []cloud.Spec {
-	out := specs[:0]
+	out := make([]cloud.Spec, 0, len(specs))
 	for _, s := range specs {
 		if s.Name != name {
 			out = append(out, s)

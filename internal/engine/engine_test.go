@@ -545,3 +545,124 @@ func TestProviderArrivalTriggersCheaperPlacement(t *testing.T) {
 		t.Fatalf("placement %v ignores the cheaper provider", after)
 	}
 }
+
+// TestOptimizeReportsPlannerEffectiveness asserts the satellite
+// requirement that OptimizeReport surfaces the shared planner's cache
+// counters and the sets-evaluated ablation metric.
+func TestOptimizeReportsPlannerEffectiveness(t *testing.T) {
+	clock := NewSimClock()
+	b := newTestBroker(t, Config{Clock: clock})
+	e := b.Engine(0)
+	const objects = 8
+	for i := 0; i < objects; i++ {
+		if _, err := e.Put("c", fmt.Sprintf("k%d", i), make([]byte, 2048), PutOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Quiet periods, then a read burst: the SMA momentum gate fires for
+	// every object, forcing a placement recomputation per object.
+	clock.Advance(4)
+	for i := 0; i < objects; i++ {
+		for r := 0; r < 40; r++ {
+			if _, _, err := e.Get("c", fmt.Sprintf("k%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rep, err := b.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recomputed != objects {
+		t.Fatalf("recomputed = %d, want %d", rep.Recomputed, objects)
+	}
+	// Every recomputation must have planned through the shared planner:
+	// the market did not change since the Puts prepared the search, so
+	// the round is all hits and zero misses.
+	if rep.PlannerMisses != 0 {
+		t.Fatalf("stable market must not rebuild searches: %+v", rep)
+	}
+	if rep.PlannerHits == 0 {
+		t.Fatalf("optimization did not use the planner: %+v", rep)
+	}
+	// The paper market has 26 feasible sets per search (Fig. 13); every
+	// recomputed object examines at least those.
+	if rep.Evaluated < 26*rep.Recomputed {
+		t.Fatalf("evaluated = %d, want >= %d", rep.Evaluated, 26*rep.Recomputed)
+	}
+
+	// A market event invalidates: the next round must rebuild (miss).
+	b.Registry().Register(cloud.NewBlobStore(cloud.CheapStorProvider()))
+	clock.Advance(4)
+	for i := 0; i < objects; i++ {
+		for r := 0; r < 40; r++ {
+			if _, _, err := e.Get("c", fmt.Sprintf("k%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rep2, err := b.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Recomputed == 0 {
+		t.Fatalf("burst after the arrival did not recompute: %+v", rep2)
+	}
+	if rep2.PlannerMisses == 0 {
+		t.Fatalf("market change must force a planner rebuild: %+v", rep2)
+	}
+}
+
+// TestRepairShardsAcrossEngines exercises the parallel repair fan-out:
+// with several engines alive and many affected objects, every shard
+// must run and the union must repair everything.
+func TestRepairShardsAcrossEngines(t *testing.T) {
+	b := newTestBroker(t, Config{EnginesPerDC: 2})
+	e := b.Engine(0)
+	rule := core.Rule{Name: "backup", Durability: 0.9999999, Availability: 0.99, LockIn: 0.5}
+	const objects = 12
+	for i := 0; i < objects; i++ {
+		if _, err := e.Put("bk", fmt.Sprintf("o%d", i), make([]byte, 8192), PutOptions{Rule: &rule}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Down one provider that holds chunks of every object (lock-in 0.5
+	// with the 5-provider market stripes wide, so any provider works).
+	meta, err := e.Head("bk", "o0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := meta.Chunks[0]
+	if !b.Registry().SetAvailable(victim, false) {
+		t.Fatal("failed to down the victim provider")
+	}
+	rep, err := b.Repair(RepairActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shards in other datacenters wrote migrated metadata to their own
+	// nodes; drain replication before reading through engine 0.
+	b.FlushStats()
+	if rep.Checked != objects {
+		t.Fatalf("checked = %d, want %d", rep.Checked, objects)
+	}
+	if rep.Repaired != rep.Affected || rep.Affected == 0 {
+		t.Fatalf("repair report = %+v", rep)
+	}
+	// Every object must be readable and off the victim.
+	for i := 0; i < objects; i++ {
+		key := fmt.Sprintf("o%d", i)
+		m, err := e.Head("bk", key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range m.Chunks {
+			if name == victim {
+				t.Fatalf("%s still references the down provider", key)
+			}
+		}
+		if _, _, err := e.Get("bk", key); err != nil {
+			t.Fatalf("read after repair: %v", err)
+		}
+	}
+}

@@ -21,6 +21,16 @@ type OptimizeReport struct {
 	Recomputed   int // placements recomputed (Algorithm 1 runs)
 	Migrated     int // objects actually moved
 	MigrationUSD float64
+	// Evaluated counts candidate provider sets examined across every
+	// placement search of the round (the Fig. 13 ablation metric),
+	// including decision-period coupling probes.
+	Evaluated int
+	// PlannerHits/PlannerMisses count prepared-search cache lookups
+	// served from (hit) or built into (miss) the shared planner during
+	// the round. A steady market yields misses only on the first round
+	// per rule.
+	PlannerHits   uint64
+	PlannerMisses uint64
 }
 
 // ErrNoLeader is returned when no engine is alive to lead a round.
@@ -47,18 +57,16 @@ func (b *Broker) Optimize() (OptimizeReport, error) {
 
 	accessed := b.statsDB.AccessedSince(since)
 	report := OptimizeReport{Leader: leader.id, Scanned: len(accessed)}
+	if len(accessed) == 0 {
+		// Quiet round: nothing to shard, skip the fan-out machinery (the
+		// common case for a broker ticking every sampling period).
+		return report, nil
+	}
+	planner0 := b.planner.Stats()
 
 	// Fan out over alive engines (step 3-4 of Fig. 7).
-	var alive []*Engine
-	for _, e := range b.engines {
-		if e.Alive() {
-			alive = append(alive, e)
-		}
-	}
-	shards := make([][]string, len(alive))
-	for i, obj := range accessed {
-		shards[i%len(alive)] = append(shards[i%len(alive)], obj)
-	}
+	alive := b.aliveEngines()
+	shards := shardObjects(accessed, len(alive))
 
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -75,11 +83,35 @@ func (b *Broker) Optimize() (OptimizeReport, error) {
 			report.Recomputed += local.Recomputed
 			report.Migrated += local.Migrated
 			report.MigrationUSD += local.MigrationUSD
+			report.Evaluated += local.Evaluated
 			mu.Unlock()
 		}(e, shards[i])
 	}
 	wg.Wait()
+	planner1 := b.planner.Stats()
+	report.PlannerHits = planner1.Hits - planner0.Hits
+	report.PlannerMisses = planner1.Misses - planner0.Misses
 	return report, nil
+}
+
+// aliveEngines returns the engines participating in fan-out work.
+func (b *Broker) aliveEngines() []*Engine {
+	var alive []*Engine
+	for _, e := range b.engines {
+		if e.Alive() {
+			alive = append(alive, e)
+		}
+	}
+	return alive
+}
+
+// shardObjects splits the object list round-robin across n workers.
+func shardObjects(objs []string, n int) [][]string {
+	shards := make([][]string, n)
+	for i, obj := range objs {
+		shards[i%n] = append(shards[i%n], obj)
+	}
+	return shards
 }
 
 // OptimizeFullScan recomputes every known object's placement without
@@ -92,9 +124,13 @@ func (b *Broker) OptimizeFullScan() (OptimizeReport, error) {
 	}
 	b.FlushStats()
 	now := b.clock.Period()
+	planner0 := b.planner.Stats()
 	report := leader.optimizeShard(b.statsDB.Objects(), now, true)
 	report.Leader = leader.id
 	report.Scanned = report.Recomputed
+	planner1 := b.planner.Stats()
+	report.PlannerHits = planner1.Hits - planner0.Hits
+	report.PlannerMisses = planner1.Misses - planner0.Misses
 	return report, nil
 }
 
@@ -126,7 +162,8 @@ func (e *Engine) optimizeShard(objs []string, now int64, force bool) OptimizeRep
 		if !force {
 			report.TrendChanged++
 		}
-		migrated, cost, recomputed := e.reoptimizeObject(obj, now)
+		migrated, cost, recomputed, evaluated := e.reoptimizeObject(obj, now)
+		report.Evaluated += evaluated
 		if recomputed {
 			report.Recomputed++
 		}
@@ -163,38 +200,40 @@ func (e *Engine) detectTrendChange(obj string, now int64) bool {
 
 // reoptimizeObject recomputes an object's placement from its access
 // history over the adaptive decision period, migrating when worthwhile.
-func (e *Engine) reoptimizeObject(obj string, now int64) (migrated bool, cost float64, recomputed bool) {
+// evaluated counts the candidate sets examined by this object's
+// searches (placement plus coupling probes).
+func (e *Engine) reoptimizeObject(obj string, now int64) (migrated bool, cost float64, recomputed bool, evaluated int) {
 	container, key, ok := splitObjectName(obj)
 	if !ok {
-		return false, 0, false
+		return false, 0, false, 0
 	}
 	meta, err := e.Head(container, key)
 	if err != nil {
-		return false, 0, false
+		return false, 0, false, 0
 	}
 	h := e.b.statsDB.History(obj)
 	if h == nil {
-		return false, 0, false
+		return false, 0, false, 0
 	}
 	rule := e.b.rules.Resolve(container, key, meta.Class)
 
-	d := e.updateDecisionPeriod(obj, meta, h, rule, now)
+	d, coupleEval := e.updateDecisionPeriod(obj, meta, h, rule, now)
+	evaluated += coupleEval
 	sum := h.Summary(now, d)
 	sum.StorageBytes = float64(meta.Size)
 
-	specs, free := e.b.availableSpecs()
-	res, err := core.BestPlacement(specs, rule, sum, core.Options{
-		PeriodHours: e.b.cfg.PeriodHours,
-		Pruned:      e.b.cfg.Pruned,
-		FreeBytes:   free,
-		ObjectBytes: meta.Size,
-	})
+	// placeWithRetry (not a bare planner call): the planned providers are
+	// re-verified as reachable, so a backend that died without a registry
+	// event (no epoch bump) is excluded instead of poisoning the
+	// migration target until the next market change.
+	res, err := e.placeWithRetry(rule, sum, meta.Size)
+	evaluated += res.Evaluated
 	if err != nil {
-		return false, 0, true
+		return false, 0, true, evaluated
 	}
 	cur := currentPlacementFromMeta(e, meta)
 	if res.Placement.Equal(cur) {
-		return false, 0, true
+		return false, 0, true, evaluated
 	}
 	// Migrate only if the savings over the benefit horizon cover the
 	// migration cost (§III-A3). The horizon is the decision period,
@@ -211,18 +250,21 @@ func (e *Engine) reoptimizeObject(obj string, now int64) (migrated bool, cost fl
 	saving := (curPrice - res.Price) * float64(horizon)
 	migCost := core.MigrationCost(cur, res.Placement, float64(meta.Size)/1e9)
 	if saving <= migCost {
-		return false, 0, true
+		return false, 0, true, evaluated
 	}
 	if err := e.migrate(meta, res.Placement); err != nil {
-		return false, 0, true
+		return false, 0, true, evaluated
 	}
 	e.b.setPlacement(obj, res.Placement)
-	return true, migCost, true
+	return true, migCost, true, evaluated
 }
 
 // updateDecisionPeriod runs the coupling evaluation (D/2, D, 2D) when
-// the object's controller is due, returning the decision period to use.
-func (e *Engine) updateDecisionPeriod(obj string, meta ObjectMeta, h *stats.History, rule core.Rule, now int64) int {
+// the object's controller is due, returning the decision period to use
+// and the number of candidate sets the probes examined. The coupling
+// probes share one prepared search: the market does not change between
+// the D/2, D and 2D evaluations.
+func (e *Engine) updateDecisionPeriod(obj string, meta ObjectMeta, h *stats.History, rule core.Rule, now int64) (int, int) {
 	e.b.mu.Lock()
 	ctl, ok := e.b.decisions[obj]
 	if !ok {
@@ -240,7 +282,7 @@ func (e *Engine) updateDecisionPeriod(obj string, meta ObjectMeta, h *stats.Hist
 	due := ctl.Tick()
 	e.b.mu.Unlock()
 	if !due {
-		return ctl.D()
+		return ctl.D(), 0
 	}
 
 	// limit = min(TTL_obj, |H_obj|) in sampling periods.
@@ -249,29 +291,29 @@ func (e *Engine) updateDecisionPeriod(obj string, meta ObjectMeta, h *stats.Hist
 		limit = ttl
 	}
 	cands := ctl.Candidates(limit)
-	specs, free := e.b.availableSpecs()
+	epoch, specs, free := e.b.market()
+	evaluated := 0
+	search, err := e.b.planner.Search(epoch, specs, rule)
 	bestIdx, bestPrice := 1, 0.0
-	for i, d := range cands {
-		sum := h.Summary(now, d)
-		sum.StorageBytes = float64(meta.Size)
-		res, err := core.BestPlacement(specs, rule, sum, core.Options{
-			PeriodHours: e.b.cfg.PeriodHours,
-			Pruned:      e.b.cfg.Pruned,
-			FreeBytes:   free,
-			ObjectBytes: meta.Size,
-		})
-		if err != nil {
-			continue
-		}
-		if i == 0 || res.Price < bestPrice {
-			bestIdx, bestPrice = i, res.Price
+	if err == nil {
+		for i, d := range cands {
+			sum := h.Summary(now, d)
+			sum.StorageBytes = float64(meta.Size)
+			res := search.Best(sum, meta.Size, free)
+			evaluated += res.Evaluated
+			if !res.Feasible {
+				continue
+			}
+			if i == 0 || res.Price < bestPrice {
+				bestIdx, bestPrice = i, res.Price
+			}
 		}
 	}
 	e.b.mu.Lock()
 	ctl.Update(bestIdx, cands)
 	d := ctl.D()
 	e.b.mu.Unlock()
-	return d
+	return d, evaluated
 }
 
 // ttlPeriods resolves the object's time left to live in sampling
@@ -356,28 +398,62 @@ const (
 
 // Repair scans all objects and applies the policy to those with chunks
 // at unreachable providers. Under RepairActive the placement is
-// recomputed over the reachable providers and the object migrated.
+// recomputed over the reachable providers (through the shared planner)
+// and the object migrated. Like Optimize, the scan is sharded across
+// all alive engines and runs in parallel — repair after a large outage
+// touches the whole object population, and the paper's engines "scale
+// by addition".
 func (b *Broker) Repair(policy RepairPolicy) (RepairReport, error) {
 	leader := b.electLeader()
 	if leader == nil {
 		return RepairReport{}, ErrNoLeader
 	}
 	b.FlushStats()
-	var report RepairReport
 	now := b.clock.Period()
-	for _, obj := range b.statsDB.Objects() {
+
+	alive := b.aliveEngines()
+	shards := shardObjects(b.statsDB.Objects(), len(alive))
+
+	var report RepairReport
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, e := range alive {
+		if len(shards[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(e *Engine, objs []string) {
+			defer wg.Done()
+			local := e.repairShard(objs, policy, now)
+			mu.Lock()
+			report.Checked += local.Checked
+			report.Affected += local.Affected
+			report.Repaired += local.Repaired
+			report.Waited += local.Waited
+			mu.Unlock()
+		}(e, shards[i])
+	}
+	wg.Wait()
+	return report, nil
+}
+
+// repairShard applies the repair policy to one engine's share of the
+// object population.
+func (e *Engine) repairShard(objs []string, policy RepairPolicy, now int64) RepairReport {
+	var report RepairReport
+	for _, obj := range objs {
 		container, key, ok := splitObjectName(obj)
 		if !ok {
 			continue
 		}
-		meta, err := leader.Head(container, key)
+		meta, err := e.Head(container, key)
 		if err != nil {
 			continue
 		}
 		report.Checked++
 		affected := false
 		for _, name := range meta.Chunks {
-			s, found := b.registry.Store(name)
+			s, found := e.b.registry.Store(name)
 			if !found || !s.Available() {
 				affected = true
 				break
@@ -391,32 +467,29 @@ func (b *Broker) Repair(policy RepairPolicy) (RepairReport, error) {
 			report.Waited++
 			continue
 		}
-		rule := b.rules.Resolve(container, key, meta.Class)
-		h := b.statsDB.History(obj)
+		rule := e.b.rules.Resolve(container, key, meta.Class)
+		h := e.b.statsDB.History(obj)
 		sum := stats.Summary{Periods: 1, StorageBytes: float64(meta.Size)}
 		if h != nil {
-			sum = h.Summary(now, leader.decisionWindow(obj, now))
+			sum = h.Summary(now, e.decisionWindow(obj, now))
 			sum.StorageBytes = float64(meta.Size)
 		}
-		specs, free := b.availableSpecs()
-		res, err := core.BestPlacement(specs, rule, sum, core.Options{
-			PeriodHours: b.cfg.PeriodHours,
-			Pruned:      b.cfg.Pruned,
-			FreeBytes:   free,
-			ObjectBytes: meta.Size,
-		})
+		// placeWithRetry plans through the shared planner and guarantees
+		// every chosen provider is reachable right now — exactly what a
+		// repair placement needs.
+		res, err := e.placeWithRetry(rule, sum, meta.Size)
 		if err != nil {
 			report.Waited++
 			continue
 		}
-		if err := leader.migrate(meta, res.Placement); err != nil {
+		if err := e.migrate(meta, res.Placement); err != nil {
 			report.Waited++
 			continue
 		}
-		b.setPlacement(obj, res.Placement)
+		e.b.setPlacement(obj, res.Placement)
 		report.Repaired++
 	}
-	return report, nil
+	return report
 }
 
 // VerifyObject checks that an object's stored chunks are sufficient and

@@ -10,48 +10,20 @@ import (
 	"scalia/internal/workload"
 )
 
-// searchCache prepares one core.Search per provider-market epoch (the
-// market only changes on arrivals/outages, so almost every period reuses
-// the previous search).
-type searchCache struct {
-	rule        core.Rule
-	periodHours float64
-	objectBytes int64
-
-	key    string
-	search *core.Search
-}
-
-func (sc *searchCache) at(up []cloud.Spec) (*core.Search, error) {
-	key := ""
-	for _, s := range up {
-		key += s.Name + "|"
-	}
-	if key == sc.key && sc.search != nil {
-		return sc.search, nil
-	}
-	search, err := core.NewSearch(up, sc.rule, core.Options{
-		PeriodHours: sc.periodHours,
-		ObjectBytes: sc.objectBytes,
-	})
-	if err != nil {
-		return nil, err
-	}
-	sc.key, sc.search = key, search
-	return search, nil
-}
-
 // runScalia simulates the adaptive policy, filling res.ScaliaUSD,
-// resource series, placement-change log and cumulative series.
+// resource series, placement-change log and cumulative series. The
+// placement searches run through the shared core.Planner — the same
+// layer the production engine uses — keyed by the market's epoch, so
+// almost every period reuses the previous prepared search.
 func runScalia(sc workload.Scenario, cfg Config, mkt *market, res *Result) error {
 	objects := make(map[string]*simObject)
 	var order []string
-	cache := &searchCache{rule: cfg.Rule, periodHours: cfg.PeriodHours}
+	planner := core.NewPlanner(cfg.PeriodHours, cfg.Pruned)
 
 	var total float64
 	for p := 0; p < sc.Periods(); p++ {
 		_, up := mkt.specsAt(p)
-		search, err := cache.at(up)
+		search, err := planner.Search(mkt.epochAt(p), up, cfg.Rule)
 		if err != nil {
 			return fmt.Errorf("sim: period %d: %w", p, err)
 		}
@@ -69,7 +41,7 @@ func runScalia(sc workload.Scenario, cfg Config, mkt *market, res *Result) error
 					BytesIn:      float64(l.Size),
 					StorageBytes: float64(l.Size),
 				}
-				best := search.Best(sum)
+				best := search.Best(sum, 0, nil)
 				if !best.Feasible {
 					return fmt.Errorf("sim: no feasible placement for %s", l.Object)
 				}
@@ -128,6 +100,8 @@ func runScalia(sc workload.Scenario, cfg Config, mkt *market, res *Result) error
 		res.CumulativeScalia = append(res.CumulativeScalia, total)
 	}
 	res.ScaliaUSD = total
+	st := planner.Stats()
+	res.PlannerHits, res.PlannerMisses = st.Hits, st.Misses
 	return nil
 }
 
@@ -176,10 +150,10 @@ func adaptScalia(objects map[string]*simObject, order []string, cfg Config,
 				best = core.Result{Placement: swap, Feasible: true,
 					Price: core.PeriodCost(swap, sum, cfg.PeriodHours)}
 			} else {
-				best = search.Best(sum)
+				best = search.Best(sum, 0, nil)
 			}
 		} else {
-			best = search.Best(sum)
+			best = search.Best(sum, 0, nil)
 		}
 		if !best.Feasible || best.Placement.Equal(obj.placement) {
 			continue
@@ -313,7 +287,7 @@ func updateDecision(obj *simObject, cfg Config, search *core.Search, now int64) 
 	for i, d := range cands {
 		sum := obj.hist.Summary(now, d)
 		sum.StorageBytes = float64(obj.size)
-		r := search.Best(sum)
+		r := search.Best(sum, 0, nil)
 		if !r.Feasible {
 			continue
 		}
@@ -343,7 +317,10 @@ func trendChanged(h *stats.History, now int64, w int, limit float64) bool {
 // runIdeal prices the per-period cheapest feasible placement with the
 // load known a priori — the paper's baseline.
 func runIdeal(sc workload.Scenario, cfg Config, mkt *market, res *Result) error {
-	cache := &searchCache{rule: cfg.Rule, periodHours: cfg.PeriodHours}
+	// The baseline always prices with the exact search, even when
+	// Scalia's engine runs the pruned heuristic — Pruned is an engine
+	// ablation, not a change to the ideal cost.
+	planner := core.NewPlanner(cfg.PeriodHours, false)
 	sizes := make(map[string]int64)
 	alive := make(map[string]bool)
 	var order []string
@@ -351,7 +328,7 @@ func runIdeal(sc workload.Scenario, cfg Config, mkt *market, res *Result) error 
 	var total float64
 	for p := 0; p < sc.Periods(); p++ {
 		_, up := mkt.specsAt(p)
-		search, err := cache.at(up)
+		search, err := planner.Search(mkt.epochAt(p), up, cfg.Rule)
 		if err != nil {
 			return err
 		}
@@ -373,7 +350,7 @@ func runIdeal(sc workload.Scenario, cfg Config, mkt *market, res *Result) error 
 			l := loadByObj[name]
 			l.Size = sizes[name]
 			sum := periodSummary(l, true)
-			best := search.Best(sum)
+			best := search.Best(sum, 0, nil)
 			if !best.Feasible {
 				return fmt.Errorf("sim: ideal infeasible for %s at %d", name, p)
 			}

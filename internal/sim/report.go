@@ -21,6 +21,8 @@ func FormatOverCost(res *Result) string {
 	fmt.Fprintf(&b, "%-3d %-26s %12.6f %9.3f%%\n", ScaliaIndex, "Scalia", res.ScaliaUSD, res.ScaliaOverPct)
 	fmt.Fprintf(&b, "ideal placement: %.6f USD | Scalia migrations: %d (%.6f USD)\n",
 		res.IdealUSD, res.Migrations, res.MigrationUSD)
+	fmt.Fprintf(&b, "planner: %d prepared-search hits, %d rebuilds (market epochs)\n",
+		res.PlannerHits, res.PlannerMisses)
 	return b.String()
 }
 

@@ -130,6 +130,11 @@ type Result struct {
 	CumulativeStatic []float64
 	// TrendRecomputations counts placement recomputation triggers.
 	TrendRecomputations int
+	// PlannerHits/PlannerMisses report the shared planner's prepared-
+	// search cache effectiveness for the adaptive policy: misses equal
+	// the number of market epochs the run saw, hits everything else.
+	PlannerHits   uint64
+	PlannerMisses uint64
 }
 
 // BestStatic returns the cheapest static baseline.
@@ -170,6 +175,28 @@ type market struct {
 	specs    []cloud.Spec
 	arrivals []Arrival
 	outages  []Outage
+	// epochs[p] is the market epoch at period p: it increments on every
+	// membership change (arrival, outage start, recovery), mirroring
+	// cloud.Registry's epoch so the shared core.Planner can key prepared
+	// searches. Built lazily; the sim is single-threaded.
+	epochs []uint64
+}
+
+// epochAt returns the market epoch at period p.
+func (m *market) epochAt(p int) uint64 {
+	for len(m.epochs) <= p {
+		q := len(m.epochs)
+		if q == 0 {
+			m.epochs = append(m.epochs, 0)
+			continue
+		}
+		e := m.epochs[q-1]
+		if m.membershipChanged(q) {
+			e++
+		}
+		m.epochs = append(m.epochs, e)
+	}
+	return m.epochs[p]
 }
 
 // specsAt returns (registered, reachable) providers at period p.

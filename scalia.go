@@ -258,18 +258,11 @@ func (c *Client) RemoveProvider(name string) bool {
 }
 
 // SetProviderAvailable injects or clears a transient provider outage on
-// backends that support failure injection (simulated providers do).
+// backends that support failure injection (simulated providers do). The
+// change goes through the registry, so it bumps the market epoch and
+// invalidates the broker's cached placement searches immediately.
 func (c *Client) SetProviderAvailable(name string, up bool) bool {
-	s, ok := c.broker.Registry().Store(name)
-	if !ok {
-		return false
-	}
-	setter, ok := s.(cloud.AvailabilitySetter)
-	if !ok {
-		return false
-	}
-	setter.SetAvailable(up)
-	return true
+	return c.broker.Registry().SetAvailable(name, up)
 }
 
 // Optimize runs one periodic optimization procedure (leader election,

@@ -230,3 +230,84 @@ func TestConcurrentRoundRobin(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMarketEventsInvalidateCachedSearches is the §IV-D CheapStor
+// regression: AddProvider / SetProviderAvailable / RemoveProvider
+// mid-run must bump the market epoch and invalidate the broker's cached
+// placement searches, so the next Optimize() (and the next write) sees
+// the new market instead of a stale one.
+func TestMarketEventsInvalidateCachedSearches(t *testing.T) {
+	clock := engine.NewSimClock()
+	c := newClient(t, Options{Clock: clock, DecisionPeriod: 4, MigrationHorizon: 5000})
+	reg := c.Broker().Registry()
+	rule := Rule{Name: "lockin", Durability: 0.99999, Availability: 0.99, LockIn: 0.2}
+	payload := bytes.Repeat([]byte("b"), 40<<20) // 40 MB backup object
+	if _, err := c.Put("bk", "o", payload, WithRule(rule)); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := c.CurrentPlacement("bk", "o")
+	if before.Has("CheapStor") {
+		t.Fatal("CheapStor not in the market yet")
+	}
+
+	// Arrival: the epoch must move and the optimizer must migrate onto
+	// the cheaper provider, as in the paper's Fig. 17 scenario.
+	e0 := reg.Epoch()
+	c.AddProvider(Provider{
+		Name: "CheapStor", Durability: 0.999999, Availability: 0.999,
+		Zones:   []Zone{ZoneUS},
+		Pricing: Pricing{StorageGBMonth: 0.09, BandwidthInGB: 0.1, BandwidthOutGB: 0.15, OpsPer1000: 0.01},
+	})
+	if reg.Epoch() == e0 {
+		t.Fatal("AddProvider must bump the market epoch")
+	}
+	clock.Advance(1)
+	c.Get("bk", "o")
+	clock.Advance(1)
+	c.Get("bk", "o")
+	for i := 0; i < 6; i++ {
+		clock.Advance(1)
+		if _, err := c.Optimize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _ := c.CurrentPlacement("bk", "o")
+	if !after.Has("CheapStor") {
+		t.Fatalf("placement %v ignores the arrival; cached search went stale", after)
+	}
+
+	// Outage through the facade: epoch bump, planner rebuild, and the
+	// next write plans around the down provider.
+	e1 := reg.Epoch()
+	miss0 := c.Broker().Planner().Stats().Misses
+	if !c.SetProviderAvailable("CheapStor", false) {
+		t.Fatal("SetProviderAvailable failed")
+	}
+	if reg.Epoch() == e1 {
+		t.Fatal("SetProviderAvailable must bump the market epoch")
+	}
+	meta, err := c.Put("bk", "fresh", bytes.Repeat([]byte("x"), 4096), WithRule(rule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range meta.Chunks {
+		if name == "CheapStor" {
+			t.Fatal("write placed a chunk on the down provider")
+		}
+	}
+	if c.Broker().Planner().Stats().Misses == miss0 {
+		t.Fatal("outage must invalidate the cached search (expected a planner miss)")
+	}
+
+	// Departure: epoch bump and the market shrinks for good.
+	e2 := reg.Epoch()
+	if !c.RemoveProvider("CheapStor") {
+		t.Fatal("RemoveProvider failed")
+	}
+	if reg.Epoch() == e2 {
+		t.Fatal("RemoveProvider must bump the market epoch")
+	}
+	if _, specs, _ := reg.Market(); len(specs) != 5 {
+		t.Fatalf("market after departure = %d providers, want 5", len(specs))
+	}
+}
