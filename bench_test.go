@@ -8,6 +8,7 @@ package scalia
 // harness summary.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -20,6 +21,8 @@ import (
 	"scalia/internal/trend"
 	"scalia/internal/workload"
 )
+
+var bgctx = context.Background()
 
 // --- Figure/table regenerators ---
 
@@ -236,7 +239,7 @@ func newBenchBroker(b *testing.B, objects int) (*engine.Broker, *engine.SimClock
 	b.Cleanup(br.Close)
 	e := br.Engine(0)
 	for i := 0; i < objects; i++ {
-		if _, err := e.Put("c", fmt.Sprintf("k%d", i), make([]byte, 4096), engine.PutOptions{}); err != nil {
+		if _, err := e.Put(bgctx, "c", fmt.Sprintf("k%d", i), make([]byte, 4096), engine.PutOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -249,7 +252,7 @@ func BenchmarkOptimizeTrendGated(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		clock.Advance(1)
-		if _, err := br.Optimize(); err != nil {
+		if _, err := br.Optimize(bgctx); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -260,7 +263,7 @@ func BenchmarkOptimizeFullScan(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		clock.Advance(1)
-		if _, err := br.OptimizeFullScan(); err != nil {
+		if _, err := br.OptimizeFullScan(bgctx); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -270,13 +273,13 @@ func benchRead(b *testing.B, cacheBytes int64) {
 	br := engine.NewBroker(engine.Config{CacheBytes: cacheBytes})
 	b.Cleanup(br.Close)
 	e := br.Engine(0)
-	if _, err := e.Put("c", "k", make([]byte, 256<<10), engine.PutOptions{}); err != nil {
+	if _, err := e.Put(bgctx, "c", "k", make([]byte, 256<<10), engine.PutOptions{}); err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(256 << 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := e.Get("c", "k"); err != nil {
+		if _, _, err := e.Get(bgctx, "c", "k"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -363,7 +366,7 @@ func BenchmarkBrokerPut(b *testing.B) {
 	b.SetBytes(64 << 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Put("c", fmt.Sprintf("k%d", i), payload, engine.PutOptions{}); err != nil {
+		if _, err := e.Put(bgctx, "c", fmt.Sprintf("k%d", i), payload, engine.PutOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,475 @@
+// Package client is the typed Go client for the Scalia v1 HTTP gateway
+// (cmd/scalia-server, engine.NewGateway). It speaks the same wire
+// protocol the gateway serves and offers the same method set as the
+// in-process scalia.Client facade, so embedded and remote callers are
+// interchangeable: Put/PutReader, Get/GetReader, Head, Delete, List
+// with pagination, rule and provider administration, optimization,
+// repair and operational stats.
+//
+// Wire errors are mapped back onto the facade's sentinel errors, so
+// errors.Is(err, scalia.ErrObjectNotFound) works identically against a
+// remote deployment.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"scalia"
+)
+
+// Client talks to one Scalia gateway. It is safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (timeouts, TLS, test
+// servers).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New returns a client for the gateway at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimSuffix(baseURL, "/"),
+		http: http.DefaultClient,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// ErrRemote wraps gateway errors whose code has no sentinel mapping.
+var ErrRemote = errors.New("scalia client: remote error")
+
+// wireError is the typed JSON error envelope of the v1 protocol.
+type wireError struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// sentinelFor maps wire error codes back onto the facade's sentinels.
+func sentinelFor(code string) error {
+	switch code {
+	case "not_found":
+		return scalia.ErrObjectNotFound
+	case "precondition_failed", "already_exists":
+		return scalia.ErrPreconditionFailed
+	case "invalid_argument", "invalid_rule", "length_required":
+		return scalia.ErrInvalidArgument
+	case "infeasible_placement":
+		return scalia.ErrInfeasiblePlacement
+	case "unavailable":
+		return scalia.ErrNotEnoughChunks
+	case "provider_unavailable":
+		return scalia.ErrProviderUnavailable
+	case "too_large":
+		return scalia.ErrObjectTooLarge
+	case "over_capacity":
+		return scalia.ErrProviderOverCapacity
+	default:
+		return ErrRemote
+	}
+}
+
+// decodeErr turns a non-2xx response into a sentinel-wrapped error.
+func decodeErr(resp *http.Response) error {
+	var we wireError
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err := json.Unmarshal(raw, &we); err != nil || we.Error.Code == "" {
+		return fmt.Errorf("%w: %s: %s", ErrRemote, resp.Status, bytes.TrimSpace(raw))
+	}
+	return fmt.Errorf("%w: %s", sentinelFor(we.Error.Code), we.Error.Message)
+}
+
+func (c *Client) objectURL(container, key string) string {
+	u := c.base + "/v1/objects/" + url.PathEscape(container)
+	if key != "" {
+		// Keys may contain slashes; escape each segment so the path
+		// round-trips.
+		segs := strings.Split(key, "/")
+		for i, s := range segs {
+			segs[i] = url.PathEscape(s)
+		}
+		u += "/" + strings.Join(segs, "/")
+	}
+	return u
+}
+
+// PutOption customizes a write, mirroring the facade's options.
+type PutOption func(http.Header)
+
+// WithMIME sets the object's MIME type (classification input).
+func WithMIME(mime string) PutOption {
+	return func(h http.Header) { h.Set("Content-Type", mime) }
+}
+
+// WithTTL hints the object's expected lifetime in hours.
+func WithTTL(hours float64) PutOption {
+	return func(h http.Header) {
+		h.Set("X-Scalia-TTL-Hours", strconv.FormatFloat(hours, 'g', -1, 64))
+	}
+}
+
+// WithIfMatch makes the write conditional on the stored ETag ("*" = any
+// existing version).
+func WithIfMatch(etag string) PutOption {
+	return func(h http.Header) { h.Set("If-Match", etag) }
+}
+
+// WithIfAbsent makes the write create-only: it fails with
+// ErrPreconditionFailed when the object already exists.
+func WithIfAbsent() PutOption {
+	return func(h http.Header) { h.Set("If-None-Match", "*") }
+}
+
+// Put stores or updates an object from an in-memory payload.
+func (c *Client) Put(ctx context.Context, container, key string, data []byte, opts ...PutOption) (scalia.ObjectMeta, error) {
+	return c.PutReader(ctx, container, key, bytes.NewReader(data), int64(len(data)), opts...)
+}
+
+// PutReader stores or updates an object streamed from r; size must be
+// the exact body length. The body streams to the gateway, which stripes
+// it to the providers without buffering the whole object.
+func (c *Client) PutReader(ctx context.Context, container, key string, r io.Reader, size int64, opts ...PutOption) (scalia.ObjectMeta, error) {
+	if size == 0 {
+		// A zero ContentLength with an arbitrary non-nil body would be
+		// sent chunked (unknown length) and refused with 411; NoBody
+		// keeps the declared empty length on the wire.
+		r = http.NoBody
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.objectURL(container, key), r)
+	if err != nil {
+		return scalia.ObjectMeta{}, err
+	}
+	req.ContentLength = size
+	for _, o := range opts {
+		o(req.Header)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return scalia.ObjectMeta{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return scalia.ObjectMeta{}, decodeErr(resp)
+	}
+	var meta scalia.ObjectMeta
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		return scalia.ObjectMeta{}, fmt.Errorf("%w: malformed meta: %v", ErrRemote, err)
+	}
+	return meta, nil
+}
+
+// Get fetches an object fully buffered, with its metadata.
+func (c *Client) Get(ctx context.Context, container, key string) ([]byte, scalia.ObjectMeta, error) {
+	rc, meta, err := c.GetReader(ctx, container, key)
+	if err != nil {
+		return nil, scalia.ObjectMeta{}, err
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		return nil, scalia.ObjectMeta{}, err
+	}
+	return data, meta, nil
+}
+
+// GetReader fetches an object as a stream. The returned metadata is
+// reconstructed from response headers (size, checksum, placement); the
+// caller must Close the reader.
+func (c *Client) GetReader(ctx context.Context, container, key string) (io.ReadCloser, scalia.ObjectMeta, error) {
+	rc, meta, _, err := c.getConditional(ctx, container, key, "")
+	return rc, meta, err
+}
+
+// GetIfNoneMatch is a conditional fetch: when the stored ETag equals
+// etag the gateway answers 304 and notModified is true with a nil
+// reader.
+func (c *Client) GetIfNoneMatch(ctx context.Context, container, key, etag string) (rc io.ReadCloser, meta scalia.ObjectMeta, notModified bool, err error) {
+	return c.getConditional(ctx, container, key, etag)
+}
+
+func (c *Client) getConditional(ctx context.Context, container, key, ifNoneMatch string) (io.ReadCloser, scalia.ObjectMeta, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.objectURL(container, key), nil)
+	if err != nil {
+		return nil, scalia.ObjectMeta{}, false, err
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, scalia.ObjectMeta{}, false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return resp.Body, metaFromHeaders(container, key, resp.Header), false, nil
+	case http.StatusNotModified:
+		resp.Body.Close()
+		return nil, metaFromHeaders(container, key, resp.Header), true, nil
+	default:
+		defer resp.Body.Close()
+		return nil, scalia.ObjectMeta{}, false, decodeErr(resp)
+	}
+}
+
+// Head fetches an object's metadata only.
+func (c *Client) Head(ctx context.Context, container, key string) (scalia.ObjectMeta, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.objectURL(container, key), nil)
+	if err != nil {
+		return scalia.ObjectMeta{}, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return scalia.ObjectMeta{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// HEAD responses carry no body; synthesize the sentinel from the
+		// status code alone.
+		switch resp.StatusCode {
+		case http.StatusNotFound:
+			return scalia.ObjectMeta{}, fmt.Errorf("%w: %s/%s", scalia.ErrObjectNotFound, container, key)
+		default:
+			return scalia.ObjectMeta{}, fmt.Errorf("%w: %s", ErrRemote, resp.Status)
+		}
+	}
+	return metaFromHeaders(container, key, resp.Header), nil
+}
+
+// metaFromHeaders rebuilds the wire-visible ObjectMeta subset from the
+// gateway's response headers.
+func metaFromHeaders(container, key string, h http.Header) scalia.ObjectMeta {
+	meta := scalia.ObjectMeta{
+		Container: container,
+		Key:       key,
+		MIME:      h.Get("Content-Type"),
+		Checksum:  strings.Trim(h.Get("ETag"), `"`),
+	}
+	meta.Size, _ = strconv.ParseInt(h.Get("X-Scalia-Size"), 10, 64)
+	meta.M, _ = strconv.Atoi(h.Get("X-Scalia-M"))
+	meta.Stripes, _ = strconv.Atoi(h.Get("X-Scalia-Stripes"))
+	if provs := h.Get("X-Scalia-Providers"); provs != "" {
+		meta.Chunks = strings.Split(provs, ",")
+	}
+	return meta
+}
+
+// Delete removes an object.
+func (c *Client) Delete(ctx context.Context, container, key string) error {
+	return c.DeleteIf(ctx, container, key, "")
+}
+
+// DeleteIf removes an object only if its stored ETag matches ifMatch.
+func (c *Client) DeleteIf(ctx context.Context, container, key, ifMatch string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.objectURL(container, key), nil)
+	if err != nil {
+		return err
+	}
+	if ifMatch != "" {
+		req.Header.Set("If-Match", ifMatch)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return decodeErr(resp)
+	}
+	return nil
+}
+
+// ListOptions parameterize a container listing.
+type ListOptions struct {
+	// Prefix filters keys.
+	Prefix string
+	// Limit caps one page (gateway default and maximum: 1000).
+	Limit int
+	// After resumes after the given cursor (ListResult.Next).
+	After string
+}
+
+// List returns one page of a container's keys.
+func (c *Client) List(ctx context.Context, container string, opts ListOptions) (scalia.ListResult, error) {
+	q := url.Values{}
+	if opts.Prefix != "" {
+		q.Set("prefix", opts.Prefix)
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.After != "" {
+		q.Set("after", opts.After)
+	}
+	u := c.objectURL(container, "")
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var res scalia.ListResult
+	err := c.getJSON(ctx, u, &res)
+	return res, err
+}
+
+// ListAll walks every page and returns the container's full key set.
+func (c *Client) ListAll(ctx context.Context, container, prefix string) ([]string, error) {
+	var keys []string
+	opts := ListOptions{Prefix: prefix}
+	for {
+		page, err := c.List(ctx, container, opts)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, page.Keys...)
+		if !page.Truncated {
+			return keys, nil
+		}
+		opts.After = page.Next
+	}
+}
+
+// SetContainerRule pins a placement rule to a container.
+func (c *Client) SetContainerRule(ctx context.Context, container string, rule scalia.Rule) error {
+	body, err := json.Marshal(rule)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		c.base+"/v1/rules/"+url.PathEscape(container), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return decodeErr(resp)
+	}
+	return nil
+}
+
+// Providers returns the provider market with availability and usage.
+func (c *Client) Providers(ctx context.Context) ([]scalia.ProviderStatus, error) {
+	var out []scalia.ProviderStatus
+	err := c.getJSON(ctx, c.base+"/v1/providers", &out)
+	return out, err
+}
+
+// AddProvider registers a provider at runtime (the CheapStor scenario).
+func (c *Client) AddProvider(ctx context.Context, spec scalia.Provider) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/providers", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return decodeErr(resp)
+	}
+	return nil
+}
+
+// RemoveProvider deregisters a provider (market exit).
+func (c *Client) RemoveProvider(ctx context.Context, name string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.base+"/v1/providers/"+url.PathEscape(name), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return decodeErr(resp)
+	}
+	return nil
+}
+
+// Optimize runs one periodic optimization round on the deployment.
+func (c *Client) Optimize(ctx context.Context) (scalia.OptimizeReport, error) {
+	var rep scalia.OptimizeReport
+	err := c.postJSON(ctx, c.base+"/v1/optimize", &rep)
+	return rep, err
+}
+
+// Repair runs a repair pass with the given policy.
+func (c *Client) Repair(ctx context.Context, policy scalia.RepairPolicy) (scalia.RepairReport, error) {
+	p := "wait"
+	if policy == scalia.RepairActive {
+		p = "active"
+	}
+	var rep scalia.RepairReport
+	err := c.postJSON(ctx, c.base+"/v1/repair?policy="+p, &rep)
+	return rep, err
+}
+
+// Stats returns the deployment's operational counters: planner cache
+// hits/misses, optimizer totals, billed usage and cost.
+func (c *Client) Stats(ctx context.Context) (scalia.Stats, error) {
+	var st scalia.Stats
+	err := c.getJSON(ctx, c.base+"/v1/stats", &st)
+	return st, err
+}
+
+func (c *Client) getJSON(ctx context.Context, u string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.doJSON(req, v)
+}
+
+func (c *Client) postJSON(ctx context.Context, u string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.doJSON(req, v)
+}
+
+func (c *Client) doJSON(req *http.Request, v any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeErr(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("%w: malformed response: %v", ErrRemote, err)
+	}
+	return nil
+}

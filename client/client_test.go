@@ -1,0 +1,246 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"scalia"
+	"scalia/client"
+)
+
+var ctx = context.Background()
+
+// newRemote stands up a full deployment behind the v1 gateway and a
+// typed client against it — the same topology as scalia-server plus a
+// remote caller.
+func newRemote(t *testing.T, opts scalia.Options) (*scalia.Client, *client.Client) {
+	t.Helper()
+	deployment, err := scalia.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(deployment.Close)
+	ts := httptest.NewServer(deployment.NewGateway())
+	t.Cleanup(ts.Close)
+	return deployment, client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	_, c := newRemote(t, scalia.Options{})
+
+	payload := bytes.Repeat([]byte("remote"), 1000)
+	meta, err := c.Put(ctx, "docs", "readme.md", payload,
+		client.WithMIME("text/markdown"), client.WithTTL(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Size != int64(len(payload)) || meta.M < 1 || meta.TTLHours != 24 {
+		t.Fatalf("meta = %+v", meta)
+	}
+
+	got, gotMeta, err := c.Get(ctx, "docs", "readme.md")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Get: %v", err)
+	}
+	if gotMeta.MIME != "text/markdown" || gotMeta.Checksum != meta.Checksum {
+		t.Fatalf("wire meta = %+v", gotMeta)
+	}
+
+	head, err := c.Head(ctx, "docs", "readme.md")
+	if err != nil || head.Size != meta.Size || head.Checksum != meta.Checksum {
+		t.Fatalf("Head = %+v, %v", head, err)
+	}
+
+	// Zero-byte objects round-trip (the empty body must not be sent
+	// chunked, which the gateway would refuse with 411).
+	if _, err := c.PutReader(ctx, "docs", "empty", bytes.NewReader(nil), 0); err != nil {
+		t.Fatalf("zero-byte put: %v", err)
+	}
+	if got, _, err := c.Get(ctx, "docs", "empty"); err != nil || len(got) != 0 {
+		t.Fatalf("zero-byte get: %v (%d bytes)", err, len(got))
+	}
+
+	if err := c.Delete(ctx, "docs", "readme.md"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(ctx, "docs", "readme.md"); !errors.Is(err, scalia.ErrObjectNotFound) {
+		t.Fatalf("Get after delete = %v, want ErrObjectNotFound", err)
+	}
+	if _, err := c.Head(ctx, "docs", "readme.md"); !errors.Is(err, scalia.ErrObjectNotFound) {
+		t.Fatalf("Head after delete = %v, want ErrObjectNotFound", err)
+	}
+}
+
+func TestClientStreamsLargeObject(t *testing.T) {
+	_, c := newRemote(t, scalia.Options{StripeBytes: 2048})
+
+	payload := make([]byte, 32*1024+5)
+	rand.New(rand.NewSource(7)).Read(payload)
+	meta, err := c.PutReader(ctx, "big", "blob", bytes.NewReader(payload), int64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Stripes < 2 {
+		t.Fatalf("Stripes = %d, want a striped object", meta.Stripes)
+	}
+
+	rc, rmeta, err := c.GetReader(ctx, "big", "blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if rmeta.Size != int64(len(payload)) || rmeta.Stripes != meta.Stripes {
+		t.Fatalf("stream meta = %+v", rmeta)
+	}
+	got, err := io.ReadAll(rc)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("streamed read: %v, %d bytes", err, len(got))
+	}
+}
+
+func TestClientConditional(t *testing.T) {
+	_, c := newRemote(t, scalia.Options{})
+
+	meta, err := c.Put(ctx, "c", "k", []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	etag := `"` + meta.Checksum + `"`
+
+	// 304 on matching ETag.
+	rc, _, notModified, err := c.GetIfNoneMatch(ctx, "c", "k", etag)
+	if err != nil || !notModified || rc != nil {
+		t.Fatalf("conditional get = %v, notModified=%v", err, notModified)
+	}
+
+	// Conditional update paths.
+	if _, err := c.Put(ctx, "c", "k", []byte("v2"), client.WithIfMatch(`"bogus"`)); !errors.Is(err, scalia.ErrPreconditionFailed) {
+		t.Fatalf("stale If-Match = %v", err)
+	}
+	if _, err := c.Put(ctx, "c", "k", []byte("v2"), client.WithIfMatch(etag)); err != nil {
+		t.Fatalf("fresh If-Match = %v", err)
+	}
+	if _, err := c.Put(ctx, "c", "k", []byte("v3"), client.WithIfAbsent()); !errors.Is(err, scalia.ErrPreconditionFailed) {
+		t.Fatalf("create-only over existing = %v", err)
+	}
+	if err := c.DeleteIf(ctx, "c", "k", `"bogus"`); !errors.Is(err, scalia.ErrPreconditionFailed) {
+		t.Fatalf("stale delete = %v", err)
+	}
+}
+
+func TestClientListPagination(t *testing.T) {
+	_, c := newRemote(t, scalia.Options{})
+	for _, k := range []string{"x1", "x2", "x3", "y1"} {
+		if _, err := c.Put(ctx, "c", k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	page, err := c.List(ctx, "c", client.ListOptions{Prefix: "x", Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Keys) != 2 || !page.Truncated || page.Next != "x2" {
+		t.Fatalf("page = %+v", page)
+	}
+	all, err := c.ListAll(ctx, "c", "x")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("ListAll = %v, %v", all, err)
+	}
+}
+
+func TestClientAdmin(t *testing.T) {
+	_, c := newRemote(t, scalia.Options{})
+
+	provs, err := c.Providers(ctx)
+	if err != nil || len(provs) != 5 {
+		t.Fatalf("Providers = %d, %v", len(provs), err)
+	}
+	if err := c.AddProvider(ctx, scalia.Provider{
+		Name: "budget", Durability: 0.999999, Availability: 0.999,
+		Zones:   []scalia.Zone{scalia.ZoneUS},
+		Pricing: scalia.Pricing{StorageGBMonth: 0.01, BandwidthInGB: 0.01, BandwidthOutGB: 0.01},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	provs, _ = c.Providers(ctx)
+	if len(provs) != 6 {
+		t.Fatalf("Providers after add = %d", len(provs))
+	}
+
+	// Rules: a valid rule lands, an invalid one maps to the sentinel.
+	if err := c.SetContainerRule(ctx, "eu", scalia.Rule{
+		Name: "eu", Durability: 0.9999, Availability: 0.999,
+		Zones: []scalia.Zone{scalia.ZoneEU}, LockIn: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetContainerRule(ctx, "bad", scalia.Rule{LockIn: 7}); !errors.Is(err, scalia.ErrInvalidArgument) {
+		t.Fatalf("invalid rule = %v", err)
+	}
+	meta, err := c.Put(ctx, "eu", "doc", []byte("bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range meta.Chunks {
+		if p != "S3(h)" && p != "S3(l)" {
+			t.Fatalf("non-EU provider %s for EU container", p)
+		}
+	}
+
+	rep, err := c.Optimize(ctx)
+	if err != nil || rep.Leader == "" {
+		t.Fatalf("Optimize = %+v, %v", rep, err)
+	}
+	if _, err := c.Repair(ctx, scalia.RepairActive); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Planner.Hits+st.Planner.Misses == 0 {
+		t.Fatalf("planner counters missing: %+v", st)
+	}
+	if st.Optimizer.Rounds == 0 {
+		t.Fatalf("optimizer totals missing: %+v", st)
+	}
+	if st.Providers != 6 || st.Usage.Ops == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	if err := c.RemoveProvider(ctx, "budget"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveProvider(ctx, "budget"); !errors.Is(err, scalia.ErrObjectNotFound) {
+		t.Fatalf("double remove = %v", err)
+	}
+}
+
+// TestClientMatchesEmbeddedFacade: the same object written remotely is
+// readable through the embedded facade and vice versa — one deployment,
+// two interchangeable surfaces.
+func TestClientMatchesEmbeddedFacade(t *testing.T) {
+	deployment, c := newRemote(t, scalia.Options{})
+
+	if _, err := c.Put(ctx, "c", "via-wire", []byte("remote write")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := deployment.Get(ctx, "c", "via-wire")
+	if err != nil || string(got) != "remote write" {
+		t.Fatalf("embedded read of remote write: %q, %v", got, err)
+	}
+
+	if _, err := deployment.Put(ctx, "c", "via-facade", []byte("embedded write")); err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := c.Get(ctx, "c", "via-facade")
+	if err != nil || string(got2) != "embedded write" {
+		t.Fatalf("remote read of embedded write: %q, %v", got2, err)
+	}
+}

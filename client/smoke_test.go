@@ -1,0 +1,73 @@
+package client_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"scalia/client"
+)
+
+// TestGatewaySmoke exercises a real scalia-server process over TCP:
+// put, get, head, list, stats, delete through the typed client. It is
+// the CI gateway smoke job; locally it is skipped unless
+// SCALIA_GATEWAY_ADDR points at a running server (e.g.
+// "http://127.0.0.1:8080").
+func TestGatewaySmoke(t *testing.T) {
+	addr := os.Getenv("SCALIA_GATEWAY_ADDR")
+	if addr == "" {
+		t.Skip("SCALIA_GATEWAY_ADDR not set; start scalia-server and point it here")
+	}
+	c := client.New(addr)
+
+	// The server may still be binding its listener; retry briefly.
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		if _, lastErr = c.Stats(ctx); lastErr == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if lastErr != nil {
+		t.Fatalf("gateway unreachable at %s: %v", addr, lastErr)
+	}
+
+	key := fmt.Sprintf("smoke-%d", time.Now().UnixNano())
+	payload := bytes.Repeat([]byte("smoke"), 4096)
+	meta, err := c.Put(ctx, "smoke", key, payload, client.WithMIME("application/octet-stream"))
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if meta.Size != int64(len(payload)) {
+		t.Fatalf("put meta = %+v", meta)
+	}
+
+	got, _, err := c.Get(ctx, "smoke", key)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("get: %v (%d bytes)", err, len(got))
+	}
+	if _, err := c.Head(ctx, "smoke", key); err != nil {
+		t.Fatalf("head: %v", err)
+	}
+	page, err := c.List(ctx, "smoke", client.ListOptions{Prefix: "smoke-"})
+	if err != nil || len(page.Keys) == 0 {
+		t.Fatalf("list: %v (%d keys)", err, len(page.Keys))
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Planner.Hits+st.Planner.Misses == 0 {
+		t.Fatalf("planner counters missing from stats: %+v", st)
+	}
+	if st.Usage.Ops == 0 {
+		t.Fatalf("usage counters missing from stats: %+v", st)
+	}
+
+	if err := c.Delete(ctx, "smoke", key); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+}

@@ -1,21 +1,40 @@
-// Command scalia-server runs a Scalia broker as an HTTP gateway with an
-// S3-like REST interface:
+// Command scalia-server runs a Scalia broker deployment behind the
+// versioned v1 HTTP gateway. Requests round-robin across all engines of
+// all datacenters; object bodies stream stripe by stripe in both
+// directions, and a client disconnect cancels the in-flight chunk
+// fan-out.
 //
-//	PUT    /{container}/{key}   store (Content-Type, X-Scalia-TTL-Hours)
-//	GET    /{container}/{key}   fetch
-//	HEAD   /{container}/{key}   metadata
-//	DELETE /{container}/{key}   delete
-//	GET    /{container}         list keys
+// Object routes:
+//
+//	PUT    /v1/objects/{container}/{key}  store (Content-Type = MIME,
+//	       X-Scalia-TTL-Hours = lifetime hint, If-Match conditional)
+//	GET    /v1/objects/{container}/{key}  fetch (If-None-Match -> 304)
+//	HEAD   /v1/objects/{container}/{key}  metadata only
+//	DELETE /v1/objects/{container}/{key}  delete (If-Match conditional)
+//	GET    /v1/objects/{container}?prefix=&limit=&after=  paginated list
+//
+// Admin routes:
+//
+//	GET/POST /v1/providers, DELETE /v1/providers/{name}
+//	PUT  /v1/rules/{container}
+//	POST /v1/optimize, POST /v1/repair?policy=wait|active
+//	GET  /v1/stats  (planner hit/miss, optimizer, usage/cost counters)
 //
 // The default deployment brokers across the five simulated providers of
-// the paper's Fig. 3 and runs the periodic optimization procedure in the
-// background (default every 5 minutes, as in §III-A3).
+// the paper's Fig. 3 and runs the periodic optimization procedure in
+// the background (default every 5 minutes, as in §III-A3). The typed
+// scalia/client package speaks this wire protocol.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"scalia"
@@ -28,33 +47,55 @@ func main() {
 	optimizeEvery := flag.Duration("optimize-every", 5*time.Minute,
 		"periodic optimization interval")
 	periodHours := flag.Float64("period-hours", 1, "statistics sampling period (hours)")
+	stripeMB := flag.Int64("stripe-mb", 4, "streaming stripe size (MB)")
+	enginesPerDC := flag.Int("engines-per-dc", 2, "stateless engines per datacenter")
 	flag.Parse()
 
 	client, err := scalia.New(scalia.Options{
-		CacheBytes:  *cacheMB << 20,
-		PeriodHours: *periodHours,
-		Clock:       engine.NewWallClock(*periodHours),
+		EnginesPerDC: *enginesPerDC,
+		CacheBytes:   *cacheMB << 20,
+		PeriodHours:  *periodHours,
+		StripeBytes:  *stripeMB << 20,
+		Clock:        engine.NewWallClock(*periodHours),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	go func() {
 		ticker := time.NewTicker(*optimizeEvery)
 		defer ticker.Stop()
-		for range ticker.C {
-			rep, err := client.Optimize()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			rep, err := client.Optimize(ctx)
 			if err != nil {
 				log.Printf("optimize: %v", err)
 				continue
 			}
-			log.Printf("optimize: leader=%s scanned=%d trend-changed=%d migrated=%d",
-				rep.Leader, rep.Scanned, rep.TrendChanged, rep.Migrated)
+			log.Printf("optimize: leader=%s scanned=%d trend-changed=%d migrated=%d planner-hits=%d",
+				rep.Leader, rep.Scanned, rep.TrendChanged, rep.Migrated, rep.PlannerHits)
 		}
 	}()
 
-	api := engine.NewAPI(client.Broker().Engine(0))
-	log.Printf("scalia-server listening on %s (providers: Fig. 3 simulated set)", *addr)
-	log.Fatal(http.ListenAndServe(*addr, api))
+	srv := &http.Server{Addr: *addr, Handler: client.NewGateway()}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx) //nolint:errcheck
+	}()
+	log.Printf("scalia-server %d engines, v1 gateway on %s (providers: Fig. 3 simulated set)",
+		len(client.Broker().Engines()), *addr)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("scalia-server: shut down")
 }

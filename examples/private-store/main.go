@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "scalia-private-*")
 	if err != nil {
 		log.Fatal(err)
@@ -55,7 +57,7 @@ func main() {
 	// prices; once it is full, placement spills to public providers only.
 	for i := 0; i < 6; i++ {
 		key := fmt.Sprintf("doc-%d", i)
-		meta, err := client.Put("corp", key, make([]byte, 20<<10), scalia.WithRule(rule))
+		meta, err := client.Put(ctx, "corp", key, make([]byte, 20<<10), scalia.WithRule(rule))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -81,7 +83,7 @@ func main() {
 		len(entries), server.UsedBytes())
 
 	// Round-trip through the broker still works.
-	data, _, err := client.Get("corp", "doc-0")
+	data, _, err := client.Get(ctx, "corp", "doc-0")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	clock := engine.NewSimClock()
 	client, err := scalia.New(scalia.Options{
 		CacheBytes: 64 << 20,
@@ -26,7 +28,7 @@ func main() {
 	// Store a picture under a rule requiring 99.99% availability and
 	// tolerating full vendor lock-in.
 	payload := bytes.Repeat([]byte("cat picture bytes "), 2000)
-	meta, err := client.Put("pictures", "cat.gif", payload,
+	meta, err := client.Put(ctx, "pictures", "cat.gif", payload,
 		scalia.WithMIME("image/gif"))
 	if err != nil {
 		log.Fatal(err)
@@ -37,7 +39,7 @@ func main() {
 
 	// Read it back (first read reconstructs from chunks and fills the
 	// cache; the second is served from the cache).
-	data, _, err := client.Get("pictures", "cat.gif")
+	data, _, err := client.Get(ctx, "pictures", "cat.gif")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,11 +50,11 @@ func main() {
 	for hour := 0; hour < 6; hour++ {
 		clock.Advance(1)
 		for i := 0; i < 200; i++ {
-			if _, _, err := client.Get("pictures", "cat.gif"); err != nil {
+			if _, _, err := client.Get(ctx, "pictures", "cat.gif"); err != nil {
 				log.Fatal(err)
 			}
 		}
-		rep, err := client.Optimize()
+		rep, err := client.Optimize(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -66,7 +68,7 @@ func main() {
 	}
 	fmt.Printf("total provider spend so far: %.6f USD\n", client.TotalCost())
 
-	if err := client.Delete("pictures", "cat.gif"); err != nil {
+	if err := client.Delete(ctx, "pictures", "cat.gif"); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("deleted; chunks removed from all providers")

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	clock := engine.NewSimClock()
 	rule := scalia.Rule{
 		Name: "slashdot", Durability: 0.99999, Availability: 0.9999, LockIn: 1,
@@ -27,7 +29,7 @@ func main() {
 
 	scenario := workload.NewSlashdot()
 	page := make([]byte, scenario.SizeBytes)
-	if _, err := client.Put("web", "page", page, scalia.WithRule(rule)); err != nil {
+	if _, err := client.Put(ctx, "web", "page", page, scalia.WithRule(rule)); err != nil {
 		log.Fatal(err)
 	}
 	start, _ := client.CurrentPlacement("web", "page")
@@ -38,11 +40,11 @@ func main() {
 		clock.Advance(1)
 		reads := scenario.ReadsAt(hour)
 		for r := int64(0); r < reads; r++ {
-			if _, _, err := client.Get("web", "page"); err != nil {
+			if _, _, err := client.Get(ctx, "web", "page"); err != nil {
 				log.Fatal(err)
 			}
 		}
-		if _, err := client.Optimize(); err != nil {
+		if _, err := client.Optimize(ctx); err != nil {
 			log.Fatal(err)
 		}
 		client.AccrueStorage(1)

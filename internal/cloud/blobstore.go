@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -10,12 +11,15 @@ import (
 
 // Store is the minimal key-value blob interface every Scalia backend
 // implements: simulated public providers, private storage resources, and
-// the HTTP client for remote private stores.
+// the HTTP client for remote private stores. Every operation takes a
+// context: cancelling it aborts the call (remote backends abort the HTTP
+// request; the simulated store fails fast), which is how the engine's
+// chunk fan-out is cancelled mid-flight.
 type Store interface {
-	Put(key string, data []byte) error
-	Get(key string) ([]byte, error)
-	Delete(key string) error
-	List(prefix string) ([]string, error)
+	Put(ctx context.Context, key string, data []byte) error
+	Get(ctx context.Context, key string) ([]byte, error)
+	Delete(ctx context.Context, key string) error
+	List(ctx context.Context, prefix string) ([]string, error)
 }
 
 // Errors returned by blob stores.
@@ -68,7 +72,10 @@ func (s *BlobStore) Available() bool {
 }
 
 // Put stores data under key, replacing any previous value.
-func (s *BlobStore) Put(key string, data []byte) error {
+func (s *BlobStore) Put(ctx context.Context, key string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if key == "" {
 		return fmt.Errorf("cloud: empty key")
 	}
@@ -96,7 +103,10 @@ func (s *BlobStore) Put(key string, data []byte) error {
 }
 
 // Get retrieves the object stored under key.
-func (s *BlobStore) Get(key string) ([]byte, error) {
+func (s *BlobStore) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.down {
@@ -114,7 +124,10 @@ func (s *BlobStore) Get(key string) ([]byte, error) {
 
 // Delete removes the object stored under key. Deleting a missing key is
 // an error so the engine can distinguish postponed deletes.
-func (s *BlobStore) Delete(key string) error {
+func (s *BlobStore) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.down {
@@ -131,7 +144,10 @@ func (s *BlobStore) Delete(key string) error {
 }
 
 // List returns the keys with the given prefix, sorted.
-func (s *BlobStore) List(prefix string) ([]string, error) {
+func (s *BlobStore) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.down {

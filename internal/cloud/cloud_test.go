@@ -2,12 +2,15 @@ package cloud
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"sync"
 	"testing"
 	"testing/quick"
 )
+
+var ctx = context.Background()
 
 func TestPaperProvidersTable(t *testing.T) {
 	specs := PaperProviders()
@@ -96,10 +99,10 @@ func TestUsageAddCommutes(t *testing.T) {
 
 func TestBlobStorePutGetDelete(t *testing.T) {
 	s := NewBlobStore(PaperProviders()[0])
-	if err := s.Put("a/b", []byte("payload")); err != nil {
+	if err := s.Put(ctx, "a/b", []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Get("a/b")
+	got, err := s.Get(ctx, "a/b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,10 +112,10 @@ func TestBlobStorePutGetDelete(t *testing.T) {
 	if s.UsedBytes() != 7 {
 		t.Fatalf("UsedBytes = %d, want 7", s.UsedBytes())
 	}
-	if err := s.Delete("a/b"); err != nil {
+	if err := s.Delete(ctx, "a/b"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Get("a/b"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Get(ctx, "a/b"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("expected ErrNotFound, got %v", err)
 	}
 	if s.UsedBytes() != 0 {
@@ -122,8 +125,8 @@ func TestBlobStorePutGetDelete(t *testing.T) {
 
 func TestBlobStoreOverwriteAccounting(t *testing.T) {
 	s := NewBlobStore(Spec{Name: "t"})
-	s.Put("k", make([]byte, 100))
-	s.Put("k", make([]byte, 40))
+	s.Put(ctx, "k", make([]byte, 100))
+	s.Put(ctx, "k", make([]byte, 40))
 	if s.UsedBytes() != 40 {
 		t.Fatalf("UsedBytes = %d, want 40", s.UsedBytes())
 	}
@@ -134,10 +137,10 @@ func TestBlobStoreOverwriteAccounting(t *testing.T) {
 
 func TestBlobStoreGetIsCopy(t *testing.T) {
 	s := NewBlobStore(Spec{Name: "t"})
-	s.Put("k", []byte{1, 2, 3})
-	got, _ := s.Get("k")
+	s.Put(ctx, "k", []byte{1, 2, 3})
+	got, _ := s.Get(ctx, "k")
 	got[0] = 99
-	again, _ := s.Get("k")
+	again, _ := s.Get(ctx, "k")
 	if again[0] != 1 {
 		t.Fatal("Get must return a defensive copy")
 	}
@@ -145,56 +148,56 @@ func TestBlobStoreGetIsCopy(t *testing.T) {
 
 func TestBlobStoreUnavailable(t *testing.T) {
 	s := NewBlobStore(Spec{Name: "t"})
-	s.Put("k", []byte("x"))
+	s.Put(ctx, "k", []byte("x"))
 	s.SetAvailable(false)
-	if _, err := s.Get("k"); !errors.Is(err, ErrUnavailable) {
+	if _, err := s.Get(ctx, "k"); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("Get during outage: %v", err)
 	}
-	if err := s.Put("k2", nil); !errors.Is(err, ErrUnavailable) {
+	if err := s.Put(ctx, "k2", nil); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("Put during outage: %v", err)
 	}
-	if err := s.Delete("k"); !errors.Is(err, ErrUnavailable) {
+	if err := s.Delete(ctx, "k"); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("Delete during outage: %v", err)
 	}
-	if _, err := s.List(""); !errors.Is(err, ErrUnavailable) {
+	if _, err := s.List(ctx, ""); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("List during outage: %v", err)
 	}
 	s.SetAvailable(true)
-	if got, err := s.Get("k"); err != nil || string(got) != "x" {
+	if got, err := s.Get(ctx, "k"); err != nil || string(got) != "x" {
 		t.Fatal("data must survive a transient outage")
 	}
 }
 
 func TestBlobStoreChunkLimit(t *testing.T) {
 	s := NewBlobStore(Spec{Name: "t", MaxChunkBytes: 10})
-	if err := s.Put("big", make([]byte, 11)); !errors.Is(err, ErrTooLarge) {
+	if err := s.Put(ctx, "big", make([]byte, 11)); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("expected ErrTooLarge, got %v", err)
 	}
-	if err := s.Put("ok", make([]byte, 10)); err != nil {
+	if err := s.Put(ctx, "ok", make([]byte, 10)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestBlobStoreCapacity(t *testing.T) {
 	s := NewBlobStore(Spec{Name: "t", CapacityBytes: 100})
-	if err := s.Put("a", make([]byte, 60)); err != nil {
+	if err := s.Put(ctx, "a", make([]byte, 60)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("b", make([]byte, 60)); !errors.Is(err, ErrOverCapacity) {
+	if err := s.Put(ctx, "b", make([]byte, 60)); !errors.Is(err, ErrOverCapacity) {
 		t.Fatalf("expected ErrOverCapacity, got %v", err)
 	}
 	// Overwriting within capacity must be allowed.
-	if err := s.Put("a", make([]byte, 90)); err != nil {
+	if err := s.Put(ctx, "a", make([]byte, 90)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestBlobStoreList(t *testing.T) {
 	s := NewBlobStore(Spec{Name: "t"})
-	s.Put("x/1", nil)
-	s.Put("x/2", nil)
-	s.Put("y/1", nil)
-	keys, err := s.List("x/")
+	s.Put(ctx, "x/1", nil)
+	s.Put(ctx, "x/2", nil)
+	s.Put(ctx, "y/1", nil)
+	keys, err := s.List(ctx, "x/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,9 +208,9 @@ func TestBlobStoreList(t *testing.T) {
 
 func TestMetering(t *testing.T) {
 	s := NewBlobStore(Spec{Name: "t"})
-	s.Put("k", make([]byte, 1e6))
-	s.Get("k")
-	s.Get("k")
+	s.Put(ctx, "k", make([]byte, 1e6))
+	s.Get(ctx, "k")
+	s.Get(ctx, "k")
 	s.AccrueStorage(2)
 	u := s.Meter().Snapshot()
 	if u.Ops != 3 {
@@ -245,11 +248,11 @@ func TestBlobStoreConcurrent(t *testing.T) {
 			defer wg.Done()
 			key := string([]byte{'k', id})
 			for j := 0; j < 100; j++ {
-				if err := s.Put(key, []byte{id, byte(j)}); err != nil {
+				if err := s.Put(ctx, key, []byte{id, byte(j)}); err != nil {
 					t.Error(err)
 					return
 				}
-				if _, err := s.Get(key); err != nil {
+				if _, err := s.Get(ctx, key); err != nil {
 					t.Error(err)
 					return
 				}
@@ -327,8 +330,8 @@ func TestRegistryWatch(t *testing.T) {
 
 func TestRegistryTotals(t *testing.T) {
 	r := NewPaperRegistry()
-	r.MustStore(NameS3High).(*BlobStore).Put("k", make([]byte, 1e9))
-	r.MustStore(NameGoogle).(*BlobStore).Put("k", make([]byte, 1e9))
+	r.MustStore(NameS3High).(*BlobStore).Put(ctx, "k", make([]byte, 1e9))
+	r.MustStore(NameGoogle).(*BlobStore).Put(ctx, "k", make([]byte, 1e9))
 	r.AccrueStorage(HoursPerMonth)
 	u := r.TotalUsage()
 	if math.Abs(u.StorageGBHours-2*HoursPerMonth) > 1e-6 {
@@ -405,7 +408,7 @@ func TestRegistryMarketFreeCapacity(t *testing.T) {
 	capped := NewBlobStore(Spec{Name: "priv", Durability: 0.999999, Availability: 0.999,
 		CapacityBytes: 1000, Private: true})
 	r.Register(capped)
-	if err := capped.Put("k", make([]byte, 400)); err != nil {
+	if err := capped.Put(ctx, "k", make([]byte, 400)); err != nil {
 		t.Fatal(err)
 	}
 	_, _, free := r.Market()

@@ -9,10 +9,10 @@ import (
 // dimensions the paper prices: stored volume (GB-hours), bandwidth in/out
 // (GB) and operation count.
 type Usage struct {
-	StorageGBHours float64
-	BandwidthInGB  float64
-	BandwidthOutGB float64
-	Ops            int64
+	StorageGBHours float64 `json:"storageGBHours"`
+	BandwidthInGB  float64 `json:"bandwidthInGB"`
+	BandwidthOutGB float64 `json:"bandwidthOutGB"`
+	Ops            int64   `json:"ops"`
 }
 
 // Add accumulates other into u.

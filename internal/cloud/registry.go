@@ -91,6 +91,23 @@ func (r *Registry) Register(s Backend) {
 	r.mu.Unlock()
 }
 
+// RegisterIfAbsent adds a provider only when its name is free,
+// reporting whether it was added. Unlike Register it never replaces a
+// live backend — admin surfaces use it so a name collision cannot
+// silently orphan the chunks stored at the existing provider.
+func (r *Registry) RegisterIfAbsent(s Backend) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := s.Spec().Name
+	if _, exists := r.stores[name]; exists {
+		return false
+	}
+	r.stores[name] = s
+	r.bumpEpochLocked()
+	r.notifyLocked()
+	return true
+}
+
 // Deregister removes a provider (business exit / boycott). The store is
 // returned so callers can drain still-needed chunks.
 func (r *Registry) Deregister(name string) (Backend, bool) {

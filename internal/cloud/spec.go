@@ -31,10 +31,10 @@ const (
 // USD per GB for storage (per month) and bandwidth, USD per 1000 requests
 // for operations.
 type Pricing struct {
-	StorageGBMonth float64 // USD per GB-month stored
-	BandwidthInGB  float64 // USD per GB transferred in
-	BandwidthOutGB float64 // USD per GB transferred out
-	OpsPer1000     float64 // USD per 1000 operations
+	StorageGBMonth float64 `json:"storageGBMonth"` // USD per GB-month stored
+	BandwidthInGB  float64 `json:"bandwidthInGB"`  // USD per GB transferred in
+	BandwidthOutGB float64 `json:"bandwidthOutGB"` // USD per GB transferred out
+	OpsPer1000     float64 `json:"opsPer1000"`     // USD per 1000 operations
 }
 
 // HoursPerMonth converts GB-month storage prices to hourly accrual.
@@ -43,23 +43,23 @@ const HoursPerMonth = 730.0
 
 // Spec describes a storage provider: identity, SLA guarantees and prices.
 type Spec struct {
-	Name         string  // short label, e.g. "S3(h)"
-	Description  string  // human-readable description
-	Durability   float64 // SLA durability as a probability, e.g. 0.99999999999
-	Availability float64 // SLA availability as a probability, e.g. 0.999
-	Zones        []Zone
-	Pricing      Pricing
+	Name         string  `json:"name"`         // short label, e.g. "S3(h)"
+	Description  string  `json:"description"`  // human-readable description
+	Durability   float64 `json:"durability"`   // SLA durability as a probability, e.g. 0.99999999999
+	Availability float64 `json:"availability"` // SLA availability as a probability, e.g. 0.999
+	Zones        []Zone  `json:"zones,omitempty"`
+	Pricing      Pricing `json:"pricing"`
 	// MaxChunkBytes, when non-zero, is the provider's maximum object size.
 	// Algorithm 1 handles constrained providers by comparing the
 	// include-vs-exclude alternatives (paper §III-A2).
-	MaxChunkBytes int64
+	MaxChunkBytes int64 `json:"maxChunkBytes,omitempty"`
 	// CapacityBytes, when non-zero, bounds total stored bytes; used for
 	// private storage resources (§III-E) which "never grow beyond the
 	// limit set in the properties of the resource".
-	CapacityBytes int64
+	CapacityBytes int64 `json:"capacityBytes,omitempty"`
 	// Private marks corporate-owned resources registered through the
 	// private storage web service.
-	Private bool
+	Private bool `json:"private,omitempty"`
 }
 
 // String implements fmt.Stringer.

@@ -39,8 +39,8 @@ type plannerEntry struct {
 // PlannerStats reports cache effectiveness counters. Hits and Misses
 // are cumulative over the Planner's lifetime.
 type PlannerStats struct {
-	Hits   uint64
-	Misses uint64
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 }
 
 // NewPlanner creates a planner. periodHours is the sampling-period

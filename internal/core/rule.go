@@ -20,11 +20,11 @@ import (
 // the vendor lock-in factor obj[lockin] = 1/N_obj where N_obj is the
 // minimum number of distinct providers (paper Eq. 1 and Fig. 2).
 type Rule struct {
-	Name         string
-	Durability   float64      // minimum durability, e.g. 0.99999
-	Availability float64      // minimum availability, e.g. 0.9999
-	Zones        []cloud.Zone // acceptable zones; empty = all
-	LockIn       float64      // max lock-in factor in (0,1]; 1 = single provider OK
+	Name         string       `json:"name"`
+	Durability   float64      `json:"durability"`      // minimum durability, e.g. 0.99999
+	Availability float64      `json:"availability"`    // minimum availability, e.g. 0.9999
+	Zones        []cloud.Zone `json:"zones,omitempty"` // acceptable zones; empty = all
+	LockIn       float64      `json:"lockIn"`          // max lock-in factor in (0,1]; 1 = single provider OK
 }
 
 // Validation errors.

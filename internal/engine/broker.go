@@ -1,9 +1,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"scalia/internal/cache"
 	"scalia/internal/cloud"
@@ -12,6 +16,11 @@ import (
 	"scalia/internal/stats"
 	"scalia/internal/trend"
 )
+
+// DefaultStripeBytes is the default streaming stripe size: objects
+// larger than this are erasure-coded stripe by stripe so the serving
+// path never buffers a whole object.
+const DefaultStripeBytes = 4 << 20
 
 // Config configures a Broker deployment.
 type Config struct {
@@ -46,6 +55,10 @@ type Config struct {
 	MigrationHorizon int
 	// Pruned selects the heuristic placement search.
 	Pruned bool
+	// StripeBytes bounds the per-stripe payload of streaming reads and
+	// writes (default DefaultStripeBytes). Smaller stripes lower the
+	// serving path's memory ceiling at the cost of more provider ops.
+	StripeBytes int64
 }
 
 func (c *Config) fill() {
@@ -72,6 +85,9 @@ func (c *Config) fill() {
 	}
 	if c.DecisionPeriod <= 0 {
 		c.DecisionPeriod = core.DefaultDecisionPeriod
+	}
+	if c.StripeBytes <= 0 {
+		c.StripeBytes = DefaultStripeBytes
 	}
 }
 
@@ -100,12 +116,46 @@ type Broker struct {
 	// cached per (market epoch, rule fingerprint), used by every engine
 	// for Put, re-optimization, decision coupling and repair.
 	planner *core.Planner
+	// next drives NextEngine's round-robin. The facade and the HTTP
+	// gateway share this one counter, so mixed embedded/remote traffic
+	// still spreads evenly across all engines of all datacenters.
+	next atomic.Uint64
+	// rowLocks serialize the precondition-check-and-commit step of
+	// conditional writes per metadata row (striped to bound memory), so
+	// two concurrent If-Match / create-only operations cannot both pass
+	// the check and clobber each other. The scope is one process; cross-
+	// datacenter concurrency remains last-write-wins MVCC (§III-D3).
+	rowLocks [rowLockStripes]sync.Mutex
 
 	mu        sync.Mutex
 	lastOpt   int64
 	pending   []pendingDelete
 	decisions map[string]*core.DecisionController
 	placement map[string]core.Placement // object -> current placement
+	totals    OptimizeTotals
+}
+
+// OptimizeTotals accumulates optimization activity over the broker's
+// lifetime; the gateway surfaces it on GET /v1/stats.
+type OptimizeTotals struct {
+	Rounds       int     `json:"rounds"`
+	Scanned      int     `json:"scanned"`
+	TrendChanged int     `json:"trendChanged"`
+	Recomputed   int     `json:"recomputed"`
+	Migrated     int     `json:"migrated"`
+	MigrationUSD float64 `json:"migrationUSD"`
+	Evaluated    int     `json:"evaluated"`
+}
+
+// rowLockStripes sizes the striped row-lock table.
+const rowLockStripes = 64
+
+// rowLock returns the stripe lock guarding a metadata row's
+// check-and-commit step.
+func (b *Broker) rowLock(row string) *sync.Mutex {
+	h := fnv.New32a()
+	h.Write([]byte(row)) //nolint:errcheck
+	return &b.rowLocks[h.Sum32()%rowLockStripes]
 }
 
 // NewBroker builds a deployment from cfg.
@@ -155,6 +205,36 @@ func (b *Broker) Engines() []*Engine { return b.engines }
 // Engine returns engine i (requests are routed to engines indifferently;
 // callers may pick any).
 func (b *Broker) Engine(i int) *Engine { return b.engines[i%len(b.engines)] }
+
+// NextEngine returns the next engine round-robin across all engines of
+// all datacenters, matching the paper's "requests are routed to all
+// datacenters indifferently". The counter is atomic: requests may race
+// from many goroutines, and the modulo happens on the uint64 so the
+// index never goes negative.
+func (b *Broker) NextEngine() *Engine {
+	n := b.next.Add(1) - 1
+	return b.engines[n%uint64(len(b.engines))]
+}
+
+// OptimizeTotals returns the cumulative optimization counters.
+func (b *Broker) OptimizeTotals() OptimizeTotals {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.totals
+}
+
+// recordOptimize folds one round's report into the lifetime totals.
+func (b *Broker) recordOptimize(rep OptimizeReport) {
+	b.mu.Lock()
+	b.totals.Rounds++
+	b.totals.Scanned += rep.Scanned
+	b.totals.TrendChanged += rep.TrendChanged
+	b.totals.Recomputed += rep.Recomputed
+	b.totals.Migrated += rep.Migrated
+	b.totals.MigrationUSD += rep.MigrationUSD
+	b.totals.Evaluated += rep.Evaluated
+	b.mu.Unlock()
+}
 
 // Registry exposes the provider registry.
 func (b *Broker) Registry() *cloud.Registry { return b.registry }
@@ -235,8 +315,9 @@ func (b *Broker) PendingDeletes() int {
 }
 
 // ProcessPendingDeletes retries postponed deletions against recovered
-// providers; it returns how many completed.
-func (b *Broker) ProcessPendingDeletes() int {
+// providers; it returns how many completed. Cancelling ctx stops the
+// scan; unprocessed deletions stay queued.
+func (b *Broker) ProcessPendingDeletes(ctx context.Context) int {
 	b.mu.Lock()
 	pending := b.pending
 	b.pending = nil
@@ -244,13 +325,17 @@ func (b *Broker) ProcessPendingDeletes() int {
 
 	done := 0
 	var still []pendingDelete
-	for _, pd := range pending {
+	for i, pd := range pending {
+		if ctx.Err() != nil {
+			still = append(still, pending[i:]...)
+			break
+		}
 		store, ok := b.registry.Store(pd.Provider)
 		if !ok {
 			done++ // provider left the market; nothing to delete
 			continue
 		}
-		if err := store.Delete(pd.ChunkKey); err == nil {
+		if err := store.Delete(ctx, pd.ChunkKey); err == nil {
 			done++
 		} else {
 			still = append(still, pd)
@@ -287,7 +372,8 @@ func (b *Broker) removeIndex(dc, container, key, uuid string, ts int64) error {
 	})
 }
 
-// listContainer returns the keys of a container from the dc's node.
+// listContainer returns the keys of a container from the dc's node,
+// sorted so pagination cursors are stable.
 func (b *Broker) listContainer(dc, container string) ([]string, error) {
 	node := b.meta.Store(dc)
 	if node == nil {
@@ -300,5 +386,6 @@ func (b *Broker) listContainer(dc, container string) ([]string, error) {
 			keys = append(keys, strings.TrimPrefix(row, prefix))
 		}
 	}
+	sort.Strings(keys)
 	return keys, nil
 }

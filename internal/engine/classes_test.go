@@ -21,7 +21,7 @@ func TestClassStatsImproveFirstPlacement(t *testing.T) {
 
 	// A cold object with no class history lands on the storage-optimal
 	// wide set (high m).
-	coldMeta, err := e.Put("pics", "first.gif", make([]byte, 256<<10),
+	coldMeta, err := e.Put(ctx, "pics", "first.gif", make([]byte, 256<<10),
 		PutOptions{MIME: "image/gif", Rule: &rule})
 	if err != nil {
 		t.Fatal(err)
@@ -33,7 +33,7 @@ func TestClassStatsImproveFirstPlacement(t *testing.T) {
 	// Train the class: many popular images of the same class.
 	for i := 0; i < 10; i++ {
 		key := fmt.Sprintf("train%d.gif", i)
-		if _, err := e.Put("pics", key, make([]byte, 256<<10),
+		if _, err := e.Put(ctx, "pics", key, make([]byte, 256<<10),
 			PutOptions{MIME: "image/gif", Rule: &rule}); err != nil {
 			t.Fatal(err)
 		}
@@ -43,7 +43,7 @@ func TestClassStatsImproveFirstPlacement(t *testing.T) {
 		for i := 0; i < 10; i++ {
 			key := fmt.Sprintf("train%d.gif", i)
 			for r := 0; r < 40; r++ {
-				if _, _, err := e.Get("pics", key); err != nil {
+				if _, _, err := e.Get(ctx, "pics", key); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -52,7 +52,7 @@ func TestClassStatsImproveFirstPlacement(t *testing.T) {
 	b.FlushStats()
 
 	// A brand-new object of the trained class must be born read-optimized.
-	newMeta, err := e.Put("pics", "fresh.gif", make([]byte, 256<<10),
+	newMeta, err := e.Put(ctx, "pics", "fresh.gif", make([]byte, 256<<10),
 		PutOptions{MIME: "image/gif", Rule: &rule})
 	if err != nil {
 		t.Fatal(err)
@@ -66,7 +66,7 @@ func TestClassStatsImproveFirstPlacement(t *testing.T) {
 	}
 
 	// A different class (different size bucket) is unaffected.
-	otherMeta, err := e.Put("pics", "huge.gif", make([]byte, 8<<20),
+	otherMeta, err := e.Put(ctx, "pics", "huge.gif", make([]byte, 8<<20),
 		PutOptions{MIME: "image/gif", Rule: &rule})
 	if err != nil {
 		t.Fatal(err)
@@ -86,19 +86,19 @@ func TestDeletionLifetimesFeedTTL(t *testing.T) {
 
 	for i := 0; i < 5; i++ {
 		key := fmt.Sprintf("tmp%d.log", i)
-		if _, err := e.Put("logs", key, make([]byte, 1024), PutOptions{MIME: "text/log"}); err != nil {
+		if _, err := e.Put(ctx, "logs", key, make([]byte, 1024), PutOptions{MIME: "text/log"}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	clock.Advance(6) // objects live 6 hours
 	for i := 0; i < 5; i++ {
-		if err := e.Delete("logs", fmt.Sprintf("tmp%d.log", i)); err != nil {
+		if err := e.Delete(ctx, "logs", fmt.Sprintf("tmp%d.log", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	b.FlushStats()
 
-	meta, err := e.Put("logs", "new.log", make([]byte, 1024), PutOptions{MIME: "text/log"})
+	meta, err := e.Put(ctx, "logs", "new.log", make([]byte, 1024), PutOptions{MIME: "text/log"})
 	if err != nil {
 		t.Fatal(err)
 	}

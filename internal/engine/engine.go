@@ -1,8 +1,14 @@
 package engine
 
 import (
+	"bytes"
+	"context"
+	"crypto/md5"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
+	"io"
 	"sort"
 	"sync"
 
@@ -13,11 +19,18 @@ import (
 	"scalia/internal/stats"
 )
 
-// Engine errors.
+// Engine errors. They are sentinel values so API layers can map them to
+// protocol status codes (the v1 gateway's statusFromErr).
 var (
 	ErrObjectNotFound  = errors.New("engine: object not found")
 	ErrChecksum        = errors.New("engine: checksum mismatch after reconstruction")
 	ErrNotEnoughChunks = errors.New("engine: not enough reachable chunks to reconstruct")
+	// ErrInvalidArgument marks malformed requests (missing container or
+	// key, negative size, short body); gateways map it to 400.
+	ErrInvalidArgument = errors.New("engine: invalid argument")
+	// ErrPreconditionFailed is returned when a conditional operation's
+	// expected ETag does not match the stored version; mapped to 412.
+	ErrPreconditionFailed = errors.New("engine: precondition failed")
 )
 
 // Engine is one stateless broker engine. All state lives in the shared
@@ -63,89 +76,185 @@ type PutOptions struct {
 	TTLHours float64
 	// Rule overrides rule resolution for this object.
 	Rule *core.Rule
+	// IfMatch, when non-empty, makes the write conditional: it succeeds
+	// only if the stored version's ETag equals IfMatch ("*" matches any
+	// existing version). A mismatch fails with ErrPreconditionFailed.
+	IfMatch string
+	// IfAbsent makes the write create-only: it fails with
+	// ErrPreconditionFailed when a live version already exists.
+	IfAbsent bool
 }
 
 // objectName joins container and key into the statistics identity.
 func objectName(container, key string) string { return container + "/" + key }
 
-// Put stores (or updates) an object: it picks the best provider set for
-// the object's class and rule, erasure-codes the payload into chunks,
-// writes them under a fresh UUID-derived storage key, records metadata
-// via MVCC, invalidates caches and logs statistics (§III-D1).
-func (e *Engine) Put(container, key string, data []byte, opts PutOptions) (ObjectMeta, error) {
+// Put stores (or updates) an object from an in-memory payload. It is a
+// thin compatibility wrapper over PutReader.
+func (e *Engine) Put(ctx context.Context, container, key string, data []byte, opts PutOptions) (ObjectMeta, error) {
+	return e.PutReader(ctx, container, key, bytes.NewReader(data), int64(len(data)), opts)
+}
+
+// PutReader stores (or updates) an object streamed from r: it picks the
+// best provider set for the object's class and rule, splits the body
+// into stripes of at most the deployment's stripe size, erasure-codes
+// each stripe into chunks written under a fresh UUID-derived storage
+// key, records metadata via MVCC, invalidates caches and logs
+// statistics (§III-D1). The body is never materialized whole: at most
+// one stripe is buffered at a time, so arbitrarily large objects stream
+// through in constant memory. size must be the exact body length.
+// Cancelling ctx aborts the in-flight chunk fan-out and rolls back the
+// chunks already written.
+func (e *Engine) PutReader(ctx context.Context, container, key string, r io.Reader, size int64, opts PutOptions) (ObjectMeta, error) {
 	if container == "" || key == "" {
-		return ObjectMeta{}, fmt.Errorf("engine: container and key are required")
+		return ObjectMeta{}, fmt.Errorf("%w: container and key are required", ErrInvalidArgument)
 	}
-	class := stats.ClassKey(opts.MIME, int64(len(data)))
+	if size < 0 {
+		return ObjectMeta{}, fmt.Errorf("%w: object size must be declared up front", ErrInvalidArgument)
+	}
+	class := stats.ClassKey(opts.MIME, size)
 	rule := e.b.rules.Resolve(container, key, class)
 	if opts.Rule != nil {
 		rule = *opts.Rule
+		if err := rule.Validate(); err != nil {
+			return ObjectMeta{}, err
+		}
 	}
 	obj := objectName(container, key)
 	now := e.b.clock.Period()
 
-	load := e.writeLoad(obj, class, int64(len(data)))
-	res, err := e.placeWithRetry(rule, load, int64(len(data)))
+	load := e.writeLoad(obj, class, size)
+	res, err := e.placeWithRetry(rule, load, size)
 	if err != nil {
 		return ObjectMeta{}, err
 	}
 
-	// Fetch previous version (if any) for post-write cleanup.
+	// Fast-fail the precondition before any chunk traffic; the
+	// authoritative check repeats under the row lock at commit time.
 	row := RowKey(container, key)
-	node := e.b.meta.Store(e.dc)
-	var prev *ObjectMeta
-	if v, losers, err := node.Get(row); err == nil {
-		if m, err := decodeMeta(v); err == nil {
-			prev = &m
-		}
-		e.cleanupVersions(losers)
+	prev, losers := e.currentVersion(row)
+	e.cleanupVersions(losers)
+	if err := checkWriteConditions(opts, prev); err != nil {
+		return ObjectMeta{}, err
 	}
 
 	uuid := NewUUID()
 	meta := ObjectMeta{
-		Container: container,
-		Key:       key,
-		MIME:      opts.MIME,
-		Size:      int64(len(data)),
-		Checksum:  Checksum(data),
-		RuleName:  rule.Name,
-		Class:     class,
-		SKey:      StorageKey(container, key, uuid),
-		M:         res.Placement.M,
-		UUID:      uuid,
-		TTLHours:  opts.TTLHours,
-		CreatedAt: now,
+		Container:   container,
+		Key:         key,
+		MIME:        opts.MIME,
+		Size:        size,
+		RuleName:    rule.Name,
+		Class:       class,
+		SKey:        StorageKey(container, key, uuid),
+		M:           res.Placement.M,
+		UUID:        uuid,
+		TTLHours:    opts.TTLHours,
+		CreatedAt:   now,
+		Stripes:     stripeCount(size, e.b.cfg.StripeBytes),
+		StripeBytes: e.b.cfg.StripeBytes,
+	}
+	if err := e.writeChunksStream(ctx, &meta, res.Placement, r); err != nil {
+		return ObjectMeta{}, err
+	}
+
+	// Commit under the row lock: re-read the stored version and re-check
+	// the precondition so two concurrent conditional writes cannot both
+	// pass the check-then-act window. The body transfer above runs
+	// unlocked; only the metadata commit serializes.
+	lk := e.b.rowLock(row)
+	lk.Lock()
+	prev, losers = e.currentVersion(row)
+	if err := checkWriteConditions(opts, prev); err != nil {
+		lk.Unlock()
+		e.deleteChunks(meta) // the loser's chunks, written above
+		e.cleanupVersions(losers)
+		return ObjectMeta{}, err
 	}
 	if prev != nil {
 		meta.CreatedAt = prev.CreatedAt
 	}
-	if err := e.writeChunks(&meta, res.Placement, data); err != nil {
-		return ObjectMeta{}, err
-	}
-
 	ts := e.b.clock.Timestamp()
 	version, err := encodeMeta(meta, ts)
 	if err != nil {
+		lk.Unlock()
+		e.deleteChunks(meta) // commit never happened; reclaim the chunks
 		return ObjectMeta{}, err
 	}
 	if err := e.b.meta.Put(e.dc, row, version); err != nil {
+		lk.Unlock()
+		e.deleteChunks(meta)
 		return ObjectMeta{}, fmt.Errorf("engine: metadata write: %w", err)
 	}
 	if err := e.b.writeIndex(e.dc, container, key, uuid, ts); err != nil {
+		// The object itself committed; only the listing entry failed.
+		// Keep the chunks — deleting them now would corrupt a readable
+		// object.
+		lk.Unlock()
 		return ObjectMeta{}, err
 	}
+	lk.Unlock()
 
-	// Update is in place: discard the superseded version's chunks.
+	// Update is in place: discard the superseded version's chunks
+	// (outside the lock — chunk deletion may hit remote providers).
 	if prev != nil {
 		e.deleteChunks(*prev)
 	}
+	e.cleanupVersions(losers)
 	e.b.caches.InvalidateAll(obj)
 	e.b.setPlacement(obj, res.Placement)
 	e.agent.Log(stats.Event{
 		Object: obj, Class: class, Kind: stats.EventWrite,
-		Bytes: int64(len(data)), StorageBytes: int64(len(data)), Period: now,
+		Bytes: size, StorageBytes: size, Period: now,
 	})
 	return meta, nil
+}
+
+// currentVersion reads a row's live version. Conflict losers are
+// returned for the caller to clean up outside any row lock (their
+// chunk deletions may hit remote providers).
+func (e *Engine) currentVersion(row string) (prev *ObjectMeta, losers []metadata.Version) {
+	node := e.b.meta.Store(e.dc)
+	v, losers, err := node.Get(row)
+	if err != nil {
+		return nil, nil
+	}
+	if m, err := decodeMeta(v); err == nil {
+		prev = &m
+	}
+	return prev, losers
+}
+
+// checkWriteConditions evaluates a write's If-Match / create-only
+// preconditions against the stored version (nil = absent).
+func checkWriteConditions(opts PutOptions, prev *ObjectMeta) error {
+	if opts.IfAbsent && prev != nil {
+		return fmt.Errorf("%w: object already exists", ErrPreconditionFailed)
+	}
+	return checkPrecondition(opts.IfMatch, prev)
+}
+
+// checkPrecondition evaluates an If-Match condition against the stored
+// version (nil = absent).
+func checkPrecondition(ifMatch string, prev *ObjectMeta) error {
+	if ifMatch == "" {
+		return nil
+	}
+	if prev == nil {
+		return fmt.Errorf("%w: no stored version to match", ErrPreconditionFailed)
+	}
+	if ifMatch != "*" && ifMatch != prev.ETag() && ifMatch != prev.Checksum {
+		return fmt.Errorf("%w: stored version is %s", ErrPreconditionFailed, prev.ETag())
+	}
+	return nil
+}
+
+// stripeCount returns how many stripes an object of the given size
+// occupies under the configured stripe size (at least 1).
+func stripeCount(size, stripeBytes int64) int {
+	if stripeBytes <= 0 || size <= stripeBytes {
+		return 1
+	}
+	return int((size + stripeBytes - 1) / stripeBytes)
 }
 
 // writeLoad builds the pricing summary for a write: the object's own
@@ -228,39 +337,126 @@ func removeSpec(specs []cloud.Spec, name string) []cloud.Spec {
 	return out
 }
 
-// writeChunks encodes data with (m, n) from the placement and stores one
-// chunk per provider; on an individual failure it returns an error (the
-// caller's placement retry handles exclusion).
-func (e *Engine) writeChunks(meta *ObjectMeta, p core.Placement, data []byte) error {
+// writeChunksStream reads the body stripe by stripe, erasure-codes each
+// stripe with (m, n) from the placement, and fans the chunk writes out
+// to the providers in parallel goroutines. The object's checksum is
+// computed as the body streams through and stored into meta. On any
+// failure — including ctx cancellation mid-fan-out — every chunk
+// already written is rolled back.
+func (e *Engine) writeChunksStream(ctx context.Context, meta *ObjectMeta, p core.Placement, r io.Reader) error {
 	coder, err := erasure.New(p.M, p.N())
 	if err != nil {
 		return err
 	}
-	chunks, err := coder.Encode(data)
-	if err != nil {
-		return err
-	}
+	stores := make([]cloud.Backend, p.N())
 	meta.Chunks = make([]string, p.N())
 	for i, spec := range p.Providers {
 		store, ok := e.b.registry.Store(spec.Name)
 		if !ok {
 			return fmt.Errorf("engine: provider %s vanished", spec.Name)
 		}
-		if err := store.Put(ChunkKey(meta.SKey, i), chunks[i]); err != nil {
-			// Roll back already written chunks; postpone if unreachable.
-			for j := 0; j < i; j++ {
-				e.deleteChunkAt(meta.Chunks[j], ChunkKey(meta.SKey, j))
-			}
-			return fmt.Errorf("engine: chunk write to %s: %w", spec.Name, err)
-		}
+		stores[i] = store
 		meta.Chunks[i] = spec.Name
 	}
+
+	sum := md5.New()
+	stripes := meta.StripeCount()
+	var buf []byte
+	for s := 0; s < stripes; s++ {
+		if err := ctx.Err(); err != nil {
+			e.rollbackStripes(*meta, s)
+			return err
+		}
+		plen := meta.stripeLen(s)
+		if int64(cap(buf)) < plen {
+			buf = make([]byte, plen)
+		}
+		buf = buf[:plen]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			e.rollbackStripes(*meta, s)
+			// A short body is the caller's mistake; any other read error
+			// (source-provider failure during migrate, client disconnect)
+			// keeps its own identity for status mapping.
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return fmt.Errorf("%w: body ended before the declared size", ErrInvalidArgument)
+			}
+			return fmt.Errorf("engine: object body read: %w", err)
+		}
+		sum.Write(buf)
+		chunks, err := coder.Encode(buf)
+		if err != nil {
+			e.rollbackStripes(*meta, s)
+			return err
+		}
+		if err := e.fanOutStripe(ctx, stores, *meta, s, chunks); err != nil {
+			e.rollbackStripes(*meta, s+1)
+			return err
+		}
+	}
+	meta.Checksum = hex.EncodeToString(sum.Sum(nil))
 	return nil
 }
 
-// Get serves an object: cache first, otherwise reconstruct from the m
-// cheapest reachable chunks, fill the cache and log the read (§III-D2).
-func (e *Engine) Get(container, key string) ([]byte, ObjectMeta, error) {
+// fanOutStripe writes one stripe's n chunks to their providers
+// concurrently. The first error (a provider failure or ctx
+// cancellation) is returned; the remaining writes run to completion so
+// rollback sees a consistent picture.
+func (e *Engine) fanOutStripe(ctx context.Context, stores []cloud.Backend, meta ObjectMeta, s int, chunks [][]byte) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(stores))
+	for i := range stores {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := stores[i].Put(ctx, meta.chunkKey(s, i), chunks[i]); err != nil {
+				errs[i] = fmt.Errorf("engine: chunk write to %s: %w", meta.Chunks[i], err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// rollbackStripes best-effort deletes the chunks of stripes [0, upto).
+// Cleanup runs detached from the request context: a cancelled request
+// must still release the chunks it managed to write.
+func (e *Engine) rollbackStripes(meta ObjectMeta, upto int) {
+	for s := 0; s < upto; s++ {
+		for i, name := range meta.Chunks {
+			e.deleteChunkAt(name, meta.chunkKey(s, i))
+		}
+	}
+}
+
+// Get serves an object fully buffered: cache first, otherwise
+// reconstruct from the m cheapest reachable chunks, fill the cache and
+// log the read (§III-D2). It is a thin wrapper over GetReader; since
+// the payload is materialized anyway, multi-stripe objects are cached
+// here too (the streaming path caches only single-stripe objects).
+func (e *Engine) Get(ctx context.Context, container, key string) ([]byte, ObjectMeta, error) {
+	rc, meta, err := e.GetReader(ctx, container, key)
+	if err != nil {
+		return nil, ObjectMeta{}, err
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		return nil, ObjectMeta{}, err
+	}
+	if _, streamed := rc.(*objectReader); streamed && meta.StripeCount() > 1 {
+		e.b.caches.Put(e.dc, objectName(container, key), data)
+	}
+	return data, meta, nil
+}
+
+// GetReader serves an object as a stream: the cache is consulted first;
+// otherwise stripes are fetched from the m cheapest reachable providers
+// and decoded one at a time, so the serving path holds at most one
+// stripe in memory. The first stripe is fetched eagerly so placement
+// and availability errors surface on the call itself rather than
+// mid-stream; the content checksum is verified as the last stripe
+// drains. Cancelling ctx aborts in-flight chunk fetches.
+func (e *Engine) GetReader(ctx context.Context, container, key string) (io.ReadCloser, ObjectMeta, error) {
 	obj := objectName(container, key)
 	row := RowKey(container, key)
 	node := e.b.meta.Store(e.dc)
@@ -283,26 +479,52 @@ func (e *Engine) Get(container, key string) ([]byte, ObjectMeta, error) {
 			Object: obj, Class: meta.Class, Kind: stats.EventRead,
 			Bytes: int64(len(data)), StorageBytes: meta.Size, Period: now,
 		})
-		return data, meta, nil
+		return io.NopCloser(bytes.NewReader(data)), meta, nil
 	}
 
-	data, err := e.fetchAndDecode(meta)
+	// The read event is logged by the reader itself once the stream
+	// completes (or with the bytes actually fetched, on early Close), so
+	// aborted downloads do not inflate the statistics that drive
+	// placement.
+	or, err := e.openObjectReader(ctx, meta, true)
 	if err != nil {
 		return nil, ObjectMeta{}, err
 	}
-	e.b.caches.Put(e.dc, obj, data)
-	e.agent.Log(stats.Event{
-		Object: obj, Class: meta.Class, Kind: stats.EventRead,
-		Bytes: int64(len(data)), StorageBytes: meta.Size, Period: now,
-	})
-	return data, meta, nil
+	return or, meta, nil
 }
 
-// fetchAndDecode retrieves m chunks, preferring the cheapest providers,
-// and reassembles the object. Unreachable providers are skipped as long
-// as m chunks remain (§III-D3 read-path error handling).
-func (e *Engine) fetchAndDecode(meta ObjectMeta) ([]byte, error) {
+// objectReader streams a stored object stripe by stripe.
+type objectReader struct {
+	e    *Engine
+	ctx  context.Context
+	meta ObjectMeta
+	// order ranks chunk indexes by marginal read cost at their provider,
+	// cheapest first; computed once at open.
+	order []int
+	coder *erasure.Coder
+	sum   hash.Hash
+	// userRead marks a client-facing stream: it fills the read cache
+	// (single-stripe objects) and logs the read event on completion.
+	// Internal streams (migration, repair) do neither.
+	userRead bool
+
+	stripe  int    // next stripe to fetch
+	cur     []byte // decoded, unconsumed bytes of the current stripe
+	fetched int64  // payload bytes decoded so far
+	logged  bool   // read event emitted
+	err     error  // sticky terminal state (io.EOF after full drain)
+}
+
+// openObjectReader builds the stripe stream and eagerly fetches the
+// first stripe so placement and availability errors surface at open.
+// userRead selects client-read semantics: cache fill (single-stripe
+// objects, preserving the pre-streaming caching behavior) and a read
+// statistics event when the stream completes.
+func (e *Engine) openObjectReader(ctx context.Context, meta ObjectMeta, userRead bool) (*objectReader, error) {
 	n := len(meta.Chunks)
+	// One coder serves every stripe of the stream: it depends only on
+	// (m, n), and rebuilding the generator matrix per stripe would put
+	// a matrix inversion on the hot read path.
 	coder, err := erasure.New(meta.M, n)
 	if err != nil {
 		return nil, err
@@ -312,8 +534,8 @@ func (e *Engine) fetchAndDecode(meta ObjectMeta) ([]byte, error) {
 		idx  int
 		cost float64
 	}
-	order := make([]ranked, 0, n)
 	chunkGB := cloud.GB((meta.Size + int64(meta.M) - 1) / int64(meta.M))
+	order := make([]ranked, 0, n)
 	for i, name := range meta.Chunks {
 		store, ok := e.b.registry.Store(name)
 		if !ok || !store.Available() {
@@ -332,62 +554,163 @@ func (e *Engine) fetchAndDecode(meta ObjectMeta) ([]byte, error) {
 		}
 		return order[i].idx < order[j].idx
 	})
+	idxs := make([]int, len(order))
+	for i, r := range order {
+		idxs[i] = r.idx
+	}
+	or := &objectReader{e: e, ctx: ctx, meta: meta, order: idxs, coder: coder, sum: md5.New(), userRead: userRead}
+	if err := or.fetchStripe(); err != nil {
+		return nil, err
+	}
+	if userRead && meta.StripeCount() == 1 {
+		e.b.caches.Put(e.dc, objectName(meta.Container, meta.Key), or.cur)
+	}
+	return or, nil
+}
 
-	chunks := make([][]byte, n)
+// fetchStripe retrieves and decodes the next stripe into or.cur, and
+// verifies the object checksum after the last stripe.
+func (or *objectReader) fetchStripe() error {
+	meta := or.meta
+	s := or.stripe
+	chunks := make([][]byte, len(meta.Chunks))
 	got := 0
-	for _, r := range order {
+	for _, idx := range or.order {
 		if got >= meta.M {
 			break
 		}
-		store, _ := e.b.registry.Store(meta.Chunks[r.idx])
-		data, err := store.Get(ChunkKey(meta.SKey, r.idx))
+		if err := or.ctx.Err(); err != nil {
+			return err
+		}
+		store, ok := or.e.b.registry.Store(meta.Chunks[idx])
+		if !ok {
+			continue
+		}
+		data, err := store.Get(or.ctx, meta.chunkKey(s, idx))
 		if err != nil {
+			if or.ctx.Err() != nil {
+				return or.ctx.Err()
+			}
 			continue // provider failed between ranking and fetch
 		}
-		chunks[r.idx] = data
+		chunks[idx] = data
 		got++
 	}
 	if got < meta.M {
-		return nil, fmt.Errorf("%w: fetched %d, need %d", ErrNotEnoughChunks, got, meta.M)
+		return fmt.Errorf("%w: fetched %d, need %d", ErrNotEnoughChunks, got, meta.M)
 	}
-	data, err := coder.Decode(chunks, int(meta.Size))
+	plen := meta.stripeLen(s)
+	data, err := or.coder.Decode(chunks, int(plen))
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if Checksum(data) != meta.Checksum {
-		return nil, ErrChecksum
+	or.sum.Write(data)
+	or.stripe++
+	if or.stripe >= meta.StripeCount() &&
+		hex.EncodeToString(or.sum.Sum(nil)) != meta.Checksum {
+		// Do not hand the condemned stripe to the caller: a Read retried
+		// after ErrChecksum must not serve corrupted bytes.
+		return ErrChecksum
 	}
-	return data, nil
+	or.cur = data
+	or.fetched += plen
+	return nil
+}
+
+// Read implements io.Reader.
+func (or *objectReader) Read(p []byte) (int, error) {
+	for len(or.cur) == 0 {
+		if or.err != nil {
+			return 0, or.err
+		}
+		if or.stripe >= or.meta.StripeCount() {
+			or.err = io.EOF
+			or.logRead()
+			return 0, io.EOF
+		}
+		if err := or.fetchStripe(); err != nil {
+			or.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, or.cur)
+	or.cur = or.cur[n:]
+	return n, nil
+}
+
+// Close implements io.Closer; further Reads fail. A stream closed
+// before draining logs the bytes actually fetched, not the full size.
+func (or *objectReader) Close() error {
+	if or.err == nil {
+		or.err = errors.New("engine: object stream closed")
+	}
+	or.cur = nil
+	or.logRead()
+	return nil
+}
+
+// logRead emits the read statistics event exactly once per user-facing
+// stream, with the payload bytes that were actually fetched from the
+// providers — an aborted download must not inflate the access
+// statistics that drive placement.
+func (or *objectReader) logRead() {
+	if !or.userRead || or.logged {
+		return
+	}
+	or.logged = true
+	e, meta := or.e, or.meta
+	e.agent.Log(stats.Event{
+		Object: objectName(meta.Container, meta.Key), Class: meta.Class,
+		Kind: stats.EventRead, Bytes: or.fetched, StorageBytes: meta.Size,
+		Period: e.b.clock.Period(),
+	})
 }
 
 // Delete removes an object: tombstones its metadata, deletes chunks
 // (postponing those at faulty providers), invalidates caches and logs
-// the deletion for lifetime statistics.
-func (e *Engine) Delete(container, key string) error {
-	obj := objectName(container, key)
-	row := RowKey(container, key)
-	node := e.b.meta.Store(e.dc)
-	v, losers, err := node.Get(row)
-	if err != nil {
-		if errors.Is(err, metadata.ErrRowNotFound) {
-			return ErrObjectNotFound
-		}
+// the deletion for lifetime statistics. A non-empty ifMatch in opts
+// makes the delete conditional on the stored ETag.
+func (e *Engine) Delete(ctx context.Context, container, key string) error {
+	return e.DeleteIf(ctx, container, key, "")
+}
+
+// DeleteIf is Delete with an optional If-Match precondition ("" = none).
+// The precondition check and the tombstone write run under the row
+// lock, so a concurrent conditional write cannot slip between them.
+func (e *Engine) DeleteIf(ctx context.Context, container, key, ifMatch string) error {
+	if err := ctx.Err(); err != nil {
 		return err
 	}
-	e.cleanupVersions(losers)
-	meta, err := decodeMeta(v)
-	if err != nil {
+	obj := objectName(container, key)
+	row := RowKey(container, key)
+
+	lk := e.b.rowLock(row)
+	lk.Lock()
+	prev, losers := e.currentVersion(row)
+	if prev == nil {
+		lk.Unlock()
+		e.cleanupVersions(losers)
+		return ErrObjectNotFound
+	}
+	if err := checkPrecondition(ifMatch, prev); err != nil {
+		lk.Unlock()
+		e.cleanupVersions(losers)
 		return err
 	}
 	ts := e.b.clock.Timestamp()
 	if err := e.b.meta.Put(e.dc, row, metadata.Version{
 		UUID: NewUUID(), Timestamp: ts, Deleted: true,
 	}); err != nil {
+		lk.Unlock()
 		return err
 	}
 	if err := e.b.removeIndex(e.dc, container, key, NewUUID(), ts); err != nil {
+		lk.Unlock()
 		return err
 	}
+	lk.Unlock()
+	e.cleanupVersions(losers)
+	meta := *prev
 	e.deleteChunks(meta)
 	e.b.caches.InvalidateAll(obj)
 	e.b.dropPlacement(obj)
@@ -398,13 +721,19 @@ func (e *Engine) Delete(container, key string) error {
 	return nil
 }
 
-// List returns the keys stored in a container.
-func (e *Engine) List(container string) ([]string, error) {
+// List returns the keys stored in a container, sorted.
+func (e *Engine) List(ctx context.Context, container string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return e.b.listContainer(e.dc, container)
 }
 
 // Head returns an object's metadata without transferring the payload.
-func (e *Engine) Head(container, key string) (ObjectMeta, error) {
+func (e *Engine) Head(ctx context.Context, container, key string) (ObjectMeta, error) {
+	if err := ctx.Err(); err != nil {
+		return ObjectMeta{}, err
+	}
 	node := e.b.meta.Store(e.dc)
 	v, losers, err := node.Get(RowKey(container, key))
 	if err != nil {
@@ -417,20 +746,24 @@ func (e *Engine) Head(container, key string) (ObjectMeta, error) {
 	return decodeMeta(v)
 }
 
-// deleteChunks removes every chunk of a version, postponing deletions at
-// unreachable providers.
+// deleteChunks removes every chunk of every stripe of a version,
+// postponing deletions at unreachable providers.
 func (e *Engine) deleteChunks(meta ObjectMeta) {
-	for i, name := range meta.Chunks {
-		e.deleteChunkAt(name, ChunkKey(meta.SKey, i))
+	for s := 0; s < meta.StripeCount(); s++ {
+		for i, name := range meta.Chunks {
+			e.deleteChunkAt(name, meta.chunkKey(s, i))
+		}
 	}
 }
 
+// deleteChunkAt removes one chunk. Chunk deletion is cleanup that must
+// survive request cancellation, so it runs on a background context.
 func (e *Engine) deleteChunkAt(provider, chunkKey string) {
 	store, ok := e.b.registry.Store(provider)
 	if !ok {
 		return // provider gone; chunks die with it
 	}
-	if err := store.Delete(chunkKey); err != nil {
+	if err := store.Delete(context.Background(), chunkKey); err != nil {
 		if errors.Is(err, cloud.ErrUnavailable) {
 			e.b.enqueuePendingDelete(provider, chunkKey)
 		}

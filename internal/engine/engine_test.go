@@ -2,14 +2,19 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"scalia/internal/cloud"
 	"scalia/internal/core"
 	"scalia/internal/stats"
 )
+
+var ctx = context.Background()
 
 // blob fetches a simulated provider for failure injection and
 // inspection in tests.
@@ -33,14 +38,14 @@ func TestPutGetRoundTrip(t *testing.T) {
 	b := newTestBroker(t, Config{})
 	e := b.Engine(0)
 	payload := bytes.Repeat([]byte("scalia"), 1000)
-	meta, err := e.Put("pics", "vacation.gif", payload, PutOptions{MIME: "image/gif"})
+	meta, err := e.Put(ctx, "pics", "vacation.gif", payload, PutOptions{MIME: "image/gif"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if meta.M < 1 || len(meta.Chunks) < meta.M {
 		t.Fatalf("bad placement meta: %+v", meta)
 	}
-	got, gotMeta, err := e.Get("pics", "vacation.gif")
+	got, gotMeta, err := e.Get(ctx, "pics", "vacation.gif")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,24 +59,24 @@ func TestPutGetRoundTrip(t *testing.T) {
 
 func TestGetMissing(t *testing.T) {
 	b := newTestBroker(t, Config{})
-	if _, _, err := b.Engine(0).Get("c", "nope"); !errors.Is(err, ErrObjectNotFound) {
+	if _, _, err := b.Engine(0).Get(ctx, "c", "nope"); !errors.Is(err, ErrObjectNotFound) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestPutValidation(t *testing.T) {
 	b := newTestBroker(t, Config{})
-	if _, err := b.Engine(0).Put("", "k", nil, PutOptions{}); err == nil {
+	if _, err := b.Engine(0).Put(ctx, "", "k", nil, PutOptions{}); err == nil {
 		t.Fatal("empty container must fail")
 	}
-	if _, err := b.Engine(0).Put("c", "", nil, PutOptions{}); err == nil {
+	if _, err := b.Engine(0).Put(ctx, "c", "", nil, PutOptions{}); err == nil {
 		t.Fatal("empty key must fail")
 	}
 }
 
 func TestChunksLandOnDistinctProviders(t *testing.T) {
 	b := newTestBroker(t, Config{})
-	meta, err := b.Engine(0).Put("c", "k", make([]byte, 4096), PutOptions{})
+	meta, err := b.Engine(0).Put(ctx, "c", "k", make([]byte, 4096), PutOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +96,11 @@ func TestChunksLandOnDistinctProviders(t *testing.T) {
 func TestUpdateReplacesChunks(t *testing.T) {
 	b := newTestBroker(t, Config{})
 	e := b.Engine(0)
-	m1, err := e.Put("c", "k", []byte("version-one"), PutOptions{})
+	m1, err := e.Put(ctx, "c", "k", []byte("version-one"), PutOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := e.Put("c", "k", []byte("version-two"), PutOptions{})
+	m2, err := e.Put(ctx, "c", "k", []byte("version-two"), PutOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +110,11 @@ func TestUpdateReplacesChunks(t *testing.T) {
 	// Old chunks must be gone.
 	for i, name := range m1.Chunks {
 		store, _ := b.Registry().Store(name)
-		if _, err := store.Get(ChunkKey(m1.SKey, i)); err == nil {
+		if _, err := store.Get(ctx, ChunkKey(m1.SKey, i)); err == nil {
 			t.Fatalf("stale chunk %d at %s survived the update", i, name)
 		}
 	}
-	got, _, err := e.Get("c", "k")
+	got, _, err := e.Get(ctx, "c", "k")
 	if err != nil || string(got) != "version-two" {
 		t.Fatalf("Get = %q, %v", got, err)
 	}
@@ -118,24 +123,24 @@ func TestUpdateReplacesChunks(t *testing.T) {
 func TestDeleteRemovesEverything(t *testing.T) {
 	b := newTestBroker(t, Config{})
 	e := b.Engine(0)
-	meta, _ := e.Put("c", "k", []byte("payload"), PutOptions{})
-	if err := e.Delete("c", "k"); err != nil {
+	meta, _ := e.Put(ctx, "c", "k", []byte("payload"), PutOptions{})
+	if err := e.Delete(ctx, "c", "k"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := e.Get("c", "k"); !errors.Is(err, ErrObjectNotFound) {
+	if _, _, err := e.Get(ctx, "c", "k"); !errors.Is(err, ErrObjectNotFound) {
 		t.Fatalf("Get after delete: %v", err)
 	}
 	for i, name := range meta.Chunks {
 		store, _ := b.Registry().Store(name)
-		if _, err := store.Get(ChunkKey(meta.SKey, i)); err == nil {
+		if _, err := store.Get(ctx, ChunkKey(meta.SKey, i)); err == nil {
 			t.Fatalf("chunk %d at %s survived deletion", i, name)
 		}
 	}
-	keys, _ := e.List("c")
+	keys, _ := e.List(ctx, "c")
 	if len(keys) != 0 {
 		t.Fatalf("List after delete = %v", keys)
 	}
-	if err := e.Delete("c", "k"); !errors.Is(err, ErrObjectNotFound) {
+	if err := e.Delete(ctx, "c", "k"); !errors.Is(err, ErrObjectNotFound) {
 		t.Fatalf("double delete: %v", err)
 	}
 }
@@ -143,10 +148,10 @@ func TestDeleteRemovesEverything(t *testing.T) {
 func TestListContainer(t *testing.T) {
 	b := newTestBroker(t, Config{})
 	e := b.Engine(0)
-	e.Put("c", "b-key", []byte("1"), PutOptions{})
-	e.Put("c", "a-key", []byte("2"), PutOptions{})
-	e.Put("other", "x", []byte("3"), PutOptions{})
-	keys, err := e.List("c")
+	e.Put(ctx, "c", "b-key", []byte("1"), PutOptions{})
+	e.Put(ctx, "c", "a-key", []byte("2"), PutOptions{})
+	e.Put(ctx, "other", "x", []byte("3"), PutOptions{})
+	keys, err := e.List(ctx, "c")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,13 +164,13 @@ func TestCacheServesSecondRead(t *testing.T) {
 	b := newTestBroker(t, Config{CacheBytes: 1 << 20})
 	e := b.Engine(0)
 	payload := make([]byte, 10000)
-	e.Put("c", "k", payload, PutOptions{})
+	e.Put(ctx, "c", "k", payload, PutOptions{})
 
-	if _, _, err := e.Get("c", "k"); err != nil {
+	if _, _, err := e.Get(ctx, "c", "k"); err != nil {
 		t.Fatal(err)
 	}
 	before := b.Registry().TotalUsage().Ops
-	if _, _, err := e.Get("c", "k"); err != nil {
+	if _, _, err := e.Get(ctx, "c", "k"); err != nil {
 		t.Fatal(err)
 	}
 	after := b.Registry().TotalUsage().Ops
@@ -177,10 +182,10 @@ func TestCacheServesSecondRead(t *testing.T) {
 func TestCacheInvalidatedOnUpdate(t *testing.T) {
 	b := newTestBroker(t, Config{CacheBytes: 1 << 20})
 	e := b.Engine(0)
-	e.Put("c", "k", []byte("old"), PutOptions{})
-	e.Get("c", "k") // fill cache
-	e.Put("c", "k", []byte("new"), PutOptions{})
-	got, _, err := e.Get("c", "k")
+	e.Put(ctx, "c", "k", []byte("old"), PutOptions{})
+	e.Get(ctx, "c", "k") // fill cache
+	e.Put(ctx, "c", "k", []byte("new"), PutOptions{})
+	got, _, err := e.Get(ctx, "c", "k")
 	if err != nil || string(got) != "new" {
 		t.Fatalf("Get = %q, %v", got, err)
 	}
@@ -189,7 +194,7 @@ func TestCacheInvalidatedOnUpdate(t *testing.T) {
 func TestReadSurvivesProviderOutage(t *testing.T) {
 	b := newTestBroker(t, Config{})
 	e := b.Engine(0)
-	meta, err := e.Put("c", "k", make([]byte, 50000), PutOptions{})
+	meta, err := e.Put(ctx, "c", "k", make([]byte, 50000), PutOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +202,7 @@ func TestReadSurvivesProviderOutage(t *testing.T) {
 		t.Skipf("placement %v has no failure slack", meta.Chunks)
 	}
 	blob(t, b, meta.Chunks[0]).SetAvailable(false)
-	got, _, err := e.Get("c", "k")
+	got, _, err := e.Get(ctx, "c", "k")
 	if err != nil {
 		t.Fatalf("read during outage: %v", err)
 	}
@@ -209,7 +214,7 @@ func TestReadSurvivesProviderOutage(t *testing.T) {
 func TestReadFailsWhenTooManyProvidersDown(t *testing.T) {
 	b := newTestBroker(t, Config{})
 	e := b.Engine(0)
-	meta, _ := e.Put("c", "k", make([]byte, 1000), PutOptions{})
+	meta, _ := e.Put(ctx, "c", "k", make([]byte, 1000), PutOptions{})
 	downed := 0
 	for _, name := range meta.Chunks {
 		blob(t, b, name).SetAvailable(false)
@@ -218,7 +223,7 @@ func TestReadFailsWhenTooManyProvidersDown(t *testing.T) {
 			break
 		}
 	}
-	if _, _, err := e.Get("c", "k"); !errors.Is(err, ErrNotEnoughChunks) {
+	if _, _, err := e.Get(ctx, "c", "k"); !errors.Is(err, ErrNotEnoughChunks) {
 		t.Fatalf("err = %v, want ErrNotEnoughChunks", err)
 	}
 }
@@ -226,7 +231,7 @@ func TestReadFailsWhenTooManyProvidersDown(t *testing.T) {
 func TestWriteExcludesFaultyProvider(t *testing.T) {
 	b := newTestBroker(t, Config{})
 	blob(t, b, cloud.NameS3Low).SetAvailable(false)
-	meta, err := b.Engine(0).Put("c", "k", make([]byte, 1000), PutOptions{})
+	meta, err := b.Engine(0).Put(ctx, "c", "k", make([]byte, 1000), PutOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,21 +245,21 @@ func TestWriteExcludesFaultyProvider(t *testing.T) {
 func TestDeletepostponedAtFaultyProvider(t *testing.T) {
 	b := newTestBroker(t, Config{})
 	e := b.Engine(0)
-	meta, _ := e.Put("c", "k", make([]byte, 1000), PutOptions{})
+	meta, _ := e.Put(ctx, "c", "k", make([]byte, 1000), PutOptions{})
 	victim := meta.Chunks[0]
 	vs := blob(t, b, victim)
 	vs.SetAvailable(false)
-	if err := e.Delete("c", "k"); err != nil {
+	if err := e.Delete(ctx, "c", "k"); err != nil {
 		t.Fatal(err)
 	}
 	if b.PendingDeletes() == 0 {
 		t.Fatal("expected a postponed delete")
 	}
 	vs.SetAvailable(true)
-	if done := b.ProcessPendingDeletes(); done == 0 {
+	if done := b.ProcessPendingDeletes(ctx); done == 0 {
 		t.Fatal("pending delete must complete after recovery")
 	}
-	if _, err := vs.Get(ChunkKey(meta.SKey, 0)); err == nil {
+	if _, err := vs.Get(ctx, ChunkKey(meta.SKey, 0)); err == nil {
 		t.Fatal("chunk must be gone after postponed delete")
 	}
 }
@@ -265,9 +270,9 @@ func TestMultiDatacenterReadAfterReplication(t *testing.T) {
 	if e1.Datacenter() == e2.Datacenter() {
 		t.Fatal("engines must live in different DCs")
 	}
-	e1.Put("c", "k", []byte("cross-dc"), PutOptions{})
+	e1.Put(ctx, "c", "k", []byte("cross-dc"), PutOptions{})
 	b.FlushStats() // drains replication
-	got, _, err := e2.Get("c", "k")
+	got, _, err := e2.Get(ctx, "c", "k")
 	if err != nil || string(got) != "cross-dc" {
 		t.Fatalf("cross-DC read = %q, %v", got, err)
 	}
@@ -278,11 +283,11 @@ func TestConcurrentUpdateConflictResolution(t *testing.T) {
 	// loser's chunks are garbage-collected on the next read.
 	b := newTestBroker(t, Config{Datacenters: []string{"dc1", "dc2"}, EnginesPerDC: 1})
 	e1, e2 := b.Engine(0), b.Engine(1)
-	e1.Put("c", "k", []byte("from-dc1"), PutOptions{})
-	m2, _ := e2.Put("c", "k", []byte("from-dc2"), PutOptions{})
+	e1.Put(ctx, "c", "k", []byte("from-dc1"), PutOptions{})
+	m2, _ := e2.Put(ctx, "c", "k", []byte("from-dc2"), PutOptions{})
 	b.FlushStats()
 
-	got, _, err := e1.Get("c", "k")
+	got, _, err := e1.Get(ctx, "c", "k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,9 +300,9 @@ func TestConcurrentUpdateConflictResolution(t *testing.T) {
 func TestHeadDoesNotTouchProviders(t *testing.T) {
 	b := newTestBroker(t, Config{})
 	e := b.Engine(0)
-	e.Put("c", "k", make([]byte, 1000), PutOptions{})
+	e.Put(ctx, "c", "k", make([]byte, 1000), PutOptions{})
 	before := b.Registry().TotalUsage().Ops
-	meta, err := e.Head("c", "k")
+	meta, err := e.Head(ctx, "c", "k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,8 +317,8 @@ func TestHeadDoesNotTouchProviders(t *testing.T) {
 func TestVerifyObject(t *testing.T) {
 	b := newTestBroker(t, Config{})
 	e := b.Engine(0)
-	meta, _ := e.Put("c", "k", make([]byte, 5000), PutOptions{})
-	reachable, err := e.VerifyObject("c", "k")
+	meta, _ := e.Put(ctx, "c", "k", make([]byte, 5000), PutOptions{})
+	reachable, err := e.VerifyObject(ctx, "c", "k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,6 +354,79 @@ func TestClassRuleApplies(t *testing.T) {
 	}
 }
 
+// TestConditionalWritesAreAtomic races conditional operations on one
+// key: exactly one create-only write may win, and exactly one If-Match
+// update against a given ETag may win. The row lock serializes the
+// check-and-commit step, so the losers fail with ErrPreconditionFailed
+// instead of silently clobbering the winner.
+func TestConditionalWritesAreAtomic(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	e := b.Engine(0)
+
+	const racers = 8
+	var wg sync.WaitGroup
+	var created atomic.Int32
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := e.Put(ctx, "c", "once", []byte(fmt.Sprintf("writer-%d", i)),
+				PutOptions{IfAbsent: true})
+			switch {
+			case err == nil:
+				created.Add(1)
+			case errors.Is(err, ErrPreconditionFailed):
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := created.Load(); got != 1 {
+		t.Fatalf("create-only writes succeeded %d times, want exactly 1", got)
+	}
+
+	meta, err := e.Head(ctx, "c", "once")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var updated atomic.Int32
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := e.Put(ctx, "c", "once", []byte(fmt.Sprintf("update-%d", i)),
+				PutOptions{IfMatch: meta.ETag()})
+			switch {
+			case err == nil:
+				updated.Add(1)
+			case errors.Is(err, ErrPreconditionFailed):
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := updated.Load(); got != 1 {
+		t.Fatalf("If-Match updates succeeded %d times, want exactly 1", got)
+	}
+	// No loser may have leaked chunks: the sole live version accounts
+	// for every stored chunk.
+	after, err := e.Head(ctx, "c", "once")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range b.Registry().Snapshot() {
+		if bs, ok := s.(*cloud.BlobStore); ok {
+			total += bs.ObjectCount()
+		}
+	}
+	if want := len(after.Chunks) * after.StripeCount(); total != want {
+		t.Fatalf("provider chunk count = %d, want %d (orphans from losing writers?)", total, want)
+	}
+}
+
 // --- Optimization ---
 
 func TestOptimizeMigratesOnFlashCrowd(t *testing.T) {
@@ -357,7 +435,7 @@ func TestOptimizeMigratesOnFlashCrowd(t *testing.T) {
 	e := b.Engine(0)
 	payload := make([]byte, 1<<20) // 1 MB, as in §IV-B
 	rule := core.Rule{Name: "slashdot", Durability: 0.99999, Availability: 0.9999, LockIn: 1}
-	meta, err := e.Put("web", "page", payload, PutOptions{Rule: &rule})
+	meta, err := e.Put(ctx, "web", "page", payload, PutOptions{Rule: &rule})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,11 +449,11 @@ func TestOptimizeMigratesOnFlashCrowd(t *testing.T) {
 	for h := 0; h < 6; h++ {
 		clock.Advance(1)
 		for r := 0; r < 150; r++ {
-			if _, _, err := e.Get("web", "page"); err != nil {
+			if _, _, err := e.Get(ctx, "web", "page"); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if _, err := b.Optimize(); err != nil {
+		if _, err := b.Optimize(ctx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -390,7 +468,7 @@ func TestOptimizeMigratesOnFlashCrowd(t *testing.T) {
 		t.Fatalf("hot placement %v, want m:1 (read-optimized)", after)
 	}
 	// Data must survive the migration.
-	got, _, err := e.Get("web", "page")
+	got, _, err := e.Get(ctx, "web", "page")
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("data lost in migration: %v", err)
 	}
@@ -401,15 +479,15 @@ func TestOptimizeSkipsQuietObjects(t *testing.T) {
 	b := newTestBroker(t, Config{Clock: clock})
 	e := b.Engine(0)
 	for i := 0; i < 10; i++ {
-		e.Put("c", fmt.Sprintf("k%d", i), make([]byte, 100), PutOptions{})
+		e.Put(ctx, "c", fmt.Sprintf("k%d", i), make([]byte, 100), PutOptions{})
 	}
 	// Settle: histories exist, no further access.
 	clock.Advance(10)
-	if _, err := b.Optimize(); err != nil {
+	if _, err := b.Optimize(ctx); err != nil {
 		t.Fatal(err)
 	}
 	clock.Advance(10)
-	rep, err := b.Optimize()
+	rep, err := b.Optimize(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,7 +498,7 @@ func TestOptimizeSkipsQuietObjects(t *testing.T) {
 
 func TestOptimizeLeaderElection(t *testing.T) {
 	b := newTestBroker(t, Config{EnginesPerDC: 2})
-	rep, err := b.Optimize()
+	rep, err := b.Optimize(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -428,7 +506,7 @@ func TestOptimizeLeaderElection(t *testing.T) {
 		t.Fatalf("leader = %s, want engine0", rep.Leader)
 	}
 	b.Engines()[0].SetAlive(false)
-	rep, err = b.Optimize()
+	rep, err = b.Optimize(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +516,7 @@ func TestOptimizeLeaderElection(t *testing.T) {
 	for _, e := range b.Engines() {
 		e.SetAlive(false)
 	}
-	if _, err := b.Optimize(); !errors.Is(err, ErrNoLeader) {
+	if _, err := b.Optimize(ctx); !errors.Is(err, ErrNoLeader) {
 		t.Fatalf("err = %v, want ErrNoLeader", err)
 	}
 }
@@ -448,10 +526,10 @@ func TestOptimizeFullScanTouchesEverything(t *testing.T) {
 	b := newTestBroker(t, Config{Clock: clock})
 	e := b.Engine(0)
 	for i := 0; i < 5; i++ {
-		e.Put("c", fmt.Sprintf("k%d", i), make([]byte, 100), PutOptions{})
+		e.Put(ctx, "c", fmt.Sprintf("k%d", i), make([]byte, 100), PutOptions{})
 	}
 	b.FlushStats()
-	rep, err := b.OptimizeFullScan()
+	rep, err := b.OptimizeFullScan(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -466,28 +544,28 @@ func TestRepairActiveMovesChunks(t *testing.T) {
 	e := b.Engine(0)
 	rule := core.Rule{Name: "backup", Durability: 0.9999999, Availability: 0.99, LockIn: 0.5}
 	payload := make([]byte, 40<<10)
-	if _, err := e.Put("bk", "obj", payload, PutOptions{Rule: &rule}); err != nil {
+	if _, err := e.Put(ctx, "bk", "obj", payload, PutOptions{Rule: &rule}); err != nil {
 		t.Fatal(err)
 	}
-	meta, _ := e.Head("bk", "obj")
+	meta, _ := e.Head(ctx, "bk", "obj")
 	victim := meta.Chunks[0]
 	vs := blob(t, b, victim)
 	vs.SetAvailable(false)
 
-	rep, err := b.Repair(RepairActive)
+	rep, err := b.Repair(ctx, RepairActive)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Affected != 1 || rep.Repaired != 1 {
 		t.Fatalf("repair report = %+v", rep)
 	}
-	newMeta, _ := e.Head("bk", "obj")
+	newMeta, _ := e.Head(ctx, "bk", "obj")
 	for _, name := range newMeta.Chunks {
 		if name == victim {
 			t.Fatal("repaired object still references the down provider")
 		}
 	}
-	got, _, err := e.Get("bk", "obj")
+	got, _, err := e.Get(ctx, "bk", "obj")
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("data lost in repair: %v", err)
 	}
@@ -496,17 +574,17 @@ func TestRepairActiveMovesChunks(t *testing.T) {
 func TestRepairWaitLeavesChunks(t *testing.T) {
 	b := newTestBroker(t, Config{})
 	e := b.Engine(0)
-	e.Put("c", "k", make([]byte, 1000), PutOptions{})
-	meta, _ := e.Head("c", "k")
+	e.Put(ctx, "c", "k", make([]byte, 1000), PutOptions{})
+	meta, _ := e.Head(ctx, "c", "k")
 	blob(t, b, meta.Chunks[0]).SetAvailable(false)
-	rep, err := b.Repair(RepairWait)
+	rep, err := b.Repair(ctx, RepairWait)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Affected != 1 || rep.Waited != 1 || rep.Repaired != 0 {
 		t.Fatalf("repair report = %+v", rep)
 	}
-	after, _ := e.Head("c", "k")
+	after, _ := e.Head(ctx, "c", "k")
 	if after.SKey != meta.SKey {
 		t.Fatal("wait policy must not rewrite the object")
 	}
@@ -521,7 +599,7 @@ func TestProviderArrivalTriggersCheaperPlacement(t *testing.T) {
 	e := b.Engine(0)
 	rule := core.Rule{Name: "lockin", Durability: 0.99999, Availability: 0.99, LockIn: 0.2}
 	payload := make([]byte, 40<<20) // 40 MB backup object
-	if _, err := e.Put("bk", "o", payload, PutOptions{Rule: &rule}); err != nil {
+	if _, err := e.Put(ctx, "bk", "o", payload, PutOptions{Rule: &rule}); err != nil {
 		t.Fatal(err)
 	}
 	before, _ := b.CurrentPlacement("bk/o")
@@ -531,12 +609,12 @@ func TestProviderArrivalTriggersCheaperPlacement(t *testing.T) {
 	b.Registry().Register(cloud.NewBlobStore(cloud.CheapStorProvider()))
 	// Keep the object minimally warm so it appears in the accessed set.
 	clock.Advance(1)
-	e.Get("bk", "o")
+	e.Get(ctx, "bk", "o")
 	clock.Advance(1)
-	e.Get("bk", "o")
+	e.Get(ctx, "bk", "o")
 	for i := 0; i < 6; i++ {
 		clock.Advance(1)
-		if _, err := b.Optimize(); err != nil {
+		if _, err := b.Optimize(ctx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -555,7 +633,7 @@ func TestOptimizeReportsPlannerEffectiveness(t *testing.T) {
 	e := b.Engine(0)
 	const objects = 8
 	for i := 0; i < objects; i++ {
-		if _, err := e.Put("c", fmt.Sprintf("k%d", i), make([]byte, 2048), PutOptions{}); err != nil {
+		if _, err := e.Put(ctx, "c", fmt.Sprintf("k%d", i), make([]byte, 2048), PutOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -564,12 +642,12 @@ func TestOptimizeReportsPlannerEffectiveness(t *testing.T) {
 	clock.Advance(4)
 	for i := 0; i < objects; i++ {
 		for r := 0; r < 40; r++ {
-			if _, _, err := e.Get("c", fmt.Sprintf("k%d", i)); err != nil {
+			if _, _, err := e.Get(ctx, "c", fmt.Sprintf("k%d", i)); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	rep, err := b.Optimize()
+	rep, err := b.Optimize(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -596,12 +674,12 @@ func TestOptimizeReportsPlannerEffectiveness(t *testing.T) {
 	clock.Advance(4)
 	for i := 0; i < objects; i++ {
 		for r := 0; r < 40; r++ {
-			if _, _, err := e.Get("c", fmt.Sprintf("k%d", i)); err != nil {
+			if _, _, err := e.Get(ctx, "c", fmt.Sprintf("k%d", i)); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	rep2, err := b.Optimize()
+	rep2, err := b.Optimize(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -622,13 +700,13 @@ func TestRepairShardsAcrossEngines(t *testing.T) {
 	rule := core.Rule{Name: "backup", Durability: 0.9999999, Availability: 0.99, LockIn: 0.5}
 	const objects = 12
 	for i := 0; i < objects; i++ {
-		if _, err := e.Put("bk", fmt.Sprintf("o%d", i), make([]byte, 8192), PutOptions{Rule: &rule}); err != nil {
+		if _, err := e.Put(ctx, "bk", fmt.Sprintf("o%d", i), make([]byte, 8192), PutOptions{Rule: &rule}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Down one provider that holds chunks of every object (lock-in 0.5
 	// with the 5-provider market stripes wide, so any provider works).
-	meta, err := e.Head("bk", "o0")
+	meta, err := e.Head(ctx, "bk", "o0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -636,7 +714,7 @@ func TestRepairShardsAcrossEngines(t *testing.T) {
 	if !b.Registry().SetAvailable(victim, false) {
 		t.Fatal("failed to down the victim provider")
 	}
-	rep, err := b.Repair(RepairActive)
+	rep, err := b.Repair(ctx, RepairActive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -652,7 +730,7 @@ func TestRepairShardsAcrossEngines(t *testing.T) {
 	// Every object must be readable and off the victim.
 	for i := 0; i < objects; i++ {
 		key := fmt.Sprintf("o%d", i)
-		m, err := e.Head("bk", key)
+		m, err := e.Head(ctx, "bk", key)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -661,7 +739,7 @@ func TestRepairShardsAcrossEngines(t *testing.T) {
 				t.Fatalf("%s still references the down provider", key)
 			}
 		}
-		if _, _, err := e.Get("bk", key); err != nil {
+		if _, _, err := e.Get(ctx, "bk", key); err != nil {
 			t.Fatalf("read after repair: %v", err)
 		}
 	}

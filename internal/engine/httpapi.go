@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,155 +9,443 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"scalia/internal/cloud"
+	"scalia/internal/core"
 )
 
-// API serves an engine over HTTP with an S3-like REST interface
-// ("engines provide an Amazon S3-like interface ... where the users can
-// put, get, list and delete their data using a key-value data model",
-// §III).
+// Gateway is the versioned HTTP surface of a whole Scalia deployment —
+// the paper's "Amazon S3-like interface ... where the users can put,
+// get, list and delete their data" (§III), grown into a v1 wire
+// protocol. Unlike a per-engine handler, the gateway fronts the broker:
+// every request is routed round-robin across all engines of all
+// datacenters (through the same atomic counter the embedded facade
+// uses), object bodies stream stripe by stripe in both directions, and
+// the request context cancels in-flight chunk fan-out.
 //
-//	PUT    /{container}/{key}   store object (Content-Type = MIME,
-//	                            X-Scalia-TTL-Hours = lifetime hint)
-//	GET    /{container}/{key}   fetch object
-//	HEAD   /{container}/{key}   fetch metadata only
-//	DELETE /{container}/{key}   delete object
-//	GET    /{container}         list keys (JSON array)
-type API struct {
-	engine *Engine
+// Object routes:
+//
+//	PUT    /v1/objects/{container}/{key}  store (streaming body;
+//	       Content-Type = MIME, X-Scalia-TTL-Hours = lifetime hint,
+//	       If-Match / If-None-Match:* = conditional write)
+//	GET    /v1/objects/{container}/{key}  fetch (streaming; If-None-Match -> 304)
+//	HEAD   /v1/objects/{container}/{key}  metadata only
+//	DELETE /v1/objects/{container}/{key}  delete (If-Match = conditional)
+//	GET    /v1/objects/{container}?prefix=&limit=&after=  paginated list
+//
+// Admin routes:
+//
+//	GET    /v1/providers        provider market with availability + usage
+//	POST   /v1/providers        register a provider (JSON cloud.Spec)
+//	DELETE /v1/providers/{name} deregister a provider
+//	PUT    /v1/rules/{container} pin a placement rule (JSON core.Rule)
+//	POST   /v1/optimize         run one optimization round
+//	POST   /v1/repair?policy=wait|active  run a repair pass
+//	GET    /v1/stats            planner/optimizer/usage/cost counters
+//
+// Errors are typed JSON: {"error": {"code": "...", "message": "..."}}.
+type Gateway struct {
+	broker *Broker
+	mux    *http.ServeMux
 	// MaxObjectBytes bounds accepted uploads (default 1 GiB).
 	MaxObjectBytes int64
 }
 
-// NewAPI wraps an engine in the REST interface.
-func NewAPI(e *Engine) *API {
-	return &API{engine: e, MaxObjectBytes: 1 << 30}
+// NewGateway wraps a broker deployment in the v1 REST interface.
+func NewGateway(b *Broker) *Gateway {
+	g := &Gateway{broker: b, MaxObjectBytes: 1 << 30}
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/objects/{container}/{key...}", g.putObject)
+	mux.HandleFunc("GET /v1/objects/{container}/{key...}", g.getObject)
+	mux.HandleFunc("DELETE /v1/objects/{container}/{key...}", g.deleteObject)
+	mux.HandleFunc("GET /v1/objects/{container}", g.listObjects)
+	mux.HandleFunc("GET /v1/providers", g.listProviders)
+	mux.HandleFunc("POST /v1/providers", g.addProvider)
+	mux.HandleFunc("DELETE /v1/providers/{name}", g.removeProvider)
+	mux.HandleFunc("PUT /v1/rules/{container}", g.setRule)
+	mux.HandleFunc("POST /v1/optimize", g.optimize)
+	mux.HandleFunc("POST /v1/repair", g.repair)
+	mux.HandleFunc("GET /v1/stats", g.stats)
+	g.mux = mux
+	return g
 }
 
 // ServeHTTP implements http.Handler.
-func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	container, key := splitPath(r.URL.Path)
-	if container == "" {
-		httpError(w, http.StatusBadRequest, "container required")
-		return
-	}
-	switch {
-	case key == "" && r.Method == http.MethodGet:
-		a.list(w, container)
-	case key == "":
-		httpError(w, http.StatusMethodNotAllowed, "object key required")
-	case r.Method == http.MethodPut:
-		a.put(w, r, container, key)
-	case r.Method == http.MethodGet:
-		a.get(w, container, key)
-	case r.Method == http.MethodHead:
-		a.head(w, container, key)
-	case r.Method == http.MethodDelete:
-		a.delete(w, container, key)
-	default:
-		httpError(w, http.StatusMethodNotAllowed, "unsupported method")
-	}
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
 }
 
-func splitPath(p string) (container, key string) {
-	p = strings.TrimPrefix(p, "/")
-	if i := strings.IndexByte(p, '/'); i >= 0 {
-		return p[:i], p[i+1:]
-	}
-	return p, ""
+// engine picks the serving engine for one request: round-robin over all
+// engines of all datacenters via the broker's shared counter.
+func (g *Gateway) engine() *Engine { return g.broker.NextEngine() }
+
+// --- wire error schema ---
+
+// APIError is the typed error payload of the v1 protocol.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
+// Error implements error (the typed client returns APIError values).
+func (e *APIError) Error() string { return e.Code + ": " + e.Message }
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]APIError{ //nolint:errcheck
+		"error": {Code: code, Message: msg},
+	})
 }
 
-func (a *API) put(w http.ResponseWriter, r *http.Request, container, key string) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, a.MaxObjectBytes+1))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+// statusFromErr maps engine/core/cloud sentinel errors onto protocol
+// status codes: client mistakes are 4xx (malformed input 400,
+// infeasible rules 422, stale preconditions 412) and only genuine
+// server trouble is 5xx.
+func statusFromErr(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrObjectNotFound):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, ErrPreconditionFailed):
+		return http.StatusPreconditionFailed, "precondition_failed"
+	case errors.Is(err, ErrInvalidArgument):
+		return http.StatusBadRequest, "invalid_argument"
+	case errors.Is(err, core.ErrBadLockIn), errors.Is(err, core.ErrBadProbability):
+		return http.StatusBadRequest, "invalid_rule"
+	case errors.Is(err, core.ErrNoProviders):
+		// The rule is well-formed but no feasible provider set satisfies
+		// it on the current market: the request is semantically
+		// unprocessable, not a server fault.
+		return http.StatusUnprocessableEntity, "infeasible_placement"
+	case errors.Is(err, cloud.ErrTooLarge):
+		return http.StatusRequestEntityTooLarge, "too_large"
+	case errors.Is(err, cloud.ErrOverCapacity):
+		return http.StatusInsufficientStorage, "over_capacity"
+	case errors.Is(err, cloud.ErrUnavailable):
+		// A provider dropped between the placement decision and the chunk
+		// fan-out (§III-D3's race) — transient, retryable, not a fault of
+		// the deployment itself.
+		return http.StatusServiceUnavailable, "provider_unavailable"
+	case errors.Is(err, ErrNotEnoughChunks), errors.Is(err, ErrNoLeader):
+		return http.StatusServiceUnavailable, "unavailable"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away mid-request; it will not read the status,
+		// but logs and tests should not see a 500.
+		return http.StatusRequestTimeout, "request_cancelled"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func failErr(w http.ResponseWriter, err error) {
+	status, code := statusFromErr(err)
+	writeError(w, status, code, err.Error())
+}
+
+// --- object routes ---
+
+func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request) {
+	container, key := r.PathValue("container"), r.PathValue("key")
+	size := r.ContentLength
+	if size < 0 {
+		writeError(w, http.StatusLengthRequired, "length_required",
+			"streaming writes need a declared Content-Length")
 		return
 	}
-	if int64(len(body)) > a.MaxObjectBytes {
-		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("object exceeds %d bytes", a.MaxObjectBytes))
+	if size > g.MaxObjectBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("object exceeds %d bytes", g.MaxObjectBytes))
 		return
 	}
-	opts := PutOptions{MIME: r.Header.Get("Content-Type")}
+	// If-None-Match on PUT supports only the create-only form "*";
+	// silently ignoring another value would drop a precondition the
+	// client explicitly asked for (RFC 9110 §13.1.2).
+	if inm := r.Header.Get("If-None-Match"); inm != "" && inm != "*" {
+		writeError(w, http.StatusBadRequest, "invalid_argument",
+			`PUT supports only If-None-Match: *`)
+		return
+	}
+	opts := PutOptions{
+		MIME:    r.Header.Get("Content-Type"),
+		IfMatch: r.Header.Get("If-Match"),
+		// Create only if absent; enforced by the engine against the
+		// stored version, not a separate Head probe.
+		IfAbsent: r.Header.Get("If-None-Match") == "*",
+	}
 	if ttl := r.Header.Get("X-Scalia-TTL-Hours"); ttl != "" {
 		if v, err := strconv.ParseFloat(ttl, 64); err == nil && v > 0 {
 			opts.TTLHours = v
 		}
 	}
-	meta, err := a.engine.Put(container, key, body, opts)
+	meta, err := g.engine().PutReader(r.Context(), container, key, r.Body, size, opts)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		failErr(w, err)
 		return
 	}
+	g.broker.Metadata().Flush()
 	writeMetaHeaders(w, meta)
+	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(meta) //nolint:errcheck
 }
 
-func (a *API) get(w http.ResponseWriter, container, key string) {
-	data, meta, err := a.engine.Get(container, key)
+func (g *Gateway) getObject(w http.ResponseWriter, r *http.Request) {
+	container, key := r.PathValue("container"), r.PathValue("key")
+	e := g.engine()
+	// HEAD and conditional GET resolve from metadata alone, so the
+	// common revalidation case (ETag still current -> 304) never touches
+	// a chunk. A stale ETag pays one extra in-memory metadata read when
+	// GetReader re-resolves below — and serves whatever version is live
+	// at that moment, which is the later of the two and self-consistent
+	// with its own headers.
+	if inm := r.Header.Get("If-None-Match"); inm != "" || r.Method == http.MethodHead {
+		meta, err := e.Head(r.Context(), container, key)
+		if err != nil {
+			failErr(w, err)
+			return
+		}
+		if inm != "" && etagMatches(inm, meta) {
+			w.Header().Set("ETag", meta.ETag())
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		if r.Method == http.MethodHead {
+			writeMetaHeaders(w, meta)
+			if meta.MIME != "" {
+				w.Header().Set("Content-Type", meta.MIME)
+			}
+			w.Header().Set("Content-Length", strconv.FormatInt(meta.Size, 10))
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+	}
+	rc, meta, err := e.GetReader(r.Context(), container, key)
 	if err != nil {
-		statusFromErr(w, err)
+		failErr(w, err)
 		return
 	}
+	defer rc.Close()
 	writeMetaHeaders(w, meta)
 	if meta.MIME != "" {
 		w.Header().Set("Content-Type", meta.MIME)
 	}
-	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set("Content-Length", strconv.FormatInt(meta.Size, 10))
 	w.WriteHeader(http.StatusOK)
-	w.Write(data) //nolint:errcheck
+	// The body streams stripe by stripe; a mid-stream failure can only
+	// truncate the response (the status is already on the wire), which
+	// the client detects against Content-Length.
+	io.Copy(w, rc) //nolint:errcheck
 }
 
-func (a *API) head(w http.ResponseWriter, container, key string) {
-	meta, err := a.engine.Head(container, key)
-	if err != nil {
-		statusFromErr(w, err)
+// etagMatches evaluates an If-None-Match header against the stored
+// version: "*", the quoted ETag, or a comma-separated candidate list.
+func etagMatches(header string, meta ObjectMeta) bool {
+	if header == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == meta.ETag() || cand == meta.Checksum {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Gateway) deleteObject(w http.ResponseWriter, r *http.Request) {
+	container, key := r.PathValue("container"), r.PathValue("key")
+	if err := g.engine().DeleteIf(r.Context(), container, key, r.Header.Get("If-Match")); err != nil {
+		failErr(w, err)
 		return
 	}
-	writeMetaHeaders(w, meta)
-	w.WriteHeader(http.StatusOK)
+	g.broker.Metadata().Flush()
+	w.WriteHeader(http.StatusNoContent)
 }
 
-func (a *API) delete(w http.ResponseWriter, container, key string) {
-	if err := a.engine.Delete(container, key); err != nil {
-		statusFromErr(w, err)
+// ListResult is the paginated response of GET /v1/objects/{container}.
+type ListResult struct {
+	Container string   `json:"container"`
+	Keys      []string `json:"keys"`
+	Truncated bool     `json:"truncated"`
+	// Next is the cursor to pass as ?after= for the following page; set
+	// only when Truncated.
+	Next string `json:"next,omitempty"`
+}
+
+// defaultListLimit caps one list page when the client does not ask for
+// a limit.
+const defaultListLimit = 1000
+
+func (g *Gateway) listObjects(w http.ResponseWriter, r *http.Request) {
+	container := r.PathValue("container")
+	q := r.URL.Query()
+	limit := defaultListLimit
+	if s := q.Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "invalid_argument", "limit must be a positive integer")
+			return
+		}
+		if v < limit {
+			limit = v
+		}
+	}
+	prefix, after := q.Get("prefix"), q.Get("after")
+
+	keys, err := g.engine().List(r.Context(), container)
+	if err != nil {
+		failErr(w, err)
+		return
+	}
+	res := ListResult{Container: container, Keys: []string{}}
+	for _, k := range keys { // keys are sorted; cursor = last key served
+		if !strings.HasPrefix(k, prefix) || (after != "" && k <= after) {
+			continue
+		}
+		if len(res.Keys) == limit {
+			res.Truncated = true
+			res.Next = res.Keys[len(res.Keys)-1]
+			break
+		}
+		res.Keys = append(res.Keys, k)
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// --- admin routes ---
+
+// ProviderStatus describes one market participant on GET /v1/providers.
+type ProviderStatus struct {
+	cloud.Spec
+	Available bool  `json:"available"`
+	UsedBytes int64 `json:"usedBytes"`
+}
+
+func (g *Gateway) listProviders(w http.ResponseWriter, r *http.Request) {
+	stores := g.broker.Registry().Snapshot()
+	out := make([]ProviderStatus, 0, len(stores))
+	for _, s := range stores {
+		out = append(out, ProviderStatus{
+			Spec: s.Spec(), Available: s.Available(), UsedBytes: s.UsedBytes(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (g *Gateway) addProvider(w http.ResponseWriter, r *http.Request) {
+	var spec cloud.Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", "malformed provider spec: "+err.Error())
+		return
+	}
+	if spec.Name == "" {
+		writeError(w, http.StatusBadRequest, "invalid_argument", "provider name is required")
+		return
+	}
+	// Replacing a live backend would orphan every chunk stored at it;
+	// the wire surface only ever adds.
+	if !g.broker.Registry().RegisterIfAbsent(cloud.NewBlobStore(spec)) {
+		writeError(w, http.StatusConflict, "already_exists",
+			"provider "+spec.Name+" is already registered")
+		return
+	}
+	writeJSON(w, http.StatusCreated, spec)
+}
+
+func (g *Gateway) removeProvider(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, ok := g.broker.Registry().Deregister(name); !ok {
+		writeError(w, http.StatusNotFound, "not_found", "unknown provider "+name)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (a *API) list(w http.ResponseWriter, container string) {
-	keys, err := a.engine.List(container)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+func (g *Gateway) setRule(w http.ResponseWriter, r *http.Request) {
+	container := r.PathValue("container")
+	var rule core.Rule
+	if err := json.NewDecoder(r.Body).Decode(&rule); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", "malformed rule: "+err.Error())
 		return
 	}
-	if keys == nil {
-		keys = []string{}
+	if err := rule.Validate(); err != nil {
+		failErr(w, err)
+		return
 	}
+	g.broker.Rules().SetContainerRule(container, rule)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (g *Gateway) optimize(w http.ResponseWriter, r *http.Request) {
+	rep, err := g.broker.Optimize(r.Context())
+	if err != nil {
+		failErr(w, err)
+		return
+	}
+	g.broker.Metadata().Flush()
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (g *Gateway) repair(w http.ResponseWriter, r *http.Request) {
+	policy := RepairWait
+	switch r.URL.Query().Get("policy") {
+	case "", "wait":
+	case "active":
+		policy = RepairActive
+	default:
+		writeError(w, http.StatusBadRequest, "invalid_argument", "policy must be wait or active")
+		return
+	}
+	rep, err := g.broker.Repair(r.Context(), policy)
+	if err != nil {
+		failErr(w, err)
+		return
+	}
+	g.broker.Metadata().Flush()
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// Stats is the operational counter snapshot served on GET /v1/stats.
+type Stats struct {
+	// Planner reports the shared placement planner's prepared-search
+	// cache hits and misses (process lifetime).
+	Planner core.PlannerStats `json:"planner"`
+	// Optimizer accumulates the periodic optimization rounds.
+	Optimizer OptimizeTotals `json:"optimizer"`
+	// Usage and CostUSD aggregate billed resources across providers.
+	Usage   cloud.Usage `json:"usage"`
+	CostUSD float64     `json:"costUSD"`
+
+	Engines        int `json:"engines"`
+	Providers      int `json:"providers"`
+	PendingDeletes int `json:"pendingDeletes"`
+}
+
+func (g *Gateway) stats(w http.ResponseWriter, r *http.Request) {
+	b := g.broker
+	writeJSON(w, http.StatusOK, Stats{
+		Planner:        b.Planner().Stats(),
+		Optimizer:      b.OptimizeTotals(),
+		Usage:          b.Registry().TotalUsage(),
+		CostUSD:        b.Registry().TotalCost(),
+		Engines:        len(b.Engines()),
+		Providers:      b.Registry().Len(),
+		PendingDeletes: b.PendingDeletes(),
+	})
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(keys) //nolint:errcheck
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
 }
 
 func writeMetaHeaders(w http.ResponseWriter, meta ObjectMeta) {
-	w.Header().Set("ETag", `"`+meta.Checksum+`"`)
+	w.Header().Set("ETag", meta.ETag())
 	w.Header().Set("X-Scalia-M", strconv.Itoa(meta.M))
 	w.Header().Set("X-Scalia-Providers", strings.Join(meta.Chunks, ","))
 	w.Header().Set("X-Scalia-Size", strconv.FormatInt(meta.Size, 10))
-}
-
-func statusFromErr(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, ErrObjectNotFound):
-		httpError(w, http.StatusNotFound, err.Error())
-	case errors.Is(err, ErrNotEnoughChunks):
-		httpError(w, http.StatusServiceUnavailable, err.Error())
-	default:
-		httpError(w, http.StatusInternalServerError, err.Error())
-	}
+	w.Header().Set("X-Scalia-Stripes", strconv.Itoa(meta.StripeCount()))
 }

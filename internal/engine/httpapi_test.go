@@ -2,174 +2,597 @@ package engine
 
 import (
 	"bytes"
+	"context"
+	"crypto/md5"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
+
+	"scalia/internal/cloud"
+	"scalia/internal/core"
 )
 
-func newAPIServer(t *testing.T) (*Broker, *httptest.Server) {
+func newGatewayServer(t *testing.T, cfg Config) (*Broker, *httptest.Server) {
 	t.Helper()
-	b := NewBroker(Config{})
+	b := NewBroker(cfg)
 	t.Cleanup(b.Close)
-	ts := httptest.NewServer(NewAPI(b.Engine(0)))
+	ts := httptest.NewServer(NewGateway(b))
 	t.Cleanup(ts.Close)
 	return b, ts
 }
 
-func TestHTTPPutGetDeleteList(t *testing.T) {
-	_, ts := newAPIServer(t)
-	client := ts.Client()
-
-	// PUT
-	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/docs/hello.txt",
-		bytes.NewReader([]byte("hello scalia")))
-	req.Header.Set("Content-Type", "text/plain")
-	req.Header.Set("X-Scalia-TTL-Hours", "24")
+func doReq(t *testing.T, client *http.Client, method, url string, body []byte, hdr map[string]string) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	return resp
+}
+
+// errCode decodes the typed JSON error envelope.
+func errCode(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var env map[string]APIError
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("malformed error body: %v", err)
+	}
+	return env["error"].Code
+}
+
+func TestGatewayPutGetHeadDeleteList(t *testing.T) {
+	_, ts := newGatewayServer(t, Config{})
+	client := ts.Client()
+
+	resp := doReq(t, client, http.MethodPut, ts.URL+"/v1/objects/docs/hello.txt",
+		[]byte("hello scalia"), map[string]string{
+			"Content-Type": "text/plain", "X-Scalia-TTL-Hours": "24",
+		})
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("PUT status = %d", resp.StatusCode)
 	}
-	if resp.Header.Get("X-Scalia-M") == "" || resp.Header.Get("X-Scalia-Providers") == "" {
+	var meta ObjectMeta
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if meta.Size != 12 || meta.M < 1 || len(meta.Chunks) < meta.M {
+		t.Fatalf("PUT meta = %+v", meta)
+	}
+	if resp.Header.Get("ETag") == "" || resp.Header.Get("X-Scalia-Providers") == "" {
 		t.Fatal("placement headers missing")
 	}
 
-	// GET
-	resp, err = client.Get(ts.URL + "/docs/hello.txt")
-	if err != nil {
-		t.Fatal(err)
-	}
-	body := new(bytes.Buffer)
-	body.ReadFrom(resp.Body)
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/objects/docs/hello.txt", nil, nil)
+	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || body.String() != "hello scalia" {
-		t.Fatalf("GET = %d %q", resp.StatusCode, body.String())
+	if resp.StatusCode != http.StatusOK || string(body) != "hello scalia" {
+		t.Fatalf("GET = %d %q", resp.StatusCode, body)
 	}
 	if ct := resp.Header.Get("Content-Type"); ct != "text/plain" {
 		t.Fatalf("Content-Type = %q", ct)
 	}
-
-	// HEAD
-	resp, err = client.Head(ts.URL + "/docs/hello.txt")
-	if err != nil {
-		t.Fatal(err)
+	if cl := resp.Header.Get("Content-Length"); cl != "12" {
+		t.Fatalf("Content-Length = %q", cl)
 	}
+
+	resp = doReq(t, client, http.MethodHead, ts.URL+"/v1/objects/docs/hello.txt", nil, nil)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || resp.Header.Get("ETag") == "" {
 		t.Fatalf("HEAD = %d", resp.StatusCode)
 	}
 
-	// LIST
-	resp, err = client.Get(ts.URL + "/docs")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var keys []string
-	json.NewDecoder(resp.Body).Decode(&keys)
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/objects/docs", nil, nil)
+	var list ListResult
+	json.NewDecoder(resp.Body).Decode(&list)
 	resp.Body.Close()
-	if len(keys) != 1 || keys[0] != "hello.txt" {
-		t.Fatalf("LIST = %v", keys)
+	if len(list.Keys) != 1 || list.Keys[0] != "hello.txt" || list.Truncated {
+		t.Fatalf("LIST = %+v", list)
 	}
 
-	// DELETE
-	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/docs/hello.txt", nil)
-	resp, err = client.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
+	resp = doReq(t, client, http.MethodDelete, ts.URL+"/v1/objects/docs/hello.txt", nil, nil)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("DELETE status = %d", resp.StatusCode)
 	}
-	resp, _ = client.Get(ts.URL + "/docs/hello.txt")
-	resp.Body.Close()
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/objects/docs/hello.txt", nil, nil)
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("GET after delete = %d", resp.StatusCode)
 	}
+	if code := errCode(t, resp); code != "not_found" {
+		t.Fatalf("error code = %q, want not_found", code)
+	}
+	resp.Body.Close()
 }
 
-func TestHTTPErrors(t *testing.T) {
-	_, ts := newAPIServer(t)
+// TestGatewayStreamsMultiStripeObject proves the acceptance criterion:
+// a multi-chunk, multi-stripe object round-trips through the gateway
+// with the body split into stripes on the serving path, and every
+// stripe is parity-consistent at the providers.
+func TestGatewayStreamsMultiStripeObject(t *testing.T) {
+	b, ts := newGatewayServer(t, Config{StripeBytes: 1024})
 	client := ts.Client()
 
-	resp, _ := client.Get(ts.URL + "/")
+	payload := make([]byte, 10*1024+137) // 11 stripes, last one partial
+	rand.New(rand.NewSource(42)).Read(payload)
+
+	resp := doReq(t, client, http.MethodPut, ts.URL+"/v1/objects/big/blob",
+		payload, map[string]string{"Content-Type": "application/octet-stream"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+	var meta ObjectMeta
+	json.NewDecoder(resp.Body).Decode(&meta)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("empty container = %d", resp.StatusCode)
+	if meta.Stripes != 11 {
+		t.Fatalf("Stripes = %d, want 11", meta.Stripes)
+	}
+	wantSum := md5.Sum(payload)
+	if meta.Checksum != hex.EncodeToString(wantSum[:]) {
+		t.Fatal("streamed checksum mismatch")
 	}
 
-	resp, _ = client.Get(ts.URL + "/docs/missing")
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/objects/big/blob", nil, nil)
+	got, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("missing object = %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, payload) {
+		t.Fatalf("GET = %d, %d bytes (want %d)", resp.StatusCode, len(got), len(payload))
 	}
 
-	req, _ := http.NewRequest(http.MethodPatch, ts.URL+"/docs/x", nil)
-	resp, _ = client.Do(req)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("PATCH = %d", resp.StatusCode)
+	// Every stripe must verify against its parity at the providers.
+	if _, err := b.Engine(0).VerifyObject(context.Background(), "big", "blob"); err != nil {
+		t.Fatalf("VerifyObject: %v", err)
 	}
 
-	// Empty LIST must return a JSON array, not null.
-	resp, _ = client.Get(ts.URL + "/empty")
-	body := new(bytes.Buffer)
-	body.ReadFrom(resp.Body)
+	// Deleting must clear all stripes' chunks everywhere.
+	resp = doReq(t, client, http.MethodDelete, ts.URL+"/v1/objects/big/blob", nil, nil)
 	resp.Body.Close()
-	if got := strings.TrimSpace(body.String()); got != "[]" {
-		t.Fatalf("empty list body = %q", got)
+	for _, s := range b.Registry().Snapshot() {
+		if bs, ok := s.(*cloud.BlobStore); ok && bs.ObjectCount() != 0 {
+			t.Fatalf("%s still holds %d chunks after delete", bs.Spec().Name, bs.ObjectCount())
+		}
 	}
 }
 
-func TestHTTPOversizedUpload(t *testing.T) {
-	b := NewBroker(Config{})
-	t.Cleanup(b.Close)
-	api := NewAPI(b.Engine(0))
-	api.MaxObjectBytes = 10
-	ts := httptest.NewServer(api)
-	t.Cleanup(ts.Close)
-
-	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/c/k",
-		bytes.NewReader(make([]byte, 11)))
-	resp, err := ts.Client().Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusRequestEntityTooLarge {
-		t.Fatalf("oversized PUT = %d", resp.StatusCode)
-	}
-}
-
-func TestHTTPServiceUnavailableDuringOutage(t *testing.T) {
-	b, ts := newAPIServer(t)
+func TestGatewayConditionalRequests(t *testing.T) {
+	_, ts := newGatewayServer(t, Config{})
 	client := ts.Client()
-	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/c/k",
-		bytes.NewReader(make([]byte, 1000)))
-	resp, err := client.Do(req)
-	if err != nil {
-		t.Fatal(err)
+
+	resp := doReq(t, client, http.MethodPut, ts.URL+"/v1/objects/c/k", []byte("v1"), nil)
+	etag := resp.Header.Get("ETag")
+	resp.Body.Close()
+	if etag == "" {
+		t.Fatal("no ETag on PUT")
+	}
+
+	// Conditional GET with the current ETag -> 304, no body.
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/objects/c/k", nil,
+		map[string]string{"If-None-Match": etag})
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("conditional GET = %d, %d body bytes", resp.StatusCode, len(body))
+	}
+
+	// Stale ETag -> full 200.
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/objects/c/k", nil,
+		map[string]string{"If-None-Match": `"deadbeef"`})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale conditional GET = %d", resp.StatusCode)
+	}
+
+	// PUT with wrong If-Match -> 412; with right If-Match -> 201.
+	resp = doReq(t, client, http.MethodPut, ts.URL+"/v1/objects/c/k", []byte("v2"),
+		map[string]string{"If-Match": `"deadbeef"`})
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("PUT wrong If-Match = %d", resp.StatusCode)
+	}
+	if code := errCode(t, resp); code != "precondition_failed" {
+		t.Fatalf("error code = %q", code)
 	}
 	resp.Body.Close()
-	meta, err := b.Engine(0).Head("c", "k")
+	resp = doReq(t, client, http.MethodPut, ts.URL+"/v1/objects/c/k", []byte("v2"),
+		map[string]string{"If-Match": etag})
+	etag2 := resp.Header.Get("ETag")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || etag2 == etag {
+		t.Fatalf("PUT right If-Match = %d, etag %q", resp.StatusCode, etag2)
+	}
+
+	// If-None-Match: * refuses to overwrite an existing object.
+	resp = doReq(t, client, http.MethodPut, ts.URL+"/v1/objects/c/k", []byte("v3"),
+		map[string]string{"If-None-Match": "*"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("create-only PUT over existing = %d", resp.StatusCode)
+	}
+
+	// DELETE with wrong If-Match -> 412, object survives.
+	resp = doReq(t, client, http.MethodDelete, ts.URL+"/v1/objects/c/k", nil,
+		map[string]string{"If-Match": etag})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("DELETE stale If-Match = %d", resp.StatusCode)
+	}
+	resp = doReq(t, client, http.MethodDelete, ts.URL+"/v1/objects/c/k", nil,
+		map[string]string{"If-Match": etag2})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE right If-Match = %d", resp.StatusCode)
+	}
+}
+
+func TestGatewayListPagination(t *testing.T) {
+	_, ts := newGatewayServer(t, Config{})
+	client := ts.Client()
+	for _, k := range []string{"a1", "a2", "a3", "b1", "b2"} {
+		resp := doReq(t, client, http.MethodPut, ts.URL+"/v1/objects/c/"+k, []byte("x"), nil)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("PUT %s = %d", k, resp.StatusCode)
+		}
+	}
+
+	var page ListResult
+	resp := doReq(t, client, http.MethodGet, ts.URL+"/v1/objects/c?prefix=a&limit=2", nil, nil)
+	json.NewDecoder(resp.Body).Decode(&page)
+	resp.Body.Close()
+	if !page.Truncated || page.Next != "a2" || strings.Join(page.Keys, ",") != "a1,a2" {
+		t.Fatalf("page 1 = %+v", page)
+	}
+
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/objects/c?prefix=a&limit=2&after="+page.Next, nil, nil)
+	page = ListResult{}
+	json.NewDecoder(resp.Body).Decode(&page)
+	resp.Body.Close()
+	if page.Truncated || strings.Join(page.Keys, ",") != "a3" {
+		t.Fatalf("page 2 = %+v", page)
+	}
+
+	// Bad limit -> typed 400.
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/objects/c?limit=0", nil, nil)
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, resp) != "invalid_argument" {
+		t.Fatalf("limit=0 = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Empty container -> empty JSON array, not null.
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/objects/empty", nil, nil)
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), `"keys":[]`) {
+		t.Fatalf("empty list body = %s", raw)
+	}
+}
+
+func TestGatewayTypedErrors(t *testing.T) {
+	b, ts := newGatewayServer(t, Config{})
+	client := ts.Client()
+
+	// Rule-validation failure -> 400 invalid_rule.
+	bad, _ := json.Marshal(core.Rule{Name: "bad", LockIn: 2})
+	resp := doReq(t, client, http.MethodPut, ts.URL+"/v1/rules/c", bad, nil)
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, resp) != "invalid_rule" {
+		t.Fatalf("bad rule = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Infeasible placement -> 422: APAC-only with two distinct providers,
+	// but only the two S3 profiles serve APAC and lock-in 0.3 needs four.
+	infeasible, _ := json.Marshal(core.Rule{
+		Name: "apac", Durability: 0.9999, Availability: 0.99,
+		Zones: []cloud.Zone{cloud.ZoneAPAC}, LockIn: 0.25,
+	})
+	resp = doReq(t, client, http.MethodPut, ts.URL+"/v1/rules/apac", infeasible, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("feasible-shaped rule rejected: %d", resp.StatusCode)
+	}
+	resp = doReq(t, client, http.MethodPut, ts.URL+"/v1/objects/apac/k", []byte("x"), nil)
+	if resp.StatusCode != http.StatusUnprocessableEntity || errCode(t, resp) != "infeasible_placement" {
+		t.Fatalf("infeasible PUT = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Outage beyond the erasure threshold -> 503 unavailable.
+	resp = doReq(t, client, http.MethodPut, ts.URL+"/v1/objects/c/k", make([]byte, 1000), nil)
+	resp.Body.Close()
+	meta, err := b.Engine(0).Head(context.Background(), "c", "k")
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Down enough providers that the object cannot be reconstructed.
 	for i, name := range meta.Chunks {
 		if i >= len(meta.Chunks)-meta.M+1 {
 			break
 		}
-		blob(t, b, name).SetAvailable(false)
+		s, _ := b.Registry().Store(name)
+		s.(*cloud.BlobStore).SetAvailable(false)
 	}
-	resp, _ = client.Get(ts.URL + "/c/k")
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/objects/c/k", nil, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable || errCode(t, resp) != "unavailable" {
 		t.Fatalf("GET during blackout = %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Missing Content-Length -> 411.
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/objects/c/chunked", nil)
+	pr, pw := io.Pipe()
+	req.Body = pr
+	req.ContentLength = -1
+	go func() { pw.Write([]byte("data")); pw.Close() }()
+	lresp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if lresp.StatusCode != http.StatusLengthRequired {
+		t.Fatalf("chunked PUT = %d, want 411", lresp.StatusCode)
+	}
+}
+
+func TestGatewayOversizedUpload(t *testing.T) {
+	b := NewBroker(Config{})
+	t.Cleanup(b.Close)
+	g := NewGateway(b)
+	g.MaxObjectBytes = 10
+	ts := httptest.NewServer(g)
+	t.Cleanup(ts.Close)
+
+	resp := doReq(t, ts.Client(), http.MethodPut, ts.URL+"/v1/objects/c/k", make([]byte, 11), nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge || errCode(t, resp) != "too_large" {
+		t.Fatalf("oversized PUT = %d", resp.StatusCode)
+	}
+}
+
+func TestGatewayAdminSurface(t *testing.T) {
+	_, ts := newGatewayServer(t, Config{})
+	client := ts.Client()
+
+	// Providers: the five Fig. 3 profiles, all available.
+	resp := doReq(t, client, http.MethodGet, ts.URL+"/v1/providers", nil, nil)
+	var provs []ProviderStatus
+	json.NewDecoder(resp.Body).Decode(&provs)
+	resp.Body.Close()
+	if len(provs) != 5 {
+		t.Fatalf("providers = %d, want 5", len(provs))
+	}
+	for _, p := range provs {
+		if !p.Available {
+			t.Fatalf("%s reported unavailable", p.Name)
+		}
+	}
+
+	// Register CheapStor over the wire, then drop it.
+	spec, _ := json.Marshal(cloud.CheapStorProvider())
+	resp = doReq(t, client, http.MethodPost, ts.URL+"/v1/providers", spec, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST provider = %d", resp.StatusCode)
+	}
+	// A name collision must be refused, not silently replace the live
+	// backend (which would orphan its chunks).
+	resp = doReq(t, client, http.MethodPost, ts.URL+"/v1/providers", spec, nil)
+	if resp.StatusCode != http.StatusConflict || errCode(t, resp) != "already_exists" {
+		t.Fatalf("duplicate POST provider = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/providers", nil, nil)
+	provs = nil
+	json.NewDecoder(resp.Body).Decode(&provs)
+	resp.Body.Close()
+	if len(provs) != 6 {
+		t.Fatalf("providers after POST = %d, want 6", len(provs))
+	}
+	resp = doReq(t, client, http.MethodDelete, ts.URL+"/v1/providers/CheapStor", nil, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE provider = %d", resp.StatusCode)
+	}
+	resp = doReq(t, client, http.MethodDelete, ts.URL+"/v1/providers/CheapStor", nil, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double DELETE provider = %d", resp.StatusCode)
+	}
+
+	// Optimize and repair rounds return their reports.
+	resp = doReq(t, client, http.MethodPost, ts.URL+"/v1/optimize", nil, nil)
+	var orep OptimizeReport
+	json.NewDecoder(resp.Body).Decode(&orep)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || orep.Leader == "" {
+		t.Fatalf("optimize = %d, %+v", resp.StatusCode, orep)
+	}
+	resp = doReq(t, client, http.MethodPost, ts.URL+"/v1/repair?policy=active", nil, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repair = %d", resp.StatusCode)
+	}
+	resp = doReq(t, client, http.MethodPost, ts.URL+"/v1/repair?policy=bogus", nil, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus repair policy = %d", resp.StatusCode)
+	}
+}
+
+// TestGatewayStatsAndConditionalGet asserts the acceptance criterion:
+// GET /v1/stats returns planner hit/miss counters, and a repeated
+// conditional GET with the returned ETag yields 304 Not Modified.
+func TestGatewayStatsAndConditionalGet(t *testing.T) {
+	_, ts := newGatewayServer(t, Config{})
+	client := ts.Client()
+
+	resp := doReq(t, client, http.MethodPut, ts.URL+"/v1/objects/c/k", []byte("stats"), nil)
+	etag := resp.Header.Get("ETag")
+	resp.Body.Close()
+	// A second Put of the same rule shape hits the planner cache.
+	resp = doReq(t, client, http.MethodPut, ts.URL+"/v1/objects/c/k2", []byte("stats2"), nil)
+	resp.Body.Close()
+
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/stats", nil, nil)
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Planner.Misses == 0 {
+		t.Fatalf("planner misses = 0, first placement must build a search: %+v", st)
+	}
+	if st.Planner.Hits == 0 {
+		t.Fatalf("planner hits = 0, second placement must reuse the search: %+v", st)
+	}
+	if st.Engines == 0 || st.Providers != 5 {
+		t.Fatalf("deployment shape missing from stats: %+v", st)
+	}
+	if st.Usage.Ops == 0 || st.CostUSD <= 0 {
+		t.Fatalf("usage/cost counters missing: %+v", st)
+	}
+
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/objects/c/k", nil,
+		map[string]string{"If-None-Match": etag})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET with stats-era ETag = %d, want 304", resp.StatusCode)
+	}
+}
+
+// TestGatewayRoundRobinsAcrossEngines: consecutive requests must spread
+// over every engine of every datacenter (the Engine(0)-only bug).
+func TestGatewayRoundRobinsAcrossEngines(t *testing.T) {
+	b, ts := newGatewayServer(t, Config{Datacenters: []string{"dc1", "dc2"}, EnginesPerDC: 2})
+	client := ts.Client()
+	before := b.next.Load()
+	const n = 8
+	for i := 0; i < n; i++ {
+		resp := doReq(t, client, http.MethodPut,
+			fmt.Sprintf("%s/v1/objects/c/k%d", ts.URL, i), []byte("x"), nil)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("PUT %d = %d", i, resp.StatusCode)
+		}
+	}
+	if got := b.next.Load() - before; got < n {
+		t.Fatalf("round-robin counter advanced %d, want >= %d", got, n)
+	}
+	// All four engines share the metadata fabric, so every object must be
+	// readable regardless of which engine serves the read.
+	b.FlushStats()
+	for i := 0; i < n; i++ {
+		resp := doReq(t, client, http.MethodGet,
+			fmt.Sprintf("%s/v1/objects/c/k%d", ts.URL, i), nil, nil)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET k%d = %d", i, resp.StatusCode)
+		}
+	}
+}
+
+// cancelAfterReader delivers data until n bytes have been read, then
+// cancels the context and keeps delivering; the engine must notice the
+// cancellation and abort the fan-out.
+type cancelAfterReader struct {
+	n      int
+	cancel context.CancelFunc
+	read   int
+}
+
+func (r *cancelAfterReader) Read(p []byte) (int, error) {
+	if r.read >= r.n && r.cancel != nil {
+		r.cancel()
+		r.cancel = nil
+	}
+	for i := range p {
+		p[i] = byte(i)
+	}
+	r.read += len(p)
+	return len(p), nil
+}
+
+// TestPutReaderCancellationAbortsFanOut asserts the acceptance
+// criterion: cancelling the request context aborts the in-flight chunk
+// fan-out, no metadata is committed, and written chunks roll back.
+func TestPutReaderCancellationAbortsFanOut(t *testing.T) {
+	b := newTestBroker(t, Config{StripeBytes: 1024})
+	e := b.Engine(0)
+	cctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	src := &cancelAfterReader{n: 3 * 1024, cancel: cancel}
+	_, err := e.PutReader(cctx, "c", "big", src, 64*1024, PutOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("PutReader after cancel = %v, want context.Canceled", err)
+	}
+	if _, err := e.Head(context.Background(), "c", "big"); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("metadata committed despite cancellation: %v", err)
+	}
+	// Rollback must leave no orphan chunks at any provider.
+	for _, s := range b.Registry().Snapshot() {
+		if bs, ok := s.(*cloud.BlobStore); ok && bs.ObjectCount() != 0 {
+			t.Fatalf("%s holds %d orphan chunks after cancel", bs.Spec().Name, bs.ObjectCount())
+		}
+	}
+}
+
+// TestGatewayCancelledPutRollsBack drives the same property end to end
+// over HTTP: a client that disconnects mid-upload must not leave a
+// partial object behind.
+func TestGatewayCancelledPutRollsBack(t *testing.T) {
+	b, ts := newGatewayServer(t, Config{StripeBytes: 1024})
+	client := ts.Client()
+
+	cctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	req, _ := http.NewRequestWithContext(cctx, http.MethodPut, ts.URL+"/v1/objects/c/huge", pr)
+	req.ContentLength = 1 << 20
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Do(req)
+		done <- err
+	}()
+	pw.Write(make([]byte, 8*1024)) // a few stripes through, then vanish
+	cancel()
+	pw.CloseWithError(context.Canceled)
+	if err := <-done; err == nil {
+		t.Fatal("cancelled PUT reported success")
+	}
+
+	// The handler rolls back asynchronously; wait for it to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := b.Engine(0).Head(context.Background(), "c", "huge"); errors.Is(err, ErrObjectNotFound) {
+			orphans := 0
+			for _, s := range b.Registry().Snapshot() {
+				if bs, ok := s.(*cloud.BlobStore); ok {
+					orphans += bs.ObjectCount()
+				}
+			}
+			if orphans == 0 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled PUT left metadata or orphan chunks behind")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -29,7 +29,41 @@ type ObjectMeta struct {
 	UUID      string   `json:"uuid"`      // version identity
 	TTLHours  float64  `json:"ttlHours"`  // user lifetime hint; 0 = none
 	CreatedAt int64    `json:"createdAt"` // period of first write
+
+	// Stripes and StripeBytes describe the streaming layout: the object
+	// is split into Stripes consecutive stripes of up to StripeBytes
+	// payload each, and every stripe is erasure-coded independently, so
+	// reads and writes proceed stripe by stripe without materializing
+	// the whole object. Stripes <= 1 marks a single-stripe object, which
+	// keeps the legacy chunk-key layout.
+	Stripes     int   `json:"stripes,omitempty"`
+	StripeBytes int64 `json:"stripeBytes,omitempty"`
 }
+
+// StripeCount returns the number of stripes the object is stored as
+// (at least 1; legacy single-stripe metadata reports 1).
+func (m ObjectMeta) StripeCount() int {
+	if m.Stripes <= 1 {
+		return 1
+	}
+	return m.Stripes
+}
+
+// stripeLen returns the payload length of stripe s.
+func (m ObjectMeta) stripeLen(s int) int64 {
+	if m.StripeCount() == 1 {
+		return m.Size
+	}
+	start := int64(s) * m.StripeBytes
+	if left := m.Size - start; left < m.StripeBytes {
+		return left
+	}
+	return m.StripeBytes
+}
+
+// ETag returns the object's entity tag for conditional HTTP requests:
+// the quoted content checksum, as S3 does for simple uploads.
+func (m ObjectMeta) ETag() string { return `"` + m.Checksum + `"` }
 
 // RowKey returns the metadata row key: MD5(container | key) (§III-D1).
 func RowKey(container, key string) string {
@@ -45,9 +79,24 @@ func StorageKey(container, key, uuid string) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// ChunkKey names chunk i of a stored object version.
+// ChunkKey names chunk i of a single-stripe object version.
 func ChunkKey(skey string, i int) string {
 	return fmt.Sprintf("%s/chunk%03d", skey, i)
+}
+
+// ChunkKeyAt names chunk i of stripe s for an object stored as stripes
+// stripes. Single-stripe objects keep the legacy ChunkKey layout so
+// metadata written before striping stays addressable.
+func ChunkKeyAt(skey string, stripes, s, i int) string {
+	if stripes <= 1 {
+		return ChunkKey(skey, i)
+	}
+	return fmt.Sprintf("%s/s%05d/chunk%03d", skey, s, i)
+}
+
+// chunkKey names chunk i of stripe s of this object version.
+func (m ObjectMeta) chunkKey(s, i int) string {
+	return ChunkKeyAt(m.SKey, m.StripeCount(), s, i)
 }
 
 // Checksum computes the MD5 content checksum in Fig. 11's format.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -41,8 +42,9 @@ var ErrNoLeader = errors.New("engine: no alive engine for leader election")
 // splits it evenly across engines, and each engine recomputes placement
 // only for objects whose access trend changed (§III-A3). Migration
 // happens only when the projected savings over the decision period
-// exceed the migration cost.
-func (b *Broker) Optimize() (OptimizeReport, error) {
+// exceed the migration cost. Cancelling ctx stops the shard scans;
+// objects not yet examined are picked up by a later round.
+func (b *Broker) Optimize(ctx context.Context) (OptimizeReport, error) {
 	leader := b.electLeader()
 	if leader == nil {
 		return OptimizeReport{}, ErrNoLeader
@@ -60,6 +62,7 @@ func (b *Broker) Optimize() (OptimizeReport, error) {
 	if len(accessed) == 0 {
 		// Quiet round: nothing to shard, skip the fan-out machinery (the
 		// common case for a broker ticking every sampling period).
+		b.recordOptimize(report)
 		return report, nil
 	}
 	planner0 := b.planner.Stats()
@@ -77,7 +80,7 @@ func (b *Broker) Optimize() (OptimizeReport, error) {
 		wg.Add(1)
 		go func(e *Engine, objs []string) {
 			defer wg.Done()
-			local := e.optimizeShard(objs, now, false)
+			local := e.optimizeShard(ctx, objs, now, false)
 			mu.Lock()
 			report.TrendChanged += local.TrendChanged
 			report.Recomputed += local.Recomputed
@@ -91,7 +94,8 @@ func (b *Broker) Optimize() (OptimizeReport, error) {
 	planner1 := b.planner.Stats()
 	report.PlannerHits = planner1.Hits - planner0.Hits
 	report.PlannerMisses = planner1.Misses - planner0.Misses
-	return report, nil
+	b.recordOptimize(report)
+	return report, ctx.Err()
 }
 
 // aliveEngines returns the engines participating in fan-out work.
@@ -117,7 +121,7 @@ func shardObjects(objs []string, n int) [][]string {
 // OptimizeFullScan recomputes every known object's placement without
 // trend gating — the full-table-scan baseline the paper rejects as
 // unscalable; kept for the ablation benchmark.
-func (b *Broker) OptimizeFullScan() (OptimizeReport, error) {
+func (b *Broker) OptimizeFullScan(ctx context.Context) (OptimizeReport, error) {
 	leader := b.electLeader()
 	if leader == nil {
 		return OptimizeReport{}, ErrNoLeader
@@ -125,13 +129,14 @@ func (b *Broker) OptimizeFullScan() (OptimizeReport, error) {
 	b.FlushStats()
 	now := b.clock.Period()
 	planner0 := b.planner.Stats()
-	report := leader.optimizeShard(b.statsDB.Objects(), now, true)
+	report := leader.optimizeShard(ctx, b.statsDB.Objects(), now, true)
 	report.Leader = leader.id
 	report.Scanned = report.Recomputed
 	planner1 := b.planner.Stats()
 	report.PlannerHits = planner1.Hits - planner0.Hits
 	report.PlannerMisses = planner1.Misses - planner0.Misses
-	return report, nil
+	b.recordOptimize(report)
+	return report, ctx.Err()
 }
 
 // electLeader picks the alive engine with the lowest identifier — a
@@ -152,9 +157,12 @@ func (b *Broker) electLeader() *Engine {
 
 // optimizeShard processes one engine's share of the accessed-object set.
 // When force is true the trend gate is bypassed.
-func (e *Engine) optimizeShard(objs []string, now int64, force bool) OptimizeReport {
+func (e *Engine) optimizeShard(ctx context.Context, objs []string, now int64, force bool) OptimizeReport {
 	var report OptimizeReport
 	for _, obj := range objs {
+		if ctx.Err() != nil {
+			break
+		}
 		changed := force || e.detectTrendChange(obj, now)
 		if !changed {
 			continue
@@ -162,7 +170,7 @@ func (e *Engine) optimizeShard(objs []string, now int64, force bool) OptimizeRep
 		if !force {
 			report.TrendChanged++
 		}
-		migrated, cost, recomputed, evaluated := e.reoptimizeObject(obj, now)
+		migrated, cost, recomputed, evaluated := e.reoptimizeObject(ctx, obj, now)
 		report.Evaluated += evaluated
 		if recomputed {
 			report.Recomputed++
@@ -202,12 +210,12 @@ func (e *Engine) detectTrendChange(obj string, now int64) bool {
 // history over the adaptive decision period, migrating when worthwhile.
 // evaluated counts the candidate sets examined by this object's
 // searches (placement plus coupling probes).
-func (e *Engine) reoptimizeObject(obj string, now int64) (migrated bool, cost float64, recomputed bool, evaluated int) {
+func (e *Engine) reoptimizeObject(ctx context.Context, obj string, now int64) (migrated bool, cost float64, recomputed bool, evaluated int) {
 	container, key, ok := splitObjectName(obj)
 	if !ok {
 		return false, 0, false, 0
 	}
-	meta, err := e.Head(container, key)
+	meta, err := e.Head(ctx, container, key)
 	if err != nil {
 		return false, 0, false, 0
 	}
@@ -252,7 +260,7 @@ func (e *Engine) reoptimizeObject(obj string, now int64) (migrated bool, cost fl
 	if saving <= migCost {
 		return false, 0, true, evaluated
 	}
-	if err := e.migrate(meta, res.Placement); err != nil {
+	if err := e.migrate(ctx, meta, res.Placement); err != nil {
 		return false, 0, true, evaluated
 	}
 	e.b.setPlacement(obj, res.Placement)
@@ -349,31 +357,57 @@ func currentPlacementFromMeta(e *Engine, meta ObjectMeta) core.Placement {
 	return p
 }
 
-// migrate moves an object to a new placement: reconstruct from the
-// current chunks, re-encode, write the new chunks, update metadata, and
-// delete superseded chunks.
-func (e *Engine) migrate(meta ObjectMeta, to core.Placement) error {
-	data, err := e.fetchAndDecode(meta)
+// migrate moves an object to a new placement, streaming stripe by
+// stripe: each stripe is reconstructed from the current chunks,
+// re-encoded for the target placement and written out before the next
+// stripe is read, so migration of a large object never buffers it
+// whole. The superseded chunks are deleted once the new metadata is
+// committed.
+func (e *Engine) migrate(ctx context.Context, meta ObjectMeta, to core.Placement) error {
+	src, err := e.openObjectReader(ctx, meta, false)
 	if err != nil {
 		return fmt.Errorf("engine: migrate read: %w", err)
 	}
+	defer src.Close()
 	uuid := NewUUID()
 	newMeta := meta
 	newMeta.UUID = uuid
 	newMeta.SKey = StorageKey(meta.Container, meta.Key, uuid)
 	newMeta.M = to.M
-	if err := e.writeChunks(&newMeta, to, data); err != nil {
+	if err := e.writeChunksStream(ctx, &newMeta, to, src); err != nil {
 		return fmt.Errorf("engine: migrate write: %w", err)
+	}
+	if newMeta.Checksum != meta.Checksum {
+		e.deleteChunks(newMeta)
+		return fmt.Errorf("engine: migrate: %w", ErrChecksum)
 	}
 	ts := e.b.clock.Timestamp()
 	version, err := encodeMeta(newMeta, ts)
 	if err != nil {
+		e.deleteChunks(newMeta)
 		return err
 	}
+	// Commit under the row lock, and only if the version we migrated is
+	// still the live one: a client write (or delete) that landed while
+	// the chunks were copying must win — a background migration may
+	// never clobber an acknowledged update or resurrect a tombstone.
 	row := RowKey(meta.Container, meta.Key)
+	lk := e.b.rowLock(row)
+	lk.Lock()
+	cur, losers := e.currentVersion(row)
+	if cur == nil || cur.UUID != meta.UUID {
+		lk.Unlock()
+		e.deleteChunks(newMeta)
+		e.cleanupVersions(losers)
+		return fmt.Errorf("engine: migrate: object changed mid-migration")
+	}
 	if err := e.b.meta.Put(e.dc, row, version); err != nil {
+		lk.Unlock()
+		e.deleteChunks(newMeta)
 		return err
 	}
+	lk.Unlock()
+	e.cleanupVersions(losers)
 	e.deleteChunks(meta)
 	e.b.caches.InvalidateAll(objectName(meta.Container, meta.Key))
 	return nil
@@ -403,7 +437,7 @@ const (
 // all alive engines and runs in parallel — repair after a large outage
 // touches the whole object population, and the paper's engines "scale
 // by addition".
-func (b *Broker) Repair(policy RepairPolicy) (RepairReport, error) {
+func (b *Broker) Repair(ctx context.Context, policy RepairPolicy) (RepairReport, error) {
 	leader := b.electLeader()
 	if leader == nil {
 		return RepairReport{}, ErrNoLeader
@@ -424,7 +458,7 @@ func (b *Broker) Repair(policy RepairPolicy) (RepairReport, error) {
 		wg.Add(1)
 		go func(e *Engine, objs []string) {
 			defer wg.Done()
-			local := e.repairShard(objs, policy, now)
+			local := e.repairShard(ctx, objs, policy, now)
 			mu.Lock()
 			report.Checked += local.Checked
 			report.Affected += local.Affected
@@ -434,19 +468,22 @@ func (b *Broker) Repair(policy RepairPolicy) (RepairReport, error) {
 		}(e, shards[i])
 	}
 	wg.Wait()
-	return report, nil
+	return report, ctx.Err()
 }
 
 // repairShard applies the repair policy to one engine's share of the
 // object population.
-func (e *Engine) repairShard(objs []string, policy RepairPolicy, now int64) RepairReport {
+func (e *Engine) repairShard(ctx context.Context, objs []string, policy RepairPolicy, now int64) RepairReport {
 	var report RepairReport
 	for _, obj := range objs {
+		if ctx.Err() != nil {
+			break
+		}
 		container, key, ok := splitObjectName(obj)
 		if !ok {
 			continue
 		}
-		meta, err := e.Head(container, key)
+		meta, err := e.Head(ctx, container, key)
 		if err != nil {
 			continue
 		}
@@ -482,7 +519,7 @@ func (e *Engine) repairShard(objs []string, policy RepairPolicy, now int64) Repa
 			report.Waited++
 			continue
 		}
-		if err := e.migrate(meta, res.Placement); err != nil {
+		if err := e.migrate(ctx, meta, res.Placement); err != nil {
 			report.Waited++
 			continue
 		}
@@ -493,9 +530,10 @@ func (e *Engine) repairShard(objs []string, policy RepairPolicy, now int64) Repa
 }
 
 // VerifyObject checks that an object's stored chunks are sufficient and
-// parity-consistent, returning the number of reachable chunks.
-func (e *Engine) VerifyObject(container, key string) (reachable int, err error) {
-	meta, err := e.Head(container, key)
+// parity-consistent across every stripe, returning the minimum number
+// of reachable chunks over the stripes.
+func (e *Engine) VerifyObject(ctx context.Context, container, key string) (reachable int, err error) {
+	meta, err := e.Head(ctx, container, key)
 	if err != nil {
 		return 0, err
 	}
@@ -504,27 +542,34 @@ func (e *Engine) VerifyObject(container, key string) (reachable int, err error) 
 	if err != nil {
 		return 0, err
 	}
-	chunks := make([][]byte, n)
-	for i, name := range meta.Chunks {
-		s, ok := e.b.registry.Store(name)
-		if !ok || !s.Available() {
-			continue
+	reachable = n
+	for s := 0; s < meta.StripeCount(); s++ {
+		chunks := make([][]byte, n)
+		stripeReachable := 0
+		for i, name := range meta.Chunks {
+			st, ok := e.b.registry.Store(name)
+			if !ok || !st.Available() {
+				continue
+			}
+			if data, err := st.Get(ctx, meta.chunkKey(s, i)); err == nil {
+				chunks[i] = data
+				stripeReachable++
+			}
 		}
-		if data, err := s.Get(ChunkKey(meta.SKey, i)); err == nil {
-			chunks[i] = data
-			reachable++
+		if stripeReachable < reachable {
+			reachable = stripeReachable
 		}
-	}
-	if reachable < meta.M {
-		return reachable, ErrNotEnoughChunks
-	}
-	if reachable == n {
-		ok, err := coder.Verify(chunks)
-		if err != nil {
-			return reachable, err
+		if stripeReachable < meta.M {
+			return reachable, ErrNotEnoughChunks
 		}
-		if !ok {
-			return reachable, ErrChecksum
+		if stripeReachable == n {
+			ok, err := coder.Verify(chunks)
+			if err != nil {
+				return reachable, err
+			}
+			if !ok {
+				return reachable, ErrChecksum
+			}
 		}
 	}
 	return reachable, nil

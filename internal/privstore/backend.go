@@ -1,8 +1,10 @@
 package privstore
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
+	"time"
 
 	"scalia/internal/cloud"
 )
@@ -47,8 +49,15 @@ type statsResponse struct {
 	UsedBytes int64 `json:"usedBytes"`
 }
 
+// probeTimeout bounds the Available/UsedBytes liveness probes; they run
+// under the registry's market rebuild, not a user request, so they get
+// their own deadline instead of a caller context.
+const probeTimeout = 10 * time.Second
+
 func (b *Backend) stats() (statsResponse, error) {
-	resp, err := b.do(http.MethodGet, "/stats", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	resp, err := b.do(ctx, http.MethodGet, "/stats", nil)
 	if err != nil {
 		return statsResponse{}, err
 	}

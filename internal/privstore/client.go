@@ -2,6 +2,7 @@ package privstore
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -36,12 +37,12 @@ func NewClient(baseURL string, token []byte) *Client {
 	}
 }
 
-func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
 	var reader io.Reader
 	if body != nil {
 		reader = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, c.base+path, reader)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
 	if err != nil {
 		return nil, err
 	}
@@ -52,8 +53,8 @@ func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
 }
 
 // Put implements cloud.Store.
-func (c *Client) Put(key string, data []byte) error {
-	resp, err := c.do(http.MethodPut, "/objects/"+url.PathEscape(key), data)
+func (c *Client) Put(ctx context.Context, key string, data []byte) error {
+	resp, err := c.do(ctx, http.MethodPut, "/objects/"+url.PathEscape(key), data)
 	if err != nil {
 		return err
 	}
@@ -65,8 +66,8 @@ func (c *Client) Put(key string, data []byte) error {
 }
 
 // Get implements cloud.Store.
-func (c *Client) Get(key string) ([]byte, error) {
-	resp, err := c.do(http.MethodGet, "/objects/"+url.PathEscape(key), nil)
+func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/objects/"+url.PathEscape(key), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -78,8 +79,8 @@ func (c *Client) Get(key string) ([]byte, error) {
 }
 
 // Delete implements cloud.Store.
-func (c *Client) Delete(key string) error {
-	resp, err := c.do(http.MethodDelete, "/objects/"+url.PathEscape(key), nil)
+func (c *Client) Delete(ctx context.Context, key string) error {
+	resp, err := c.do(ctx, http.MethodDelete, "/objects/"+url.PathEscape(key), nil)
 	if err != nil {
 		return err
 	}
@@ -91,8 +92,8 @@ func (c *Client) Delete(key string) error {
 }
 
 // List implements cloud.Store.
-func (c *Client) List(prefix string) ([]string, error) {
-	resp, err := c.do(http.MethodGet, "/list?prefix="+url.QueryEscape(prefix), nil)
+func (c *Client) List(ctx context.Context, prefix string) ([]string, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/list?prefix="+url.QueryEscape(prefix), nil)
 	if err != nil {
 		return nil, err
 	}

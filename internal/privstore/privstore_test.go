@@ -2,12 +2,15 @@ package privstore
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 )
+
+var ctx = context.Background()
 
 func newPair(t *testing.T, capacity int64) (*Server, *Client) {
 	t.Helper()
@@ -22,26 +25,26 @@ func newPair(t *testing.T, capacity int64) (*Server, *Client) {
 
 func TestPutGetDeleteList(t *testing.T) {
 	_, c := newPair(t, 0)
-	if err := c.Put("a/key1", []byte("hello")); err != nil {
+	if err := c.Put(ctx, "a/key1", []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get("a/key1")
+	got, err := c.Get(ctx, "a/key1")
 	if err != nil || !bytes.Equal(got, []byte("hello")) {
 		t.Fatalf("Get = %q, %v", got, err)
 	}
-	c.Put("a/key2", []byte("x"))
-	c.Put("b/key3", []byte("y"))
-	keys, err := c.List("a/")
+	c.Put(ctx, "a/key2", []byte("x"))
+	c.Put(ctx, "b/key3", []byte("y"))
+	keys, err := c.List(ctx, "a/")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(keys) != 2 || keys[0] != "a/key1" || keys[1] != "a/key2" {
 		t.Fatalf("List = %v", keys)
 	}
-	if err := c.Delete("a/key1"); err != nil {
+	if err := c.Delete(ctx, "a/key1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get("a/key1"); !errors.Is(err, ErrRemote) {
+	if _, err := c.Get(ctx, "a/key1"); !errors.Is(err, ErrRemote) {
 		t.Fatalf("Get after delete: %v", err)
 	}
 }
@@ -54,7 +57,7 @@ func TestServerRejectsBadToken(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	c := NewClient(ts.URL, []byte("wrong"))
-	if err := c.Put("k", []byte("v")); !errors.Is(err, ErrRemote) {
+	if err := c.Put(ctx, "k", []byte("v")); !errors.Is(err, ErrRemote) {
 		t.Fatalf("bad token accepted: %v", err)
 	}
 }
@@ -81,21 +84,21 @@ func TestServerRejectsReplayedTimestamp(t *testing.T) {
 	// An old timestamp (beyond the skew window) must be refused even with
 	// a valid signature.
 	c.now = func() time.Time { return time.Now().Add(-MaxClockSkew - time.Minute) }
-	if err := c.Put("k", []byte("v")); !errors.Is(err, ErrRemote) {
+	if err := c.Put(ctx, "k", []byte("v")); !errors.Is(err, ErrRemote) {
 		t.Fatalf("stale timestamp accepted: %v", err)
 	}
 }
 
 func TestCapacityLimit(t *testing.T) {
 	srv, c := newPair(t, 10)
-	if err := c.Put("a", make([]byte, 8)); err != nil {
+	if err := c.Put(ctx, "a", make([]byte, 8)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Put("b", make([]byte, 8)); !errors.Is(err, ErrRemote) {
+	if err := c.Put(ctx, "b", make([]byte, 8)); !errors.Is(err, ErrRemote) {
 		t.Fatalf("over-capacity accepted: %v", err)
 	}
 	// Overwriting within capacity is fine.
-	if err := c.Put("a", make([]byte, 10)); err != nil {
+	if err := c.Put(ctx, "a", make([]byte, 10)); err != nil {
 		t.Fatal(err)
 	}
 	if srv.UsedBytes() != 10 {
@@ -111,7 +114,7 @@ func TestUsageSurvivesRestart(t *testing.T) {
 	}
 	ts := httptest.NewServer(srv)
 	c := NewClient(ts.URL, []byte("tok"))
-	c.Put("k", make([]byte, 123))
+	c.Put(ctx, "k", make([]byte, 123))
 	ts.Close()
 
 	srv2, err := NewServer(dir, []byte("tok"), 0)
@@ -124,7 +127,7 @@ func TestUsageSurvivesRestart(t *testing.T) {
 	ts2 := httptest.NewServer(srv2)
 	defer ts2.Close()
 	c2 := NewClient(ts2.URL, []byte("tok"))
-	got, err := c2.Get("k")
+	got, err := c2.Get(ctx, "k")
 	if err != nil || len(got) != 123 {
 		t.Fatalf("data lost across restart: %v", err)
 	}
@@ -133,14 +136,14 @@ func TestUsageSurvivesRestart(t *testing.T) {
 func TestKeysWithSpecialCharacters(t *testing.T) {
 	_, c := newPair(t, 0)
 	key := "dir/../weird key/äöü/..%2F"
-	if err := c.Put(key, []byte("safe")); err != nil {
+	if err := c.Put(ctx, key, []byte("safe")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get(key)
+	got, err := c.Get(ctx, key)
 	if err != nil || string(got) != "safe" {
 		t.Fatalf("Get = %q, %v", got, err)
 	}
-	keys, _ := c.List("")
+	keys, _ := c.List(ctx, "")
 	if len(keys) != 1 || keys[0] != key {
 		t.Fatalf("List = %v", keys)
 	}

@@ -17,17 +17,30 @@
 // store, per-datacenter caches, a statistics pipeline, and stateless
 // broker engines with the periodic optimization procedure.
 //
+// # The v1 API
+//
+// Every I/O method takes a context.Context; cancelling it aborts the
+// in-flight chunk fan-out against the providers. Large objects stream:
+// PutReader and GetReader split the body into erasure-coded stripes so
+// the serving path never buffers a whole object, while Put and Get
+// remain as byte-slice conveniences. The same surface is served over
+// HTTP by the v1 gateway (engine.NewGateway / cmd/scalia-server) and
+// consumed remotely by the typed scalia/client package — embedded and
+// remote callers share one method set.
+//
 // Quick start:
 //
 //	client, err := scalia.New(scalia.Options{})
 //	if err != nil { ... }
 //	defer client.Close()
-//	client.Put("pictures", "cat.gif", data, scalia.WithMIME("image/gif"))
-//	blob, _, err := client.Get("pictures", "cat.gif")
+//	ctx := context.Background()
+//	client.Put(ctx, "pictures", "cat.gif", data, scalia.WithMIME("image/gif"))
+//	blob, _, err := client.Get(ctx, "pictures", "cat.gif")
 package scalia
 
 import (
-	"sync/atomic"
+	"context"
+	"io"
 
 	"scalia/internal/cloud"
 	"scalia/internal/core"
@@ -57,6 +70,17 @@ type (
 	OptimizeReport = engine.OptimizeReport
 	// RepairReport summarizes a repair pass.
 	RepairReport = engine.RepairReport
+	// OptimizeTotals accumulates optimization rounds over a deployment's
+	// lifetime (served on GET /v1/stats).
+	OptimizeTotals = engine.OptimizeTotals
+	// Stats is the operational counter snapshot of GET /v1/stats.
+	Stats = engine.Stats
+	// ListResult is the paginated container listing of the v1 protocol.
+	ListResult = engine.ListResult
+	// ProviderStatus is one market participant on GET /v1/providers.
+	ProviderStatus = engine.ProviderStatus
+	// RepairPolicy selects how repair treats chunks at failed providers.
+	RepairPolicy = engine.RepairPolicy
 )
 
 // Zones.
@@ -70,6 +94,20 @@ const (
 const (
 	RepairWait   = engine.RepairWait
 	RepairActive = engine.RepairActive
+)
+
+// Sentinel errors, re-exported so callers can errors.Is against the
+// facade without importing internal packages. The typed remote client
+// maps v1 wire errors back onto the same values.
+var (
+	ErrObjectNotFound       = engine.ErrObjectNotFound
+	ErrPreconditionFailed   = engine.ErrPreconditionFailed
+	ErrInvalidArgument      = engine.ErrInvalidArgument
+	ErrNotEnoughChunks      = engine.ErrNotEnoughChunks
+	ErrInfeasiblePlacement  = core.ErrNoProviders
+	ErrProviderUnavailable  = cloud.ErrUnavailable
+	ErrProviderOverCapacity = cloud.ErrOverCapacity
+	ErrObjectTooLarge       = cloud.ErrTooLarge
 )
 
 // PaperProviders returns the five provider profiles of the paper's
@@ -102,6 +140,9 @@ type Options struct {
 	// Pruned selects the polynomial placement heuristic instead of the
 	// exact subset enumeration.
 	Pruned bool
+	// StripeBytes bounds the per-stripe payload of streaming reads and
+	// writes (default engine.DefaultStripeBytes, 4 MiB).
+	StripeBytes int64
 	// Clock overrides time (tests and simulations use a manual clock).
 	Clock engine.Clock
 }
@@ -109,7 +150,6 @@ type Options struct {
 // Client is a Scalia deployment handle. It is safe for concurrent use.
 type Client struct {
 	broker *engine.Broker
-	next   atomic.Uint64
 }
 
 // New builds a broker deployment.
@@ -123,6 +163,7 @@ func New(opts Options) (*Client, error) {
 		DecisionPeriod:   opts.DecisionPeriod,
 		MigrationHorizon: opts.MigrationHorizon,
 		Pruned:           opts.Pruned,
+		StripeBytes:      opts.StripeBytes,
 		Clock:            opts.Clock,
 	}
 	if len(opts.Providers) > 0 {
@@ -145,12 +186,9 @@ func (c *Client) Close() { c.broker.Close() }
 
 // engine returns the next engine round-robin, matching the paper's
 // "requests are routed to all datacenters indifferently". The counter
-// is atomic: Put/Get/Delete may race from many goroutines, and the
-// modulo happens on the uint64 so the index never goes negative.
-func (c *Client) engine() *engine.Engine {
-	n := c.next.Add(1) - 1
-	return c.broker.Engine(int(n % uint64(len(c.broker.Engines()))))
-}
+// lives on the broker and is shared with the HTTP gateway, so mixed
+// embedded/remote traffic spreads evenly.
+func (c *Client) engine() *engine.Engine { return c.broker.NextEngine() }
 
 // PutOption customizes a write.
 type PutOption func(*engine.PutOptions)
@@ -170,13 +208,27 @@ func WithRule(r Rule) PutOption {
 	return func(o *engine.PutOptions) { o.Rule = &r }
 }
 
-// Put stores or updates an object.
-func (c *Client) Put(container, key string, data []byte, opts ...PutOption) (ObjectMeta, error) {
+// WithIfMatch makes the write conditional on the stored version's ETag
+// ("*" = any existing version); a mismatch fails with
+// ErrPreconditionFailed.
+func WithIfMatch(etag string) PutOption {
+	return func(o *engine.PutOptions) { o.IfMatch = etag }
+}
+
+// WithIfAbsent makes the write create-only: it fails with
+// ErrPreconditionFailed when the object already exists (the facade
+// counterpart of the wire's If-None-Match: *).
+func WithIfAbsent() PutOption {
+	return func(o *engine.PutOptions) { o.IfAbsent = true }
+}
+
+// Put stores or updates an object from an in-memory payload.
+func (c *Client) Put(ctx context.Context, container, key string, data []byte, opts ...PutOption) (ObjectMeta, error) {
 	var po engine.PutOptions
 	for _, opt := range opts {
 		opt(&po)
 	}
-	meta, err := c.engine().Put(container, key, data, po)
+	meta, err := c.engine().Put(ctx, container, key, data, po)
 	if err != nil {
 		return meta, err
 	}
@@ -187,28 +239,62 @@ func (c *Client) Put(container, key string, data []byte, opts ...PutOption) (Obj
 	return meta, nil
 }
 
-// Get fetches an object and its metadata.
-func (c *Client) Get(container, key string) ([]byte, ObjectMeta, error) {
-	return c.engine().Get(container, key)
+// PutReader stores or updates an object streamed from r. size must be
+// the exact body length; at most one stripe is buffered at a time, so
+// arbitrarily large objects upload in constant memory. Cancelling ctx
+// aborts the in-flight chunk fan-out and rolls back written chunks.
+func (c *Client) PutReader(ctx context.Context, container, key string, r io.Reader, size int64, opts ...PutOption) (ObjectMeta, error) {
+	var po engine.PutOptions
+	for _, opt := range opts {
+		opt(&po)
+	}
+	meta, err := c.engine().PutReader(ctx, container, key, r, size, po)
+	if err != nil {
+		return meta, err
+	}
+	c.broker.Metadata().Flush()
+	return meta, nil
+}
+
+// Get fetches an object fully buffered, with its metadata.
+func (c *Client) Get(ctx context.Context, container, key string) ([]byte, ObjectMeta, error) {
+	return c.engine().Get(ctx, container, key)
+}
+
+// GetReader fetches an object as a stream: stripes are reconstructed
+// from the m cheapest reachable providers one at a time. The caller
+// must Close the reader.
+func (c *Client) GetReader(ctx context.Context, container, key string) (io.ReadCloser, ObjectMeta, error) {
+	return c.engine().GetReader(ctx, container, key)
 }
 
 // Head fetches an object's metadata only.
-func (c *Client) Head(container, key string) (ObjectMeta, error) {
-	return c.engine().Head(container, key)
+func (c *Client) Head(ctx context.Context, container, key string) (ObjectMeta, error) {
+	return c.engine().Head(ctx, container, key)
 }
 
 // Delete removes an object.
-func (c *Client) Delete(container, key string) error {
-	if err := c.engine().Delete(container, key); err != nil {
+func (c *Client) Delete(ctx context.Context, container, key string) error {
+	if err := c.engine().Delete(ctx, container, key); err != nil {
 		return err
 	}
 	c.broker.Metadata().Flush()
 	return nil
 }
 
-// List returns the keys of a container.
-func (c *Client) List(container string) ([]string, error) {
-	return c.engine().List(container)
+// DeleteIf removes an object only if its stored ETag matches ifMatch
+// ("*" = any existing version).
+func (c *Client) DeleteIf(ctx context.Context, container, key, ifMatch string) error {
+	if err := c.engine().DeleteIf(ctx, container, key, ifMatch); err != nil {
+		return err
+	}
+	c.broker.Metadata().Flush()
+	return nil
+}
+
+// List returns the keys of a container, sorted.
+func (c *Client) List(ctx context.Context, container string) ([]string, error) {
+	return c.engine().List(ctx, container)
 }
 
 // SetDefaultRule replaces the default placement rule.
@@ -266,24 +352,27 @@ func (c *Client) SetProviderAvailable(name string, up bool) bool {
 }
 
 // Optimize runs one periodic optimization procedure (leader election,
-// trend-gated recomputation, cost-justified migration).
-func (c *Client) Optimize() (OptimizeReport, error) {
-	rep, err := c.broker.Optimize()
+// trend-gated recomputation, cost-justified migration). Cancelling ctx
+// stops the shard scans early.
+func (c *Client) Optimize(ctx context.Context) (OptimizeReport, error) {
+	rep, err := c.broker.Optimize(ctx)
 	c.broker.Metadata().Flush()
 	return rep, err
 }
 
 // Repair scans for objects with chunks at unreachable providers and
 // applies the policy.
-func (c *Client) Repair(policy engine.RepairPolicy) (RepairReport, error) {
-	rep, err := c.broker.Repair(policy)
+func (c *Client) Repair(ctx context.Context, policy engine.RepairPolicy) (RepairReport, error) {
+	rep, err := c.broker.Repair(ctx, policy)
 	c.broker.Metadata().Flush()
 	return rep, err
 }
 
 // ProcessPendingDeletes retries chunk deletions postponed during
 // provider outages.
-func (c *Client) ProcessPendingDeletes() int { return c.broker.ProcessPendingDeletes() }
+func (c *Client) ProcessPendingDeletes(ctx context.Context) int {
+	return c.broker.ProcessPendingDeletes(ctx)
+}
 
 // CurrentPlacement reports an object's provider set and threshold.
 func (c *Client) CurrentPlacement(container, key string) (Placement, bool) {
@@ -305,5 +394,13 @@ func (c *Client) AccrueStorage(hours float64) { c.broker.Registry().AccrueStorag
 func (c *Client) Flush() { c.broker.FlushStats() }
 
 // Broker exposes the underlying deployment for advanced integration
-// (HTTP serving, direct registry access).
+// (HTTP serving via engine.NewGateway, direct registry access).
 func (c *Client) Broker() *engine.Broker { return c.broker }
+
+// NewGateway wraps the deployment in the versioned v1 HTTP interface:
+// object routes under /v1/objects (streaming bodies, conditional
+// requests, paginated listing) and the admin surface (/v1/providers,
+// /v1/rules, /v1/optimize, /v1/repair, /v1/stats). Requests round-robin
+// across all engines of all datacenters. Serve it with net/http; the
+// scalia/client package speaks the matching wire protocol.
+func (c *Client) NewGateway() *engine.Gateway { return engine.NewGateway(c.broker) }

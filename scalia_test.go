@@ -2,12 +2,15 @@ package scalia
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
 
 	"scalia/internal/engine"
 )
+
+var ctx = context.Background()
 
 func newClient(t *testing.T, opts Options) *Client {
 	t.Helper()
@@ -22,28 +25,28 @@ func newClient(t *testing.T, opts Options) *Client {
 func TestFacadeRoundTrip(t *testing.T) {
 	c := newClient(t, Options{})
 	payload := bytes.Repeat([]byte("multi-cloud"), 500)
-	meta, err := c.Put("docs", "readme.txt", payload, WithMIME("text/plain"))
+	meta, err := c.Put(ctx, "docs", "readme.txt", payload, WithMIME("text/plain"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if meta.M < 1 || len(meta.Chunks) < 2 {
 		t.Fatalf("placement: %+v", meta)
 	}
-	got, gotMeta, err := c.Get("docs", "readme.txt")
+	got, gotMeta, err := c.Get(ctx, "docs", "readme.txt")
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("Get: %v", err)
 	}
 	if gotMeta.MIME != "text/plain" {
 		t.Fatalf("MIME = %q", gotMeta.MIME)
 	}
-	keys, err := c.List("docs")
+	keys, err := c.List(ctx, "docs")
 	if err != nil || len(keys) != 1 || keys[0] != "readme.txt" {
 		t.Fatalf("List = %v, %v", keys, err)
 	}
-	if err := c.Delete("docs", "readme.txt"); err != nil {
+	if err := c.Delete(ctx, "docs", "readme.txt"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.Get("docs", "readme.txt"); err == nil {
+	if _, _, err := c.Get(ctx, "docs", "readme.txt"); err == nil {
 		t.Fatal("object must be gone")
 	}
 }
@@ -51,7 +54,7 @@ func TestFacadeRoundTrip(t *testing.T) {
 func TestFacadeRuleOptions(t *testing.T) {
 	c := newClient(t, Options{})
 	rule := Rule{Name: "wide", Durability: 0.99999, Availability: 0.99, LockIn: 0.2}
-	meta, err := c.Put("c", "k", make([]byte, 4096), WithRule(rule), WithTTL(48))
+	meta, err := c.Put(ctx, "c", "k", make([]byte, 4096), WithRule(rule), WithTTL(48))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +80,7 @@ func TestFacadeProviderLifecycle(t *testing.T) {
 		Pricing: Pricing{StorageGBMonth: 0.01, BandwidthInGB: 0.01, BandwidthOutGB: 0.01},
 	}
 	c.AddProvider(cheap)
-	meta, err := c.Put("c", "k", make([]byte, 1000))
+	meta, err := c.Put(ctx, "c", "k", make([]byte, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +103,7 @@ func TestFacadeProviderLifecycle(t *testing.T) {
 
 func TestFacadeOutageAndRepair(t *testing.T) {
 	c := newClient(t, Options{})
-	meta, err := c.Put("c", "k", make([]byte, 10000))
+	meta, err := c.Put(ctx, "c", "k", make([]byte, 10000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,18 +111,18 @@ func TestFacadeOutageAndRepair(t *testing.T) {
 		t.Fatal("SetProviderAvailable failed")
 	}
 	// Reads survive the outage thanks to erasure redundancy.
-	got, _, err := c.Get("c", "k")
+	got, _, err := c.Get(ctx, "c", "k")
 	if err != nil || len(got) != 10000 {
 		t.Fatalf("read during outage: %v", err)
 	}
-	rep, err := c.Repair(RepairActive)
+	rep, err := c.Repair(ctx, RepairActive)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Repaired != 1 {
 		t.Fatalf("repair report: %+v", rep)
 	}
-	after, _ := c.Head("c", "k")
+	after, _ := c.Head(ctx, "c", "k")
 	for _, p := range after.Chunks {
 		if p == meta.Chunks[0] {
 			t.Fatal("repaired object still on the failed provider")
@@ -130,17 +133,17 @@ func TestFacadeOutageAndRepair(t *testing.T) {
 func TestFacadeOptimizeAndCosting(t *testing.T) {
 	clock := engine.NewSimClock()
 	c := newClient(t, Options{Clock: clock, CacheBytes: 0})
-	if _, err := c.Put("c", "k", make([]byte, 1<<20)); err != nil {
+	if _, err := c.Put(ctx, "c", "k", make([]byte, 1<<20)); err != nil {
 		t.Fatal(err)
 	}
 	for h := 0; h < 5; h++ {
 		clock.Advance(1)
 		for r := 0; r < 120; r++ {
-			if _, _, err := c.Get("c", "k"); err != nil {
+			if _, _, err := c.Get(ctx, "c", "k"); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if _, err := c.Optimize(); err != nil {
+		if _, err := c.Optimize(ctx); err != nil {
 			t.Fatal(err)
 		}
 		c.AccrueStorage(1)
@@ -170,7 +173,7 @@ func TestFacadeContainerRule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	meta, err := c.Put("eu-only", "doc", make([]byte, 100))
+	meta, err := c.Put(ctx, "eu-only", "doc", make([]byte, 100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +201,7 @@ func TestPaperTables(t *testing.T) {
 // race nor skew the rotation out of range.
 func TestConcurrentRoundRobin(t *testing.T) {
 	c := newClient(t, Options{EnginesPerDC: 3})
-	if _, err := c.Put("c", "shared", bytes.Repeat([]byte("x"), 4096)); err != nil {
+	if _, err := c.Put(ctx, "c", "shared", bytes.Repeat([]byte("x"), 4096)); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -209,15 +212,15 @@ func TestConcurrentRoundRobin(t *testing.T) {
 			defer wg.Done()
 			key := fmt.Sprintf("own-%d", g)
 			for i := 0; i < 25; i++ {
-				if _, err := c.Put("c", key, []byte("payload")); err != nil {
+				if _, err := c.Put(ctx, "c", key, []byte("payload")); err != nil {
 					errs <- err
 					return
 				}
-				if _, _, err := c.Get("c", "shared"); err != nil {
+				if _, _, err := c.Get(ctx, "c", "shared"); err != nil {
 					errs <- err
 					return
 				}
-				if _, _, err := c.Get("c", key); err != nil {
+				if _, _, err := c.Get(ctx, "c", key); err != nil {
 					errs <- err
 					return
 				}
@@ -242,7 +245,7 @@ func TestMarketEventsInvalidateCachedSearches(t *testing.T) {
 	reg := c.Broker().Registry()
 	rule := Rule{Name: "lockin", Durability: 0.99999, Availability: 0.99, LockIn: 0.2}
 	payload := bytes.Repeat([]byte("b"), 40<<20) // 40 MB backup object
-	if _, err := c.Put("bk", "o", payload, WithRule(rule)); err != nil {
+	if _, err := c.Put(ctx, "bk", "o", payload, WithRule(rule)); err != nil {
 		t.Fatal(err)
 	}
 	before, _ := c.CurrentPlacement("bk", "o")
@@ -262,12 +265,12 @@ func TestMarketEventsInvalidateCachedSearches(t *testing.T) {
 		t.Fatal("AddProvider must bump the market epoch")
 	}
 	clock.Advance(1)
-	c.Get("bk", "o")
+	c.Get(ctx, "bk", "o")
 	clock.Advance(1)
-	c.Get("bk", "o")
+	c.Get(ctx, "bk", "o")
 	for i := 0; i < 6; i++ {
 		clock.Advance(1)
-		if _, err := c.Optimize(); err != nil {
+		if _, err := c.Optimize(ctx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -286,7 +289,7 @@ func TestMarketEventsInvalidateCachedSearches(t *testing.T) {
 	if reg.Epoch() == e1 {
 		t.Fatal("SetProviderAvailable must bump the market epoch")
 	}
-	meta, err := c.Put("bk", "fresh", bytes.Repeat([]byte("x"), 4096), WithRule(rule))
+	meta, err := c.Put(ctx, "bk", "fresh", bytes.Repeat([]byte("x"), 4096), WithRule(rule))
 	if err != nil {
 		t.Fatal(err)
 	}
