@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"scalia/internal/cloud"
 	"scalia/internal/core"
@@ -356,6 +357,90 @@ func BenchmarkErasureDecodeWithLoss(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// slowBackend delays chunk fetches by a fixed latency, standing in for
+// the provider round-trip that dominates real GET latency. Writes stay
+// fast so benchmark setup is cheap.
+type slowBackend struct {
+	*cloud.BlobStore
+	delay time.Duration
+}
+
+func (s *slowBackend) Get(ctx context.Context, key string) ([]byte, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return s.BlobStore.Get(ctx, key)
+}
+
+func slowRegistry(delay time.Duration) *cloud.Registry {
+	reg := cloud.NewRegistry()
+	for _, spec := range cloud.PaperProviders() {
+		reg.Register(&slowBackend{BlobStore: cloud.NewBlobStore(spec), delay: delay})
+	}
+	return reg
+}
+
+// BenchmarkGetLargeObject measures the streaming GET of an 8-stripe,
+// m=4 object against providers with a simulated per-fetch round-trip:
+// the sequential seed path (one chunk at a time, no read-ahead) vs the
+// parallel chunk fan-out with stripe prefetch, vs a stripe-cache hit.
+// The acceptance bar for the read-path rebuild is parallel-prefetch
+// >= 2x faster than sequential; the bench-gate CI job watches all
+// three for regressions.
+func BenchmarkGetLargeObject(b *testing.B) {
+	const (
+		stripeBytes  = 256 << 10
+		stripes      = 8
+		chunkLatency = 300 * time.Microsecond
+	)
+	payload := make([]byte, stripes*stripeBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	rule := core.Rule{Name: "bench", Durability: 0.99999, Availability: 0.9999, LockIn: 1}
+
+	run := func(b *testing.B, cfg engine.Config, warmCache bool) {
+		b.Helper()
+		cfg.Registry = slowRegistry(chunkLatency)
+		cfg.StripeBytes = stripeBytes
+		br := engine.NewBroker(cfg)
+		b.Cleanup(br.Close)
+		e := br.Engine(0)
+		meta, err := e.Put(bgctx, "big", "blob", payload, engine.PutOptions{Rule: &rule})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if meta.M != 4 || meta.StripeCount() != stripes {
+			b.Fatalf("placement m=%d stripes=%d, want m=4 stripes=%d", meta.M, meta.StripeCount(), stripes)
+		}
+		if warmCache {
+			if _, _, err := e.Get(bgctx, "big", "blob"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(payload)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got, _, err := e.Get(bgctx, "big", "blob")
+			if err != nil || len(got) != len(payload) {
+				b.Fatalf("get: %v (%d bytes)", err, len(got))
+			}
+		}
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		run(b, engine.Config{ReadParallelism: -1, PrefetchStripes: -1}, false)
+	})
+	b.Run("parallel-prefetch", func(b *testing.B) {
+		run(b, engine.Config{}, false)
+	})
+	b.Run("stripe-cached", func(b *testing.B) {
+		run(b, engine.Config{CacheBytes: 64 << 20}, true)
+	})
 }
 
 func BenchmarkBrokerPut(b *testing.B) {

@@ -76,6 +76,8 @@ func sentinelFor(code string) error {
 		return scalia.ErrInvalidArgument
 	case "infeasible_placement":
 		return scalia.ErrInfeasiblePlacement
+	case "range_not_satisfiable":
+		return scalia.ErrRangeNotSatisfiable
 	case "unavailable":
 		return scalia.ErrNotEnoughChunks
 	case "provider_unavailable":
@@ -199,6 +201,89 @@ func (c *Client) GetReader(ctx context.Context, container, key string) (io.ReadC
 	rc, meta, _, err := c.getConditional(ctx, container, key, "")
 	return rc, meta, err
 }
+
+// GetRange fetches the byte range [offset, offset+length) of an object
+// as a stream via a Range request; the gateway maps the range onto
+// whole stripes so only the overlapped stripes are fetched or served
+// from its stripe cache. length < 0 requests everything from offset to
+// the object end; otherwise it is clamped to the object end. A range
+// starting at or past the end fails with scalia.ErrRangeNotSatisfiable.
+// Should a server or intermediary ignore the Range header and answer
+// 200, the requested window is carved out of the full body client-side
+// — the caller always receives exactly the bytes asked for.
+func (c *Client) GetRange(ctx context.Context, container, key string, offset, length int64) (io.ReadCloser, scalia.ObjectMeta, error) {
+	// Reject what the wire form cannot express before building a header:
+	// length 0 would serialize as the malformed "bytes=N-(N-1)", which
+	// the gateway ignores, silently serving the whole object. The
+	// embedded facade fails the same call with ErrInvalidArgument.
+	if offset < 0 || length == 0 || length < -1 {
+		return nil, scalia.ObjectMeta{}, fmt.Errorf("%w: range offset %d length %d",
+			scalia.ErrInvalidArgument, offset, length)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.objectURL(container, key), nil)
+	if err != nil {
+		return nil, scalia.ObjectMeta{}, err
+	}
+	if length < 0 {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", offset))
+	} else {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", offset, offset+length-1))
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, scalia.ObjectMeta{}, err
+	}
+	switch resp.StatusCode {
+	case http.StatusPartialContent:
+		return resp.Body, metaFromHeaders(container, key, resp.Header), nil
+	case http.StatusOK:
+		// The gateway — or an intermediary that stripped the Range
+		// header — served the whole body, which RFC 9110 permits. Carve
+		// the requested window out client-side so the caller still gets
+		// exactly [offset, offset+length).
+		return &windowReadCloser{rc: resp.Body, skip: offset, remaining: length},
+			metaFromHeaders(container, key, resp.Header), nil
+	default:
+		defer resp.Body.Close()
+		return nil, scalia.ObjectMeta{}, decodeErr(resp)
+	}
+}
+
+// windowReadCloser recovers a byte range from a full-body stream:
+// it discards the first skip bytes, then serves at most remaining
+// bytes (remaining < 0 = to the end).
+type windowReadCloser struct {
+	rc        io.ReadCloser
+	skip      int64
+	remaining int64
+}
+
+func (w *windowReadCloser) Read(p []byte) (int, error) {
+	if w.skip > 0 {
+		if _, err := io.CopyN(io.Discard, w.rc, w.skip); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.EOF // the range starts past the served body
+			}
+			w.skip = 0
+			w.remaining = 0
+			return 0, err
+		}
+		w.skip = 0
+	}
+	if w.remaining == 0 {
+		return 0, io.EOF
+	}
+	if w.remaining > 0 && int64(len(p)) > w.remaining {
+		p = p[:w.remaining]
+	}
+	n, err := w.rc.Read(p)
+	if w.remaining > 0 {
+		w.remaining -= int64(n)
+	}
+	return n, err
+}
+
+func (w *windowReadCloser) Close() error { return w.rc.Close() }
 
 // GetIfNoneMatch is a conditional fetch: when the stored ETag equals
 // etag the gateway answers 304 and notModified is true with a nil

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 
@@ -100,6 +101,91 @@ func TestClientStreamsLargeObject(t *testing.T) {
 	got, err := io.ReadAll(rc)
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("streamed read: %v, %d bytes", err, len(got))
+	}
+}
+
+func TestClientGetRange(t *testing.T) {
+	_, c := newRemote(t, scalia.Options{StripeBytes: 2048, CacheBytes: 1 << 20})
+
+	payload := make([]byte, 16*1024+9)
+	rand.New(rand.NewSource(11)).Read(payload)
+	if _, err := c.Put(ctx, "big", "blob", payload); err != nil {
+		t.Fatal(err)
+	}
+
+	rc, meta, err := c.GetRange(ctx, "big", "blob", 3000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || !bytes.Equal(got, payload[3000:8000]) {
+		t.Fatalf("ranged read: %v, %d bytes", err, len(got))
+	}
+	if meta.Size != int64(len(payload)) {
+		t.Fatalf("range meta = %+v", meta)
+	}
+
+	// Open-ended tail.
+	rc, _, err = c.GetRange(ctx, "big", "blob", int64(len(payload))-100, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = io.ReadAll(rc)
+	rc.Close()
+	if err != nil || !bytes.Equal(got, payload[len(payload)-100:]) {
+		t.Fatalf("tail read: %v, %d bytes", err, len(got))
+	}
+
+	// Past the end: the sentinel must round-trip the wire.
+	if _, _, err := c.GetRange(ctx, "big", "blob", int64(len(payload)), 10); !errors.Is(err, scalia.ErrRangeNotSatisfiable) {
+		t.Fatalf("past-end range = %v, want ErrRangeNotSatisfiable", err)
+	}
+
+	// Lengths the wire form cannot express fail fast, matching the
+	// embedded facade, instead of degrading into a full-body fetch.
+	for _, length := range []int64{0, -2} {
+		if _, _, err := c.GetRange(ctx, "big", "blob", 100, length); !errors.Is(err, scalia.ErrInvalidArgument) {
+			t.Fatalf("GetRange length %d = %v, want ErrInvalidArgument", length, err)
+		}
+	}
+	if _, _, err := c.GetRange(ctx, "big", "blob", -5, 10); !errors.Is(err, scalia.ErrInvalidArgument) {
+		t.Fatalf("negative offset = %v, want ErrInvalidArgument", err)
+	}
+}
+
+// TestClientGetRangeFullBodyFallback: when a server (or intermediary)
+// ignores the Range header and answers 200 with the whole body, the
+// client must carve out the requested window instead of silently
+// returning the full object from byte 0.
+func TestClientGetRangeFullBodyFallback(t *testing.T) {
+	payload := []byte("0123456789abcdefghij")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK) // Range ignored on purpose
+		w.Write(payload)             //nolint:errcheck
+	}))
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+
+	rc, _, err := c.GetRange(ctx, "c", "k", 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || string(got) != "5678" {
+		t.Fatalf("windowed fallback = %q, %v; want \"5678\"", got, err)
+	}
+
+	// Open-ended tail through the same degraded path.
+	rc, _, err = c.GetRange(ctx, "c", "k", 15, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = io.ReadAll(rc)
+	rc.Close()
+	if err != nil || string(got) != "fghij" {
+		t.Fatalf("open-ended fallback = %q, %v; want \"fghij\"", got, err)
 	}
 }
 

@@ -8,7 +8,8 @@
 //
 //	PUT    /v1/objects/{container}/{key}  store (Content-Type = MIME,
 //	       X-Scalia-TTL-Hours = lifetime hint, If-Match conditional)
-//	GET    /v1/objects/{container}/{key}  fetch (If-None-Match -> 304)
+//	GET    /v1/objects/{container}/{key}  fetch (If-None-Match -> 304,
+//	       Range: bytes=... -> 206 served stripe-aligned)
 //	HEAD   /v1/objects/{container}/{key}  metadata only
 //	DELETE /v1/objects/{container}/{key}  delete (If-Match conditional)
 //	GET    /v1/objects/{container}?prefix=&limit=&after=  paginated list
@@ -18,7 +19,8 @@
 //	GET/POST /v1/providers, DELETE /v1/providers/{name}
 //	PUT  /v1/rules/{container}
 //	POST /v1/optimize, POST /v1/repair?policy=wait|active
-//	GET  /v1/stats  (planner hit/miss, optimizer, usage/cost counters)
+//	GET  /v1/stats  (planner hit/miss, optimizer, usage/cost counters,
+//	     stripe-cache and read-path counters)
 //
 // The default deployment brokers across the five simulated providers of
 // the paper's Fig. 3 and runs the periodic optimization procedure in
@@ -49,14 +51,20 @@ func main() {
 	periodHours := flag.Float64("period-hours", 1, "statistics sampling period (hours)")
 	stripeMB := flag.Int64("stripe-mb", 4, "streaming stripe size (MB)")
 	enginesPerDC := flag.Int("engines-per-dc", 2, "stateless engines per datacenter")
+	readParallelism := flag.Int("read-parallelism", engine.DefaultReadParallelism,
+		"concurrent chunk fetches per stripe read (negative = sequential)")
+	prefetchStripes := flag.Int("prefetch-stripes", engine.DefaultPrefetchStripes,
+		"stripes decoded ahead of the client on streaming GETs (negative = none)")
 	flag.Parse()
 
 	client, err := scalia.New(scalia.Options{
-		EnginesPerDC: *enginesPerDC,
-		CacheBytes:   *cacheMB << 20,
-		PeriodHours:  *periodHours,
-		StripeBytes:  *stripeMB << 20,
-		Clock:        engine.NewWallClock(*periodHours),
+		EnginesPerDC:    *enginesPerDC,
+		CacheBytes:      *cacheMB << 20,
+		PeriodHours:     *periodHours,
+		StripeBytes:     *stripeMB << 20,
+		ReadParallelism: *readParallelism,
+		PrefetchStripes: *prefetchStripes,
+		Clock:           engine.NewWallClock(*periodHours),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -4,6 +4,15 @@
 // consistent. The layer is optional; when present it serves popular
 // reads without fetching chunks from the remote providers, cutting both
 // latency and bandwidth-out cost.
+//
+// Entries are stripe-granular: the unit of caching is one decoded
+// stripe of an object, keyed by (object, stripe index). Multi-stripe
+// objects are therefore cacheable piece by piece — a partially cached
+// object fetches only its missing stripes from the providers — and
+// eviction works at stripe granularity, so one huge object cannot
+// monopolize the cache all-or-nothing. Whole small objects are simply
+// stripe 0. Invalidation stays object-granular: a write removes every
+// cached stripe of the object in every datacenter.
 package cache
 
 import (
@@ -11,20 +20,46 @@ import (
 	"sync"
 )
 
-// LRU is a byte-bounded least-recently-used cache. It is safe for
-// concurrent use.
+// Stats is a point-in-time snapshot of one cache's (or a whole
+// cluster's) counters, serialized onto GET /v1/stats.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int64 `json:"entries"`   // cached stripes
+	UsedBytes int64 `json:"usedBytes"` // cached byte volume
+}
+
+// add folds another snapshot in (cluster aggregation).
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Entries += o.Entries
+	s.UsedBytes += o.UsedBytes
+}
+
+// stripeID identifies one cached stripe.
+type stripeID struct {
+	obj    string
+	stripe int
+}
+
+// LRU is a byte-bounded least-recently-used stripe cache. It is safe
+// for concurrent use.
 type LRU struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
-	order    *list.List               // front = most recent
-	items    map[string]*list.Element // key -> element whose Value is *entry
+	order    *list.List                  // front = most recent
+	items    map[stripeID]*list.Element  // stripe -> element whose Value is *entry
+	byObject map[string]map[int]struct{} // object -> cached stripe indexes
 
 	hits, misses, evictions int64
 }
 
 type entry struct {
-	key  string
+	id   stripeID
 	data []byte
 }
 
@@ -34,15 +69,17 @@ func NewLRU(capacity int64) *LRU {
 	return &LRU{
 		capacity: capacity,
 		order:    list.New(),
-		items:    make(map[string]*list.Element),
+		items:    make(map[stripeID]*list.Element),
+		byObject: make(map[string]map[int]struct{}),
 	}
 }
 
-// Get returns a copy of the cached object and marks it recently used.
-func (c *LRU) Get(key string) ([]byte, bool) {
+// GetStripe returns a copy of the cached stripe and marks it recently
+// used.
+func (c *LRU) GetStripe(obj string, stripe int) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	el, ok := c.items[stripeID{obj, stripe}]
 	if !ok {
 		c.misses++
 		return nil, false
@@ -55,25 +92,33 @@ func (c *LRU) Get(key string) ([]byte, bool) {
 	return cp, true
 }
 
-// Put stores a copy of data under key, evicting least-recently-used
-// entries as needed. Objects larger than the capacity are not cached.
-func (c *LRU) Put(key string, data []byte) {
+// PutStripe stores a copy of one decoded stripe, evicting
+// least-recently-used stripes as needed. Stripes larger than the
+// capacity are not cached.
+func (c *LRU) PutStripe(obj string, stripe int, data []byte) {
 	size := int64(len(data))
 	if c.capacity <= 0 || size > c.capacity {
 		return
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	id := stripeID{obj, stripe}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+	if el, ok := c.items[id]; ok {
 		old := el.Value.(*entry)
 		c.used += size - int64(len(old.data))
 		old.data = cp
 		c.order.MoveToFront(el)
 	} else {
-		c.items[key] = c.order.PushFront(&entry{key: key, data: cp})
+		c.items[id] = c.order.PushFront(&entry{id: id, data: cp})
+		stripes, ok := c.byObject[obj]
+		if !ok {
+			stripes = make(map[int]struct{})
+			c.byObject[obj] = stripes
+		}
+		stripes[stripe] = struct{}{}
 		c.used += size
 	}
 	for c.used > c.capacity {
@@ -81,31 +126,51 @@ func (c *LRU) Put(key string, data []byte) {
 	}
 }
 
+// Get returns the cached whole object (stripe 0); a convenience for
+// single-stripe callers.
+func (c *LRU) Get(key string) ([]byte, bool) { return c.GetStripe(key, 0) }
+
+// Put caches a whole object as stripe 0; a convenience for
+// single-stripe callers.
+func (c *LRU) Put(key string, data []byte) { c.PutStripe(key, 0, data) }
+
 func (c *LRU) evictOldestLocked() {
 	el := c.order.Back()
 	if el == nil {
 		return
 	}
 	e := el.Value.(*entry)
-	c.order.Remove(el)
-	delete(c.items, e.key)
-	c.used -= int64(len(e.data))
+	c.removeLocked(el, e)
 	c.evictions++
 }
 
-// Invalidate removes key from the cache.
-func (c *LRU) Invalidate(key string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		e := el.Value.(*entry)
-		c.order.Remove(el)
-		delete(c.items, key)
-		c.used -= int64(len(e.data))
+// removeLocked unlinks one entry from the LRU order, the stripe table
+// and the per-object index.
+func (c *LRU) removeLocked(el *list.Element, e *entry) {
+	c.order.Remove(el)
+	delete(c.items, e.id)
+	c.used -= int64(len(e.data))
+	if stripes, ok := c.byObject[e.id.obj]; ok {
+		delete(stripes, e.id.stripe)
+		if len(stripes) == 0 {
+			delete(c.byObject, e.id.obj)
+		}
 	}
 }
 
-// Len returns the number of cached objects.
+// Invalidate removes every cached stripe of an object (writes are
+// object-granular even though caching is stripe-granular).
+func (c *LRU) Invalidate(obj string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for stripe := range c.byObject[obj] {
+		if el, ok := c.items[stripeID{obj, stripe}]; ok {
+			c.removeLocked(el, el.Value.(*entry))
+		}
+	}
+}
+
+// Len returns the number of cached stripes.
 func (c *LRU) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -119,11 +184,17 @@ func (c *LRU) UsedBytes() int64 {
 	return c.used
 }
 
-// Stats reports hit/miss/eviction counters.
-func (c *LRU) Stats() (hits, misses, evictions int64) {
+// Stats reports the cache's counters and current footprint.
+func (c *LRU) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.evictions
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   int64(len(c.items)),
+		UsedBytes: c.used,
+	}
 }
 
 // Cluster is the multi-datacenter cache fabric: one LRU per datacenter,
@@ -156,27 +227,50 @@ func (cc *Cluster) Datacenter(dc string) *LRU {
 	return cc.caches[dc]
 }
 
-// Get reads from the named datacenter's cache.
-func (cc *Cluster) Get(dc, key string) ([]byte, bool) {
+// GetStripe reads one stripe from the named datacenter's cache.
+func (cc *Cluster) GetStripe(dc, obj string, stripe int) ([]byte, bool) {
 	c := cc.Datacenter(dc)
 	if c == nil {
 		return nil, false
 	}
-	return c.Get(key)
+	return c.GetStripe(obj, stripe)
 }
 
-// Put fills the named datacenter's cache (reads fill only locally).
-func (cc *Cluster) Put(dc, key string, data []byte) {
+// PutStripe fills one stripe into the named datacenter's cache (reads
+// fill only locally).
+func (cc *Cluster) PutStripe(dc, obj string, stripe int, data []byte) {
 	if c := cc.Datacenter(dc); c != nil {
-		c.Put(key, data)
+		c.PutStripe(obj, stripe, data)
 	}
 }
 
-// InvalidateAll removes key from every datacenter's cache.
-func (cc *Cluster) InvalidateAll(key string) {
+// Get reads a whole object (stripe 0) from the named datacenter's cache.
+func (cc *Cluster) Get(dc, key string) ([]byte, bool) {
+	return cc.GetStripe(dc, key, 0)
+}
+
+// Put fills a whole object (stripe 0) into the named datacenter's cache.
+func (cc *Cluster) Put(dc, key string, data []byte) {
+	cc.PutStripe(dc, key, 0, data)
+}
+
+// InvalidateAll removes every cached stripe of an object from every
+// datacenter's cache.
+func (cc *Cluster) InvalidateAll(obj string) {
 	cc.mu.RLock()
 	defer cc.mu.RUnlock()
 	for _, c := range cc.caches {
-		c.Invalidate(key)
+		c.Invalidate(obj)
 	}
+}
+
+// Stats aggregates the counters of every datacenter's cache.
+func (cc *Cluster) Stats() Stats {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	var total Stats
+	for _, c := range cc.caches {
+		total.add(c.Stats())
+	}
+	return total
 }

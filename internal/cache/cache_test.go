@@ -50,9 +50,8 @@ func TestLRUEvictsOldestFirst(t *testing.T) {
 	if _, ok := c.Get("c"); !ok {
 		t.Fatal("c must be present")
 	}
-	_, _, ev := c.Stats()
-	if ev != 1 {
-		t.Fatalf("evictions = %d, want 1", ev)
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
 	}
 }
 
@@ -105,9 +104,9 @@ func TestLRUHitMissCounters(t *testing.T) {
 	c.Get("k")
 	c.Get("k")
 	c.Get("nope")
-	hits, misses, _ := c.Stats()
-	if hits != 2 || misses != 1 {
-		t.Fatalf("hits=%d misses=%d", hits, misses)
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", st.Hits, st.Misses)
 	}
 }
 
@@ -131,6 +130,95 @@ func TestLRUConcurrent(t *testing.T) {
 	wg.Wait()
 	if c.UsedBytes() < 0 || c.UsedBytes() > 1<<20 {
 		t.Fatalf("UsedBytes out of bounds: %d", c.UsedBytes())
+	}
+}
+
+func TestStripeGetPut(t *testing.T) {
+	c := NewLRU(1 << 10)
+	c.PutStripe("c/k", 0, []byte("stripe-zero"))
+	c.PutStripe("c/k", 3, []byte("stripe-three"))
+	if got, ok := c.GetStripe("c/k", 3); !ok || string(got) != "stripe-three" {
+		t.Fatalf("GetStripe(3) = %q, %v", got, ok)
+	}
+	if _, ok := c.GetStripe("c/k", 1); ok {
+		t.Fatal("missing stripe must miss")
+	}
+	// Stripes of different objects are distinct entries.
+	c.PutStripe("c/other", 3, []byte("other"))
+	if got, _ := c.GetStripe("c/k", 3); string(got) != "stripe-three" {
+		t.Fatal("stripe keys must be object-scoped")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 stripes", c.Len())
+	}
+}
+
+func TestInvalidateRemovesAllStripes(t *testing.T) {
+	c := NewLRU(1 << 10)
+	for s := 0; s < 5; s++ {
+		c.PutStripe("c/k", s, []byte{byte(s), 1, 2, 3})
+	}
+	c.PutStripe("c/other", 0, []byte("stay"))
+	c.Invalidate("c/k")
+	for s := 0; s < 5; s++ {
+		if _, ok := c.GetStripe("c/k", s); ok {
+			t.Fatalf("stripe %d survived object invalidation", s)
+		}
+	}
+	if _, ok := c.GetStripe("c/other", 0); !ok {
+		t.Fatal("unrelated object must survive")
+	}
+	if c.UsedBytes() != 4 {
+		t.Fatalf("UsedBytes = %d after invalidation, want 4", c.UsedBytes())
+	}
+}
+
+func TestStripeEvictionUpdatesObjectIndex(t *testing.T) {
+	c := NewLRU(10)
+	c.PutStripe("o", 0, make([]byte, 4))
+	c.PutStripe("o", 1, make([]byte, 4))
+	c.PutStripe("o", 2, make([]byte, 4)) // evicts stripe 0
+	if _, ok := c.GetStripe("o", 0); ok {
+		t.Fatal("stripe 0 should have been evicted")
+	}
+	// Invalidation after partial eviction must not panic and must drop
+	// the surviving stripes.
+	c.Invalidate("o")
+	if c.Len() != 0 || c.UsedBytes() != 0 {
+		t.Fatalf("len=%d used=%d after invalidate", c.Len(), c.UsedBytes())
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestClusterStripeOpsAndStats(t *testing.T) {
+	cc := NewCluster()
+	cc.AddDatacenter("dc1", 1000)
+	cc.AddDatacenter("dc2", 1000)
+	cc.PutStripe("dc1", "c/k", 0, []byte("a"))
+	cc.PutStripe("dc1", "c/k", 1, []byte("b"))
+	cc.PutStripe("dc2", "c/k", 0, []byte("a"))
+	if _, ok := cc.GetStripe("dc1", "c/k", 1); !ok {
+		t.Fatal("dc1 stripe 1 must hit")
+	}
+	if _, ok := cc.GetStripe("dc2", "c/k", 1); ok {
+		t.Fatal("dc2 stripe 1 must miss")
+	}
+	cc.InvalidateAll("c/k")
+	for _, dc := range []string{"dc1", "dc2"} {
+		for s := 0; s < 2; s++ {
+			if _, ok := cc.GetStripe(dc, "c/k", s); ok {
+				t.Fatalf("%s stripe %d survived InvalidateAll", dc, s)
+			}
+		}
+	}
+	st := cc.Stats()
+	if st.Hits != 1 || st.Entries != 0 || st.UsedBytes != 0 {
+		t.Fatalf("cluster stats = %+v", st)
+	}
+	if st.Misses == 0 {
+		t.Fatalf("cluster stats must aggregate misses: %+v", st)
 	}
 }
 

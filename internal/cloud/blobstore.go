@@ -40,6 +40,12 @@ type BlobStore struct {
 	objects map[string][]byte
 	used    int64
 	down    bool
+	// notify is the registry back-reference installed at Register time:
+	// it is called (outside the store lock) whenever availability
+	// changes, so failure injected directly on the backend — bypassing
+	// Registry.SetAvailable — still bumps the market epoch and
+	// invalidates cached placement searches.
+	notify func()
 
 	meter Meter
 }
@@ -57,10 +63,25 @@ func (s *BlobStore) Meter() *Meter { return &s.meter }
 
 // SetAvailable injects or clears a transient outage. While down, every
 // operation fails with ErrUnavailable but stored data is retained (the
-// paper's transient failures recover with data intact).
+// paper's transient failures recover with data intact). When the store
+// is attached to a registry, the availability flip is pushed back so
+// the market epoch advances even though the registry was bypassed.
 func (s *BlobStore) SetAvailable(up bool) {
 	s.mu.Lock()
+	changed := s.down == up
 	s.down = !up
+	notify := s.notify
+	s.mu.Unlock()
+	if changed && notify != nil {
+		notify()
+	}
+}
+
+// SetChangeNotifier installs (or clears, with nil) the registry
+// back-reference; Registry.Register calls it.
+func (s *BlobStore) SetChangeNotifier(fn func()) {
+	s.mu.Lock()
+	s.notify = fn
 	s.mu.Unlock()
 }
 

@@ -370,6 +370,60 @@ func TestRegistryEpochBumps(t *testing.T) {
 	}
 }
 
+// TestDirectAvailabilityBumpsEpoch is the regression test for the
+// registry back-reference: failure injected directly on a registered
+// backend (bypassing Registry.SetAvailable) must still advance the
+// market epoch and drop the down provider from the cached Market view —
+// otherwise placement planners keep serving searches prepared against a
+// market that includes the dead provider.
+func TestDirectAvailabilityBumpsEpoch(t *testing.T) {
+	r := NewPaperRegistry()
+	e0, specs0, _ := r.Market()
+	if len(specs0) != 5 {
+		t.Fatalf("initial market = %d specs, want 5", len(specs0))
+	}
+
+	s, ok := r.Store(NameS3Low)
+	if !ok {
+		t.Fatal("missing provider")
+	}
+	s.(*BlobStore).SetAvailable(false) // directly on the backend
+
+	e1, specs1, _ := r.Market()
+	if e1 <= e0 {
+		t.Fatalf("direct SetAvailable must bump the epoch: %d -> %d", e0, e1)
+	}
+	if len(specs1) != 4 {
+		t.Fatalf("market after direct outage = %d specs, want 4", len(specs1))
+	}
+	for _, spec := range specs1 {
+		if spec.Name == NameS3Low {
+			t.Fatal("down provider leaked into the market snapshot")
+		}
+	}
+
+	// Flipping the same state again is a no-op: no spurious epoch churn.
+	s.(*BlobStore).SetAvailable(false)
+	if e2 := r.Epoch(); e2 != e1 {
+		t.Fatalf("unchanged availability must not move the epoch: %d -> %d", e1, e2)
+	}
+
+	// Recovery injected directly also restores the market.
+	s.(*BlobStore).SetAvailable(true)
+	if e3, specs3, _ := r.Market(); e3 <= e1 || len(specs3) != 5 {
+		t.Fatalf("direct recovery: epoch %d -> %d, market %d specs", e1, e3, len(specs3))
+	}
+
+	// A deregistered store is detached: flipping it no longer moves the
+	// registry's epoch.
+	dead, _ := r.Deregister(NameS3Low)
+	eAfter := r.Epoch()
+	dead.(*BlobStore).SetAvailable(false)
+	if got := r.Epoch(); got != eAfter {
+		t.Fatalf("detached store bumped the epoch: %d -> %d", eAfter, got)
+	}
+}
+
 func TestRegistryMarketCachesSnapshot(t *testing.T) {
 	r := NewPaperRegistry()
 	e1, specs1, free1 := r.Market()

@@ -37,6 +37,17 @@ type AvailabilitySetter interface {
 	SetAvailable(up bool)
 }
 
+// ChangeNotifierSetter is implemented by backends that accept a
+// registry back-reference: the registry installs a notifier at
+// Register time, and the backend calls it whenever its availability
+// changes through a path that bypasses the registry (failure injection
+// directly on the backend). Without this, a backend downed directly
+// would keep the market epoch — and every placement search cached
+// against it — valid until the next registry event.
+type ChangeNotifierSetter interface {
+	SetChangeNotifier(fn func())
+}
+
 // Registry is the dynamic, non-static set of storage resources Scalia
 // orchestrates (public providers plus private resources, §III). Providers
 // can be registered and deregistered at runtime; the placement engine
@@ -84,8 +95,34 @@ func NewPaperRegistry() *Registry {
 // Register adds a provider. Registering an existing name replaces its
 // spec (a provider "suddenly increasing its pricing policy").
 func (r *Registry) Register(s Backend) {
+	r.attach(s)
 	r.mu.Lock()
+	old := r.stores[s.Spec().Name]
 	r.stores[s.Spec().Name] = s
+	r.bumpEpochLocked()
+	r.notifyLocked()
+	r.mu.Unlock()
+	if old != nil && old != s {
+		if n, ok := old.(ChangeNotifierSetter); ok {
+			n.SetChangeNotifier(nil) // the replaced backend is detached
+		}
+	}
+}
+
+// attach installs the registry back-reference on backends that support
+// it, so availability flipped directly on the backend still bumps the
+// market epoch.
+func (r *Registry) attach(s Backend) {
+	if n, ok := s.(ChangeNotifierSetter); ok {
+		n.SetChangeNotifier(r.noteBackendChange)
+	}
+}
+
+// noteBackendChange records an out-of-band backend state change:
+// advance the market epoch and wake the membership watchers. It is the
+// callback handed to ChangeNotifierSetter backends.
+func (r *Registry) noteBackendChange() {
+	r.mu.Lock()
 	r.bumpEpochLocked()
 	r.notifyLocked()
 	r.mu.Unlock()
@@ -97,14 +134,16 @@ func (r *Registry) Register(s Backend) {
 // silently orphan the chunks stored at the existing provider.
 func (r *Registry) RegisterIfAbsent(s Backend) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	name := s.Spec().Name
 	if _, exists := r.stores[name]; exists {
+		r.mu.Unlock()
 		return false
 	}
 	r.stores[name] = s
 	r.bumpEpochLocked()
 	r.notifyLocked()
+	r.mu.Unlock()
+	r.attach(s)
 	return true
 }
 
@@ -112,25 +151,35 @@ func (r *Registry) RegisterIfAbsent(s Backend) bool {
 // returned so callers can drain still-needed chunks.
 func (r *Registry) Deregister(name string) (Backend, bool) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	s, ok := r.stores[name]
 	if ok {
 		delete(r.stores, name)
 		r.bumpEpochLocked()
 		r.notifyLocked()
 	}
+	r.mu.Unlock()
+	if ok {
+		// Detach: a store outside the registry must not keep bumping the
+		// market epoch.
+		if n, isNotifiable := s.(ChangeNotifierSetter); isNotifiable {
+			n.SetChangeNotifier(nil)
+		}
+	}
 	return s, ok
 }
 
 // SetAvailable injects or clears a transient outage on the named
-// provider, when its backend supports failure injection. Routing
-// availability changes through the registry (rather than the backend
-// directly) bumps the market epoch so cached placement searches are
-// invalidated immediately.
+// provider, when its backend supports failure injection. Backends with
+// a registry back-reference (ChangeNotifierSetter, e.g. *BlobStore)
+// bump the market epoch themselves — exactly once, and only when the
+// state actually flips — so failure injection directly on the backend
+// invalidates cached placement searches too; the registry bumps only
+// for backends without one. The setter runs outside the registry lock:
+// its back-reference notification re-enters the registry.
 func (r *Registry) SetAvailable(name string, up bool) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
 	s, ok := r.stores[name]
+	r.mu.RUnlock()
 	if !ok {
 		return false
 	}
@@ -139,8 +188,9 @@ func (r *Registry) SetAvailable(name string, up bool) bool {
 		return false
 	}
 	setter.SetAvailable(up)
-	r.bumpEpochLocked()
-	r.notifyLocked()
+	if _, selfNotifying := s.(ChangeNotifierSetter); !selfNotifying {
+		r.noteBackendChange()
+	}
 	return true
 }
 

@@ -22,6 +22,18 @@ import (
 // path never buffers a whole object.
 const DefaultStripeBytes = 4 << 20
 
+// DefaultReadParallelism is the default bound on concurrent chunk
+// fetches per stripe read: the m cheapest chunks of a stripe are
+// fetched together instead of one after another, so stripe latency
+// approaches one provider round-trip instead of m.
+const DefaultReadParallelism = 4
+
+// DefaultPrefetchStripes is the default read-ahead depth of the
+// streaming GET pipeline: while stripe s drains to the client, up to
+// this many following stripes are fetched and decoded in the
+// background.
+const DefaultPrefetchStripes = 2
+
 // Config configures a Broker deployment.
 type Config struct {
 	// Datacenters lists datacenter names; default {"dc1", "dc2"} (the
@@ -59,6 +71,15 @@ type Config struct {
 	// writes (default DefaultStripeBytes). Smaller stripes lower the
 	// serving path's memory ceiling at the cost of more provider ops.
 	StripeBytes int64
+	// ReadParallelism bounds concurrent chunk fetches per stripe read
+	// (default DefaultReadParallelism). Negative forces the sequential
+	// ranked scan — one chunk at a time, cheapest provider first.
+	ReadParallelism int
+	// PrefetchStripes is the streaming GET read-ahead depth: how many
+	// stripes beyond the one draining to the client are fetched and
+	// decoded in the background (default DefaultPrefetchStripes).
+	// Negative disables prefetching.
+	PrefetchStripes int
 }
 
 func (c *Config) fill() {
@@ -88,6 +109,18 @@ func (c *Config) fill() {
 	}
 	if c.StripeBytes <= 0 {
 		c.StripeBytes = DefaultStripeBytes
+	}
+	switch {
+	case c.ReadParallelism == 0:
+		c.ReadParallelism = DefaultReadParallelism
+	case c.ReadParallelism < 0:
+		c.ReadParallelism = 1
+	}
+	switch {
+	case c.PrefetchStripes == 0:
+		c.PrefetchStripes = DefaultPrefetchStripes
+	case c.PrefetchStripes < 0:
+		c.PrefetchStripes = 0
 	}
 }
 
@@ -120,6 +153,14 @@ type Broker struct {
 	// gateway share this one counter, so mixed embedded/remote traffic
 	// still spreads evenly across all engines of all datacenters.
 	next atomic.Uint64
+	// Read-path counters (atomic; hot path, no broker lock): stripes
+	// served from the stripe cache vs fetched from providers, stripes
+	// delivered by the prefetch pipeline, and ranked fallbacks — chunk
+	// fetches that failed and pushed the read onto a spare provider.
+	readStripesCached  atomic.Int64
+	readStripesFetched atomic.Int64
+	readPrefetched     atomic.Int64
+	readFallbacks      atomic.Int64
 	// rowLocks serialize the precondition-check-and-commit step of
 	// conditional writes per metadata row (striped to bound memory), so
 	// two concurrent If-Match / create-only operations cannot both pass
@@ -145,6 +186,31 @@ type OptimizeTotals struct {
 	Migrated     int     `json:"migrated"`
 	MigrationUSD float64 `json:"migrationUSD"`
 	Evaluated    int     `json:"evaluated"`
+}
+
+// ReadPathStats is the operational counter snapshot of the streaming
+// read path, served on GET /v1/stats.
+type ReadPathStats struct {
+	// StripesFromCache and StripesFetched split served stripes by
+	// source: the stripe cache vs a provider chunk fan-out.
+	StripesFromCache int64 `json:"stripesFromCache"`
+	StripesFetched   int64 `json:"stripesFetched"`
+	// PrefetchedStripes counts stripes delivered by the background
+	// prefetcher rather than fetched on demand by a client Read.
+	PrefetchedStripes int64 `json:"prefetchedStripes"`
+	// FetchFallbacks counts chunk fetches that failed and fell back to
+	// a spare provider in the ranked order.
+	FetchFallbacks int64 `json:"fetchFallbacks"`
+}
+
+// ReadStats returns the cumulative read-path counters.
+func (b *Broker) ReadStats() ReadPathStats {
+	return ReadPathStats{
+		StripesFromCache:  b.readStripesCached.Load(),
+		StripesFetched:    b.readStripesFetched.Load(),
+		PrefetchedStripes: b.readPrefetched.Load(),
+		FetchFallbacks:    b.readFallbacks.Load(),
+	}
 }
 
 // rowLockStripes sizes the striped row-lock table.

@@ -7,9 +7,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"hash"
 	"io"
-	"sort"
 	"sync"
 
 	"scalia/internal/cloud"
@@ -31,6 +29,9 @@ var (
 	// ErrPreconditionFailed is returned when a conditional operation's
 	// expected ETag does not match the stored version; mapped to 412.
 	ErrPreconditionFailed = errors.New("engine: precondition failed")
+	// ErrRangeNotSatisfiable marks a byte-range request that lies
+	// entirely outside the object; gateways map it to 416.
+	ErrRangeNotSatisfiable = errors.New("engine: range not satisfiable")
 )
 
 // Engine is one stateless broker engine. All state lives in the shared
@@ -194,13 +195,16 @@ func (e *Engine) PutReader(ctx context.Context, container, key string, r io.Read
 	}
 	lk.Unlock()
 
-	// Update is in place: discard the superseded version's chunks
-	// (outside the lock — chunk deletion may hit remote providers).
+	// Update is in place: discard the superseded version's chunks and
+	// cached stripes (outside the lock — chunk deletion may hit remote
+	// providers). Cache keys are versioned, so the new version can
+	// never hit a stale entry even before this invalidation lands; the
+	// eager purge just frees the space.
 	if prev != nil {
 		e.deleteChunks(*prev)
+		e.invalidateCached(*prev)
 	}
 	e.cleanupVersions(losers)
-	e.b.caches.InvalidateAll(obj)
 	e.b.setPlacement(obj, res.Placement)
 	e.agent.Log(stats.Event{
 		Object: obj, Class: class, Kind: stats.EventWrite,
@@ -361,6 +365,7 @@ func (e *Engine) writeChunksStream(ctx context.Context, meta *ObjectMeta, p core
 
 	sum := md5.New()
 	stripes := meta.StripeCount()
+	meta.StripeSums = make([]string, stripes)
 	var buf []byte
 	for s := 0; s < stripes; s++ {
 		if err := ctx.Err(); err != nil {
@@ -383,6 +388,8 @@ func (e *Engine) writeChunksStream(ctx context.Context, meta *ObjectMeta, p core
 			return fmt.Errorf("engine: object body read: %w", err)
 		}
 		sum.Write(buf)
+		stripeSum := md5.Sum(buf)
+		meta.StripeSums[s] = hex.EncodeToString(stripeSum[:])
 		chunks, err := coder.Encode(buf)
 		if err != nil {
 			e.rollbackStripes(*meta, s)
@@ -428,11 +435,10 @@ func (e *Engine) rollbackStripes(meta ObjectMeta, upto int) {
 	}
 }
 
-// Get serves an object fully buffered: cache first, otherwise
-// reconstruct from the m cheapest reachable chunks, fill the cache and
-// log the read (§III-D2). It is a thin wrapper over GetReader; since
-// the payload is materialized anyway, multi-stripe objects are cached
-// here too (the streaming path caches only single-stripe objects).
+// Get serves an object fully buffered: stripes come from the stripe
+// cache where present, otherwise they are reconstructed from the m
+// cheapest reachable chunks, cached, and the read is logged (§III-D2).
+// It is a thin wrapper over GetReader.
 func (e *Engine) Get(ctx context.Context, container, key string) ([]byte, ObjectMeta, error) {
 	rc, meta, err := e.GetReader(ctx, container, key)
 	if err != nil {
@@ -443,48 +449,28 @@ func (e *Engine) Get(ctx context.Context, container, key string) ([]byte, Object
 	if err != nil {
 		return nil, ObjectMeta{}, err
 	}
-	if _, streamed := rc.(*objectReader); streamed && meta.StripeCount() > 1 {
-		e.b.caches.Put(e.dc, objectName(container, key), data)
-	}
 	return data, meta, nil
 }
 
-// GetReader serves an object as a stream: the cache is consulted first;
-// otherwise stripes are fetched from the m cheapest reachable providers
-// and decoded one at a time, so the serving path holds at most one
-// stripe in memory. The first stripe is fetched eagerly so placement
-// and availability errors surface on the call itself rather than
-// mid-stream; the content checksum is verified as the last stripe
-// drains. Cancelling ctx aborts in-flight chunk fetches.
+// GetReader serves an object as a stream. Each stripe is consulted in
+// the stripe-granular cache first; missing stripes are fetched from the
+// m cheapest reachable providers with a bounded parallel chunk fan-out
+// and decoded, and the stream is pipelined: while one stripe drains to
+// the caller, the next ones prefetch in the background
+// (Config.ReadParallelism / Config.PrefetchStripes). The first stripe
+// is produced eagerly so placement and availability errors surface on
+// the call itself rather than mid-stream; the content checksum is
+// verified as the last stripe drains (on fully provider-fetched
+// streams). Cancelling ctx tears down the prefetcher and all in-flight
+// chunk fetches.
 func (e *Engine) GetReader(ctx context.Context, container, key string) (io.ReadCloser, ObjectMeta, error) {
-	obj := objectName(container, key)
-	row := RowKey(container, key)
-	node := e.b.meta.Store(e.dc)
-	v, losers, err := node.Get(row)
-	if err != nil {
-		if errors.Is(err, metadata.ErrRowNotFound) {
-			return nil, ObjectMeta{}, ErrObjectNotFound
-		}
-		return nil, ObjectMeta{}, err
-	}
-	e.cleanupVersions(losers)
-	meta, err := decodeMeta(v)
+	meta, err := e.headMeta(container, key)
 	if err != nil {
 		return nil, ObjectMeta{}, err
 	}
-	now := e.b.clock.Period()
-
-	if data, ok := e.b.caches.Get(e.dc, obj); ok {
-		e.agent.Log(stats.Event{
-			Object: obj, Class: meta.Class, Kind: stats.EventRead,
-			Bytes: int64(len(data)), StorageBytes: meta.Size, Period: now,
-		})
-		return io.NopCloser(bytes.NewReader(data)), meta, nil
-	}
-
 	// The read event is logged by the reader itself once the stream
-	// completes (or with the bytes actually fetched, on early Close), so
-	// aborted downloads do not inflate the statistics that drive
+	// completes (or with the bytes actually delivered, on early Close),
+	// so aborted downloads do not inflate the statistics that drive
 	// placement.
 	or, err := e.openObjectReader(ctx, meta, true)
 	if err != nil {
@@ -493,177 +479,56 @@ func (e *Engine) GetReader(ctx context.Context, container, key string) (io.ReadC
 	return or, meta, nil
 }
 
-// objectReader streams a stored object stripe by stripe.
-type objectReader struct {
-	e    *Engine
-	ctx  context.Context
-	meta ObjectMeta
-	// order ranks chunk indexes by marginal read cost at their provider,
-	// cheapest first; computed once at open.
-	order []int
-	coder *erasure.Coder
-	sum   hash.Hash
-	// userRead marks a client-facing stream: it fills the read cache
-	// (single-stripe objects) and logs the read event on completion.
-	// Internal streams (migration, repair) do neither.
-	userRead bool
-
-	stripe  int    // next stripe to fetch
-	cur     []byte // decoded, unconsumed bytes of the current stripe
-	fetched int64  // payload bytes decoded so far
-	logged  bool   // read event emitted
-	err     error  // sticky terminal state (io.EOF after full drain)
-}
-
-// openObjectReader builds the stripe stream and eagerly fetches the
-// first stripe so placement and availability errors surface at open.
-// userRead selects client-read semantics: cache fill (single-stripe
-// objects, preserving the pre-streaming caching behavior) and a read
-// statistics event when the stream completes.
-func (e *Engine) openObjectReader(ctx context.Context, meta ObjectMeta, userRead bool) (*objectReader, error) {
-	n := len(meta.Chunks)
-	// One coder serves every stripe of the stream: it depends only on
-	// (m, n), and rebuilding the generator matrix per stripe would put
-	// a matrix inversion on the hot read path.
-	coder, err := erasure.New(meta.M, n)
+// GetRangeReader serves the byte range [offset, offset+length) of an
+// object as a stream. The range maps onto whole stripes: only the
+// stripes it overlaps are consulted in the cache or fetched, so a
+// ranged read of a huge object touches a handful of stripes instead of
+// all of them. length is clamped to the object end; length -1 means
+// "to the object end" (matching the remote client's GetRange). A range
+// starting at or past the object end fails with ErrRangeNotSatisfiable.
+func (e *Engine) GetRangeReader(ctx context.Context, container, key string, offset, length int64) (io.ReadCloser, ObjectMeta, error) {
+	if offset < 0 || length == 0 || length < -1 {
+		return nil, ObjectMeta{}, fmt.Errorf("%w: range offset %d length %d", ErrInvalidArgument, offset, length)
+	}
+	meta, err := e.headMeta(container, key)
 	if err != nil {
-		return nil, err
+		return nil, ObjectMeta{}, err
 	}
-	// Rank chunk indexes by marginal read cost at their provider.
-	type ranked struct {
-		idx  int
-		cost float64
+	if offset >= meta.Size {
+		return nil, ObjectMeta{}, fmt.Errorf("%w: offset %d of %d-byte object",
+			ErrRangeNotSatisfiable, offset, meta.Size)
 	}
-	chunkGB := cloud.GB((meta.Size + int64(meta.M) - 1) / int64(meta.M))
-	order := make([]ranked, 0, n)
-	for i, name := range meta.Chunks {
-		store, ok := e.b.registry.Store(name)
-		if !ok || !store.Available() {
-			continue
-		}
-		pr := store.Spec().Pricing
-		order = append(order, ranked{idx: i, cost: chunkGB*pr.BandwidthOutGB + pr.OpsPer1000/1000})
+	if rest := meta.Size - offset; length < 0 || length > rest {
+		length = rest
 	}
-	if len(order) < meta.M {
-		return nil, fmt.Errorf("%w: %d of %d providers reachable, need %d",
-			ErrNotEnoughChunks, len(order), n, meta.M)
-	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].cost != order[j].cost {
-			return order[i].cost < order[j].cost
-		}
-		return order[i].idx < order[j].idx
-	})
-	idxs := make([]int, len(order))
-	for i, r := range order {
-		idxs[i] = r.idx
-	}
-	or := &objectReader{e: e, ctx: ctx, meta: meta, order: idxs, coder: coder, sum: md5.New(), userRead: userRead}
-	if err := or.fetchStripe(); err != nil {
-		return nil, err
-	}
-	if userRead && meta.StripeCount() == 1 {
-		e.b.caches.Put(e.dc, objectName(meta.Container, meta.Key), or.cur)
-	}
-	return or, nil
-}
-
-// fetchStripe retrieves and decodes the next stripe into or.cur, and
-// verifies the object checksum after the last stripe.
-func (or *objectReader) fetchStripe() error {
-	meta := or.meta
-	s := or.stripe
-	chunks := make([][]byte, len(meta.Chunks))
-	got := 0
-	for _, idx := range or.order {
-		if got >= meta.M {
-			break
-		}
-		if err := or.ctx.Err(); err != nil {
-			return err
-		}
-		store, ok := or.e.b.registry.Store(meta.Chunks[idx])
-		if !ok {
-			continue
-		}
-		data, err := store.Get(or.ctx, meta.chunkKey(s, idx))
-		if err != nil {
-			if or.ctx.Err() != nil {
-				return or.ctx.Err()
-			}
-			continue // provider failed between ranking and fetch
-		}
-		chunks[idx] = data
-		got++
-	}
-	if got < meta.M {
-		return fmt.Errorf("%w: fetched %d, need %d", ErrNotEnoughChunks, got, meta.M)
-	}
-	plen := meta.stripeLen(s)
-	data, err := or.coder.Decode(chunks, int(plen))
+	span := meta.stripeSpan()
+	start := int(offset / span)
+	end := int((offset + length - 1) / span)
+	or, err := e.openObjectRange(ctx, meta, start, end, true)
 	if err != nil {
-		return err
+		return nil, ObjectMeta{}, err
 	}
-	or.sum.Write(data)
-	or.stripe++
-	if or.stripe >= meta.StripeCount() &&
-		hex.EncodeToString(or.sum.Sum(nil)) != meta.Checksum {
-		// Do not hand the condemned stripe to the caller: a Read retried
-		// after ErrChecksum must not serve corrupted bytes.
-		return ErrChecksum
-	}
-	or.cur = data
-	or.fetched += plen
-	return nil
+	// Discard the lead-in of the first stripe — the eager open already
+	// decoded it — and keep it out of the read statistics: only bytes
+	// the client can actually receive drive placement.
+	or.cur = or.cur[offset-int64(start)*span:]
+	or.fetched = int64(len(or.cur))
+	return &rangeReader{or: or, remaining: length}, meta, nil
 }
 
-// Read implements io.Reader.
-func (or *objectReader) Read(p []byte) (int, error) {
-	for len(or.cur) == 0 {
-		if or.err != nil {
-			return 0, or.err
+// headMeta resolves an object's live metadata from the engine's
+// datacenter node, garbage-collecting MVCC conflict losers on the way.
+func (e *Engine) headMeta(container, key string) (ObjectMeta, error) {
+	node := e.b.meta.Store(e.dc)
+	v, losers, err := node.Get(RowKey(container, key))
+	if err != nil {
+		if errors.Is(err, metadata.ErrRowNotFound) {
+			return ObjectMeta{}, ErrObjectNotFound
 		}
-		if or.stripe >= or.meta.StripeCount() {
-			or.err = io.EOF
-			or.logRead()
-			return 0, io.EOF
-		}
-		if err := or.fetchStripe(); err != nil {
-			or.err = err
-			return 0, err
-		}
+		return ObjectMeta{}, err
 	}
-	n := copy(p, or.cur)
-	or.cur = or.cur[n:]
-	return n, nil
-}
-
-// Close implements io.Closer; further Reads fail. A stream closed
-// before draining logs the bytes actually fetched, not the full size.
-func (or *objectReader) Close() error {
-	if or.err == nil {
-		or.err = errors.New("engine: object stream closed")
-	}
-	or.cur = nil
-	or.logRead()
-	return nil
-}
-
-// logRead emits the read statistics event exactly once per user-facing
-// stream, with the payload bytes that were actually fetched from the
-// providers — an aborted download must not inflate the access
-// statistics that drive placement.
-func (or *objectReader) logRead() {
-	if !or.userRead || or.logged {
-		return
-	}
-	or.logged = true
-	e, meta := or.e, or.meta
-	e.agent.Log(stats.Event{
-		Object: objectName(meta.Container, meta.Key), Class: meta.Class,
-		Kind: stats.EventRead, Bytes: or.fetched, StorageBytes: meta.Size,
-		Period: e.b.clock.Period(),
-	})
+	e.cleanupVersions(losers)
+	return decodeMeta(v)
 }
 
 // Delete removes an object: tombstones its metadata, deletes chunks
@@ -712,7 +577,7 @@ func (e *Engine) DeleteIf(ctx context.Context, container, key, ifMatch string) e
 	e.cleanupVersions(losers)
 	meta := *prev
 	e.deleteChunks(meta)
-	e.b.caches.InvalidateAll(obj)
+	e.invalidateCached(meta)
 	e.b.dropPlacement(obj)
 	e.agent.Log(stats.Event{
 		Object: obj, Class: meta.Class, Kind: stats.EventDelete,
@@ -734,16 +599,7 @@ func (e *Engine) Head(ctx context.Context, container, key string) (ObjectMeta, e
 	if err := ctx.Err(); err != nil {
 		return ObjectMeta{}, err
 	}
-	node := e.b.meta.Store(e.dc)
-	v, losers, err := node.Get(RowKey(container, key))
-	if err != nil {
-		if errors.Is(err, metadata.ErrRowNotFound) {
-			return ObjectMeta{}, ErrObjectNotFound
-		}
-		return ObjectMeta{}, err
-	}
-	e.cleanupVersions(losers)
-	return decodeMeta(v)
+	return e.headMeta(container, key)
 }
 
 // deleteChunks removes every chunk of every stripe of a version,
@@ -772,7 +628,8 @@ func (e *Engine) deleteChunkAt(provider, chunkKey string) {
 }
 
 // cleanupVersions garbage-collects MVCC conflict losers: their chunks
-// are removed from the storage providers (Fig. 10).
+// are removed from the storage providers and their stripes from the
+// caches (Fig. 10).
 func (e *Engine) cleanupVersions(losers []metadata.Version) {
 	for _, v := range losers {
 		if v.Deleted {
@@ -780,8 +637,15 @@ func (e *Engine) cleanupVersions(losers []metadata.Version) {
 		}
 		if m, err := decodeMeta(v); err == nil {
 			e.deleteChunks(m)
+			e.invalidateCached(m)
 		}
 	}
+}
+
+// invalidateCached drops a version's stripes from every datacenter's
+// cache.
+func (e *Engine) invalidateCached(meta ObjectMeta) {
+	e.b.caches.InvalidateAll(stripeCacheID(objectName(meta.Container, meta.Key), meta.UUID))
 }
 
 // decisionWindow returns the object's current decision period D_obj.

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"scalia/internal/cache"
 	"scalia/internal/cloud"
 	"scalia/internal/core"
 )
@@ -28,7 +29,9 @@ import (
 //	PUT    /v1/objects/{container}/{key}  store (streaming body;
 //	       Content-Type = MIME, X-Scalia-TTL-Hours = lifetime hint,
 //	       If-Match / If-None-Match:* = conditional write)
-//	GET    /v1/objects/{container}/{key}  fetch (streaming; If-None-Match -> 304)
+//	GET    /v1/objects/{container}/{key}  fetch (streaming; If-None-Match -> 304;
+//	       single Range: bytes=... -> 206, mapped onto whole stripes so only
+//	       the overlapped stripes are fetched or served from cache)
 //	HEAD   /v1/objects/{container}/{key}  metadata only
 //	DELETE /v1/objects/{container}/{key}  delete (If-Match = conditional)
 //	GET    /v1/objects/{container}?prefix=&limit=&after=  paginated list
@@ -41,7 +44,8 @@ import (
 //	PUT    /v1/rules/{container} pin a placement rule (JSON core.Rule)
 //	POST   /v1/optimize         run one optimization round
 //	POST   /v1/repair?policy=wait|active  run a repair pass
-//	GET    /v1/stats            planner/optimizer/usage/cost counters
+//	GET    /v1/stats            planner/optimizer/usage/cost counters,
+//	       stripe-cache hit/miss/evictions and read-path fan-out counters
 //
 // Errors are typed JSON: {"error": {"code": "...", "message": "..."}}.
 type Gateway struct {
@@ -110,6 +114,8 @@ func statusFromErr(err error) (int, string) {
 		return http.StatusPreconditionFailed, "precondition_failed"
 	case errors.Is(err, ErrInvalidArgument):
 		return http.StatusBadRequest, "invalid_argument"
+	case errors.Is(err, ErrRangeNotSatisfiable):
+		return http.StatusRequestedRangeNotSatisfiable, "range_not_satisfiable"
 	case errors.Is(err, core.ErrBadLockIn), errors.Is(err, core.ErrBadProbability):
 		return http.StatusBadRequest, "invalid_rule"
 	case errors.Is(err, core.ErrNoProviders):
@@ -192,6 +198,7 @@ func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) getObject(w http.ResponseWriter, r *http.Request) {
 	container, key := r.PathValue("container"), r.PathValue("key")
 	e := g.engine()
+	w.Header().Set("Accept-Ranges", "bytes")
 	// HEAD and conditional GET resolve from metadata alone, so the
 	// common revalidation case (ETag still current -> 304) never touches
 	// a chunk. A stale ETag pays one extra in-memory metadata read when
@@ -219,6 +226,10 @@ func (g *Gateway) getObject(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if spec, ok := parseRangeHeader(r.Header.Get("Range")); ok {
+		g.serveRange(w, r, e, container, key, spec)
+		return
+	}
 	rc, meta, err := e.GetReader(r.Context(), container, key)
 	if err != nil {
 		failErr(w, err)
@@ -234,6 +245,112 @@ func (g *Gateway) getObject(w http.ResponseWriter, r *http.Request) {
 	// The body streams stripe by stripe; a mid-stream failure can only
 	// truncate the response (the status is already on the wire), which
 	// the client detects against Content-Length.
+	io.Copy(w, rc) //nolint:errcheck
+}
+
+// rangeSpec is one parsed single-range header. Exactly one of the two
+// forms is set: suffix < 0 means an absolute range [start, start+length)
+// with length < 0 standing for "to the object end"; suffix >= 0 means
+// "the last suffix bytes".
+type rangeSpec struct {
+	start, length int64
+	suffix        int64
+}
+
+// parseRangeHeader parses a single-range "bytes=" header. Multi-range
+// and malformed headers report !ok and the gateway serves the full body
+// with 200, which RFC 9110 §14.2 explicitly permits.
+func parseRangeHeader(h string) (rangeSpec, bool) {
+	const prefix = "bytes="
+	spec := rangeSpec{suffix: -1}
+	if !strings.HasPrefix(h, prefix) {
+		return spec, false
+	}
+	val := strings.TrimSpace(strings.TrimPrefix(h, prefix))
+	if val == "" || strings.Contains(val, ",") {
+		return spec, false
+	}
+	dash := strings.IndexByte(val, '-')
+	if dash < 0 {
+		return spec, false
+	}
+	first, last := strings.TrimSpace(val[:dash]), strings.TrimSpace(val[dash+1:])
+	if first == "" {
+		// Suffix form: bytes=-N, the last N bytes.
+		n, err := strconv.ParseInt(last, 10, 64)
+		if err != nil || n < 0 {
+			return spec, false
+		}
+		spec.suffix = n
+		return spec, true
+	}
+	start, err := strconv.ParseInt(first, 10, 64)
+	if err != nil || start < 0 {
+		return spec, false
+	}
+	spec.start = start
+	spec.length = -1 // open-ended: bytes=N-
+	if last != "" {
+		end, err := strconv.ParseInt(last, 10, 64)
+		if err != nil || end < start {
+			return spec, false
+		}
+		spec.length = end - start + 1
+	}
+	return spec, true
+}
+
+// serveRange answers a single-range GET: the engine maps the byte range
+// onto the stripes it overlaps, so only those are consulted in the
+// stripe cache or fetched from the providers. GetRangeReader owns the
+// clamp and the unsatisfiable check; the gateway only translates the
+// suffix form (which needs the object size before the offset exists)
+// and the wire headers.
+func (g *Gateway) serveRange(w http.ResponseWriter, r *http.Request, e *Engine, container, key string, spec rangeSpec) {
+	offset, length := spec.start, spec.length
+	if spec.suffix >= 0 {
+		// Head is a pure in-memory metadata read.
+		head, err := e.Head(r.Context(), container, key)
+		if err != nil {
+			failErr(w, err)
+			return
+		}
+		if spec.suffix == 0 {
+			w.Header().Set("Content-Range", "bytes */"+strconv.FormatInt(head.Size, 10))
+			writeError(w, http.StatusRequestedRangeNotSatisfiable, "range_not_satisfiable",
+				"zero-length suffix range")
+			return
+		}
+		offset = head.Size - spec.suffix
+		if offset < 0 {
+			offset = 0
+		}
+		length = -1
+	}
+	rc, meta, err := e.GetRangeReader(r.Context(), container, key, offset, length)
+	if err != nil {
+		if errors.Is(err, ErrRangeNotSatisfiable) {
+			if head, herr := e.Head(r.Context(), container, key); herr == nil {
+				w.Header().Set("Content-Range", "bytes */"+strconv.FormatInt(head.Size, 10))
+			}
+		}
+		failErr(w, err)
+		return
+	}
+	defer rc.Close()
+	// Mirror the reader's clamp against the meta it actually resolved.
+	served := length
+	if rest := meta.Size - offset; served < 0 || served > rest {
+		served = rest
+	}
+	writeMetaHeaders(w, meta)
+	if meta.MIME != "" {
+		w.Header().Set("Content-Type", meta.MIME)
+	}
+	w.Header().Set("Content-Range",
+		fmt.Sprintf("bytes %d-%d/%d", offset, offset+served-1, meta.Size))
+	w.Header().Set("Content-Length", strconv.FormatInt(served, 10))
+	w.WriteHeader(http.StatusPartialContent)
 	io.Copy(w, rc) //nolint:errcheck
 }
 
@@ -415,6 +532,13 @@ type Stats struct {
 	// Usage and CostUSD aggregate billed resources across providers.
 	Usage   cloud.Usage `json:"usage"`
 	CostUSD float64     `json:"costUSD"`
+	// StripeCache aggregates the stripe-granular read cache across all
+	// datacenters: hits, misses, evictions and the current footprint.
+	StripeCache cache.Stats `json:"stripeCache"`
+	// ReadPath reports the streaming read path: stripes served from
+	// cache vs fetched, prefetch pipeline deliveries, and parallel-fetch
+	// fallbacks onto spare providers.
+	ReadPath ReadPathStats `json:"readPath"`
 
 	Engines        int `json:"engines"`
 	Providers      int `json:"providers"`
@@ -428,6 +552,8 @@ func (g *Gateway) stats(w http.ResponseWriter, r *http.Request) {
 		Optimizer:      b.OptimizeTotals(),
 		Usage:          b.Registry().TotalUsage(),
 		CostUSD:        b.Registry().TotalCost(),
+		StripeCache:    b.Caches().Stats(),
+		ReadPath:       b.ReadStats(),
 		Engines:        len(b.Engines()),
 		Providers:      b.Registry().Len(),
 		PendingDeletes: b.PendingDeletes(),

@@ -476,6 +476,131 @@ func TestGatewayStatsAndConditionalGet(t *testing.T) {
 	}
 }
 
+// TestGatewayRangeRequests drives the Range header end to end: partial
+// content with correct Content-Range, suffix and open-ended forms,
+// unsatisfiable ranges, and the stripe-aligned mapping (a small range
+// of a big object must not fetch every stripe).
+func TestGatewayRangeRequests(t *testing.T) {
+	b, ts := newGatewayServer(t, Config{StripeBytes: 1024, CacheBytes: 1 << 20})
+	client := ts.Client()
+	payload := make([]byte, 8*1024+200)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	resp := doReq(t, client, http.MethodPut, ts.URL+"/v1/objects/big/blob", payload, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT = %d", resp.StatusCode)
+	}
+	size := int64(len(payload))
+
+	get := func(rng string) *http.Response {
+		t.Helper()
+		return doReq(t, client, http.MethodGet, ts.URL+"/v1/objects/big/blob", nil,
+			map[string]string{"Range": rng})
+	}
+
+	// Absolute range crossing a stripe boundary.
+	resp = get("bytes=1500-2499")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("range GET = %d, want 206", resp.StatusCode)
+	}
+	if !bytes.Equal(body, payload[1500:2500]) {
+		t.Fatalf("range body mismatch: %d bytes", len(body))
+	}
+	if cr := resp.Header.Get("Content-Range"); cr != fmt.Sprintf("bytes 1500-2499/%d", size) {
+		t.Fatalf("Content-Range = %q", cr)
+	}
+	if resp.Header.Get("Accept-Ranges") != "bytes" {
+		t.Fatal("Accept-Ranges header missing")
+	}
+	// The 1000-byte range overlaps exactly stripes 1 and 2: only those
+	// may have been fetched.
+	if rs := b.ReadStats(); rs.StripesFetched != 2 {
+		t.Fatalf("ranged GET fetched %d stripes, want 2", rs.StripesFetched)
+	}
+
+	// Open-ended and suffix forms.
+	resp = get("bytes=8192-")
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent || !bytes.Equal(body, payload[8192:]) {
+		t.Fatalf("open-ended range = %d, %d bytes", resp.StatusCode, len(body))
+	}
+	resp = get("bytes=-100")
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent || !bytes.Equal(body, payload[size-100:]) {
+		t.Fatalf("suffix range = %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if cr := resp.Header.Get("Content-Range"); cr != fmt.Sprintf("bytes %d-%d/%d", size-100, size-1, size) {
+		t.Fatalf("suffix Content-Range = %q", cr)
+	}
+
+	// Unsatisfiable: starts at/past the end.
+	resp = get(fmt.Sprintf("bytes=%d-", size))
+	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Fatalf("past-end range = %d, want 416", resp.StatusCode)
+	}
+	if cr := resp.Header.Get("Content-Range"); cr != fmt.Sprintf("bytes */%d", size) {
+		t.Fatalf("416 Content-Range = %q", cr)
+	}
+	if code := errCode(t, resp); code != "range_not_satisfiable" {
+		t.Fatalf("error code = %q", code)
+	}
+	resp.Body.Close()
+
+	// Malformed and multi-range headers are ignored: full body, 200.
+	for _, rng := range []string{"bytes=abc-def", "bytes=0-10,20-30", "items=0-1"} {
+		resp = get(rng)
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || int64(len(body)) != size {
+			t.Fatalf("range %q = %d (%d bytes), want full 200", rng, resp.StatusCode, len(body))
+		}
+	}
+}
+
+// TestGatewayStatsStripeCacheVisible asserts the acceptance criterion:
+// stripe-cache hit/miss counters and the read-path fan-out counters are
+// visible on GET /v1/stats after a repeat multi-stripe GET.
+func TestGatewayStatsStripeCacheVisible(t *testing.T) {
+	_, ts := newGatewayServer(t, Config{StripeBytes: 1024, CacheBytes: 1 << 20, EnginesPerDC: 1, Datacenters: []string{"dc1"}})
+	client := ts.Client()
+	payload := make([]byte, 6*1024)
+	resp := doReq(t, client, http.MethodPut, ts.URL+"/v1/objects/big/blob", payload, nil)
+	resp.Body.Close()
+
+	for i := 0; i < 2; i++ {
+		resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/objects/big/blob", nil, nil)
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/stats", nil, nil)
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.StripeCache.Hits < 6 {
+		t.Fatalf("stripe cache hits = %d, want >= 6 (repeat GET of 6 stripes): %+v", st.StripeCache.Hits, st.StripeCache)
+	}
+	if st.StripeCache.Misses == 0 || st.StripeCache.Entries != 6 {
+		t.Fatalf("stripe cache counters = %+v", st.StripeCache)
+	}
+	if st.ReadPath.StripesFetched != 6 || st.ReadPath.StripesFromCache < 6 {
+		t.Fatalf("read path counters = %+v", st.ReadPath)
+	}
+	if st.ReadPath.PrefetchedStripes == 0 {
+		t.Fatalf("prefetch counter missing from stats: %+v", st.ReadPath)
+	}
+}
+
 // TestGatewayRoundRobinsAcrossEngines: consecutive requests must spread
 // over every engine of every datacenter (the Engine(0)-only bug).
 func TestGatewayRoundRobinsAcrossEngines(t *testing.T) {

@@ -38,6 +38,21 @@ type ObjectMeta struct {
 	// keeps the legacy chunk-key layout.
 	Stripes     int   `json:"stripes,omitempty"`
 	StripeBytes int64 `json:"stripeBytes,omitempty"`
+	// StripeSums holds the MD5 of each stripe's payload, so the read
+	// path can verify every decoded stripe independently — before it
+	// enters the stripe cache, and on ranged reads that never see the
+	// whole object. Metadata written before stripe sums existed leaves
+	// this nil; such reads fall back to the whole-object Checksum.
+	StripeSums []string `json:"stripeSums,omitempty"`
+}
+
+// stripeSum returns the stored MD5 of stripe s, or "" when this
+// version's metadata predates per-stripe checksums.
+func (m ObjectMeta) stripeSum(s int) string {
+	if s < 0 || s >= len(m.StripeSums) {
+		return ""
+	}
+	return m.StripeSums[s]
 }
 
 // StripeCount returns the number of stripes the object is stored as
@@ -47,6 +62,19 @@ func (m ObjectMeta) StripeCount() int {
 		return 1
 	}
 	return m.Stripes
+}
+
+// stripeSpan returns the nominal payload bytes per stripe — the
+// divisor that maps a byte offset to its stripe index. Single-stripe
+// objects span their whole size regardless of the recorded StripeBytes.
+func (m ObjectMeta) stripeSpan() int64 {
+	if m.StripeCount() == 1 || m.StripeBytes <= 0 {
+		if m.Size > 0 {
+			return m.Size
+		}
+		return 1
+	}
+	return m.StripeBytes
 }
 
 // stripeLen returns the payload length of stripe s.

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"scalia/internal/cloud"
 	"scalia/internal/core"
 	"scalia/internal/erasure"
 	"scalia/internal/stats"
@@ -409,7 +411,7 @@ func (e *Engine) migrate(ctx context.Context, meta ObjectMeta, to core.Placement
 	lk.Unlock()
 	e.cleanupVersions(losers)
 	e.deleteChunks(meta)
-	e.b.caches.InvalidateAll(objectName(meta.Container, meta.Key))
+	e.invalidateCached(meta)
 	return nil
 }
 
@@ -531,7 +533,10 @@ func (e *Engine) repairShard(ctx context.Context, objs []string, policy RepairPo
 
 // VerifyObject checks that an object's stored chunks are sufficient and
 // parity-consistent across every stripe, returning the minimum number
-// of reachable chunks over the stripes.
+// of reachable chunks over the stripes. Verification reads every chunk
+// from its provider (never the stripe cache — a cached stripe proves
+// nothing about chunk health), fanning the per-stripe fetches out over
+// the read path's bounded worker pool.
 func (e *Engine) VerifyObject(ctx context.Context, container, key string) (reachable int, err error) {
 	meta, err := e.Head(ctx, container, key)
 	if err != nil {
@@ -542,27 +547,47 @@ func (e *Engine) VerifyObject(ctx context.Context, container, key string) (reach
 	if err != nil {
 		return 0, err
 	}
+	workers := e.b.cfg.ReadParallelism
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	reachable = n
 	for s := 0; s < meta.StripeCount(); s++ {
 		chunks := make([][]byte, n)
-		stripeReachable := 0
+		var stripeReachable atomic.Int32
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
 		for i, name := range meta.Chunks {
 			st, ok := e.b.registry.Store(name)
 			if !ok || !st.Available() {
 				continue
 			}
-			if data, err := st.Get(ctx, meta.chunkKey(s, i)); err == nil {
-				chunks[i] = data
-				stripeReachable++
-			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, st cloud.Backend) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if data, err := st.Get(ctx, meta.chunkKey(s, i)); err == nil {
+					chunks[i] = data
+					stripeReachable.Add(1)
+				}
+			}(i, st)
 		}
-		if stripeReachable < reachable {
-			reachable = stripeReachable
+		wg.Wait()
+		got := int(stripeReachable.Load())
+		if err := ctx.Err(); err != nil {
+			return reachable, err
 		}
-		if stripeReachable < meta.M {
+		if got < reachable {
+			reachable = got
+		}
+		if got < meta.M {
 			return reachable, ErrNotEnoughChunks
 		}
-		if stripeReachable == n {
+		if got == n {
 			ok, err := coder.Verify(chunks)
 			if err != nil {
 				return reachable, err

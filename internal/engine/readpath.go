@@ -1,0 +1,529 @@
+package engine
+
+import (
+	"context"
+	"crypto/md5"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"sort"
+	"sync"
+
+	"scalia/internal/cloud"
+	"scalia/internal/erasure"
+	"scalia/internal/stats"
+)
+
+// This file is the streaming read path: a stripe-pipelined, chunk-
+// parallel object reader over the stripe-granular cache.
+//
+// A read of stripe s goes through three layers:
+//
+//  1. the stripe cache — a hit costs no provider traffic at all;
+//  2. a bounded worker pool that fetches the stripe's m cheapest
+//     chunks concurrently (first m successes win), falling back along
+//     the ranked provider order when a fetch fails mid-read;
+//  3. erasure decode, after which the stripe is written back to the
+//     cache (user-facing reads only).
+//
+// Independently, the stream is pipelined: while stripe s drains to the
+// client, a prefetcher works ahead on stripes s+1..s+k
+// (k = Config.PrefetchStripes), fetching and decoding them
+// concurrently and handing them to the consumer in order, so provider
+// latency and decode cost overlap with client consumption. Cancelling
+// the request context tears down the prefetcher and every in-flight
+// chunk fetch.
+
+// objectReader streams the stripes [start, end] of a stored object.
+type objectReader struct {
+	e      *Engine
+	ctx    context.Context
+	cancel context.CancelFunc
+	meta   ObjectMeta
+	obj    string
+	// cacheID is the stripe-cache identity of this object VERSION:
+	// objectName plus the version UUID. Versioned keys make the cache
+	// immune to the invalidate-then-fill race — a slow reader of the
+	// old version fills old-version keys, which a reader of the new
+	// version can never hit. Superseded entries are invalidated
+	// eagerly where the previous version is known and age out of the
+	// LRU otherwise.
+	cacheID string
+	// order ranks chunk indexes by marginal read cost at their
+	// provider, cheapest first; computed once at open. rankErr defers
+	// an insufficient-providers error until a stripe actually needs a
+	// provider fetch, so fully cached objects stay readable through an
+	// outage.
+	order   []int
+	rankErr error
+	coder   *erasure.Coder
+	// userRead marks a client-facing stream: it fills the stripe cache
+	// and logs the read event on completion. Internal streams
+	// (migration, repair) do neither.
+	userRead bool
+
+	start, end int // inclusive stripe range
+
+	// sum accumulates the whole-object checksum; hashAll stays true
+	// only while every stripe so far was hashed in order, which makes
+	// the final comparison meaningful. A stripe served from the cache
+	// breaks the chain (cache entries are trusted: they were decoded by
+	// a verified read and are invalidated on writes).
+	sum     hash.Hash
+	hashAll bool
+
+	pipe chan stripeOut // prefetch pipeline; nil = unpipelined
+	next int            // next stripe to load (unpipelined mode)
+
+	cur     []byte // decoded, unconsumed bytes of the current stripe
+	fetched int64  // payload bytes delivered so far
+	logged  bool   // read event emitted
+	err     error  // sticky terminal state (io.EOF after full drain)
+}
+
+// stripeOut is one prefetched stripe (or the error that ended the
+// pipeline).
+type stripeOut struct {
+	data []byte
+	err  error
+}
+
+// prodOut is one produced (fetched-or-cached, decoded) stripe before
+// in-order finalization.
+type prodOut struct {
+	data   []byte
+	cached bool
+	err    error
+}
+
+// openObjectReader builds the full-object stripe stream; see
+// openObjectRange.
+func (e *Engine) openObjectReader(ctx context.Context, meta ObjectMeta, userRead bool) (*objectReader, error) {
+	return e.openObjectRange(ctx, meta, 0, meta.StripeCount()-1, userRead)
+}
+
+// openObjectRange builds the stripe stream for stripes [start, end] and
+// eagerly produces the first stripe, so placement and availability
+// errors surface at open rather than mid-stream. userRead selects
+// client-read semantics: stripe-cache fill and a read statistics event
+// when the stream completes.
+func (e *Engine) openObjectRange(ctx context.Context, meta ObjectMeta, start, end int, userRead bool) (*objectReader, error) {
+	n := len(meta.Chunks)
+	// One coder serves every stripe of the stream: it depends only on
+	// (m, n), and rebuilding the generator matrix per stripe would put
+	// a matrix inversion on the hot read path.
+	coder, err := erasure.New(meta.M, n)
+	if err != nil {
+		return nil, err
+	}
+	order, rankErr := e.rankChunks(meta)
+	ctx, cancel := context.WithCancel(ctx)
+	or := &objectReader{
+		e: e, ctx: ctx, cancel: cancel, meta: meta,
+		obj:     objectName(meta.Container, meta.Key),
+		cacheID: stripeCacheID(objectName(meta.Container, meta.Key), meta.UUID),
+		order:   order, rankErr: rankErr, coder: coder,
+		userRead: userRead, start: start, end: end,
+		// The whole-object hash chain only pays off when the final
+		// comparison can run, i.e. the stream covers every stripe.
+		sum: md5.New(), hashAll: start == 0 && end == meta.StripeCount()-1,
+		next: start + 1,
+	}
+	first, err := or.loadStripe(start)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	or.cur = first
+	or.fetched = int64(len(first))
+	if prefetch := e.b.cfg.PrefetchStripes; prefetch > 0 && end > start {
+		or.pipe = make(chan stripeOut, prefetch)
+		go or.prefetch(start + 1)
+	}
+	return or, nil
+}
+
+// rankChunks orders a version's chunk indexes by marginal read cost at
+// their provider, cheapest first — the paper's "chunks are read from
+// the m cheapest providers" (§III-B). Unreachable providers are
+// excluded; when fewer than m remain, the ranking plus an
+// ErrNotEnoughChunks are both returned so the caller can still serve
+// cached stripes.
+func (e *Engine) rankChunks(meta ObjectMeta) ([]int, error) {
+	type ranked struct {
+		idx  int
+		cost float64
+	}
+	n := len(meta.Chunks)
+	chunkGB := cloud.GB((meta.Size + int64(meta.M) - 1) / int64(meta.M))
+	order := make([]ranked, 0, n)
+	for i, name := range meta.Chunks {
+		store, ok := e.b.registry.Store(name)
+		if !ok || !store.Available() {
+			continue
+		}
+		pr := store.Spec().Pricing
+		order = append(order, ranked{idx: i, cost: chunkGB*pr.BandwidthOutGB + pr.OpsPer1000/1000})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].cost != order[j].cost {
+			return order[i].cost < order[j].cost
+		}
+		return order[i].idx < order[j].idx
+	})
+	idxs := make([]int, len(order))
+	for i, r := range order {
+		idxs[i] = r.idx
+	}
+	if len(order) < meta.M {
+		return idxs, fmt.Errorf("%w: %d of %d providers reachable, need %d",
+			ErrNotEnoughChunks, len(order), n, meta.M)
+	}
+	return idxs, nil
+}
+
+// prefetch is the pipeline producer: it dispatches up to cap(pipe)
+// concurrent stripe loads for stripes [from, end], finalizes them in
+// stripe order (checksum chain, ErrChecksum on the last stripe) and
+// hands them to the consuming Read. Fetch latency and decode cost of
+// neighbouring stripes overlap; delivery order never changes. It exits
+// — without blocking — when the stream context is cancelled or a
+// stripe fails.
+func (or *objectReader) prefetch(from int) {
+	defer close(or.pipe)
+	depth := cap(or.pipe)
+	type pending struct {
+		s  int
+		ch chan prodOut
+	}
+	sem := make(chan struct{}, depth)    // bounds in-flight stripe loads
+	queue := make(chan pending, depth+1) // preserves stripe order
+	go func() {                          // dispatcher
+		defer close(queue)
+		for s := from; s <= or.end; s++ {
+			select {
+			case sem <- struct{}{}:
+			case <-or.ctx.Done():
+				return
+			}
+			p := pending{s: s, ch: make(chan prodOut, 1)}
+			select {
+			case queue <- p:
+			case <-or.ctx.Done():
+				return
+			}
+			go func(p pending) {
+				defer func() { <-sem }()
+				data, cached, err := or.produceStripe(p.s)
+				p.ch <- prodOut{data: data, cached: cached, err: err}
+			}(p)
+		}
+	}()
+	for p := range queue {
+		out := <-p.ch
+		data, err := out.data, out.err
+		if err == nil {
+			data, err = or.finalizeStripe(p.s, data, out.cached)
+		}
+		select {
+		case or.pipe <- stripeOut{data: data, err: err}:
+		case <-or.ctx.Done():
+			return
+		}
+		if err != nil {
+			// Unblock the dispatcher and in-flight loads; the consumer
+			// already holds the error.
+			or.cancel()
+			return
+		}
+		or.e.b.readPrefetched.Add(1)
+	}
+}
+
+// loadStripe produces and finalizes one stripe — the unpipelined path
+// (the eager open fetch and sequential-mode Reads call it in stripe
+// order).
+func (or *objectReader) loadStripe(s int) ([]byte, error) {
+	data, cached, err := or.produceStripe(s)
+	if err != nil {
+		return nil, err
+	}
+	return or.finalizeStripe(s, data, cached)
+}
+
+// produceStripe yields one decoded stripe: stripe cache first, then the
+// parallel chunk fan-out. Only fully decoded stripes are ever written
+// back to the cache, so a read torn down mid-fetch cannot poison it
+// with a partial entry. Safe for concurrent use across different
+// stripes — the pipeline overlaps neighbouring stripe loads.
+func (or *objectReader) produceStripe(s int) (data []byte, cached bool, err error) {
+	if err := or.ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	e := or.e
+	data, cached = e.b.caches.GetStripe(e.dc, or.cacheID, s)
+	if cached {
+		e.b.readStripesCached.Add(1)
+		return data, true, nil
+	}
+	if or.rankErr != nil {
+		return nil, false, or.rankErr
+	}
+	data, err = or.fetchStripe(s)
+	if err != nil {
+		return nil, false, err
+	}
+	// Verify the decoded stripe against its stored checksum BEFORE it
+	// can enter the cache: a provider serving rotted chunk bytes must
+	// fail the read, not poison the stripe cache. Metadata predating
+	// per-stripe sums skips this; the whole-object chain in
+	// finalizeStripe still catches corruption on full reads.
+	verified := false
+	if want := or.meta.stripeSum(s); want != "" {
+		got := md5.Sum(data)
+		if hex.EncodeToString(got[:]) != want {
+			return nil, false, fmt.Errorf("%w: stripe %d", ErrChecksum, s)
+		}
+		verified = true
+	}
+	e.b.readStripesFetched.Add(1)
+	// Only stripes the per-stripe checksum vouched for may enter the
+	// cache. Legacy metadata without stripe sums is never cached: its
+	// whole-object chain runs too late (and only on unmixed full
+	// reads) to keep an unverified stripe out, and since metadata
+	// lives in process memory such versions exist only until rewritten
+	// — losing their cacheability costs nothing.
+	if or.userRead && verified {
+		e.b.caches.PutStripe(e.dc, or.cacheID, s, data)
+	}
+	return data, false, nil
+}
+
+// stripeCacheID builds the stripe-cache identity of one object version.
+func stripeCacheID(obj, uuid string) string { return obj + "\x00" + uuid }
+
+// finalizeStripe runs the in-order tail of stripe production: the
+// whole-object checksum chain. It must be called in stripe order from
+// one goroutine at a time (the open path, then either the pipeline's
+// ordered stage or the consuming Read).
+func (or *objectReader) finalizeStripe(s int, data []byte, cached bool) ([]byte, error) {
+	if cached {
+		or.hashAll = false
+	} else if or.hashAll {
+		or.sum.Write(data)
+	}
+	if or.hashAll && s == or.meta.StripeCount()-1 && or.fullObject() &&
+		hex.EncodeToString(or.sum.Sum(nil)) != or.meta.Checksum {
+		// Do not hand the condemned stripe to the caller: a Read retried
+		// after ErrChecksum must not serve corrupted bytes. The stripes
+		// this stream already cached are condemned with it — without
+		// per-stripe sums (legacy metadata) there is no telling which
+		// one is corrupt, and a poisoned cache would serve the
+		// corruption silently on the next read.
+		or.e.b.caches.InvalidateAll(or.cacheID)
+		return nil, ErrChecksum
+	}
+	return data, nil
+}
+
+// fullObject reports whether the stream covers every stripe, which is
+// when the whole-object checksum can be verified.
+func (or *objectReader) fullObject() bool {
+	return or.start == 0 && or.end == or.meta.StripeCount()-1
+}
+
+// fetchStripe retrieves one stripe's chunks from the providers and
+// decodes it. Fetches fan out over a bounded worker pool: the first m
+// successes win, and a failed fetch falls back to the next (spare)
+// provider in the ranked order.
+func (or *objectReader) fetchStripe(s int) ([]byte, error) {
+	e, meta := or.e, or.meta
+	m := meta.M
+	workers := e.b.cfg.ReadParallelism
+	if workers > m {
+		workers = m
+	}
+	if workers > len(or.order) {
+		workers = len(or.order)
+	}
+
+	chunks := make([][]byte, len(meta.Chunks))
+	var (
+		mu   sync.Mutex
+		got  int
+		next int // next candidate position in or.order
+	)
+	fetchNext := func() bool {
+		mu.Lock()
+		if got >= m || next >= len(or.order) {
+			mu.Unlock()
+			return false
+		}
+		idx := or.order[next]
+		next++
+		mu.Unlock()
+		if or.ctx.Err() != nil {
+			return false
+		}
+		store, ok := e.b.registry.Store(meta.Chunks[idx])
+		if !ok {
+			e.b.readFallbacks.Add(1)
+			return true // provider vanished; fall back to the next candidate
+		}
+		data, err := store.Get(or.ctx, meta.chunkKey(s, idx))
+		if err != nil {
+			if or.ctx.Err() != nil {
+				return false
+			}
+			// Provider failed between ranking and fetch; the pool moves on
+			// to a spare (§III-D3: reads proceed without the faulty
+			// provider).
+			e.b.readFallbacks.Add(1)
+			return true
+		}
+		mu.Lock()
+		chunks[idx] = data
+		got++
+		mu.Unlock()
+		return true
+	}
+
+	if workers <= 1 {
+		for fetchNext() {
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for fetchNext() {
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	if got < m {
+		if err := or.ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: fetched %d, need %d", ErrNotEnoughChunks, got, m)
+	}
+	return or.coder.Decode(chunks, int(meta.stripeLen(s)))
+}
+
+// Read implements io.Reader.
+func (or *objectReader) Read(p []byte) (int, error) {
+	for len(or.cur) == 0 {
+		if or.err != nil {
+			return 0, or.err
+		}
+		if or.pipe != nil {
+			out, ok := <-or.pipe
+			if !ok {
+				// The pipeline closed: either the stream fully drained or
+				// the context tore it down mid-flight.
+				if err := or.ctx.Err(); err != nil {
+					or.err = err
+					return 0, err
+				}
+				or.finish()
+				return 0, io.EOF
+			}
+			if out.err != nil {
+				or.err = out.err
+				return 0, out.err
+			}
+			or.cur = out.data
+		} else {
+			if or.next > or.end {
+				or.finish()
+				return 0, io.EOF
+			}
+			data, err := or.loadStripe(or.next)
+			if err != nil {
+				or.err = err
+				return 0, err
+			}
+			or.next++
+			or.cur = data
+		}
+		or.fetched += int64(len(or.cur))
+	}
+	n := copy(p, or.cur)
+	or.cur = or.cur[n:]
+	return n, nil
+}
+
+// finish marks the stream fully drained: sticky EOF, read event, and
+// context release.
+func (or *objectReader) finish() {
+	or.err = io.EOF
+	or.logRead()
+	or.cancel()
+}
+
+// Close implements io.Closer; further Reads fail. Closing cancels the
+// prefetcher and every in-flight chunk fetch. A stream closed before
+// draining logs the bytes actually delivered, not the full size.
+func (or *objectReader) Close() error {
+	or.cancel()
+	if or.err == nil {
+		or.err = errors.New("engine: object stream closed")
+	}
+	or.cur = nil
+	or.logRead()
+	return nil
+}
+
+// logRead emits the read statistics event exactly once per user-facing
+// stream, with the payload bytes that were actually delivered — an
+// aborted download must not inflate the access statistics that drive
+// placement.
+func (or *objectReader) logRead() {
+	if !or.userRead || or.logged {
+		return
+	}
+	or.logged = true
+	e, meta := or.e, or.meta
+	e.agent.Log(stats.Event{
+		Object: or.obj, Class: meta.Class,
+		Kind: stats.EventRead, Bytes: or.fetched, StorageBytes: meta.Size,
+		Period: e.b.clock.Period(),
+	})
+}
+
+// rangeReader caps an objectReader at the requested byte length and
+// tears the stream down as soon as the range is fully served, so the
+// prefetcher does not keep fetching stripes nobody will read.
+type rangeReader struct {
+	or        *objectReader
+	remaining int64
+}
+
+func (r *rangeReader) Read(p []byte) (int, error) {
+	if r.remaining <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > r.remaining {
+		p = p[:r.remaining]
+	}
+	n, err := r.or.Read(p)
+	r.remaining -= int64(n)
+	if r.remaining == 0 {
+		// The undelivered tail of the last stripe must not count toward
+		// the read statistics; Close below emits the event.
+		r.or.fetched -= int64(len(r.or.cur))
+		r.or.cur = nil
+		r.or.Close() //nolint:errcheck
+		if err == nil || errors.Is(err, io.EOF) {
+			err = nil
+		}
+	}
+	return n, err
+}
+
+func (r *rangeReader) Close() error { return r.or.Close() }

@@ -42,6 +42,7 @@ import (
 	"context"
 	"io"
 
+	"scalia/internal/cache"
 	"scalia/internal/cloud"
 	"scalia/internal/core"
 	"scalia/internal/engine"
@@ -77,6 +78,11 @@ type (
 	Stats = engine.Stats
 	// ListResult is the paginated container listing of the v1 protocol.
 	ListResult = engine.ListResult
+	// CacheStats is the stripe-cache counter snapshot (GET /v1/stats).
+	CacheStats = cache.Stats
+	// ReadPathStats is the streaming-read counter snapshot: stripes from
+	// cache vs fetched, prefetch deliveries, fan-out fallbacks.
+	ReadPathStats = engine.ReadPathStats
 	// ProviderStatus is one market participant on GET /v1/providers.
 	ProviderStatus = engine.ProviderStatus
 	// RepairPolicy selects how repair treats chunks at failed providers.
@@ -104,6 +110,7 @@ var (
 	ErrPreconditionFailed   = engine.ErrPreconditionFailed
 	ErrInvalidArgument      = engine.ErrInvalidArgument
 	ErrNotEnoughChunks      = engine.ErrNotEnoughChunks
+	ErrRangeNotSatisfiable  = engine.ErrRangeNotSatisfiable
 	ErrInfeasiblePlacement  = core.ErrNoProviders
 	ErrProviderUnavailable  = cloud.ErrUnavailable
 	ErrProviderOverCapacity = cloud.ErrOverCapacity
@@ -143,6 +150,15 @@ type Options struct {
 	// StripeBytes bounds the per-stripe payload of streaming reads and
 	// writes (default engine.DefaultStripeBytes, 4 MiB).
 	StripeBytes int64
+	// ReadParallelism bounds concurrent chunk fetches per stripe read
+	// (default engine.DefaultReadParallelism). Negative forces the
+	// sequential ranked scan.
+	ReadParallelism int
+	// PrefetchStripes is the streaming GET read-ahead depth: stripes
+	// decoded in the background while the previous one drains to the
+	// caller (default engine.DefaultPrefetchStripes). Negative disables
+	// prefetching.
+	PrefetchStripes int
 	// Clock overrides time (tests and simulations use a manual clock).
 	Clock engine.Clock
 }
@@ -164,6 +180,8 @@ func New(opts Options) (*Client, error) {
 		MigrationHorizon: opts.MigrationHorizon,
 		Pruned:           opts.Pruned,
 		StripeBytes:      opts.StripeBytes,
+		ReadParallelism:  opts.ReadParallelism,
+		PrefetchStripes:  opts.PrefetchStripes,
 		Clock:            opts.Clock,
 	}
 	if len(opts.Providers) > 0 {
@@ -261,11 +279,22 @@ func (c *Client) Get(ctx context.Context, container, key string) ([]byte, Object
 	return c.engine().Get(ctx, container, key)
 }
 
-// GetReader fetches an object as a stream: stripes are reconstructed
-// from the m cheapest reachable providers one at a time. The caller
-// must Close the reader.
+// GetReader fetches an object as a stream: each stripe is served from
+// the stripe cache or reconstructed from the m cheapest reachable
+// providers with a bounded parallel chunk fan-out, while the next
+// stripes prefetch in the background. The caller must Close the reader.
 func (c *Client) GetReader(ctx context.Context, container, key string) (io.ReadCloser, ObjectMeta, error) {
 	return c.engine().GetReader(ctx, container, key)
+}
+
+// GetRange fetches the byte range [offset, offset+length) of an object
+// as a stream. The range maps onto whole stripes, so only the stripes
+// it overlaps are consulted in the cache or fetched. length is clamped
+// to the object end and -1 means "to the end" (as in the remote
+// client's GetRange); a range starting at or past the end fails with
+// ErrRangeNotSatisfiable. The caller must Close the reader.
+func (c *Client) GetRange(ctx context.Context, container, key string, offset, length int64) (io.ReadCloser, ObjectMeta, error) {
+	return c.engine().GetRangeReader(ctx, container, key, offset, length)
 }
 
 // Head fetches an object's metadata only.

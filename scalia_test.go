@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -48,6 +49,39 @@ func TestFacadeRoundTrip(t *testing.T) {
 	}
 	if _, _, err := c.Get(ctx, "docs", "readme.txt"); err == nil {
 		t.Fatal("object must be gone")
+	}
+}
+
+// TestFacadeGetRangeAndReadKnobs drives the ranged read and the
+// read-path knobs through the embedded facade: a mid-object range
+// returns exactly its bytes, and a deployment pinned to the sequential
+// path still serves correct data.
+func TestFacadeGetRangeAndReadKnobs(t *testing.T) {
+	c := newClient(t, Options{StripeBytes: 2048, CacheBytes: 1 << 20})
+	payload := bytes.Repeat([]byte("stripes!"), 2048) // 16 KiB, 8 stripes
+	if _, err := c.Put(ctx, "big", "blob", payload); err != nil {
+		t.Fatal(err)
+	}
+	rc, meta, err := c.GetRange(ctx, "big", "blob", 5000, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || !bytes.Equal(got, payload[5000:8000]) {
+		t.Fatalf("GetRange: %v, %d bytes", err, len(got))
+	}
+	if meta.Stripes < 8 {
+		t.Fatalf("Stripes = %d, want a striped object", meta.Stripes)
+	}
+
+	seq := newClient(t, Options{StripeBytes: 2048, ReadParallelism: -1, PrefetchStripes: -1})
+	if _, err := seq.Put(ctx, "big", "blob", payload); err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := seq.Get(ctx, "big", "blob")
+	if err != nil || !bytes.Equal(got2, payload) {
+		t.Fatalf("sequential-mode Get: %v", err)
 	}
 }
 
