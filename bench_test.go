@@ -456,3 +456,115 @@ func BenchmarkBrokerPut(b *testing.B) {
 		}
 	}
 }
+
+// slowRWBackend delays both chunk reads and writes by the provider
+// round-trip, for benchmarks whose hot path is write traffic (repair).
+type slowRWBackend struct {
+	*cloud.BlobStore
+	delay time.Duration
+}
+
+func (s *slowRWBackend) Get(ctx context.Context, key string) ([]byte, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return s.BlobStore.Get(ctx, key)
+}
+
+func (s *slowRWBackend) Put(ctx context.Context, key string, data []byte) error {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return s.BlobStore.Put(ctx, key, data)
+}
+
+// BenchmarkRepairSwap measures one active repair of an 8-stripe (m=2,
+// n=3) object after a single provider failure, against providers with a
+// simulated per-op round-trip: the same-(m,n) chunk-swap path (write
+// only the missing chunk of every stripe, update metadata in place) vs
+// the forced full re-stripe (read, re-encode and rewrite everything).
+// The paper's §IV-E claim is the acceptance bar: the swap must write
+// strictly fewer bytes — reported as bytes-written/op and chunks/op —
+// and take less wall time per repair. The bench-gate CI job watches
+// both for regressions.
+func BenchmarkRepairSwap(b *testing.B) {
+	const (
+		stripeBytes = 128 << 10
+		stripes     = 8
+		opLatency   = 300 * time.Microsecond
+	)
+	payload := make([]byte, stripes*stripeBytes)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	rule := core.Rule{Name: "wide", Durability: 0.9999, Availability: 0.99, LockIn: 1.0 / 3}
+
+	run := func(b *testing.B, force bool) {
+		b.Helper()
+		reg := cloud.NewRegistry()
+		// D is priced so the optimizer never includes it up front: it
+		// exists purely as the repair spare.
+		prices := []cloud.Pricing{
+			{StorageGBMonth: 0.10, BandwidthInGB: 0.1, BandwidthOutGB: 0.15, OpsPer1000: 0.01},
+			{StorageGBMonth: 0.11, BandwidthInGB: 0.1, BandwidthOutGB: 0.15, OpsPer1000: 0.01},
+			{StorageGBMonth: 0.12, BandwidthInGB: 0.1, BandwidthOutGB: 0.15, OpsPer1000: 0.01},
+			{StorageGBMonth: 0.50, BandwidthInGB: 0.5, BandwidthOutGB: 0.15, OpsPer1000: 0.01},
+		}
+		for i, name := range []string{"A", "B", "C", "D"} {
+			reg.Register(&slowRWBackend{BlobStore: cloud.NewBlobStore(cloud.Spec{
+				Name: name, Durability: 0.9999, Availability: 0.999,
+				Zones:   []cloud.Zone{cloud.ZoneUS},
+				Pricing: prices[i],
+			}), delay: opLatency})
+		}
+		br := engine.NewBroker(engine.Config{
+			Registry: reg, StripeBytes: stripeBytes, ForceRestripeRepair: force,
+		})
+		b.Cleanup(br.Close)
+		br.Rules().SetContainerRule("bk", rule)
+		e := br.Engine(0)
+		meta, err := e.Put(bgctx, "bk", "obj", payload, engine.PutOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if meta.M != 2 || len(meta.Chunks) != 3 {
+			b.Fatalf("placement m=%d n=%d, want (2, 3)", meta.M, len(meta.Chunks))
+		}
+		var bytesWritten, chunksWritten int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			meta, err := e.Head(bgctx, "bk", "obj")
+			if err != nil {
+				b.Fatal(err)
+			}
+			victim := meta.Chunks[0]
+			if !br.Registry().SetAvailable(victim, false) {
+				b.Fatalf("cannot down %s", victim)
+			}
+			b.StartTimer()
+			rep, err := br.Repair(bgctx, engine.RepairActive)
+			b.StopTimer()
+			if err != nil || rep.Repaired != 1 {
+				b.Fatalf("repair: %v (%+v)", err, rep)
+			}
+			if force && rep.Restriped != 1 || !force && rep.Swapped != 1 {
+				b.Fatalf("wrong repair mechanism: %+v (force=%v)", rep, force)
+			}
+			bytesWritten += rep.BytesWritten
+			chunksWritten += int64(rep.ChunksWritten)
+			br.Registry().SetAvailable(victim, true)
+			br.ProcessPendingDeletes(bgctx)
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(bytesWritten)/float64(b.N), "bytes-written/op")
+		b.ReportMetric(float64(chunksWritten)/float64(b.N), "chunks/op")
+	}
+
+	b.Run("swap", func(b *testing.B) { run(b, false) })
+	b.Run("restripe", func(b *testing.B) { run(b, true) })
+}

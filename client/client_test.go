@@ -296,6 +296,9 @@ func TestClientAdmin(t *testing.T) {
 	if st.Optimizer.Rounds == 0 {
 		t.Fatalf("optimizer totals missing: %+v", st)
 	}
+	if st.Repair.Passes == 0 {
+		t.Fatalf("repair totals missing: %+v", st.Repair)
+	}
 	if st.Providers != 6 || st.Usage.Ops == 0 {
 		t.Fatalf("stats = %+v", st)
 	}

@@ -55,16 +55,23 @@ func main() {
 		"concurrent chunk fetches per stripe read (negative = sequential)")
 	prefetchStripes := flag.Int("prefetch-stripes", engine.DefaultPrefetchStripes,
 		"stripes decoded ahead of the client on streaming GETs (negative = none)")
+	maxReadBufferMB := flag.Int64("max-read-buffer-mb", engine.DefaultMaxReadBufferBytes>>20,
+		"total stripe buffers streaming reads may hold at once (MB; negative = unbounded)")
 	flag.Parse()
 
+	maxReadBuffer := *maxReadBufferMB << 20
+	if *maxReadBufferMB < 0 {
+		maxReadBuffer = -1
+	}
 	client, err := scalia.New(scalia.Options{
-		EnginesPerDC:    *enginesPerDC,
-		CacheBytes:      *cacheMB << 20,
-		PeriodHours:     *periodHours,
-		StripeBytes:     *stripeMB << 20,
-		ReadParallelism: *readParallelism,
-		PrefetchStripes: *prefetchStripes,
-		Clock:           engine.NewWallClock(*periodHours),
+		EnginesPerDC:       *enginesPerDC,
+		CacheBytes:         *cacheMB << 20,
+		PeriodHours:        *periodHours,
+		StripeBytes:        *stripeMB << 20,
+		ReadParallelism:    *readParallelism,
+		PrefetchStripes:    *prefetchStripes,
+		MaxReadBufferBytes: maxReadBuffer,
+		Clock:              engine.NewWallClock(*periodHours),
 	})
 	if err != nil {
 		log.Fatal(err)

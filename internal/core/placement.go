@@ -177,6 +177,14 @@ func chunkFits(pset []cloud.Spec, m int, objectBytes int64, free map[string]int6
 // (byStorage, precomputed by the caller). It examines O(|P|^3)
 // candidates instead of 2^|P|, with all scratch state reused across the
 // greedy-growth inner loop.
+//
+// The greedy trial pricing is incremental: with the optimistic
+// threshold m = |cand|, PeriodCost over cand = grown + {s} decomposes
+// into a per-provider component divided by |cand| (storage, transfer
+// shares) plus a flat per-provider component (operations) — see
+// growthTerms. Each trial provider is therefore priced in O(1) from two
+// running sums over the grown set, instead of re-running PeriodCost in
+// O(k).
 func prunedBest(specs, byStorage []cloud.Spec, rule Rule, load stats.Summary,
 	periodHours float64, objectBytes int64, free map[string]int64) Result {
 	n := len(specs)
@@ -185,27 +193,26 @@ func prunedBest(specs, byStorage []cloud.Spec, rule Rule, load stats.Summary,
 	if minK < 1 {
 		minK = 1
 	}
+	div, flat := growthTerms(specs, load, periodHours)
 	used := make([]bool, n)
 	grown := make([]cloud.Spec, 0, n)
-	cand := make([]cloud.Spec, 0, n) // scratch: grown + one trial provider
 	for k := minK; k <= n; k++ {
 		// Greedy growth by marginal price.
 		grown = grown[:0]
 		for i := range used {
 			used[i] = false
 		}
+		sumDiv, sumFlat := 0.0, 0.0 // running totals over grown
 		for len(grown) < k {
+			// Price with an optimistic threshold equal to |cand| (pure
+			// marginal ranking; feasibility is verified afterwards).
+			kTrial := float64(len(grown) + 1)
 			bestIdx, bestPrice := -1, math.MaxFloat64
-			for i, s := range specs {
+			for i := range specs {
 				if used[i] {
 					continue
 				}
-				cand = append(cand[:0], grown...)
-				cand = append(cand, s)
-				// Price with an optimistic threshold equal to |cand| (pure
-				// marginal ranking; feasibility is verified afterwards).
-				p := Placement{Providers: cand, M: len(cand)}
-				price := PeriodCost(p, load, periodHours)
+				price := (sumDiv+div[i])/kTrial + sumFlat + flat[i]
 				if price < bestPrice {
 					bestPrice, bestIdx = price, i
 				}
@@ -215,6 +222,8 @@ func prunedBest(specs, byStorage []cloud.Spec, rule Rule, load stats.Summary,
 			}
 			used[bestIdx] = true
 			grown = append(grown, specs[bestIdx])
+			sumDiv += div[bestIdx]
+			sumFlat += flat[bestIdx]
 		}
 		if len(grown) == k {
 			best.Evaluated++
@@ -225,6 +234,35 @@ func prunedBest(specs, byStorage []cloud.Spec, rule Rule, load stats.Summary,
 		evaluatePruned(byStorage[:k], rule, load, periodHours, objectBytes, free, &best)
 	}
 	return best
+}
+
+// growthTerms precomputes each provider's contribution to the greedy
+// trial price at optimistic threshold m = n: PeriodCost then reduces to
+// sum(div)/m + sum(flat), where div holds the components whose
+// per-provider share shrinks with the set (storage chunk, transfer
+// shares) and flat the per-provider operation charges. The read
+// components follow PeriodCost's guard: with m = n every provider
+// serves reads, so the "m cheapest" selection is the whole set.
+func growthTerms(specs []cloud.Spec, load stats.Summary, periodHours float64) (div, flat []float64) {
+	if periodHours <= 0 {
+		periodHours = 1
+	}
+	storageGB := load.StorageBytes / 1e9
+	bytesInGB := load.BytesIn / 1e9
+	bytesOutGB := load.BytesOut / 1e9
+	readsActive := load.Reads > 0 && load.BytesOut >= 0
+	div = make([]float64, len(specs))
+	flat = make([]float64, len(specs))
+	for i, s := range specs {
+		div[i] = storageGB*s.Pricing.StorageGBMonth*periodHours/cloud.HoursPerMonth +
+			bytesInGB*s.Pricing.BandwidthInGB
+		flat[i] = load.Writes * s.Pricing.OpsPer1000 / 1000
+		if readsActive {
+			div[i] += bytesOutGB * s.Pricing.BandwidthOutGB
+			flat[i] += load.Reads * s.Pricing.OpsPer1000 / 1000
+		}
+	}
+	return div, flat
 }
 
 // evaluatePruned is evaluateCandidate with the per-object constraints

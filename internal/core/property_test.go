@@ -148,6 +148,214 @@ func TestThresholdAvailabilityConsistencyProperty(t *testing.T) {
 	}
 }
 
+// TestPlanSwapSingleFailureProperty drives PlanSwap over random
+// markets, rules and loads with one provider of the placement failed.
+// Wherever a feasible swap exists it must: keep (m, n); keep every
+// surviving assignment at its slot; replace only the dead slot, with an
+// alive provider not already in the set; still satisfy the rule at
+// threshold m; pick the cheapest possible spare; and never write more
+// repair bytes than the best full re-placement would.
+func TestPlanSwapSingleFailureProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	rules := []Rule{
+		{Durability: 0.99999, Availability: 0.99, LockIn: 1},
+		{Durability: 0.9999, Availability: 0.99, LockIn: 0.5},
+		{Durability: 0.999999, Availability: 0.99, LockIn: 0.3},
+	}
+	swaps := 0
+	for trial := 0; trial < 300; trial++ {
+		specs := randomMarket(rng, 5+rng.Intn(4))
+		rule := rules[rng.Intn(len(rules))]
+		load := randomLoad(uint16(rng.Intn(500)), uint16(rng.Intn(8)), uint8(rng.Intn(200)))
+		best, err := BestPlacement(specs, rule, load, Options{})
+		if err != nil {
+			continue
+		}
+		cur := best.Placement
+		deadSlot := rng.Intn(cur.N())
+		dead := cur.Providers[deadSlot].Name
+		alive := func(name string) bool { return name != dead }
+
+		plan, ok := PlanSwap(cur, specs, alive, rule, load, 1, 0, nil)
+		if !ok {
+			continue
+		}
+		swaps++
+		if plan.Mode != RepairSwap {
+			t.Fatalf("trial %d: mode = %v, want RepairSwap", trial, plan.Mode)
+		}
+		// Shape: same threshold, same chunk count.
+		if plan.Placement.M != cur.M || plan.Placement.N() != cur.N() {
+			t.Fatalf("trial %d: swap changed shape: %v -> %v", trial, cur, plan.Placement)
+		}
+		// Slots: survivors untouched, only the dead slot replaced.
+		if len(plan.Replaced) != 1 || plan.Replaced[0] != deadSlot {
+			t.Fatalf("trial %d: replaced %v, want [%d]", trial, plan.Replaced, deadSlot)
+		}
+		for i, s := range plan.Placement.Providers {
+			if i == deadSlot {
+				if s.Name == dead || cur.Has(s.Name) {
+					t.Fatalf("trial %d: slot %d replacement %q is dead or already used", trial, i, s.Name)
+				}
+				if !s.ServesAny(rule.Zones) {
+					t.Fatalf("trial %d: replacement %q violates the zone rule", trial, s.Name)
+				}
+				continue
+			}
+			if s.Name != cur.Providers[i].Name {
+				t.Fatalf("trial %d: surviving slot %d changed %q -> %q",
+					trial, i, cur.Providers[i].Name, s.Name)
+			}
+		}
+		// The swapped set still satisfies the rule at the original m.
+		if th := FeasibleThreshold(plan.Placement.Providers, rule.Durability, rule.Availability); th < cur.M {
+			t.Fatalf("trial %d: swapped set threshold %d < m %d", trial, th, cur.M)
+		}
+		// Greedy optimality for a single failure: no other spare yields a
+		// cheaper swapped placement.
+		for _, spare := range specs {
+			if spare.Name == dead || cur.Has(spare.Name) || !spare.ServesAny(rule.Zones) {
+				continue
+			}
+			alt := Placement{M: cur.M, Providers: append([]cloud.Spec(nil), cur.Providers...)}
+			alt.Providers[deadSlot] = spare
+			if price := PeriodCost(alt, load, 1); price < plan.Price-1e-12 {
+				t.Fatalf("trial %d: spare %q (%v) beats chosen swap (%v)",
+					trial, spare.Name, price, plan.Price)
+			}
+		}
+		// Repair traffic: the swap writes one chunk (size/m); a full
+		// re-placement re-stripes and writes n'/m' >= 1 >= 1/m of the
+		// size. Never more.
+		full, err := BestPlacement(removeByName(specs, dead), rule, load, Options{})
+		if err == nil {
+			swapWrite := float64(len(plan.Replaced)) / float64(cur.M)
+			fullWrite := float64(full.Placement.N()) / float64(full.Placement.M)
+			if swapWrite > fullWrite+1e-12 {
+				t.Fatalf("trial %d: swap writes %.3fx object size, re-placement %.3fx",
+					trial, swapWrite, fullWrite)
+			}
+		}
+	}
+	if swaps < 50 {
+		t.Fatalf("property test found only %d feasible swaps", swaps)
+	}
+}
+
+// TestPlanSwapMultiFailureProperty fails up to n-m providers at once:
+// any feasible plan must replace exactly the dead slots and keep the
+// rule satisfied; infeasibility (spares exhausted) must be reported,
+// never a placement that still contains a dead provider.
+func TestPlanSwapMultiFailureProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	rule := Rule{Durability: 0.9999, Availability: 0.99, LockIn: 0.5}
+	swaps := 0
+	for trial := 0; trial < 300; trial++ {
+		specs := randomMarket(rng, 6+rng.Intn(4))
+		load := randomLoad(uint16(rng.Intn(300)), uint16(rng.Intn(4)), uint8(rng.Intn(100)))
+		best, err := BestPlacement(specs, rule, load, Options{})
+		if err != nil {
+			continue
+		}
+		cur := best.Placement
+		spare := cur.N() - cur.M
+		if spare < 1 {
+			continue
+		}
+		deadCount := 1 + rng.Intn(spare)
+		deadSet := make(map[string]bool, deadCount)
+		for len(deadSet) < deadCount {
+			deadSet[cur.Providers[rng.Intn(cur.N())].Name] = true
+		}
+		alive := func(name string) bool { return !deadSet[name] }
+
+		plan, ok := PlanSwap(cur, specs, alive, rule, load, 1, 0, nil)
+		if !ok {
+			continue
+		}
+		swaps++
+		if len(plan.Replaced) != len(deadSet) {
+			t.Fatalf("trial %d: replaced %d slots, want %d", trial, len(plan.Replaced), len(deadSet))
+		}
+		seen := make(map[string]bool, plan.Placement.N())
+		for i, s := range plan.Placement.Providers {
+			if seen[s.Name] {
+				t.Fatalf("trial %d: duplicate provider %q after swap", trial, s.Name)
+			}
+			seen[s.Name] = true
+			if deadSet[s.Name] {
+				t.Fatalf("trial %d: dead provider %q still at slot %d", trial, s.Name, i)
+			}
+			if !deadSet[cur.Providers[i].Name] && s.Name != cur.Providers[i].Name {
+				t.Fatalf("trial %d: surviving slot %d changed", trial, i)
+			}
+		}
+		if th := FeasibleThreshold(plan.Placement.Providers, rule.Durability, rule.Availability); th < cur.M {
+			t.Fatalf("trial %d: swapped set threshold %d < m %d", trial, th, cur.M)
+		}
+	}
+	if swaps < 30 {
+		t.Fatalf("property test found only %d feasible multi-swaps", swaps)
+	}
+}
+
+// TestPlannerRepairFallsBackToRestripe exhausts the spare pool so no
+// swap is feasible: Planner.Repair must return a re-stripe plan over
+// the surviving market rather than failing or keeping the dead slot.
+func TestPlannerRepairFallsBackToRestripe(t *testing.T) {
+	specs := cloud.PaperProviders()
+	rule := Rule{Durability: 0.99999, Availability: 0.99, LockIn: 1.0 / float64(len(specs))}
+	load := randomLoad(10, 1, 50)
+	planner := NewPlanner(1, false)
+	best, err := planner.Best(1, specs, rule, load, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Placement.N() != len(specs) {
+		t.Fatalf("lock-in rule should use every provider, got %v", best.Placement)
+	}
+	dead := best.Placement.Providers[0].Name
+	aliveSpecs := removeByName(specs, dead)
+	alive := func(name string) bool { return name != dead }
+	plan, err := planner.Repair(2, aliveSpecs, rule, best.Placement, alive, load, 0, nil)
+	if err == nil {
+		t.Fatalf("no market subset satisfies lock-in 1/%d with %d providers; want error, got %+v",
+			len(specs), len(aliveSpecs), plan)
+	}
+
+	// With a looser rule the fallback must be a re-stripe plan.
+	loose := Rule{Durability: 0.99999, Availability: 0.99, LockIn: 0.5}
+	best, err = planner.Best(2, aliveSpecs, loose, load, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a degraded placement over every surviving provider plus the
+	// dead one, so no spare exists.
+	cur := Placement{M: best.Placement.M, Providers: append([]cloud.Spec(nil), specs...)}
+	plan, err = planner.Repair(2, aliveSpecs, loose, cur, alive, load, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mode != RepairRestripe {
+		t.Fatalf("spare-less market must re-stripe, got mode %v", plan.Mode)
+	}
+	for _, s := range plan.Placement.Providers {
+		if s.Name == dead {
+			t.Fatalf("re-stripe placement still contains the dead provider: %v", plan.Placement)
+		}
+	}
+}
+
+func removeByName(specs []cloud.Spec, name string) []cloud.Spec {
+	out := make([]cloud.Spec, 0, len(specs))
+	for _, s := range specs {
+		if s.Name != name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 func TestStoredGBAccountsOverheadProperty(t *testing.T) {
 	f := func(mSel, nSel uint8, sizeMB uint8) bool {
 		n := int(nSel%5) + 1

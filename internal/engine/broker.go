@@ -34,6 +34,12 @@ const DefaultReadParallelism = 4
 // background.
 const DefaultPrefetchStripes = 2
 
+// DefaultMaxReadBufferBytes is the default broker-wide budget for
+// stripe buffers held by streaming reads: across every in-flight GET,
+// at most this many bytes of fetched stripes are buffered at once
+// (fetches beyond the budget wait for earlier stripes to drain).
+const DefaultMaxReadBufferBytes = 256 << 20
+
 // Config configures a Broker deployment.
 type Config struct {
 	// Datacenters lists datacenter names; default {"dc1", "dc2"} (the
@@ -80,6 +86,19 @@ type Config struct {
 	// decoded in the background (default DefaultPrefetchStripes).
 	// Negative disables prefetching.
 	PrefetchStripes int
+	// MaxReadBufferBytes bounds the stripe buffers all streaming reads
+	// of the broker hold concurrently (default DefaultMaxReadBufferBytes;
+	// negative removes the bound). The budget is enforced as a semaphore
+	// of MaxReadBufferBytes/StripeBytes (floor, minimum 1) stripe slots,
+	// so worst-case read-path memory under many concurrent large GETs
+	// stays bounded; cached stripes do not consume the budget (the cache
+	// has its own capacity).
+	MaxReadBufferBytes int64
+	// ForceRestripeRepair disables the chunk-swap repair fast path so
+	// every active repair does a full re-placement — an ablation knob
+	// for benchmarks and tests (BenchmarkRepairSwap compares the two
+	// mechanisms on the same failure scenario).
+	ForceRestripeRepair bool
 }
 
 func (c *Config) fill() {
@@ -122,6 +141,12 @@ func (c *Config) fill() {
 	case c.PrefetchStripes < 0:
 		c.PrefetchStripes = 0
 	}
+	switch {
+	case c.MaxReadBufferBytes == 0:
+		c.MaxReadBufferBytes = DefaultMaxReadBufferBytes
+	case c.MaxReadBufferBytes < 0:
+		c.MaxReadBufferBytes = 0 // unbounded
+	}
 }
 
 // pendingDelete is a chunk deletion postponed because its provider was
@@ -161,6 +186,12 @@ type Broker struct {
 	readStripesFetched atomic.Int64
 	readPrefetched     atomic.Int64
 	readFallbacks      atomic.Int64
+	// readBufSem is the broker-wide stripe-buffer budget: one token per
+	// stripe slot of Config.MaxReadBufferBytes. nil = unbounded. The
+	// gauges track current and peak slots in use.
+	readBufSem   chan struct{}
+	readBufInUse atomic.Int64
+	readBufPeak  atomic.Int64
 	// rowLocks serialize the precondition-check-and-commit step of
 	// conditional writes per metadata row (striped to bound memory), so
 	// two concurrent If-Match / create-only operations cannot both pass
@@ -168,12 +199,18 @@ type Broker struct {
 	// datacenter concurrency remains last-write-wins MVCC (§III-D3).
 	rowLocks [rowLockStripes]sync.Mutex
 
-	mu        sync.Mutex
-	lastOpt   int64
-	pending   []pendingDelete
-	decisions map[string]*core.DecisionController
-	placement map[string]core.Placement // object -> current placement
-	totals    OptimizeTotals
+	// repairMu serializes repair passes: swap repairs write under the
+	// live version's chunk keys, which two concurrent passes must not
+	// race on.
+	repairMu sync.Mutex
+
+	mu           sync.Mutex
+	lastOpt      int64
+	pending      []pendingDelete
+	decisions    map[string]*core.DecisionController
+	placement    map[string]core.Placement // object -> current placement
+	totals       OptimizeTotals
+	repairTotals RepairTotals
 }
 
 // OptimizeTotals accumulates optimization activity over the broker's
@@ -201,16 +238,53 @@ type ReadPathStats struct {
 	// FetchFallbacks counts chunk fetches that failed and fell back to
 	// a spare provider in the ranked order.
 	FetchFallbacks int64 `json:"fetchFallbacks"`
+	// BufferedStripesPeak is the high-water mark of stripe buffers held
+	// concurrently under the MaxReadBufferBytes budget (0 while the
+	// budget is unbounded or untouched).
+	BufferedStripesPeak int64 `json:"bufferedStripesPeak"`
 }
 
 // ReadStats returns the cumulative read-path counters.
 func (b *Broker) ReadStats() ReadPathStats {
 	return ReadPathStats{
-		StripesFromCache:  b.readStripesCached.Load(),
-		StripesFetched:    b.readStripesFetched.Load(),
-		PrefetchedStripes: b.readPrefetched.Load(),
-		FetchFallbacks:    b.readFallbacks.Load(),
+		StripesFromCache:    b.readStripesCached.Load(),
+		StripesFetched:      b.readStripesFetched.Load(),
+		PrefetchedStripes:   b.readPrefetched.Load(),
+		FetchFallbacks:      b.readFallbacks.Load(),
+		BufferedStripesPeak: b.readBufPeak.Load(),
 	}
+}
+
+// acquireReadBuf reserves one stripe-buffer slot from the broker-wide
+// read budget, blocking while the budget is exhausted. The slot is
+// released when the stripe's bytes have drained to the client (or the
+// stream is torn down). Draining never re-enters the budget, so a
+// blocked acquire always unblocks once some client consumes its stripe.
+func (b *Broker) acquireReadBuf(ctx context.Context) error {
+	if b.readBufSem == nil {
+		return nil
+	}
+	select {
+	case b.readBufSem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	n := b.readBufInUse.Add(1)
+	for {
+		peak := b.readBufPeak.Load()
+		if n <= peak || b.readBufPeak.CompareAndSwap(peak, n) {
+			return nil
+		}
+	}
+}
+
+// releaseReadBuf returns one stripe-buffer slot to the budget.
+func (b *Broker) releaseReadBuf() {
+	if b.readBufSem == nil {
+		return
+	}
+	b.readBufInUse.Add(-1)
+	<-b.readBufSem
 }
 
 // rowLockStripes sizes the striped row-lock table.
@@ -244,6 +318,13 @@ func NewBroker(cfg Config) *Broker {
 		decisions: make(map[string]*core.DecisionController),
 		placement: make(map[string]core.Placement),
 		planner:   core.NewPlanner(cfg.PeriodHours, cfg.Pruned),
+	}
+	if cfg.MaxReadBufferBytes > 0 {
+		slots := cfg.MaxReadBufferBytes / cfg.StripeBytes
+		if slots < 1 {
+			slots = 1 // a deployment can always buffer one stripe
+		}
+		b.readBufSem = make(chan struct{}, slots)
 	}
 	b.agg = stats.NewAggregator(b.statsDB, 0)
 	id := 0

@@ -529,6 +529,10 @@ type Stats struct {
 	Planner core.PlannerStats `json:"planner"`
 	// Optimizer accumulates the periodic optimization rounds.
 	Optimizer OptimizeTotals `json:"optimizer"`
+	// Repair accumulates the repair passes: how many objects were fixed
+	// by a same-(m,n) chunk swap versus a full re-stripe, how many were
+	// skipped, and the replacement chunks/bytes written.
+	Repair RepairTotals `json:"repair"`
 	// Usage and CostUSD aggregate billed resources across providers.
 	Usage   cloud.Usage `json:"usage"`
 	CostUSD float64     `json:"costUSD"`
@@ -550,6 +554,7 @@ func (g *Gateway) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Stats{
 		Planner:        b.Planner().Stats(),
 		Optimizer:      b.OptimizeTotals(),
+		Repair:         b.RepairTotals(),
 		Usage:          b.Registry().TotalUsage(),
 		CostUSD:        b.Registry().TotalCost(),
 		StripeCache:    b.Caches().Stats(),

@@ -721,3 +721,130 @@ func TestGatewayCancelledPutRollsBack(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestGatewayFaultInjectionRepairSwap is the fault-injection e2e: boot
+// the gateway over a registry, flip a provider dead directly on the
+// backend (BlobStore.SetAvailable, bypassing the registry), keep a
+// streaming GET open across the repair, POST the admin repair endpoint,
+// and assert the report shows a chunk swap — not a re-stripe — with the
+// repaired chunk parity-verified.
+func TestGatewayFaultInjectionRepairSwap(t *testing.T) {
+	reg := cloud.NewRegistry()
+	for i, name := range []string{"A", "B", "C", "D"} {
+		reg.Register(cloud.NewBlobStore(cloud.Spec{
+			Name: name, Durability: 0.9999, Availability: 0.999,
+			Zones:   []cloud.Zone{cloud.ZoneUS},
+			Pricing: cloud.Pricing{StorageGBMonth: 0.10 + 0.01*float64(i), BandwidthInGB: 0.1, BandwidthOutGB: 0.15, OpsPer1000: 0.01},
+		}))
+	}
+	b, ts := newGatewayServer(t, Config{Registry: reg, StripeBytes: 32 << 10})
+	client := ts.Client()
+
+	// Pin a wide rule so the placement stripes over {A, B, C} with D as
+	// the only spare.
+	rule := []byte(`{"name":"wide","durability":0.9999,"availability":0.99,"lockIn":0.334}`)
+	resp := doReq(t, client, http.MethodPut, ts.URL+"/v1/rules/bk", rule, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("set rule: %d", resp.StatusCode)
+	}
+
+	payload := make([]byte, 192<<10)
+	rand.New(rand.NewSource(3)).Read(payload)
+	resp = doReq(t, client, http.MethodPut, ts.URL+"/v1/objects/bk/obj", payload, nil)
+	var meta ObjectMeta
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || len(meta.Chunks) != 3 || meta.M != 2 {
+		t.Fatalf("put: %d, meta %+v", resp.StatusCode, meta)
+	}
+	victim := meta.Chunks[0]
+
+	// Fault injection directly on the backend: the change-notifier
+	// back-reference must carry the epoch bump into the planner.
+	st, ok := b.Registry().Store(victim)
+	if !ok {
+		t.Fatalf("unknown provider %q", victim)
+	}
+	st.(*cloud.BlobStore).SetAvailable(false)
+
+	// Open a streaming GET before the repair and drain only half: the
+	// stream must survive the in-place repair and finish bitwise intact.
+	midReq, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/objects/bk/obj", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	midResp, err := client.Do(midReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer midResp.Body.Close()
+	if midResp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded GET: %d", midResp.StatusCode)
+	}
+	head := make([]byte, len(payload)/2)
+	if _, err := io.ReadFull(midResp.Body, head); err != nil {
+		t.Fatalf("mid-repair stream (first half): %v", err)
+	}
+
+	resp = doReq(t, client, http.MethodPost, ts.URL+"/v1/repair?policy=active", nil, nil)
+	var rep RepairReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repair: %d", resp.StatusCode)
+	}
+	if rep.Swapped != 1 || rep.Restriped != 0 || rep.Repaired != 1 {
+		t.Fatalf("repair must swap, not re-stripe: %+v", rep)
+	}
+	if rep.ChunksWritten != meta.StripeCount() {
+		t.Fatalf("swap wrote %d chunks, want %d", rep.ChunksWritten, meta.StripeCount())
+	}
+
+	// Finish the stream opened before the repair.
+	tail, err := io.ReadAll(midResp.Body)
+	if err != nil {
+		t.Fatalf("mid-repair stream (second half): %v", err)
+	}
+	if !bytes.Equal(append(head, tail...), payload) {
+		t.Fatal("stream spanning the repair delivered corrupted bytes")
+	}
+
+	// Post-repair: the object references the spare, a fresh GET matches,
+	// and the repaired chunk's MD5/parity verifies across all n chunks.
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/objects/bk/obj", nil, nil)
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || !bytes.Equal(body, payload) {
+		t.Fatalf("post-repair GET mismatch: %v", err)
+	}
+	if providers := resp.Header.Get("X-Scalia-Providers"); strings.Contains(providers, victim) {
+		t.Fatalf("repaired object still references %s: %s", victim, providers)
+	}
+	sum := md5.Sum(body)
+	if hex.EncodeToString(sum[:]) != meta.Checksum {
+		t.Fatal("post-repair checksum mismatch")
+	}
+	reachable, err := b.Engine(0).VerifyObject(context.Background(), "bk", "obj")
+	if err != nil {
+		t.Fatalf("post-repair parity verification: %v", err)
+	}
+	if reachable != len(meta.Chunks) {
+		t.Fatalf("reachable = %d, want %d", reachable, len(meta.Chunks))
+	}
+
+	// The swap is visible on the stats surface.
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/stats", nil, nil)
+	var stats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Repair.Swapped != 1 || stats.Repair.Passes != 1 {
+		t.Fatalf("stats.repair = %+v", stats.Repair)
+	}
+}

@@ -415,122 +415,6 @@ func (e *Engine) migrate(ctx context.Context, meta ObjectMeta, to core.Placement
 	return nil
 }
 
-// RepairReport summarizes an active-repair pass (§IV-E).
-type RepairReport struct {
-	Checked  int
-	Affected int // objects with chunks at unreachable providers
-	Repaired int
-	Waited   int // objects left for the provider to recover
-}
-
-// RepairPolicy selects how to treat chunks at failed providers.
-type RepairPolicy int
-
-// Repair policies: wait for recovery, or actively move chunks.
-const (
-	RepairWait RepairPolicy = iota
-	RepairActive
-)
-
-// Repair scans all objects and applies the policy to those with chunks
-// at unreachable providers. Under RepairActive the placement is
-// recomputed over the reachable providers (through the shared planner)
-// and the object migrated. Like Optimize, the scan is sharded across
-// all alive engines and runs in parallel — repair after a large outage
-// touches the whole object population, and the paper's engines "scale
-// by addition".
-func (b *Broker) Repair(ctx context.Context, policy RepairPolicy) (RepairReport, error) {
-	leader := b.electLeader()
-	if leader == nil {
-		return RepairReport{}, ErrNoLeader
-	}
-	b.FlushStats()
-	now := b.clock.Period()
-
-	alive := b.aliveEngines()
-	shards := shardObjects(b.statsDB.Objects(), len(alive))
-
-	var report RepairReport
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for i, e := range alive {
-		if len(shards[i]) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(e *Engine, objs []string) {
-			defer wg.Done()
-			local := e.repairShard(ctx, objs, policy, now)
-			mu.Lock()
-			report.Checked += local.Checked
-			report.Affected += local.Affected
-			report.Repaired += local.Repaired
-			report.Waited += local.Waited
-			mu.Unlock()
-		}(e, shards[i])
-	}
-	wg.Wait()
-	return report, ctx.Err()
-}
-
-// repairShard applies the repair policy to one engine's share of the
-// object population.
-func (e *Engine) repairShard(ctx context.Context, objs []string, policy RepairPolicy, now int64) RepairReport {
-	var report RepairReport
-	for _, obj := range objs {
-		if ctx.Err() != nil {
-			break
-		}
-		container, key, ok := splitObjectName(obj)
-		if !ok {
-			continue
-		}
-		meta, err := e.Head(ctx, container, key)
-		if err != nil {
-			continue
-		}
-		report.Checked++
-		affected := false
-		for _, name := range meta.Chunks {
-			s, found := e.b.registry.Store(name)
-			if !found || !s.Available() {
-				affected = true
-				break
-			}
-		}
-		if !affected {
-			continue
-		}
-		report.Affected++
-		if policy == RepairWait {
-			report.Waited++
-			continue
-		}
-		rule := e.b.rules.Resolve(container, key, meta.Class)
-		h := e.b.statsDB.History(obj)
-		sum := stats.Summary{Periods: 1, StorageBytes: float64(meta.Size)}
-		if h != nil {
-			sum = h.Summary(now, e.decisionWindow(obj, now))
-			sum.StorageBytes = float64(meta.Size)
-		}
-		// placeWithRetry plans through the shared planner and guarantees
-		// every chosen provider is reachable right now — exactly what a
-		// repair placement needs.
-		res, err := e.placeWithRetry(rule, sum, meta.Size)
-		if err != nil {
-			report.Waited++
-			continue
-		}
-		if err := e.migrate(ctx, meta, res.Placement); err != nil {
-			report.Waited++
-			continue
-		}
-		e.b.setPlacement(obj, res.Placement)
-		report.Repaired++
-	}
-	return report
-}
-
 // VerifyObject checks that an object's stored chunks are sufficient and
 // parity-consistent across every stripe, returning the minimum number
 // of reachable chunks over the stripes. Verification reads every chunk

@@ -78,15 +78,18 @@ type objectReader struct {
 	next int            // next stripe to load (unpipelined mode)
 
 	cur     []byte // decoded, unconsumed bytes of the current stripe
+	curSlot bool   // cur holds a stripe slot of the broker read budget
 	fetched int64  // payload bytes delivered so far
 	logged  bool   // read event emitted
 	err     error  // sticky terminal state (io.EOF after full drain)
 }
 
 // stripeOut is one prefetched stripe (or the error that ended the
-// pipeline).
+// pipeline). slot marks a stripe holding one slot of the broker-wide
+// read-buffer budget; whoever drops the stripe must release it.
 type stripeOut struct {
 	data []byte
+	slot bool
 	err  error
 }
 
@@ -95,6 +98,7 @@ type stripeOut struct {
 type prodOut struct {
 	data   []byte
 	cached bool
+	slot   bool
 	err    error
 }
 
@@ -118,7 +122,7 @@ func (e *Engine) openObjectRange(ctx context.Context, meta ObjectMeta, start, en
 	if err != nil {
 		return nil, err
 	}
-	order, rankErr := e.rankChunks(meta)
+	order, rankErr := e.rankChunks(meta, nil)
 	ctx, cancel := context.WithCancel(ctx)
 	or := &objectReader{
 		e: e, ctx: ctx, cancel: cancel, meta: meta,
@@ -131,12 +135,13 @@ func (e *Engine) openObjectRange(ctx context.Context, meta ObjectMeta, start, en
 		sum: md5.New(), hashAll: start == 0 && end == meta.StripeCount()-1,
 		next: start + 1,
 	}
-	first, err := or.loadStripe(start)
+	first, slot, err := or.loadStripe(start)
 	if err != nil {
 		cancel()
 		return nil, err
 	}
 	or.cur = first
+	or.curSlot = slot
 	or.fetched = int64(len(first))
 	if prefetch := e.b.cfg.PrefetchStripes; prefetch > 0 && end > start {
 		or.pipe = make(chan stripeOut, prefetch)
@@ -147,11 +152,12 @@ func (e *Engine) openObjectRange(ctx context.Context, meta ObjectMeta, start, en
 
 // rankChunks orders a version's chunk indexes by marginal read cost at
 // their provider, cheapest first — the paper's "chunks are read from
-// the m cheapest providers" (§III-B). Unreachable providers are
-// excluded; when fewer than m remain, the ranking plus an
-// ErrNotEnoughChunks are both returned so the caller can still serve
-// cached stripes.
-func (e *Engine) rankChunks(meta ObjectMeta) ([]int, error) {
+// the m cheapest providers" (§III-B). Slots in skip (nil = none) and
+// unreachable providers are excluded; when fewer than m remain, the
+// ranking plus an ErrNotEnoughChunks are both returned so the caller
+// can still serve cached stripes. The repair path shares this ranking,
+// skipping the slots it is replacing.
+func (e *Engine) rankChunks(meta ObjectMeta, skip map[int]bool) ([]int, error) {
 	type ranked struct {
 		idx  int
 		cost float64
@@ -160,6 +166,9 @@ func (e *Engine) rankChunks(meta ObjectMeta) ([]int, error) {
 	chunkGB := cloud.GB((meta.Size + int64(meta.M) - 1) / int64(meta.M))
 	order := make([]ranked, 0, n)
 	for i, name := range meta.Chunks {
+		if skip[i] {
+			continue
+		}
 		store, ok := e.b.registry.Store(name)
 		if !ok || !store.Available() {
 			continue
@@ -192,7 +201,6 @@ func (e *Engine) rankChunks(meta ObjectMeta) ([]int, error) {
 // — without blocking — when the stream context is cancelled or a
 // stripe fails.
 func (or *objectReader) prefetch(from int) {
-	defer close(or.pipe)
 	depth := cap(or.pipe)
 	type pending struct {
 		s  int
@@ -200,7 +208,20 @@ func (or *objectReader) prefetch(from int) {
 	}
 	sem := make(chan struct{}, depth)    // bounds in-flight stripe loads
 	queue := make(chan pending, depth+1) // preserves stripe order
-	go func() {                          // dispatcher
+	defer func() {
+		// Early teardown leaves produced-but-undelivered stripes in the
+		// queue; hand their read-budget slots back before closing the
+		// pipe (the dispatcher exits on ctx.Done and closes the queue,
+		// and every queued entry has a producer that will deliver).
+		for p := range queue {
+			out := <-p.ch
+			if out.slot {
+				or.e.b.releaseReadBuf()
+			}
+		}
+		close(or.pipe)
+	}()
+	go func() { // dispatcher
 		defer close(queue)
 		for s := from; s <= or.end; s++ {
 			select {
@@ -208,28 +229,47 @@ func (or *objectReader) prefetch(from int) {
 			case <-or.ctx.Done():
 				return
 			}
+			// Acquire the read-budget slot here, in stripe order, before
+			// the producer launches. Producers acquiring on their own can
+			// deadlock the budget: out-of-order completions would hold
+			// every slot while the earlier stripes they are queued behind
+			// wait for one. Dispatcher-ordered acquisition means a held
+			// slot always drains without needing another acquire first.
+			if err := or.e.b.acquireReadBuf(or.ctx); err != nil {
+				<-sem
+				return
+			}
 			p := pending{s: s, ch: make(chan prodOut, 1)}
 			select {
 			case queue <- p:
 			case <-or.ctx.Done():
+				or.e.b.releaseReadBuf()
+				<-sem
 				return
 			}
 			go func(p pending) {
 				defer func() { <-sem }()
-				data, cached, err := or.produceStripe(p.s)
-				p.ch <- prodOut{data: data, cached: cached, err: err}
+				data, cached, slot, err := or.produceStripe(p.s, true)
+				p.ch <- prodOut{data: data, cached: cached, slot: slot, err: err}
 			}(p)
 		}
 	}()
 	for p := range queue {
 		out := <-p.ch
-		data, err := out.data, out.err
+		data, slot, err := out.data, out.slot, out.err
 		if err == nil {
 			data, err = or.finalizeStripe(p.s, data, out.cached)
 		}
+		if err != nil && slot {
+			or.e.b.releaseReadBuf()
+			slot = false
+		}
 		select {
-		case or.pipe <- stripeOut{data: data, err: err}:
+		case or.pipe <- stripeOut{data: data, slot: slot, err: err}:
 		case <-or.ctx.Done():
+			if slot {
+				or.e.b.releaseReadBuf()
+			}
 			return
 		}
 		if err != nil {
@@ -244,13 +284,21 @@ func (or *objectReader) prefetch(from int) {
 
 // loadStripe produces and finalizes one stripe — the unpipelined path
 // (the eager open fetch and sequential-mode Reads call it in stripe
-// order).
-func (or *objectReader) loadStripe(s int) ([]byte, error) {
-	data, cached, err := or.produceStripe(s)
+// order). slot reports whether the stripe holds a read-budget slot the
+// caller must release once the bytes drain.
+func (or *objectReader) loadStripe(s int) (data []byte, slot bool, err error) {
+	data, cached, slot, err := or.produceStripe(s, false)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return or.finalizeStripe(s, data, cached)
+	data, err = or.finalizeStripe(s, data, cached)
+	if err != nil {
+		if slot {
+			or.e.b.releaseReadBuf()
+		}
+		return nil, false, err
+	}
+	return data, slot, nil
 }
 
 // produceStripe yields one decoded stripe: stripe cache first, then the
@@ -258,22 +306,46 @@ func (or *objectReader) loadStripe(s int) ([]byte, error) {
 // back to the cache, so a read torn down mid-fetch cannot poison it
 // with a partial entry. Safe for concurrent use across different
 // stripes — the pipeline overlaps neighbouring stripe loads.
-func (or *objectReader) produceStripe(s int) (data []byte, cached bool, err error) {
-	if err := or.ctx.Err(); err != nil {
-		return nil, false, err
-	}
+//
+// slotHeld says the caller (the pipeline dispatcher) already reserved a
+// read-budget slot for this stripe; otherwise one is acquired here
+// before the provider fetch. A cache hit or failure hands the slot
+// back; on success the returned slot=true travels with the data, to be
+// released once the bytes drain.
+func (or *objectReader) produceStripe(s int, slotHeld bool) (data []byte, cached, slot bool, err error) {
 	e := or.e
+	release := func() {
+		if slotHeld {
+			slotHeld = false
+			e.b.releaseReadBuf()
+		}
+	}
+	if err := or.ctx.Err(); err != nil {
+		release()
+		return nil, false, false, err
+	}
 	data, cached = e.b.caches.GetStripe(e.dc, or.cacheID, s)
 	if cached {
+		// Cache hits do not consume the budget: their memory is the
+		// cache's, capped by its own capacity.
+		release()
 		e.b.readStripesCached.Add(1)
-		return data, true, nil
+		return data, true, false, nil
 	}
 	if or.rankErr != nil {
-		return nil, false, or.rankErr
+		release()
+		return nil, false, false, or.rankErr
+	}
+	if !slotHeld {
+		if err := e.b.acquireReadBuf(or.ctx); err != nil {
+			return nil, false, false, err
+		}
+		slotHeld = true
 	}
 	data, err = or.fetchStripe(s)
 	if err != nil {
-		return nil, false, err
+		release()
+		return nil, false, false, err
 	}
 	// Verify the decoded stripe against its stored checksum BEFORE it
 	// can enter the cache: a provider serving rotted chunk bytes must
@@ -284,7 +356,8 @@ func (or *objectReader) produceStripe(s int) (data []byte, cached bool, err erro
 	if want := or.meta.stripeSum(s); want != "" {
 		got := md5.Sum(data)
 		if hex.EncodeToString(got[:]) != want {
-			return nil, false, fmt.Errorf("%w: stripe %d", ErrChecksum, s)
+			release()
+			return nil, false, false, fmt.Errorf("%w: stripe %d", ErrChecksum, s)
 		}
 		verified = true
 	}
@@ -298,7 +371,7 @@ func (or *objectReader) produceStripe(s int) (data []byte, cached bool, err erro
 	if or.userRead && verified {
 		e.b.caches.PutStripe(e.dc, or.cacheID, s, data)
 	}
-	return data, false, nil
+	return data, false, true, nil
 }
 
 // stripeCacheID builds the stripe-cache identity of one object version.
@@ -335,52 +408,70 @@ func (or *objectReader) fullObject() bool {
 }
 
 // fetchStripe retrieves one stripe's chunks from the providers and
-// decodes it. Fetches fan out over a bounded worker pool: the first m
-// successes win, and a failed fetch falls back to the next (spare)
-// provider in the ranked order.
+// decodes it, over the shared ranked fan-out pool.
 func (or *objectReader) fetchStripe(s int) ([]byte, error) {
-	e, meta := or.e, or.meta
+	chunks, err := or.e.fetchRanked(or.ctx, or.meta, s, or.order, true)
+	if err != nil {
+		return nil, err
+	}
+	return or.coder.Decode(chunks, int(or.meta.stripeLen(s)))
+}
+
+// fetchRanked retrieves m of one stripe's chunks along the ranked
+// candidate order. Fetches fan out over a bounded worker pool: the
+// first m successes win, and a failed fetch falls back to the next
+// (spare) candidate in the order (§III-D3: reads proceed without the
+// faulty provider). countFallbacks feeds the serving-path fallback
+// counter; internal readers (repair) pass false. The returned slice
+// has length n with nil at every slot not fetched (the erasure coder
+// reconstructs those).
+func (e *Engine) fetchRanked(ctx context.Context, meta ObjectMeta, s int, order []int, countFallbacks bool) ([][]byte, error) {
 	m := meta.M
 	workers := e.b.cfg.ReadParallelism
 	if workers > m {
 		workers = m
 	}
-	if workers > len(or.order) {
-		workers = len(or.order)
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 
+	fallback := func() {
+		if countFallbacks {
+			e.b.readFallbacks.Add(1)
+		}
+	}
 	chunks := make([][]byte, len(meta.Chunks))
 	var (
 		mu   sync.Mutex
 		got  int
-		next int // next candidate position in or.order
+		next int // next candidate position in order
 	)
 	fetchNext := func() bool {
 		mu.Lock()
-		if got >= m || next >= len(or.order) {
+		if got >= m || next >= len(order) {
 			mu.Unlock()
 			return false
 		}
-		idx := or.order[next]
+		idx := order[next]
 		next++
 		mu.Unlock()
-		if or.ctx.Err() != nil {
+		if ctx.Err() != nil {
 			return false
 		}
 		store, ok := e.b.registry.Store(meta.Chunks[idx])
 		if !ok {
-			e.b.readFallbacks.Add(1)
+			fallback()
 			return true // provider vanished; fall back to the next candidate
 		}
-		data, err := store.Get(or.ctx, meta.chunkKey(s, idx))
+		data, err := store.Get(ctx, meta.chunkKey(s, idx))
 		if err != nil {
-			if or.ctx.Err() != nil {
+			if ctx.Err() != nil {
 				return false
 			}
-			// Provider failed between ranking and fetch; the pool moves on
-			// to a spare (§III-D3: reads proceed without the faulty
-			// provider).
-			e.b.readFallbacks.Add(1)
+			fallback()
 			return true
 		}
 		mu.Lock()
@@ -407,17 +498,18 @@ func (or *objectReader) fetchStripe(s int) ([]byte, error) {
 	}
 
 	if got < m {
-		if err := or.ctx.Err(); err != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		return nil, fmt.Errorf("%w: fetched %d, need %d", ErrNotEnoughChunks, got, m)
 	}
-	return or.coder.Decode(chunks, int(meta.stripeLen(s)))
+	return chunks, nil
 }
 
 // Read implements io.Reader.
 func (or *objectReader) Read(p []byte) (int, error) {
 	for len(or.cur) == 0 {
+		or.releaseCur()
 		if or.err != nil {
 			return 0, or.err
 		}
@@ -438,24 +530,38 @@ func (or *objectReader) Read(p []byte) (int, error) {
 				return 0, out.err
 			}
 			or.cur = out.data
+			or.curSlot = out.slot
 		} else {
 			if or.next > or.end {
 				or.finish()
 				return 0, io.EOF
 			}
-			data, err := or.loadStripe(or.next)
+			data, slot, err := or.loadStripe(or.next)
 			if err != nil {
 				or.err = err
 				return 0, err
 			}
 			or.next++
 			or.cur = data
+			or.curSlot = slot
 		}
 		or.fetched += int64(len(or.cur))
 	}
 	n := copy(p, or.cur)
 	or.cur = or.cur[n:]
+	if len(or.cur) == 0 {
+		or.releaseCur()
+	}
 	return n, nil
+}
+
+// releaseCur returns the current stripe's read-budget slot once its
+// bytes are gone (fully drained to the caller, or dropped at teardown).
+func (or *objectReader) releaseCur() {
+	if or.curSlot {
+		or.curSlot = false
+		or.e.b.releaseReadBuf()
+	}
 }
 
 // finish marks the stream fully drained: sticky EOF, read event, and
@@ -475,6 +581,19 @@ func (or *objectReader) Close() error {
 		or.err = errors.New("engine: object stream closed")
 	}
 	or.cur = nil
+	or.releaseCur()
+	// Stripes already delivered into the pipe hold read-budget slots;
+	// drain them so a torn-down stream cannot strand the budget. The
+	// prefetcher exits promptly on the cancelled context and closes the
+	// pipe, so this terminates.
+	if or.pipe != nil {
+		for out := range or.pipe {
+			if out.slot {
+				or.e.b.releaseReadBuf()
+			}
+		}
+		or.pipe = nil
+	}
 	or.logRead()
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"runtime"
 	"strings"
@@ -555,4 +556,123 @@ func TestConcurrentMultiStripeReads(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestReadBufferBudgetBoundsConcurrentGets is the MaxReadBufferBytes
+// satellite: with a 3-stripe budget and many concurrent large GETs, the
+// broker must never hold more than 3 fetched stripe buffers at once,
+// deliver every byte intact, and return every slot when the streams
+// drain.
+func TestReadBufferBudgetBoundsConcurrentGets(t *testing.T) {
+	const stripe = 16 << 10
+	b := newTestBroker(t, Config{
+		StripeBytes:        stripe,
+		MaxReadBufferBytes: 3 * stripe, // 3 slots across the whole broker
+		PrefetchStripes:    2,
+	})
+	const objects = 6
+	payloads := make([][]byte, objects)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte{byte('a' + i)}, 8*stripe)
+		key := fmt.Sprintf("o%d", i)
+		if _, err := b.Engine(0).Put(ctx, "c", key, payloads[i], PutOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.FlushStats()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, objects)
+	for i := 0; i < objects; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rc, _, err := b.Engine(i).GetReader(ctx, "c", fmt.Sprintf("o%d", i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer rc.Close()
+			data, err := io.ReadAll(rc)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(data, payloads[i]) {
+				errs <- fmt.Errorf("object %d corrupted", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if peak := b.readBufPeak.Load(); peak < 1 || peak > 3 {
+		t.Fatalf("buffered-stripe peak = %d, want within (0, 3]", peak)
+	}
+	// Every slot must return to the budget once the streams drain (the
+	// prefetchers tear down asynchronously).
+	deadline := time.Now().Add(2 * time.Second)
+	for b.readBufInUse.Load() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if held := b.readBufInUse.Load(); held != 0 {
+		t.Fatalf("%d stripe slots leaked after the streams drained", held)
+	}
+	if b.ReadStats().BufferedStripesPeak != b.readBufPeak.Load() {
+		t.Fatal("BufferedStripesPeak not surfaced on ReadStats")
+	}
+}
+
+// TestReadBufferBudgetReleasedOnEarlyClose closes a pipelined stream
+// mid-flight: the slots held by the current stripe, the pipe buffer and
+// the in-flight producers must all come back.
+func TestReadBufferBudgetReleasedOnEarlyClose(t *testing.T) {
+	const stripe = 16 << 10
+	b := newTestBroker(t, Config{
+		StripeBytes:        stripe,
+		MaxReadBufferBytes: 4 * stripe,
+		PrefetchStripes:    3,
+	})
+	payload := bytes.Repeat([]byte("z"), 12*stripe)
+	if _, err := b.Engine(0).Put(ctx, "c", "big", payload, PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	rc, _, err := b.Engine(0).GetReader(ctx, "c", "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(rc, make([]byte, stripe/2)); err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for b.readBufInUse.Load() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if held := b.readBufInUse.Load(); held != 0 {
+		t.Fatalf("%d stripe slots leaked after early Close", held)
+	}
+}
+
+// TestReadBufferBudgetUnbounded: a negative knob disables the budget
+// entirely — no semaphore, no gauges.
+func TestReadBufferBudgetUnbounded(t *testing.T) {
+	b := newTestBroker(t, Config{StripeBytes: 16 << 10, MaxReadBufferBytes: -1})
+	if b.readBufSem != nil {
+		t.Fatal("negative MaxReadBufferBytes must disable the budget")
+	}
+	payload := bytes.Repeat([]byte("u"), 64<<10)
+	if _, err := b.Engine(0).Put(ctx, "c", "k", payload, PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := b.Engine(0).Get(ctx, "c", "k")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("unbounded read failed: %v", err)
+	}
+	if b.readBufPeak.Load() != 0 {
+		t.Fatal("unbounded mode must not touch the budget gauges")
+	}
 }

@@ -1,0 +1,349 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scalia/internal/cloud"
+	"scalia/internal/core"
+)
+
+// repairMarket builds a 4-provider market where the rule's lock-in
+// forces placement onto the three cheap providers {A, B, C} (m = 2) and
+// the expensive D is the only spare — a fully deterministic swap
+// scenario.
+func repairMarket() *cloud.Registry {
+	reg := cloud.NewRegistry()
+	for i, name := range []string{"A", "B", "C", "D"} {
+		storage := 0.10 + 0.01*float64(i) // D is strictly the priciest
+		reg.Register(cloud.NewBlobStore(cloud.Spec{
+			Name: name, Durability: 0.9999, Availability: 0.999,
+			Zones:   []cloud.Zone{cloud.ZoneUS},
+			Pricing: cloud.Pricing{StorageGBMonth: storage, BandwidthInGB: 0.1, BandwidthOutGB: 0.15, OpsPer1000: 0.01},
+		}))
+	}
+	return reg
+}
+
+var repairRule = core.Rule{Name: "wide", Durability: 0.9999, Availability: 0.99, LockIn: 1.0 / 3}
+
+// putRepairObject stores a multi-stripe object under the wide rule and
+// returns its payload and metadata. The rule is pinned on the container
+// so the repair pass resolves the same rule the write used.
+func putRepairObject(t *testing.T, b *Broker, key string, size int) ([]byte, ObjectMeta) {
+	t.Helper()
+	b.Rules().SetContainerRule("bk", repairRule)
+	payload := make([]byte, size)
+	rng := rand.New(rand.NewSource(7))
+	rng.Read(payload)
+	meta, err := b.Engine(0).Put(ctx, "bk", key, payload, PutOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.FlushStats() // replicate metadata so engines of every DC serve reads
+	if len(meta.Chunks) != 3 || meta.M != 2 {
+		t.Fatalf("scenario expects (m=2, n=3), got m=%d chunks=%v", meta.M, meta.Chunks)
+	}
+	if meta.StripeCount() < 2 {
+		t.Fatalf("scenario expects a multi-stripe object, got %d stripes", meta.StripeCount())
+	}
+	return payload, meta
+}
+
+// TestRepairSwapPreservesIdentity is the tentpole unit test: a swap
+// repair must write only the missing chunks, keep the object version's
+// identity (UUID, storage key, per-stripe MD5s), change the chunk map
+// at exactly the dead slot, and leave the object bitwise intact —
+// parity-verified across all n chunks.
+func TestRepairSwapPreservesIdentity(t *testing.T) {
+	b := newTestBroker(t, Config{Registry: repairMarket(), StripeBytes: 64 << 10})
+	payload, meta := putRepairObject(t, b, "obj", 256<<10)
+
+	deadSlot := 1
+	victim := meta.Chunks[deadSlot]
+	blob(t, b, victim).SetAvailable(false)
+
+	rep, err := b.Repair(ctx, RepairActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Affected != 1 || rep.Repaired != 1 || rep.Swapped != 1 || rep.Restriped != 0 || rep.Skipped != 0 {
+		t.Fatalf("repair report = %+v", rep)
+	}
+	if rep.ChunksWritten != meta.StripeCount() {
+		t.Fatalf("swap wrote %d chunks, want %d (one per stripe)", rep.ChunksWritten, meta.StripeCount())
+	}
+	if rep.BytesWritten <= 0 || rep.BytesWritten >= int64(len(payload)) {
+		t.Fatalf("swap wrote %d bytes, want ~size/m = %d", rep.BytesWritten, len(payload)/meta.M)
+	}
+
+	after, err := b.Engine(0).Head(ctx, "bk", "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.UUID != meta.UUID || after.SKey != meta.SKey {
+		t.Fatalf("swap must update metadata in place: uuid %s->%s skey %s->%s",
+			meta.UUID, after.UUID, meta.SKey, after.SKey)
+	}
+	for s := range meta.StripeSums {
+		if after.StripeSums[s] != meta.StripeSums[s] {
+			t.Fatalf("stripe %d sum changed across swap", s)
+		}
+	}
+	for i, name := range after.Chunks {
+		switch {
+		case i == deadSlot && (name == victim || name != "D"):
+			t.Fatalf("slot %d = %q, want the spare D", i, name)
+		case i != deadSlot && name != meta.Chunks[i]:
+			t.Fatalf("surviving slot %d changed %q -> %q", i, meta.Chunks[i], name)
+		}
+	}
+	got, _, err := b.Engine(0).Get(ctx, "bk", "obj")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("payload lost in swap repair: %v", err)
+	}
+	// The replacement chunks must be parity-consistent with the
+	// survivors: VerifyObject reads all n chunks (the new set is fully
+	// reachable) and checks the erasure parity per stripe.
+	reachable, err := b.Engine(0).VerifyObject(ctx, "bk", "obj")
+	if err != nil {
+		t.Fatalf("post-swap verification: %v", err)
+	}
+	if reachable != len(after.Chunks) {
+		t.Fatalf("reachable = %d, want %d", reachable, len(after.Chunks))
+	}
+	// Lifetime totals reached the broker stats.
+	totals := b.RepairTotals()
+	if totals.Passes != 1 || totals.Swapped != 1 || totals.ChunksWritten != rep.ChunksWritten {
+		t.Fatalf("repair totals = %+v", totals)
+	}
+}
+
+// TestRepairSwapQueuesStaleChunkDeletes: the dead provider's copies of
+// the replaced chunks are orphaned by the swap; their deletion must be
+// postponed until the provider recovers (§III-D3).
+func TestRepairSwapQueuesStaleChunkDeletes(t *testing.T) {
+	b := newTestBroker(t, Config{Registry: repairMarket(), StripeBytes: 64 << 10})
+	_, meta := putRepairObject(t, b, "obj", 256<<10)
+	victim := meta.Chunks[0]
+	vs := blob(t, b, victim)
+	vs.SetAvailable(false)
+
+	if _, err := b.Repair(ctx, RepairActive); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.PendingDeletes(); got != meta.StripeCount() {
+		t.Fatalf("pending deletes = %d, want %d (one stale chunk per stripe)", got, meta.StripeCount())
+	}
+	vs.SetAvailable(true)
+	if done := b.ProcessPendingDeletes(ctx); done != meta.StripeCount() {
+		t.Fatalf("processed %d pending deletes, want %d", done, meta.StripeCount())
+	}
+	if n := vs.ObjectCount(); n != 0 {
+		t.Fatalf("recovered provider still holds %d stale chunks", n)
+	}
+}
+
+// TestRepairSwapWritesFewerBytesThanRestripe runs the same failure
+// scenario twice — swap allowed vs ForceRestripeRepair — and asserts
+// the acceptance criterion: the swap writes strictly fewer bytes.
+func TestRepairSwapWritesFewerBytesThanRestripe(t *testing.T) {
+	run := func(force bool) RepairReport {
+		b := newTestBroker(t, Config{Registry: repairMarket(), StripeBytes: 64 << 10,
+			ForceRestripeRepair: force})
+		_, meta := putRepairObject(t, b, "obj", 256<<10)
+		blob(t, b, meta.Chunks[0]).SetAvailable(false)
+		rep, err := b.Repair(ctx, RepairActive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Repaired != 1 {
+			t.Fatalf("force=%v: report %+v", force, rep)
+		}
+		return rep
+	}
+	swap := run(false)
+	restripe := run(true)
+	if swap.Swapped != 1 || restripe.Restriped != 1 {
+		t.Fatalf("mechanism split wrong: swap=%+v restripe=%+v", swap, restripe)
+	}
+	if swap.BytesWritten >= restripe.BytesWritten {
+		t.Fatalf("swap wrote %d bytes, re-stripe %d — swap must write strictly fewer",
+			swap.BytesWritten, restripe.BytesWritten)
+	}
+	if swap.ChunksWritten >= restripe.ChunksWritten {
+		t.Fatalf("swap wrote %d chunks, re-stripe %d", swap.ChunksWritten, restripe.ChunksWritten)
+	}
+}
+
+// TestRepairSkippedWhenInfeasible: with no spare and a rule the
+// surviving market cannot satisfy, the active pass must report the
+// object skipped — and leave it readable from the survivors.
+func TestRepairSkippedWhenInfeasible(t *testing.T) {
+	reg := cloud.NewRegistry()
+	for _, name := range []string{"A", "B", "C"} {
+		reg.Register(cloud.NewBlobStore(cloud.Spec{
+			Name: name, Durability: 0.9999, Availability: 0.999,
+			Zones:   []cloud.Zone{cloud.ZoneUS},
+			Pricing: cloud.Pricing{StorageGBMonth: 0.1, BandwidthInGB: 0.1, BandwidthOutGB: 0.15, OpsPer1000: 0.01},
+		}))
+	}
+	b := newTestBroker(t, Config{Registry: reg})
+	payload := bytes.Repeat([]byte("x"), 30<<10)
+	rule := core.Rule{Name: "all3", Durability: 0.9999, Availability: 0.99, LockIn: 1.0 / 3}
+	b.Rules().SetContainerRule("bk", rule)
+	meta, err := b.Engine(0).Put(ctx, "bk", "obj", payload, PutOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob(t, b, meta.Chunks[0]).SetAvailable(false)
+	rep, err := b.Repair(ctx, RepairActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Affected != 1 || rep.Skipped != 1 || rep.Repaired != 0 {
+		t.Fatalf("repair report = %+v", rep)
+	}
+	got, _, err := b.Engine(0).Get(ctx, "bk", "obj")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("skipped object must stay readable: %v", err)
+	}
+}
+
+// cancellingBackend wraps a BlobStore and cancels the repair context
+// after the first successful chunk write, failing all later writes —
+// the deterministic mid-swap teardown.
+type cancellingBackend struct {
+	*cloud.BlobStore
+	cancel context.CancelFunc
+	puts   atomic.Int32
+}
+
+func (c *cancellingBackend) Put(ctx context.Context, key string, data []byte) error {
+	if c.puts.Add(1) > 1 {
+		c.cancel()
+		return context.Canceled
+	}
+	return c.BlobStore.Put(ctx, key, data)
+}
+
+// TestRepairSwapCancellationRollsBack cancels the repair context after
+// the swap target accepted one stripe's replacement chunk: the
+// partially written chunks must be rolled back, the metadata left
+// untouched, and the object still readable from the survivors.
+func TestRepairSwapCancellationRollsBack(t *testing.T) {
+	repairCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reg := cloud.NewRegistry()
+	for i, name := range []string{"A", "B", "C"} {
+		reg.Register(cloud.NewBlobStore(cloud.Spec{
+			Name: name, Durability: 0.9999, Availability: 0.999,
+			Zones:   []cloud.Zone{cloud.ZoneUS},
+			Pricing: cloud.Pricing{StorageGBMonth: 0.10 + 0.01*float64(i), BandwidthInGB: 0.1, BandwidthOutGB: 0.15, OpsPer1000: 0.01},
+		}))
+	}
+	target := &cancellingBackend{
+		BlobStore: cloud.NewBlobStore(cloud.Spec{
+			Name: "D", Durability: 0.9999, Availability: 0.999,
+			Zones:   []cloud.Zone{cloud.ZoneUS},
+			Pricing: cloud.Pricing{StorageGBMonth: 0.2, BandwidthInGB: 0.1, BandwidthOutGB: 0.15, OpsPer1000: 0.01},
+		}),
+		cancel: cancel,
+	}
+	reg.Register(target)
+	b := newTestBroker(t, Config{Registry: reg, StripeBytes: 64 << 10})
+	payload, meta := putRepairObject(t, b, "obj", 256<<10)
+	victim := meta.Chunks[0]
+	blob(t, b, victim).SetAvailable(false)
+
+	rep, err := b.Repair(repairCtx, RepairActive)
+	if err == nil {
+		t.Fatalf("cancelled repair must report the context error; report %+v", rep)
+	}
+	if rep.Repaired != 0 || rep.Swapped != 0 {
+		t.Fatalf("cancelled repair must not count a success: %+v", rep)
+	}
+	// Rollback: the target accepted one chunk and must hold none now.
+	deadline := time.Now().Add(2 * time.Second)
+	for target.ObjectCount() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := target.ObjectCount(); n != 0 {
+		t.Fatalf("swap target still holds %d partially written chunks", n)
+	}
+	after, err := b.Engine(0).Head(ctx, "bk", "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameChunks(after.Chunks, meta.Chunks) || after.UUID != meta.UUID {
+		t.Fatalf("cancelled swap must leave metadata untouched: %v -> %v", meta.Chunks, after.Chunks)
+	}
+	got, _, err := b.Engine(0).Get(ctx, "bk", "obj")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("object unreadable after cancelled repair: %v", err)
+	}
+}
+
+// TestRepairConcurrentWithReads runs GetReader streams against an
+// object while it is being swap-repaired (run under -race): every read
+// must deliver the exact payload, before, during and after the repair —
+// the in-place metadata update never cuts readers off.
+func TestRepairConcurrentWithReads(t *testing.T) {
+	b := newTestBroker(t, Config{Registry: repairMarket(), StripeBytes: 16 << 10})
+	payload, meta := putRepairObject(t, b, "obj", 256<<10)
+	blob(t, b, meta.Chunks[2]).SetAvailable(false)
+
+	const readers = 8
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			e := b.Engine(r)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rc, _, err := e.GetReader(ctx, "bk", "obj")
+				if err != nil {
+					errs <- fmt.Errorf("reader %d open: %w", r, err)
+					return
+				}
+				data, err := io.ReadAll(rc)
+				rc.Close()
+				if err != nil {
+					errs <- fmt.Errorf("reader %d read: %w", r, err)
+					return
+				}
+				if !bytes.Equal(data, payload) {
+					errs <- fmt.Errorf("reader %d payload mismatch", r)
+					return
+				}
+			}
+		}(r)
+	}
+	rep, err := b.Repair(ctx, RepairActive)
+	close(stop)
+	wg.Wait()
+	close(errs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Swapped != 1 {
+		t.Fatalf("repair report = %+v", rep)
+	}
+	for e := range errs {
+		t.Error(e)
+	}
+}

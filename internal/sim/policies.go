@@ -89,7 +89,7 @@ func runScalia(sc workload.Scenario, cfg Config, mkt *market, res *Result) error
 
 		// Adaptation pass: trend-gated recomputation, membership-change
 		// recomputation, and active repair.
-		migUSD, migIn, migOut := adaptScalia(objects, order, cfg, mkt, search, p, membership, res)
+		migUSD, migIn, migOut := adaptScalia(objects, order, cfg, mkt, planner, search, p, membership, res)
 		total += periodCost + migUSD
 		res.MigrationUSD += migUSD
 		if cfg.TrackResources {
@@ -106,9 +106,14 @@ func runScalia(sc workload.Scenario, cfg Config, mkt *market, res *Result) error
 }
 
 // adaptScalia runs the per-period optimization procedure over the
-// simulated objects, returning the migration spend and traffic.
+// simulated objects, returning the migration spend and traffic. Repair
+// placements are planned through the shared core.Planner entry point —
+// the same one the production Broker.Repair uses — so simulated and
+// production repair decisions provably agree.
 func adaptScalia(objects map[string]*simObject, order []string, cfg Config,
-	mkt *market, search *core.Search, p int, membership bool, res *Result) (usd, inGB, outGB float64) {
+	mkt *market, planner *core.Planner, search *core.Search, p int, membership bool, res *Result) (usd, inGB, outGB float64) {
+	_, up := mkt.specsAt(p)
+	aliveAt := func(name string) bool { return mkt.isUp(name, p) }
 	for _, name := range order {
 		obj := objects[name]
 		if !obj.alive {
@@ -143,14 +148,12 @@ func adaptScalia(objects map[string]*simObject, order []string, cfg Config,
 
 		var best core.Result
 		if repairing {
-			// Prefer the paper's cheap repair: keep m and n, swap the
-			// unreachable provider(s) for the best spare(s); re-stripe only
-			// when no feasible swap exists.
-			if swap, ok := bestSwap(obj.placement, mkt, p, cfg, sum); ok {
-				best = core.Result{Placement: swap, Feasible: true,
-					Price: core.PeriodCost(swap, sum, cfg.PeriodHours)}
-			} else {
-				best = search.Best(sum, 0, nil)
+			// The paper's cheap repair: keep m and n, swap the unreachable
+			// provider(s) for the best spare(s); re-stripe only when no
+			// feasible swap exists. Planner.Repair makes that choice.
+			if plan, err := planner.Repair(mkt.epochAt(p), up, cfg.Rule,
+				obj.placement, aliveAt, sum, 0, nil); err == nil {
+				best = core.Result{Placement: plan.Placement, Feasible: true, Price: plan.Price}
 			}
 		} else {
 			best = search.Best(sum, 0, nil)
@@ -219,49 +222,6 @@ func zeroBandwidth(p core.Placement) core.Placement {
 		out.Providers[i] = s
 	}
 	return out
-}
-
-// bestSwap builds the cheapest same-(m,n) repair placement: every
-// unreachable provider of p is replaced by the spare (reachable,
-// not-yet-used) provider that minimizes the expected period cost, and
-// the swapped set must still satisfy the rule at threshold m.
-func bestSwap(p core.Placement, mkt *market, period int, cfg Config, sum stats.Summary) (core.Placement, bool) {
-	_, up := mkt.specsAt(period)
-	used := make(map[string]bool, p.N())
-	for _, s := range p.Providers {
-		used[s.Name] = true
-	}
-	var spares []cloud.Spec
-	for _, s := range up {
-		if !used[s.Name] && s.ServesAny(cfg.Rule.Zones) {
-			spares = append(spares, s)
-		}
-	}
-	swapped := core.Placement{M: p.M, Providers: append([]cloud.Spec(nil), p.Providers...)}
-	for i, s := range swapped.Providers {
-		if mkt.isUp(s.Name, period) {
-			continue
-		}
-		bestIdx := -1
-		bestPrice := 0.0
-		for j, spare := range spares {
-			cand := core.Placement{M: p.M, Providers: append([]cloud.Spec(nil), swapped.Providers...)}
-			cand.Providers[i] = spare
-			price := core.PeriodCost(cand, sum, cfg.PeriodHours)
-			if bestIdx < 0 || price < bestPrice {
-				bestIdx, bestPrice = j, price
-			}
-		}
-		if bestIdx < 0 {
-			return core.Placement{}, false // no spare left
-		}
-		swapped.Providers[i] = spares[bestIdx]
-		spares = append(spares[:bestIdx], spares[bestIdx+1:]...)
-	}
-	if core.FeasibleThreshold(swapped.Providers, cfg.Rule.Durability, cfg.Rule.Availability) < p.M {
-		return core.Placement{}, false
-	}
-	return swapped, true
 }
 
 func reason(membership, repairing bool) string {

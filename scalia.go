@@ -74,6 +74,10 @@ type (
 	// OptimizeTotals accumulates optimization rounds over a deployment's
 	// lifetime (served on GET /v1/stats).
 	OptimizeTotals = engine.OptimizeTotals
+	// RepairTotals accumulates repair passes over a deployment's
+	// lifetime: chunk swaps vs full re-stripes, and the replacement
+	// chunks/bytes written (served on GET /v1/stats).
+	RepairTotals = engine.RepairTotals
 	// Stats is the operational counter snapshot of GET /v1/stats.
 	Stats = engine.Stats
 	// ListResult is the paginated container listing of the v1 protocol.
@@ -159,6 +163,15 @@ type Options struct {
 	// caller (default engine.DefaultPrefetchStripes). Negative disables
 	// prefetching.
 	PrefetchStripes int
+	// MaxReadBufferBytes bounds the stripe buffers all streaming reads
+	// of the deployment hold concurrently, so many concurrent large GETs
+	// cannot blow up read-path memory (default
+	// engine.DefaultMaxReadBufferBytes; negative removes the bound).
+	MaxReadBufferBytes int64
+	// ForceRestripeRepair disables the chunk-swap repair fast path so
+	// every active repair fully re-places the object — an ablation knob
+	// for benchmarks comparing the two repair mechanisms.
+	ForceRestripeRepair bool
 	// Clock overrides time (tests and simulations use a manual clock).
 	Clock engine.Clock
 }
@@ -171,18 +184,20 @@ type Client struct {
 // New builds a broker deployment.
 func New(opts Options) (*Client, error) {
 	cfg := engine.Config{
-		Datacenters:      opts.Datacenters,
-		EnginesPerDC:     opts.EnginesPerDC,
-		CacheBytes:       opts.CacheBytes,
-		PeriodHours:      opts.PeriodHours,
-		DefaultRule:      opts.DefaultRule,
-		DecisionPeriod:   opts.DecisionPeriod,
-		MigrationHorizon: opts.MigrationHorizon,
-		Pruned:           opts.Pruned,
-		StripeBytes:      opts.StripeBytes,
-		ReadParallelism:  opts.ReadParallelism,
-		PrefetchStripes:  opts.PrefetchStripes,
-		Clock:            opts.Clock,
+		Datacenters:         opts.Datacenters,
+		EnginesPerDC:        opts.EnginesPerDC,
+		CacheBytes:          opts.CacheBytes,
+		PeriodHours:         opts.PeriodHours,
+		DefaultRule:         opts.DefaultRule,
+		DecisionPeriod:      opts.DecisionPeriod,
+		MigrationHorizon:    opts.MigrationHorizon,
+		Pruned:              opts.Pruned,
+		StripeBytes:         opts.StripeBytes,
+		ReadParallelism:     opts.ReadParallelism,
+		PrefetchStripes:     opts.PrefetchStripes,
+		MaxReadBufferBytes:  opts.MaxReadBufferBytes,
+		ForceRestripeRepair: opts.ForceRestripeRepair,
+		Clock:               opts.Clock,
 	}
 	if len(opts.Providers) > 0 {
 		reg := cloud.NewRegistry()

@@ -156,6 +156,9 @@ func TestFacadeOutageAndRepair(t *testing.T) {
 	if rep.Repaired != 1 {
 		t.Fatalf("repair report: %+v", rep)
 	}
+	if rep.Swapped+rep.Restriped != rep.Repaired || rep.ChunksWritten == 0 {
+		t.Fatalf("repair mechanism split missing from the report: %+v", rep)
+	}
 	after, _ := c.Head(ctx, "c", "k")
 	for _, p := range after.Chunks {
 		if p == meta.Chunks[0] {
