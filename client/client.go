@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"scalia"
+	"scalia/internal/obs"
 )
 
 // Client talks to one Scalia gateway. It is safe for concurrent use.
@@ -52,6 +53,16 @@ func New(baseURL string, opts ...Option) *Client {
 		o(c)
 	}
 	return c
+}
+
+// do sends the request, stamping a generated X-Request-ID first unless
+// the caller set one, so client-side errors can be correlated with the
+// gateway's access log (the gateway echoes the ID on the response).
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	if req.Header.Get("X-Request-ID") == "" {
+		req.Header.Set("X-Request-ID", obs.NewRequestID())
+	}
+	return c.http.Do(req)
 }
 
 // ErrRemote wraps gateway errors whose code has no sentinel mapping.
@@ -165,7 +176,7 @@ func (c *Client) PutReader(ctx context.Context, container, key string, r io.Read
 	for _, o := range opts {
 		o(req.Header)
 	}
-	resp, err := c.http.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return scalia.ObjectMeta{}, err
 	}
@@ -229,7 +240,7 @@ func (c *Client) GetRange(ctx context.Context, container, key string, offset, le
 	} else {
 		req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", offset, offset+length-1))
 	}
-	resp, err := c.http.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return nil, scalia.ObjectMeta{}, err
 	}
@@ -300,7 +311,7 @@ func (c *Client) getConditional(ctx context.Context, container, key, ifNoneMatch
 	if ifNoneMatch != "" {
 		req.Header.Set("If-None-Match", ifNoneMatch)
 	}
-	resp, err := c.http.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return nil, scalia.ObjectMeta{}, false, err
 	}
@@ -322,7 +333,7 @@ func (c *Client) Head(ctx context.Context, container, key string) (scalia.Object
 	if err != nil {
 		return scalia.ObjectMeta{}, err
 	}
-	resp, err := c.http.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return scalia.ObjectMeta{}, err
 	}
@@ -372,7 +383,7 @@ func (c *Client) DeleteIf(ctx context.Context, container, key, ifMatch string) e
 	if ifMatch != "" {
 		req.Header.Set("If-Match", ifMatch)
 	}
-	resp, err := c.http.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
@@ -443,7 +454,7 @@ func (c *Client) SetContainerRule(ctx context.Context, container string, rule sc
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
@@ -473,7 +484,7 @@ func (c *Client) AddProvider(ctx context.Context, spec scalia.Provider) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
@@ -491,7 +502,7 @@ func (c *Client) RemoveProvider(ctx context.Context, name string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.http.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
@@ -545,7 +556,7 @@ func (c *Client) postJSON(ctx context.Context, u string, v any) error {
 }
 
 func (c *Client) doJSON(req *http.Request, v any) error {
-	resp, err := c.http.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}

@@ -1,15 +1,221 @@
-// Command scalia-bench runs every evaluation experiment and prints a
-// paper-versus-measured summary — the data behind EXPERIMENTS.md.
+// Command scalia-bench runs the serving micro-benchmarks and (by
+// default) every paper evaluation experiment, prints a paper-versus-
+// measured summary, and writes a machine-readable BENCH_<name>.json —
+// the per-PR perf trajectory consumed by CI and EXPERIMENTS.md.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
 
+	"scalia"
+	"scalia/internal/obs"
 	"scalia/internal/sim"
 )
 
+// benchReport is the schema of the BENCH_*.json artifact.
+type benchReport struct {
+	Schema      string             `json:"schema"`
+	GoVersion   string             `json:"goVersion"`
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	Benchmarks  []benchResult      `json:"benchmarks"`
+	Experiments []experimentResult `json:"experiments,omitempty"`
+}
+
+// benchResult is one serving benchmark: testing.Benchmark throughput
+// numbers plus request-latency percentiles for the bench's window,
+// derived by diffing the gateway's scalia_http_request_duration_seconds
+// histogram before and after the run.
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	SecPerOp    float64 `json:"secPerOp"`
+	MBPerSec    float64 `json:"mbPerSec"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	P50Ms       float64 `json:"p50Ms,omitempty"`
+	P90Ms       float64 `json:"p90Ms,omitempty"`
+	P99Ms       float64 `json:"p99Ms,omitempty"`
+}
+
+// experimentResult is one paper-versus-measured line of the evaluation
+// experiments (Figs. 8/9, 14, 16, 17, 18).
+type experimentResult struct {
+	Figure   string `json:"figure"`
+	Metric   string `json:"metric"`
+	Paper    string `json:"paper"`
+	Measured string `json:"measured"`
+}
+
 func main() {
+	out := flag.String("out", "BENCH_local.json", "benchmark report path (empty = don't write)")
+	paper := flag.Bool("paper", true, "run the paper evaluation experiments")
+	benchTime := flag.String("benchtime", "",
+		"per-benchmark budget, duration or iteration count (e.g. 500ms, 20x; empty = testing default)")
+	testing.Init() // register test.* flags so -benchtime can map onto them
+	flag.Parse()
+	if *benchTime != "" {
+		if err := flag.Set("test.benchtime", *benchTime); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	rep := benchReport{
+		Schema:    "scalia-bench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+
+	rep.Benchmarks = runServingBenchmarks()
+	if *paper {
+		rep.Experiments = runPaperExperiments()
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks, %d experiment rows)\n",
+			*out, len(rep.Benchmarks), len(rep.Experiments))
+	}
+}
+
+// --- serving benchmarks ---
+
+const benchObjectBytes = 4 << 20 // 4 MiB object, 4 stripes at 1 MiB
+
+func runServingBenchmarks() []benchResult {
+	client, err := scalia.New(scalia.Options{
+		CacheBytes:  64 << 20,
+		StripeBytes: 1 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	ts := httptest.NewServer(client.NewGateway())
+	defer ts.Close()
+	hc := ts.Client()
+	reg := client.Broker().Metrics()
+
+	// httpSnap merges every {method,route} series of the request
+	// histogram into one snapshot; per-benchmark windows are the Sub of
+	// two such snapshots.
+	httpSnap := func() obs.HistogramSnapshot {
+		var merged obs.HistogramSnapshot
+		for _, lh := range reg.Histograms("scalia_http_request_duration_seconds") {
+			merged = merged.Merge(lh.Snapshot)
+		}
+		return merged
+	}
+
+	payload := bytes.Repeat([]byte("b"), benchObjectBytes)
+	url := ts.URL + "/v1/objects/bench/obj"
+	do := func(req *http.Request) {
+		resp, err := hc.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			log.Fatalf("%s %s = %d", req.Method, req.URL.Path, resp.StatusCode)
+		}
+	}
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"http-put-4MB", func(b *testing.B) {
+			b.SetBytes(benchObjectBytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				req, _ := http.NewRequest(http.MethodPut, url, bytes.NewReader(payload))
+				do(req)
+			}
+		}},
+		{"http-get-4MB-cached", func(b *testing.B) {
+			b.SetBytes(benchObjectBytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				req, _ := http.NewRequest(http.MethodGet, url, nil)
+				do(req)
+			}
+		}},
+		{"http-get-range-1MB", func(b *testing.B) {
+			b.SetBytes(1 << 20)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				req, _ := http.NewRequest(http.MethodGet, url, nil)
+				req.Header.Set("Range", "bytes=1048576-2097151")
+				do(req)
+			}
+		}},
+	}
+
+	// Seed the object once so the first GET bench doesn't race the PUT
+	// bench's final body.
+	seed, _ := http.NewRequest(http.MethodPut, url, bytes.NewReader(payload))
+	do(seed)
+
+	var out []benchResult
+	for _, bm := range benches {
+		before := httpSnap()
+		r := testing.Benchmark(bm.fn)
+		window := httpSnap().Sub(before)
+
+		res := benchResult{
+			Name:        bm.name,
+			N:           r.N,
+			SecPerOp:    r.T.Seconds() / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if r.Bytes > 0 && r.T > 0 {
+			res.MBPerSec = float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e6
+		}
+		if window.Count > 0 {
+			res.P50Ms = window.Quantile(0.50) * 1000
+			res.P90Ms = window.Quantile(0.90) * 1000
+			res.P99Ms = window.Quantile(0.99) * 1000
+		}
+		out = append(out, res)
+		fmt.Printf("%-22s %8d ops  %10.4f ms/op  %8.1f MB/s  %6d allocs/op  p50=%.2fms p99=%.2fms\n",
+			res.Name, res.N, res.SecPerOp*1000, res.MBPerSec, res.AllocsPerOp, res.P50Ms, res.P99Ms)
+	}
+	fmt.Println()
+	return out
+}
+
+// --- paper experiments ---
+
+func runPaperExperiments() []experimentResult {
+	var all []experimentResult
+	collect := func(figure string, rows []row) {
+		report(figure, rows)
+		for _, r := range rows {
+			all = append(all, experimentResult{
+				Figure: figure, Metric: r.name, Paper: r.paper, Measured: r.measured,
+			})
+		}
+	}
+
 	fmt.Println("Scalia reproduction — paper vs measured")
 	fmt.Println()
 
@@ -17,7 +223,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	report("Fig. 14 Slashdot over-cost", []row{
+	collect("Fig. 14 Slashdot over-cost", []row{
 		{"Scalia over ideal", "0.12%", pct(slash.ScaliaOverPct)},
 		{"best static over ideal", "0.40%", pct(slash.BestStatic().OverPct) + " (" + slash.BestStatic().Label + ")"},
 		{"worst static over ideal", "16%", pct(slash.WorstStatic().OverPct) + " (" + slash.WorstStatic().Label + ")"},
@@ -27,7 +233,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	report("Fig. 16 gallery over-cost", []row{
+	collect("Fig. 16 gallery over-cost", []row{
 		{"Scalia over ideal", "1.06%", pct(gal.ScaliaOverPct)},
 		{"best static over ideal", "4.14%", pct(gal.BestStatic().OverPct) + " (" + gal.BestStatic().Label + ")"},
 		{"worst static over ideal", "31.58%", pct(gal.WorstStatic().OverPct) + " (" + gal.WorstStatic().Label + ")"},
@@ -43,7 +249,7 @@ func main() {
 			migrated++
 		}
 	}
-	report("Fig. 17 provider addition", []row{
+	collect("Fig. 17 provider addition", []row{
 		{"Scalia over ideal", "0.35%", pct(add.ScaliaOverPct)},
 		{"best static over ideal", "7.88%", pct(add.BestStatic().OverPct) + " (" + add.BestStatic().Label + ")"},
 		{"worst static over ideal", "96.35%", pct(add.WorstStatic().OverPct) + " (" + add.WorstStatic().Label + ")"},
@@ -60,17 +266,19 @@ func main() {
 			repairs++
 		}
 	}
-	report("Fig. 18 active repair", []row{
+	collect("Fig. 18 active repair", []row{
 		{"Scalia final cumulative", "below static", fmt.Sprintf("%.4f USD", rep.CumulativeScalia[len(rep.CumulativeScalia)-1])},
 		{"static final cumulative", "above Scalia", fmt.Sprintf("%.4f USD", static[len(static)-1])},
 		{"active repairs during outage", ">0", fmt.Sprintf("%d", repairs)},
 	})
 
 	hourly, daily := sim.TrendHourly(), sim.TrendDaily()
-	report("Figs. 8/9 trend detection", []row{
+	collect("Figs. 8/9 trend detection", []row{
 		{"hourly detections / periods", "sparse", fmt.Sprintf("%d / %d", len(hourly.Changes), len(hourly.Series))},
 		{"daily detections / periods", "sparse", fmt.Sprintf("%d / %d", len(daily.Changes), len(daily.Series))},
 	})
+
+	return all
 }
 
 type row struct{ name, paper, measured string }

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -57,6 +58,8 @@ func main() {
 		"stripes decoded ahead of the client on streaming GETs (negative = none)")
 	maxReadBufferMB := flag.Int64("max-read-buffer-mb", engine.DefaultMaxReadBufferBytes>>20,
 		"total stripe buffers streaming reads may hold at once (MB; negative = unbounded)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	accessLog := flag.Bool("access-log", true, "log one structured line per gateway request")
 	flag.Parse()
 
 	maxReadBuffer := *maxReadBufferMB << 20
@@ -100,17 +103,53 @@ func main() {
 		}
 	}()
 
-	srv := &http.Server{Addr: *addr, Handler: client.NewGateway()}
-	go func() {
-		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		srv.Shutdown(shutdownCtx) //nolint:errcheck
-	}()
-	log.Printf("scalia-server %d engines, v1 gateway on %s (providers: Fig. 3 simulated set)",
-		len(client.Broker().Engines()), *addr)
-	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	gw := client.NewGateway()
+	if *accessLog {
+		gw.Logger = logger
 	}
-	log.Print("scalia-server: shut down")
+	if *pprofOn {
+		gw.EnablePprof()
+	}
+
+	logger.Info("scalia-server starting",
+		"addr", *addr,
+		"engines", len(client.Broker().Engines()),
+		"enginesPerDC", *enginesPerDC,
+		"stripeBytes", *stripeMB<<20,
+		"cacheBytes", *cacheMB<<20,
+		"readBufferBytes", maxReadBuffer,
+		"readParallelism", *readParallelism,
+		"prefetchStripes", *prefetchStripes,
+		"optimizeEvery", optimizeEvery.String(),
+		"periodHours", *periodHours,
+		"pprof", *pprofOn,
+		"providers", "Fig. 3 simulated set")
+
+	srv := &http.Server{Addr: *addr, Handler: gw}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err) // bind failure etc.; never ErrServerClosed here
+	case <-ctx.Done():
+	}
+
+	// Drain in-flight requests and report how long the drain took: slow
+	// drains surface stuck streams before a supervisor's SIGKILL does.
+	drainStart := time.Now()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	drainErr := srv.Shutdown(shutdownCtx)
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("serve", "err", err)
+	}
+	if drainErr != nil {
+		logger.Error("scalia-server shutdown: drain timed out",
+			"drain", time.Since(drainStart).String(), "err", drainErr)
+		return
+	}
+	logger.Info("scalia-server shut down cleanly",
+		"drain", time.Since(drainStart).String())
 }

@@ -274,3 +274,16 @@ func (cc *Cluster) Stats() Stats {
 	}
 	return total
 }
+
+// StatsByDC reports each datacenter's counters separately, for
+// per-datacenter metric series (the aggregate Stats loses which cache
+// is hot and which is thrashing).
+func (cc *Cluster) StatsByDC() map[string]Stats {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	out := make(map[string]Stats, len(cc.caches))
+	for dc, c := range cc.caches {
+		out[dc] = c.Stats()
+	}
+	return out
+}

@@ -257,3 +257,32 @@ func TestClusterUnknownDatacenter(t *testing.T) {
 	}
 	cc.Put("ghost", "k", []byte("v")) // must not panic
 }
+
+func TestClusterStatsByDC(t *testing.T) {
+	cc := NewCluster()
+	cc.AddDatacenter("dc1", 1000)
+	cc.AddDatacenter("dc2", 1000)
+	cc.Put("dc1", "k", []byte("vvvv"))
+	cc.Get("dc1", "k") // hit
+	cc.Get("dc2", "k") // miss
+
+	by := cc.StatsByDC()
+	if len(by) != 2 {
+		t.Fatalf("got %d datacenters, want 2", len(by))
+	}
+	if by["dc1"].Hits != 1 || by["dc1"].Entries != 1 || by["dc1"].UsedBytes != 4 {
+		t.Errorf("dc1 stats = %+v", by["dc1"])
+	}
+	if by["dc2"].Misses != 1 || by["dc2"].Entries != 0 {
+		t.Errorf("dc2 stats = %+v", by["dc2"])
+	}
+	// The per-DC split must sum to the aggregate.
+	agg := cc.Stats()
+	var sum Stats
+	for _, s := range by {
+		sum.add(s)
+	}
+	if sum != agg {
+		t.Errorf("per-DC sum %+v != aggregate %+v", sum, agg)
+	}
+}

@@ -178,14 +178,13 @@ type Broker struct {
 	// gateway share this one counter, so mixed embedded/remote traffic
 	// still spreads evenly across all engines of all datacenters.
 	next atomic.Uint64
-	// Read-path counters (atomic; hot path, no broker lock): stripes
-	// served from the stripe cache vs fetched from providers, stripes
-	// delivered by the prefetch pipeline, and ranked fallbacks — chunk
-	// fetches that failed and pushed the read onto a spare provider.
-	readStripesCached  atomic.Int64
-	readStripesFetched atomic.Int64
-	readPrefetched     atomic.Int64
-	readFallbacks      atomic.Int64
+	// metrics is the broker's observability surface (see metrics.go):
+	// the registry behind GET /metrics plus the registry-owned hot-path
+	// counters — including the read-path counters (stripes served from
+	// cache vs fetched, prefetched stripes, ranked fallbacks) that
+	// ReadStats reports, so /v1/stats and /metrics share one
+	// bookkeeping path.
+	metrics *brokerMetrics
 	// readBufSem is the broker-wide stripe-buffer budget: one token per
 	// stripe slot of Config.MaxReadBufferBytes. nil = unbounded. The
 	// gauges track current and peak slots in use.
@@ -244,13 +243,15 @@ type ReadPathStats struct {
 	BufferedStripesPeak int64 `json:"bufferedStripesPeak"`
 }
 
-// ReadStats returns the cumulative read-path counters.
+// ReadStats returns the cumulative read-path counters. The values are
+// read from the metric registry — /v1/stats is a view over the same
+// counters /metrics serves.
 func (b *Broker) ReadStats() ReadPathStats {
 	return ReadPathStats{
-		StripesFromCache:    b.readStripesCached.Load(),
-		StripesFetched:      b.readStripesFetched.Load(),
-		PrefetchedStripes:   b.readPrefetched.Load(),
-		FetchFallbacks:      b.readFallbacks.Load(),
+		StripesFromCache:    b.metrics.readCached.Value(),
+		StripesFetched:      b.metrics.readFetched.Value(),
+		PrefetchedStripes:   b.metrics.readPrefetched.Value(),
+		FetchFallbacks:      b.metrics.readFallbacks.Value(),
 		BufferedStripesPeak: b.readBufPeak.Load(),
 	}
 }
@@ -340,6 +341,8 @@ func NewBroker(cfg Config) *Broker {
 			id++
 		}
 	}
+	// Last: the metric collectors read the fields built above.
+	b.metrics = newBrokerMetrics(b)
 	return b
 }
 

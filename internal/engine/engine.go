@@ -9,11 +9,13 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"scalia/internal/cloud"
 	"scalia/internal/core"
 	"scalia/internal/erasure"
 	"scalia/internal/metadata"
+	"scalia/internal/obs"
 	"scalia/internal/stats"
 )
 
@@ -123,11 +125,14 @@ func (e *Engine) PutReader(ctx context.Context, container, key string, r io.Read
 	obj := objectName(container, key)
 	now := e.b.clock.Period()
 
+	tr := obs.TraceFrom(ctx)
 	load := e.writeLoad(obj, class, size)
+	planStart := time.Now()
 	res, err := e.placeWithRetry(rule, load, size)
 	if err != nil {
 		return ObjectMeta{}, err
 	}
+	e.b.observeStage(tr, "plan", planStart)
 
 	// Fast-fail the precondition before any chunk traffic; the
 	// authoritative check repeats under the row lock at commit time.
@@ -162,6 +167,8 @@ func (e *Engine) PutReader(ctx context.Context, container, key string, r io.Read
 	// the precondition so two concurrent conditional writes cannot both
 	// pass the check-then-act window. The body transfer above runs
 	// unlocked; only the metadata commit serializes.
+	commitStart := time.Now()
+	defer e.b.observeStage(tr, "commit", commitStart)
 	lk := e.b.rowLock(row)
 	lk.Lock()
 	prev, losers = e.currentVersion(row)
@@ -363,6 +370,7 @@ func (e *Engine) writeChunksStream(ctx context.Context, meta *ObjectMeta, p core
 		meta.Chunks[i] = spec.Name
 	}
 
+	tr := obs.TraceFrom(ctx)
 	sum := md5.New()
 	stripes := meta.StripeCount()
 	meta.StripeSums = make([]string, stripes)
@@ -390,15 +398,19 @@ func (e *Engine) writeChunksStream(ctx context.Context, meta *ObjectMeta, p core
 		sum.Write(buf)
 		stripeSum := md5.Sum(buf)
 		meta.StripeSums[s] = hex.EncodeToString(stripeSum[:])
+		encodeStart := time.Now()
 		chunks, err := coder.Encode(buf)
 		if err != nil {
 			e.rollbackStripes(*meta, s)
 			return err
 		}
+		e.b.observeStage(tr, "encode", encodeStart)
+		fanoutStart := time.Now()
 		if err := e.fanOutStripe(ctx, stores, *meta, s, chunks); err != nil {
 			e.rollbackStripes(*meta, s+1)
 			return err
 		}
+		e.b.observeStage(tr, "fanout", fanoutStart)
 	}
 	meta.Checksum = hex.EncodeToString(sum.Sum(nil))
 	return nil
@@ -415,7 +427,10 @@ func (e *Engine) fanOutStripe(ctx context.Context, stores []cloud.Backend, meta 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := stores[i].Put(ctx, meta.chunkKey(s, i), chunks[i]); err != nil {
+			t0 := time.Now()
+			err := stores[i].Put(ctx, meta.chunkKey(s, i), chunks[i])
+			e.b.observeProviderOp(meta.Chunks[i], "put", t0, err)
+			if err != nil {
 				errs[i] = fmt.Errorf("engine: chunk write to %s: %w", meta.Chunks[i], err)
 			}
 		}(i)
@@ -619,7 +634,10 @@ func (e *Engine) deleteChunkAt(provider, chunkKey string) {
 	if !ok {
 		return // provider gone; chunks die with it
 	}
-	if err := store.Delete(context.Background(), chunkKey); err != nil {
+	t0 := time.Now()
+	err := store.Delete(context.Background(), chunkKey)
+	e.b.observeProviderOp(provider, "delete", t0, err)
+	if err != nil {
 		if errors.Is(err, cloud.ErrUnavailable) {
 			e.b.enqueuePendingDelete(provider, chunkKey)
 		}

@@ -6,13 +6,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"scalia/internal/cache"
 	"scalia/internal/cloud"
 	"scalia/internal/core"
+	"scalia/internal/obs"
 )
 
 // Gateway is the versioned HTTP surface of a whole Scalia deployment —
@@ -47,12 +52,31 @@ import (
 //	GET    /v1/stats            planner/optimizer/usage/cost counters,
 //	       stripe-cache hit/miss/evictions and read-path fan-out counters
 //
+// Observability routes:
+//
+//	GET    /metrics     Prometheus text exposition of the broker registry
+//	GET    /v1/healthz  build info, uptime, per-provider alive + latency
+//	GET    /debug/pprof/*  runtime profiles (only after EnablePprof)
+//
+// Every request runs through the gateway middleware: a request ID
+// (client-provided X-Request-ID or generated) starts an obs.Trace that
+// rides the request context through the broker, the response carries
+// the ID back, the request latency/count/bytes land in the metric
+// registry under the matched route pattern, and — when Logger is set —
+// one structured access-log line records method, path, status, bytes,
+// duration and the trace's stripe fan-out / cache-hit / fallback
+// counts and span timings.
+//
 // Errors are typed JSON: {"error": {"code": "...", "message": "..."}}.
 type Gateway struct {
 	broker *Broker
 	mux    *http.ServeMux
 	// MaxObjectBytes bounds accepted uploads (default 1 GiB).
 	MaxObjectBytes int64
+	// Logger, when non-nil, receives one structured access-log line per
+	// request. Nil (the default) disables access logging — embedded
+	// deployments and tests stay quiet.
+	Logger *slog.Logger
 }
 
 // NewGateway wraps a broker deployment in the v1 REST interface.
@@ -70,13 +94,109 @@ func NewGateway(b *Broker) *Gateway {
 	mux.HandleFunc("POST /v1/optimize", g.optimize)
 	mux.HandleFunc("POST /v1/repair", g.repair)
 	mux.HandleFunc("GET /v1/stats", g.stats)
+	mux.HandleFunc("GET /v1/healthz", g.healthz)
+	mux.HandleFunc("GET /metrics", g.metricsHandler)
 	g.mux = mux
 	return g
 }
 
-// ServeHTTP implements http.Handler.
+// EnablePprof mounts the net/http/pprof profile handlers under
+// /debug/pprof/. Call at most once, before serving; the endpoints
+// expose goroutine dumps and heap contents, so production deployments
+// keep them behind the -pprof flag.
+func (g *Gateway) EnablePprof() {
+	g.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	g.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	g.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	g.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	g.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// ServeHTTP implements http.Handler: the observability middleware
+// around the route mux.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	g.mux.ServeHTTP(w, r)
+	reqID := strings.TrimSpace(r.Header.Get("X-Request-ID"))
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	tr := obs.NewTrace(reqID)
+	r = r.WithContext(obs.WithTrace(r.Context(), tr))
+	w.Header().Set("X-Request-ID", reqID)
+
+	// Resolve the route pattern for the metric label before dispatch
+	// (the mux does not expose it on the outer request afterwards). The
+	// pattern keeps label cardinality bounded — raw paths would mint one
+	// series per object key.
+	_, pattern := g.mux.Handler(r)
+	route := pattern
+	if i := strings.IndexByte(route, ' '); i >= 0 {
+		route = route[i+1:]
+	}
+	if route == "" {
+		route = "unmatched"
+	}
+
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	g.mux.ServeHTTP(sw, r)
+	dur := time.Since(start)
+
+	code := sw.status
+	if code == 0 {
+		code = http.StatusOK
+	}
+	m := g.broker.metrics
+	m.httpDur.With(r.Method, route).Observe(dur.Seconds())
+	m.httpReqs.With(r.Method, route, strconv.Itoa(code)).Inc()
+	m.httpBytes.With(r.Method, route).Add(sw.bytes)
+
+	if g.Logger != nil {
+		counts := tr.Counts()
+		g.Logger.Info("request",
+			"requestID", reqID,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", route,
+			"status", code,
+			"bytes", sw.bytes,
+			"durMs", float64(dur.Microseconds())/1000,
+			"stripesCached", counts["stripes_cached"],
+			"stripesFetched", counts["stripes_fetched"],
+			"fallbacks", counts["fallbacks"],
+			"spans", tr.SpanSummary(),
+		)
+	}
+}
+
+// statusWriter captures the status code and body bytes of a response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards streaming flushes so wrapping does not buffer
+// stripe-by-stripe object bodies.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // engine picks the serving engine for one request: round-robin over all
@@ -227,8 +347,23 @@ func (g *Gateway) getObject(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if spec, ok := parseRangeHeader(r.Header.Get("Range")); ok {
-		g.serveRange(w, r, e, container, key, spec)
-		return
+		serve := true
+		if ir := strings.TrimSpace(r.Header.Get("If-Range")); ir != "" {
+			// If-Range gates the range on validator currency (RFC 9110
+			// §13.1.5): current ETag -> the 206 the client asked for,
+			// stale -> the full 200 body so a resumed download cannot
+			// splice bytes of two different versions.
+			head, err := e.Head(r.Context(), container, key)
+			if err != nil {
+				failErr(w, err)
+				return
+			}
+			serve = ifRangeMatches(ir, head)
+		}
+		if serve {
+			g.serveRange(w, r, e, container, key, spec)
+			return
+		}
 	}
 	rc, meta, err := e.GetReader(r.Context(), container, key)
 	if err != nil {
@@ -352,6 +487,22 @@ func (g *Gateway) serveRange(w http.ResponseWriter, r *http.Request, e *Engine, 
 	w.Header().Set("Content-Length", strconv.FormatInt(served, 10))
 	w.WriteHeader(http.StatusPartialContent)
 	io.Copy(w, rc) //nolint:errcheck
+}
+
+// ifRangeMatches evaluates an If-Range validator against the stored
+// version. Only a strong entity-tag comparison can authorize the range
+// (RFC 9110 §13.1.5): a weak ETag ("W/...") never matches, and an
+// HTTP-date validator is treated as stale because the gateway does not
+// serve Last-Modified. Anything but an exact current ETag falls back
+// to the full 200 body.
+func ifRangeMatches(header string, meta ObjectMeta) bool {
+	if strings.HasPrefix(header, "W/") {
+		return false
+	}
+	if strings.HasPrefix(header, `"`) {
+		return header == meta.ETag()
+	}
+	return false
 }
 
 // etagMatches evaluates an If-None-Match header against the stored
@@ -563,6 +714,90 @@ func (g *Gateway) stats(w http.ResponseWriter, r *http.Request) {
 		Providers:      b.Registry().Len(),
 		PendingDeletes: b.PendingDeletes(),
 	})
+}
+
+// --- observability routes ---
+
+// metricsHandler serves the broker registry in Prometheus text format.
+func (g *Gateway) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	g.broker.Metrics().WritePrometheus(w) //nolint:errcheck
+}
+
+// ProviderHealth is one provider's row on GET /v1/healthz: liveness,
+// footprint and observed backend-call latency (merged across get, put
+// and delete; zero until the provider has served a call).
+type ProviderHealth struct {
+	Name      string  `json:"name"`
+	Available bool    `json:"available"`
+	UsedBytes int64   `json:"usedBytes"`
+	Calls     uint64  `json:"calls"`
+	Errors    int64   `json:"errors"`
+	P50Ms     float64 `json:"p50Ms"`
+	P99Ms     float64 `json:"p99Ms"`
+}
+
+// Health is the GET /v1/healthz document.
+type Health struct {
+	// Status is "ok", or "degraded" when any provider is unreachable.
+	Status         string           `json:"status"`
+	GoVersion      string           `json:"goVersion"`
+	UptimeSeconds  float64          `json:"uptimeSeconds"`
+	Engines        int              `json:"engines"`
+	PendingDeletes int              `json:"pendingDeletes"`
+	Providers      []ProviderHealth `json:"providers"`
+}
+
+func (g *Gateway) healthz(w http.ResponseWriter, r *http.Request) {
+	b := g.broker
+	// Per-provider latency: merge that provider's get/put/delete series
+	// out of the backend-call histogram family.
+	byProvider := make(map[string]obs.HistogramSnapshot)
+	errsByProvider := make(map[string]int64)
+	for _, lh := range b.Metrics().Histograms(metricProviderOp) {
+		p := lh.Labels["provider"]
+		byProvider[p] = byProvider[p].Merge(lh.Snapshot)
+	}
+	for _, s := range b.registry.Snapshot() {
+		name := s.Spec().Name
+		errsByProvider[name] = b.metrics.providerErrs.With(name, "get").Value() +
+			b.metrics.providerErrs.With(name, "put").Value() +
+			b.metrics.providerErrs.With(name, "delete").Value()
+	}
+
+	h := Health{
+		Status:         "ok",
+		GoVersion:      runtime.Version(),
+		UptimeSeconds:  time.Since(b.metrics.start).Seconds(),
+		Engines:        len(b.Engines()),
+		PendingDeletes: b.PendingDeletes(),
+		Providers:      []ProviderHealth{},
+	}
+	for _, s := range b.registry.Snapshot() {
+		name := s.Spec().Name
+		ph := ProviderHealth{
+			Name:      name,
+			Available: s.Available(),
+			UsedBytes: s.UsedBytes(),
+			Errors:    errsByProvider[name],
+		}
+		if snap, ok := byProvider[name]; ok && snap.Count > 0 {
+			ph.Calls = snap.Count
+			// Quantile is NaN only on empty snapshots, which Count>0
+			// excludes — and NaN must never reach encoding/json.
+			ph.P50Ms = snap.Quantile(0.5) * 1000
+			ph.P99Ms = snap.Quantile(0.99) * 1000
+		}
+		if !ph.Available {
+			h.Status = "degraded"
+		}
+		h.Providers = append(h.Providers, ph)
+	}
+	// Degraded still answers 200: the deployment serves reads through
+	// erasure redundancy while providers are down, and a load balancer
+	// pulling the gateway for that would kill the one path that works.
+	// Probes read the status field.
+	writeJSON(w, http.StatusOK, h)
 }
 
 // --- helpers ---

@@ -7,10 +7,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"scalia/internal/cloud"
 	"scalia/internal/core"
 	"scalia/internal/erasure"
+	"scalia/internal/obs"
 	"scalia/internal/stats"
 	"scalia/internal/trend"
 )
@@ -47,6 +49,7 @@ var ErrNoLeader = errors.New("engine: no alive engine for leader election")
 // exceed the migration cost. Cancelling ctx stops the shard scans;
 // objects not yet examined are picked up by a later round.
 func (b *Broker) Optimize(ctx context.Context) (OptimizeReport, error) {
+	defer b.observeStage(obs.TraceFrom(ctx), "optimize", time.Now())
 	leader := b.electLeader()
 	if leader == nil {
 		return OptimizeReport{}, ErrNoLeader

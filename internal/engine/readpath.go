@@ -10,9 +10,11 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"scalia/internal/cloud"
 	"scalia/internal/erasure"
+	"scalia/internal/obs"
 	"scalia/internal/stats"
 )
 
@@ -278,7 +280,7 @@ func (or *objectReader) prefetch(from int) {
 			or.cancel()
 			return
 		}
-		or.e.b.readPrefetched.Add(1)
+		or.e.b.metrics.readPrefetched.Inc()
 	}
 }
 
@@ -329,7 +331,8 @@ func (or *objectReader) produceStripe(s int, slotHeld bool) (data []byte, cached
 		// Cache hits do not consume the budget: their memory is the
 		// cache's, capped by its own capacity.
 		release()
-		e.b.readStripesCached.Add(1)
+		e.b.metrics.readCached.Inc()
+		obs.TraceFrom(or.ctx).Count("stripes_cached", 1)
 		return data, true, false, nil
 	}
 	if or.rankErr != nil {
@@ -361,7 +364,8 @@ func (or *objectReader) produceStripe(s int, slotHeld bool) (data []byte, cached
 		}
 		verified = true
 	}
-	e.b.readStripesFetched.Add(1)
+	e.b.metrics.readFetched.Inc()
+	obs.TraceFrom(or.ctx).Count("stripes_fetched", 1)
 	// Only stripes the per-stripe checksum vouched for may enter the
 	// cache. Legacy metadata without stripe sums is never cached: its
 	// whole-object chain runs too late (and only on unmixed full
@@ -408,13 +412,22 @@ func (or *objectReader) fullObject() bool {
 }
 
 // fetchStripe retrieves one stripe's chunks from the providers and
-// decodes it, over the shared ranked fan-out pool.
+// decodes it, over the shared ranked fan-out pool. Both halves are
+// timed as serving-path stages ("fetch", "decode").
 func (or *objectReader) fetchStripe(s int) ([]byte, error) {
+	tr := obs.TraceFrom(or.ctx)
+	t0 := time.Now()
 	chunks, err := or.e.fetchRanked(or.ctx, or.meta, s, or.order, true)
 	if err != nil {
 		return nil, err
 	}
-	return or.coder.Decode(chunks, int(or.meta.stripeLen(s)))
+	or.e.b.observeStage(tr, "fetch", t0)
+	t1 := time.Now()
+	data, err := or.coder.Decode(chunks, int(or.meta.stripeLen(s)))
+	if err == nil {
+		or.e.b.observeStage(tr, "decode", t1)
+	}
+	return data, err
 }
 
 // fetchRanked retrieves m of one stripe's chunks along the ranked
@@ -438,9 +451,11 @@ func (e *Engine) fetchRanked(ctx context.Context, meta ObjectMeta, s int, order 
 		workers = 1
 	}
 
+	tr := obs.TraceFrom(ctx)
 	fallback := func() {
 		if countFallbacks {
-			e.b.readFallbacks.Add(1)
+			e.b.metrics.readFallbacks.Inc()
+			tr.Count("fallbacks", 1)
 		}
 	}
 	chunks := make([][]byte, len(meta.Chunks))
@@ -466,7 +481,13 @@ func (e *Engine) fetchRanked(ctx context.Context, meta ObjectMeta, s int, order 
 			fallback()
 			return true // provider vanished; fall back to the next candidate
 		}
+		t0 := time.Now()
 		data, err := store.Get(ctx, meta.chunkKey(s, idx))
+		if ctx.Err() == nil {
+			// Cancellation is stream teardown (a range read that got its
+			// bytes), not a provider failure — keep it out of the series.
+			e.b.observeProviderOp(meta.Chunks[idx], "get", t0, err)
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				return false

@@ -6,10 +6,12 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"time"
 
 	"scalia/internal/cloud"
 	"scalia/internal/core"
 	"scalia/internal/erasure"
+	"scalia/internal/obs"
 	"scalia/internal/stats"
 )
 
@@ -106,6 +108,7 @@ func (b *Broker) Repair(ctx context.Context, policy RepairPolicy) (RepairReport,
 	// keeps the race from arising at all.)
 	b.repairMu.Lock()
 	defer b.repairMu.Unlock()
+	defer b.observeStage(obs.TraceFrom(ctx), "repair", time.Now())
 	leader := b.electLeader()
 	if leader == nil {
 		return RepairReport{}, ErrNoLeader
@@ -479,7 +482,10 @@ func (e *Engine) writeSwapChunks(ctx context.Context, meta ObjectMeta, s int, ch
 		wg.Add(1)
 		go func(j, i int) {
 			defer wg.Done()
-			if err := targets[i].Put(ctx, meta.chunkKey(s, i), chunks[i]); err != nil {
+			t0 := time.Now()
+			err := targets[i].Put(ctx, meta.chunkKey(s, i), chunks[i])
+			e.b.observeProviderOp(targets[i].Spec().Name, "put", t0, err)
+			if err != nil {
 				errs[j] = fmt.Errorf("engine: swap chunk write to %s: %w",
 					targets[i].Spec().Name, err)
 			}

@@ -438,13 +438,19 @@ func (c *Client) AccrueStorage(hours float64) { c.broker.Registry().AccrueStorag
 func (c *Client) Flush() { c.broker.FlushStats() }
 
 // Broker exposes the underlying deployment for advanced integration
-// (HTTP serving via engine.NewGateway, direct registry access).
+// (HTTP serving via engine.NewGateway, direct registry access, the
+// Broker().Metrics() observability registry backing /metrics and
+// /v1/stats).
 func (c *Client) Broker() *engine.Broker { return c.broker }
 
 // NewGateway wraps the deployment in the versioned v1 HTTP interface:
 // object routes under /v1/objects (streaming bodies, conditional
-// requests, paginated listing) and the admin surface (/v1/providers,
-// /v1/rules, /v1/optimize, /v1/repair, /v1/stats). Requests round-robin
-// across all engines of all datacenters. Serve it with net/http; the
-// scalia/client package speaks the matching wire protocol.
+// requests, paginated listing), the admin surface (/v1/providers,
+// /v1/rules, /v1/optimize, /v1/repair, /v1/stats) and the
+// observability endpoints (/metrics in Prometheus text format,
+// /v1/healthz; optional pprof via Gateway.EnablePprof, structured
+// access logs via Gateway.Logger). Requests round-robin across all
+// engines of all datacenters and carry an X-Request-ID echoed on the
+// response. Serve it with net/http; the scalia/client package speaks
+// the matching wire protocol.
 func (c *Client) NewGateway() *engine.Gateway { return engine.NewGateway(c.broker) }
