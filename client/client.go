@@ -3,8 +3,10 @@
 // protocol the gateway serves and offers the same method set as the
 // in-process scalia.Client facade, so embedded and remote callers are
 // interchangeable: Put/PutReader, Get/GetReader, Head, Delete, List
-// with pagination, rule and provider administration, optimization,
-// repair and operational stats.
+// with pagination, resumable multipart uploads
+// (CreateUpload/UploadPart/ListParts/CompleteUpload/AbortUpload), rule
+// and provider administration, optimization, repair and operational
+// stats.
 //
 // Wire errors are mapped back onto the facade's sentinel errors, so
 // errors.Is(err, scalia.ErrObjectNotFound) works identically against a
@@ -81,6 +83,8 @@ func sentinelFor(code string) error {
 	switch code {
 	case "not_found":
 		return scalia.ErrObjectNotFound
+	case "upload_not_found":
+		return scalia.ErrUploadNotFound
 	case "precondition_failed", "already_exists":
 		return scalia.ErrPreconditionFailed
 	case "invalid_argument", "invalid_rule", "length_required":
@@ -189,6 +193,132 @@ func (c *Client) PutReader(ctx context.Context, container, key string, r io.Read
 		return scalia.ObjectMeta{}, fmt.Errorf("%w: malformed meta: %v", ErrRemote, err)
 	}
 	return meta, nil
+}
+
+// CreateUpload opens a resumable multipart upload for an object
+// (POST …?uploads). sizeHint (0 = unknown) feeds the gateway's
+// placement planning; the write options mirror PutReader's.
+func (c *Client) CreateUpload(ctx context.Context, container, key string, sizeHint int64, opts ...PutOption) (scalia.UploadInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.objectURL(container, key)+"?uploads", nil)
+	if err != nil {
+		return scalia.UploadInfo{}, err
+	}
+	for _, o := range opts {
+		o(req.Header)
+	}
+	if sizeHint > 0 {
+		req.Header.Set("X-Scalia-Size-Hint", strconv.FormatInt(sizeHint, 10))
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return scalia.UploadInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return scalia.UploadInfo{}, decodeErr(resp)
+	}
+	var info scalia.UploadInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return scalia.UploadInfo{}, fmt.Errorf("%w: malformed upload info: %v", ErrRemote, err)
+	}
+	return info, nil
+}
+
+// UploadPart streams one part of an open upload
+// (PUT …?partNumber=N&uploadId=…). size must be the exact part length;
+// every part except the upload's final one must be a whole multiple of
+// the deployment's stripe size. Re-sending a part number replaces the
+// earlier attempt.
+func (c *Client) UploadPart(ctx context.Context, info scalia.UploadInfo, partNumber int, r io.Reader, size int64) (scalia.PartInfo, error) {
+	if size == 0 {
+		r = http.NoBody
+	}
+	u := fmt.Sprintf("%s?partNumber=%d&uploadId=%s",
+		c.objectURL(info.Container, info.Key), partNumber, url.QueryEscape(info.UploadID))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, r)
+	if err != nil {
+		return scalia.PartInfo{}, err
+	}
+	req.ContentLength = size
+	resp, err := c.do(req)
+	if err != nil {
+		return scalia.PartInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return scalia.PartInfo{}, decodeErr(resp)
+	}
+	var part scalia.PartInfo
+	if err := json.NewDecoder(resp.Body).Decode(&part); err != nil {
+		return scalia.PartInfo{}, fmt.Errorf("%w: malformed part info: %v", ErrRemote, err)
+	}
+	return part, nil
+}
+
+// ListParts reports the staged parts of an open upload, sorted by part
+// number (GET …?uploadId=…) — what survived a dropped connection, so a
+// resume re-sends only the missing parts.
+func (c *Client) ListParts(ctx context.Context, info scalia.UploadInfo) ([]scalia.PartInfo, error) {
+	var res struct {
+		Upload scalia.UploadInfo `json:"upload"`
+		Parts  []scalia.PartInfo `json:"parts"`
+	}
+	u := c.objectURL(info.Container, info.Key) + "?uploadId=" + url.QueryEscape(info.UploadID)
+	if err := c.getJSON(ctx, u, &res); err != nil {
+		return nil, err
+	}
+	return res.Parts, nil
+}
+
+// CompleteUpload assembles the staged parts into the live object
+// version (POST …?uploadId=… with the part list). A mismatched or
+// missing part fails with scalia.ErrInvalidArgument and leaves the
+// upload open for a retry.
+func (c *Client) CompleteUpload(ctx context.Context, info scalia.UploadInfo, parts []scalia.CompletedPart) (scalia.ObjectMeta, error) {
+	body, err := json.Marshal(struct {
+		Parts []scalia.CompletedPart `json:"parts"`
+	}{Parts: parts})
+	if err != nil {
+		return scalia.ObjectMeta{}, err
+	}
+	u := c.objectURL(info.Container, info.Key) + "?uploadId=" + url.QueryEscape(info.UploadID)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return scalia.ObjectMeta{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(req)
+	if err != nil {
+		return scalia.ObjectMeta{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return scalia.ObjectMeta{}, decodeErr(resp)
+	}
+	var meta scalia.ObjectMeta
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		return scalia.ObjectMeta{}, fmt.Errorf("%w: malformed meta: %v", ErrRemote, err)
+	}
+	return meta, nil
+}
+
+// AbortUpload tears an upload down and garbage-collects its staged
+// parts (DELETE …?uploadId=…).
+func (c *Client) AbortUpload(ctx context.Context, info scalia.UploadInfo) error {
+	u := c.objectURL(info.Container, info.Key) + "?uploadId=" + url.QueryEscape(info.UploadID)
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return decodeErr(resp)
+	}
+	return nil
 }
 
 // Get fetches an object fully buffered, with its metadata.

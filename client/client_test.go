@@ -311,6 +311,82 @@ func TestClientAdmin(t *testing.T) {
 	}
 }
 
+// TestClientMultipart drives the resumable-upload protocol through the
+// typed client: open, stage parts, list, complete, read back, plus the
+// abort path and the upload_not_found sentinel mapping.
+func TestClientMultipart(t *testing.T) {
+	_, c := newRemote(t, scalia.Options{StripeBytes: 2048})
+
+	part1 := make([]byte, 6*1024) // three whole stripes
+	part2 := make([]byte, 1500)   // ragged final part
+	rand.New(rand.NewSource(42)).Read(part1)
+	rand.New(rand.NewSource(43)).Read(part2)
+	whole := append(append([]byte(nil), part1...), part2...)
+
+	up, err := c.CreateUpload(ctx, "mp", "resumable", int64(len(whole)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.UploadID == "" || up.Container != "mp" || up.Key != "resumable" {
+		t.Fatalf("upload info = %+v", up)
+	}
+
+	p1, err := c.UploadPart(ctx, up, 1, bytes.NewReader(part1), int64(len(part1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.UploadPart(ctx, up, 2, bytes.NewReader(part2), int64(len(part2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Stripes != 3 || p1.ETag == "" || p2.Size != int64(len(part2)) {
+		t.Fatalf("parts = %+v, %+v", p1, p2)
+	}
+
+	parts, err := c.ListParts(ctx, up)
+	if err != nil || len(parts) != 2 || parts[1].ETag != p2.ETag {
+		t.Fatalf("ListParts = %+v, %v", parts, err)
+	}
+
+	meta, err := c.CompleteUpload(ctx, up, []scalia.CompletedPart{
+		{PartNumber: 1, ETag: p1.ETag}, {PartNumber: 2, ETag: p2.ETag},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Size != int64(len(whole)) || !meta.Multipart() {
+		t.Fatalf("completed meta = %+v", meta)
+	}
+	got, _, err := c.Get(ctx, "mp", "resumable")
+	if err != nil || !bytes.Equal(got, whole) {
+		t.Fatalf("round-trip: %v (%d bytes)", err, len(got))
+	}
+
+	// The session is gone once completed: the wire code maps back to the
+	// dedicated sentinel.
+	if _, err := c.ListParts(ctx, up); !errors.Is(err, scalia.ErrUploadNotFound) {
+		t.Fatalf("ListParts after complete = %v, want ErrUploadNotFound", err)
+	}
+
+	// Abort path: staged chunks vanish and the session stops answering.
+	up2, err := c.CreateUpload(ctx, "mp", "doomed", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.UploadPart(ctx, up2, 1, bytes.NewReader(part1), int64(len(part1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AbortUpload(ctx, up2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AbortUpload(ctx, up2); !errors.Is(err, scalia.ErrUploadNotFound) {
+		t.Fatalf("double abort = %v, want ErrUploadNotFound", err)
+	}
+	if _, _, err := c.Get(ctx, "mp", "doomed"); !errors.Is(err, scalia.ErrObjectNotFound) {
+		t.Fatalf("aborted object = %v, want ErrObjectNotFound", err)
+	}
+}
+
 // TestClientMatchesEmbeddedFacade: the same object written remotely is
 // readable through the embedded facade and vice versa — one deployment,
 // two interchangeable surfaces.

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"scalia"
 	"scalia/client"
 )
 
@@ -67,6 +68,71 @@ func TestGatewaySmoke(t *testing.T) {
 		t.Fatalf("usage counters missing from stats: %+v", st)
 	}
 
+	if err := c.Delete(ctx, "smoke", key); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+}
+
+// TestGatewaySmokeMultipart runs a multipart round-trip against the
+// same live server (the -run TestGatewaySmoke prefix picks it up in
+// CI): open, stage two parts, complete, read back, delete.
+func TestGatewaySmokeMultipart(t *testing.T) {
+	addr := os.Getenv("SCALIA_GATEWAY_ADDR")
+	if addr == "" {
+		t.Skip("SCALIA_GATEWAY_ADDR not set; start scalia-server and point it here")
+	}
+	c := client.New(addr)
+
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		if _, lastErr = c.Stats(ctx); lastErr == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if lastErr != nil {
+		t.Fatalf("gateway unreachable at %s: %v", addr, lastErr)
+	}
+
+	// The default server stripe is 4 MB and non-final parts must be
+	// stripe-aligned, so part 1 is exactly one stripe.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	part1 := bytes.Repeat([]byte{0xA5}, int(st.StripeBytes))
+	part2 := bytes.Repeat([]byte{0x5A}, 100*1024)
+
+	key := fmt.Sprintf("smoke-mp-%d", time.Now().UnixNano())
+	up, err := c.CreateUpload(ctx, "smoke", key, int64(len(part1)+len(part2)))
+	if err != nil {
+		t.Fatalf("create upload: %v", err)
+	}
+	p1, err := c.UploadPart(ctx, up, 1, bytes.NewReader(part1), int64(len(part1)))
+	if err != nil {
+		t.Fatalf("part 1: %v", err)
+	}
+	p2, err := c.UploadPart(ctx, up, 2, bytes.NewReader(part2), int64(len(part2)))
+	if err != nil {
+		t.Fatalf("part 2: %v", err)
+	}
+	parts, err := c.ListParts(ctx, up)
+	if err != nil || len(parts) != 2 {
+		t.Fatalf("list parts: %v (%d parts)", err, len(parts))
+	}
+	meta, err := c.CompleteUpload(ctx, up, []scalia.CompletedPart{
+		{PartNumber: 1, ETag: p1.ETag}, {PartNumber: 2, ETag: p2.ETag},
+	})
+	if err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	if meta.Size != int64(len(part1)+len(part2)) || !meta.Multipart() {
+		t.Fatalf("completed meta = %+v", meta)
+	}
+	got, _, err := c.Get(ctx, "smoke", key)
+	if err != nil || !bytes.Equal(got, append(append([]byte(nil), part1...), part2...)) {
+		t.Fatalf("multipart round-trip: %v (%d bytes)", err, len(got))
+	}
 	if err := c.Delete(ctx, "smoke", key); err != nil {
 		t.Fatalf("delete: %v", err)
 	}

@@ -13,6 +13,11 @@
 //	HEAD   /v1/objects/{container}/{key}  metadata only
 //	DELETE /v1/objects/{container}/{key}  delete (If-Match conditional)
 //	GET    /v1/objects/{container}?prefix=&limit=&after=  paginated list
+//	POST   /v1/objects/{container}/{key}?uploads        open multipart upload
+//	PUT    /v1/objects/{container}/{key}?partNumber=N&uploadId=ID  stage part
+//	POST   /v1/objects/{container}/{key}?uploadId=ID    complete upload
+//	GET    /v1/objects/{container}/{key}?uploadId=ID    list staged parts
+//	DELETE /v1/objects/{container}/{key}?uploadId=ID    abort upload
 //
 // Admin routes:
 //
@@ -56,15 +61,24 @@ func main() {
 		"concurrent chunk fetches per stripe read (negative = sequential)")
 	prefetchStripes := flag.Int("prefetch-stripes", engine.DefaultPrefetchStripes,
 		"stripes decoded ahead of the client on streaming GETs (negative = none)")
-	maxReadBufferMB := flag.Int64("max-read-buffer-mb", engine.DefaultMaxReadBufferBytes>>20,
-		"total stripe buffers streaming reads may hold at once (MB; negative = unbounded)")
+	writeDepth := flag.Int("write-pipeline-depth", engine.DefaultWritePipelineDepth,
+		"stripes a streaming write keeps in flight at once (negative = sequential)")
+	maxBufferMB := flag.Int64("max-buffer-mb", engine.DefaultMaxBufferBytes>>20,
+		"total stripe buffers streaming reads AND writes may hold at once (MB; negative = unbounded)")
+	maxReadBufferMB := flag.Int64("max-read-buffer-mb", 0,
+		"deprecated alias of -max-buffer-mb; consulted only when -max-buffer-mb is left at its default")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	accessLog := flag.Bool("access-log", true, "log one structured line per gateway request")
 	flag.Parse()
 
-	maxReadBuffer := *maxReadBufferMB << 20
-	if *maxReadBufferMB < 0 {
-		maxReadBuffer = -1
+	maxBuffer := *maxBufferMB << 20
+	if *maxBufferMB == engine.DefaultMaxBufferBytes>>20 && *maxReadBufferMB != 0 {
+		maxBuffer = *maxReadBufferMB << 20
+		if *maxReadBufferMB < 0 {
+			maxBuffer = -1
+		}
+	} else if *maxBufferMB < 0 {
+		maxBuffer = -1
 	}
 	client, err := scalia.New(scalia.Options{
 		EnginesPerDC:       *enginesPerDC,
@@ -73,7 +87,8 @@ func main() {
 		StripeBytes:        *stripeMB << 20,
 		ReadParallelism:    *readParallelism,
 		PrefetchStripes:    *prefetchStripes,
-		MaxReadBufferBytes: maxReadBuffer,
+		WritePipelineDepth: *writeDepth,
+		MaxBufferBytes:     maxBuffer,
 		Clock:              engine.NewWallClock(*periodHours),
 	})
 	if err != nil {
@@ -118,9 +133,10 @@ func main() {
 		"enginesPerDC", *enginesPerDC,
 		"stripeBytes", *stripeMB<<20,
 		"cacheBytes", *cacheMB<<20,
-		"readBufferBytes", maxReadBuffer,
+		"bufferBytes", maxBuffer,
 		"readParallelism", *readParallelism,
 		"prefetchStripes", *prefetchStripes,
+		"writePipelineDepth", *writeDepth,
 		"optimizeEvery", optimizeEvery.String(),
 		"periodHours", *periodHours,
 		"pprof", *pprofOn,

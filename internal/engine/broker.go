@@ -34,11 +34,24 @@ const DefaultReadParallelism = 4
 // background.
 const DefaultPrefetchStripes = 2
 
-// DefaultMaxReadBufferBytes is the default broker-wide budget for
-// stripe buffers held by streaming reads: across every in-flight GET,
-// at most this many bytes of fetched stripes are buffered at once
-// (fetches beyond the budget wait for earlier stripes to drain).
-const DefaultMaxReadBufferBytes = 256 << 20
+// DefaultMaxBufferBytes is the default broker-wide budget for stripe
+// buffers held by the streaming serving paths: across every in-flight
+// GET and PUT, at most this many bytes of stripe buffers are held at
+// once (reads beyond the budget wait for earlier stripes to drain to
+// their clients; writes wait for earlier stripes to finish fanning out
+// to providers).
+const DefaultMaxBufferBytes = 256 << 20
+
+// DefaultMaxReadBufferBytes is the deprecated name of
+// DefaultMaxBufferBytes, kept for callers predating the shared
+// read/write budget.
+const DefaultMaxReadBufferBytes = DefaultMaxBufferBytes
+
+// DefaultWritePipelineDepth is the default encode-ahead depth of the
+// streaming PUT pipeline: while stripe s's chunks fan out to providers,
+// up to this many following stripes may be read, erasure-coded and
+// fanned out concurrently.
+const DefaultWritePipelineDepth = 4
 
 // Config configures a Broker deployment.
 type Config struct {
@@ -86,13 +99,24 @@ type Config struct {
 	// decoded in the background (default DefaultPrefetchStripes).
 	// Negative disables prefetching.
 	PrefetchStripes int
-	// MaxReadBufferBytes bounds the stripe buffers all streaming reads
-	// of the broker hold concurrently (default DefaultMaxReadBufferBytes;
-	// negative removes the bound). The budget is enforced as a semaphore
-	// of MaxReadBufferBytes/StripeBytes (floor, minimum 1) stripe slots,
-	// so worst-case read-path memory under many concurrent large GETs
-	// stays bounded; cached stripes do not consume the budget (the cache
-	// has its own capacity).
+	// WritePipelineDepth is the streaming PUT encode-ahead depth: up to
+	// this many stripes may be in flight — encoded and fanning their
+	// chunks out to providers — concurrently per write (default
+	// DefaultWritePipelineDepth). Negative forces the sequential write
+	// path: encode stripe s, fan it out, wait, then touch stripe s+1.
+	WritePipelineDepth int
+	// MaxBufferBytes bounds the stripe buffers all streaming reads AND
+	// writes of the broker hold concurrently (default
+	// DefaultMaxBufferBytes; negative removes the bound). One budget
+	// governs both directions so worst-case serving-path memory has a
+	// single knob. It is enforced as a semaphore of
+	// MaxBufferBytes/StripeBytes (floor, minimum 1) stripe slots;
+	// cached stripes do not consume the budget (the cache has its own
+	// capacity).
+	MaxBufferBytes int64
+	// MaxReadBufferBytes is the deprecated name of MaxBufferBytes from
+	// before the budget covered writes; it is honored when
+	// MaxBufferBytes is unset.
 	MaxReadBufferBytes int64
 	// ForceRestripeRepair disables the chunk-swap repair fast path so
 	// every active repair does a full re-placement — an ablation knob
@@ -142,11 +166,21 @@ func (c *Config) fill() {
 		c.PrefetchStripes = 0
 	}
 	switch {
-	case c.MaxReadBufferBytes == 0:
-		c.MaxReadBufferBytes = DefaultMaxReadBufferBytes
-	case c.MaxReadBufferBytes < 0:
-		c.MaxReadBufferBytes = 0 // unbounded
+	case c.WritePipelineDepth == 0:
+		c.WritePipelineDepth = DefaultWritePipelineDepth
+	case c.WritePipelineDepth < 0:
+		c.WritePipelineDepth = 0 // sequential
 	}
+	if c.MaxBufferBytes == 0 {
+		c.MaxBufferBytes = c.MaxReadBufferBytes // honor the deprecated knob
+	}
+	switch {
+	case c.MaxBufferBytes == 0:
+		c.MaxBufferBytes = DefaultMaxBufferBytes
+	case c.MaxBufferBytes < 0:
+		c.MaxBufferBytes = 0 // unbounded
+	}
+	c.MaxReadBufferBytes = c.MaxBufferBytes // the two views stay consistent
 }
 
 // pendingDelete is a chunk deletion postponed because its provider was
@@ -185,12 +219,24 @@ type Broker struct {
 	// ReadStats reports, so /v1/stats and /metrics share one
 	// bookkeeping path.
 	metrics *brokerMetrics
-	// readBufSem is the broker-wide stripe-buffer budget: one token per
-	// stripe slot of Config.MaxReadBufferBytes. nil = unbounded. The
-	// gauges track current and peak slots in use.
-	readBufSem   chan struct{}
-	readBufInUse atomic.Int64
-	readBufPeak  atomic.Int64
+	// bufSem is the broker-wide stripe-buffer budget shared by the
+	// streaming read and write paths: one token per stripe slot of
+	// Config.MaxBufferBytes. nil = unbounded. The gauges track current
+	// and peak slots in use per direction (write gauges are maintained
+	// even when the budget is unbounded — they double as the
+	// stripes-in-flight counters on /v1/stats).
+	bufSem        chan struct{}
+	readBufInUse  atomic.Int64
+	readBufPeak   atomic.Int64
+	writeBufInUse atomic.Int64
+	writeBufPeak  atomic.Int64
+
+	// uploads holds the in-progress multipart upload sessions, keyed by
+	// upload ID. Sessions are broker-level state: the gateway round-
+	// robins parts across engines, and any engine must resolve any
+	// upload.
+	uploadsMu sync.Mutex
+	uploads   map[string]*uploadSession
 	// rowLocks serialize the precondition-check-and-commit step of
 	// conditional writes per metadata row (striped to bound memory), so
 	// two concurrent If-Match / create-only operations cannot both pass
@@ -256,36 +302,99 @@ func (b *Broker) ReadStats() ReadPathStats {
 	}
 }
 
-// acquireReadBuf reserves one stripe-buffer slot from the broker-wide
-// read budget, blocking while the budget is exhausted. The slot is
-// released when the stripe's bytes have drained to the client (or the
-// stream is torn down). Draining never re-enters the budget, so a
-// blocked acquire always unblocks once some client consumes its stripe.
-func (b *Broker) acquireReadBuf(ctx context.Context) error {
-	if b.readBufSem == nil {
-		return nil
-	}
-	select {
-	case b.readBufSem <- struct{}{}:
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-	n := b.readBufInUse.Add(1)
-	for {
-		peak := b.readBufPeak.Load()
-		if n <= peak || b.readBufPeak.CompareAndSwap(peak, n) {
-			return nil
-		}
+// WritePathStats is the operational counter snapshot of the streaming
+// write path, served on GET /v1/stats — the PR 5 read-path counters'
+// mirror image.
+type WritePathStats struct {
+	// PipelineDepth is the configured encode-ahead depth (0 =
+	// sequential writes).
+	PipelineDepth int `json:"pipelineDepth"`
+	// StripesWritten counts stripes fanned out to providers by
+	// completed writes (regular PUTs and staged multipart parts).
+	StripesWritten int64 `json:"stripesWritten"`
+	// StripesInFlight is the number of stripe buffers writes hold right
+	// now — read, encoded or fanning out.
+	StripesInFlight int64 `json:"stripesInFlight"`
+	// BufferedStripesPeak is the high-water mark of stripe buffers held
+	// concurrently by writes under the shared MaxBufferBytes budget.
+	BufferedStripesPeak int64 `json:"bufferedStripesPeak"`
+	// ActiveUploads is the number of open multipart upload sessions.
+	ActiveUploads int `json:"activeUploads"`
+}
+
+// WriteStats returns the cumulative write-path counters.
+func (b *Broker) WriteStats() WritePathStats {
+	return WritePathStats{
+		PipelineDepth:       b.cfg.WritePipelineDepth,
+		StripesWritten:      b.metrics.writeStripes.Value(),
+		StripesInFlight:     b.writeBufInUse.Load(),
+		BufferedStripesPeak: b.writeBufPeak.Load(),
+		ActiveUploads:       b.activeUploads(),
 	}
 }
 
-// releaseReadBuf returns one stripe-buffer slot to the budget.
+// acquireReadBuf reserves one stripe-buffer slot from the broker-wide
+// budget for a read, blocking while the budget is exhausted. The slot
+// is released when the stripe's bytes have drained to the client (or
+// the stream is torn down). Draining never re-enters the budget, so a
+// blocked acquire always unblocks once some client consumes its stripe.
+func (b *Broker) acquireReadBuf(ctx context.Context) error {
+	if b.bufSem == nil {
+		return nil
+	}
+	select {
+	case b.bufSem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	bumpPeak(&b.readBufPeak, b.readBufInUse.Add(1))
+	return nil
+}
+
+// releaseReadBuf returns a read's stripe-buffer slot to the budget.
 func (b *Broker) releaseReadBuf() {
-	if b.readBufSem == nil {
+	if b.bufSem == nil {
 		return
 	}
 	b.readBufInUse.Add(-1)
-	<-b.readBufSem
+	<-b.bufSem
+}
+
+// acquireWriteBuf reserves one stripe-buffer slot from the shared
+// budget for a write, blocking while the budget is exhausted. The slot
+// is released once the stripe's chunks have fanned out to providers
+// (or the write is torn down); fan-out never re-enters the budget, so
+// a blocked acquire always unblocks. Unlike the read side, the in-use
+// and peak gauges are maintained even with an unbounded budget — they
+// are the write path's stripes-in-flight counters.
+func (b *Broker) acquireWriteBuf(ctx context.Context) error {
+	if b.bufSem != nil {
+		select {
+		case b.bufSem <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	bumpPeak(&b.writeBufPeak, b.writeBufInUse.Add(1))
+	return nil
+}
+
+// releaseWriteBuf returns a write's stripe-buffer slot to the budget.
+func (b *Broker) releaseWriteBuf() {
+	b.writeBufInUse.Add(-1)
+	if b.bufSem != nil {
+		<-b.bufSem
+	}
+}
+
+// bumpPeak raises a peak gauge to n if it is behind.
+func bumpPeak(peak *atomic.Int64, n int64) {
+	for {
+		p := peak.Load()
+		if n <= p || peak.CompareAndSwap(p, n) {
+			return
+		}
+	}
 }
 
 // rowLockStripes sizes the striped row-lock table.
@@ -318,14 +427,15 @@ func NewBroker(cfg Config) *Broker {
 		clock:     cfg.Clock,
 		decisions: make(map[string]*core.DecisionController),
 		placement: make(map[string]core.Placement),
+		uploads:   make(map[string]*uploadSession),
 		planner:   core.NewPlanner(cfg.PeriodHours, cfg.Pruned),
 	}
-	if cfg.MaxReadBufferBytes > 0 {
-		slots := cfg.MaxReadBufferBytes / cfg.StripeBytes
+	if cfg.MaxBufferBytes > 0 {
+		slots := cfg.MaxBufferBytes / cfg.StripeBytes
 		if slots < 1 {
 			slots = 1 // a deployment can always buffer one stripe
 		}
-		b.readBufSem = make(chan struct{}, slots)
+		b.bufSem = make(chan struct{}, slots)
 	}
 	b.agg = stats.NewAggregator(b.statsDB, 0)
 	id := 0

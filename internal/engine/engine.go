@@ -3,8 +3,6 @@ package engine
 import (
 	"bytes"
 	"context"
-	"crypto/md5"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -13,7 +11,6 @@ import (
 
 	"scalia/internal/cloud"
 	"scalia/internal/core"
-	"scalia/internal/erasure"
 	"scalia/internal/metadata"
 	"scalia/internal/obs"
 	"scalia/internal/stats"
@@ -163,44 +160,14 @@ func (e *Engine) PutReader(ctx context.Context, container, key string, r io.Read
 		return ObjectMeta{}, err
 	}
 
-	// Commit under the row lock: re-read the stored version and re-check
-	// the precondition so two concurrent conditional writes cannot both
-	// pass the check-then-act window. The body transfer above runs
-	// unlocked; only the metadata commit serializes.
+	// Commit under the row lock — one batched metadata commit per
+	// object, no matter how many stripes streamed through above.
 	commitStart := time.Now()
-	defer e.b.observeStage(tr, "commit", commitStart)
-	lk := e.b.rowLock(row)
-	lk.Lock()
-	prev, losers = e.currentVersion(row)
-	if err := checkWriteConditions(opts, prev); err != nil {
-		lk.Unlock()
-		e.deleteChunks(meta) // the loser's chunks, written above
-		e.cleanupVersions(losers)
-		return ObjectMeta{}, err
-	}
-	if prev != nil {
-		meta.CreatedAt = prev.CreatedAt
-	}
-	ts := e.b.clock.Timestamp()
-	version, err := encodeMeta(meta, ts)
+	prev, err = e.commitObject(&meta, opts)
+	e.b.observeStage(tr, "commit", commitStart)
 	if err != nil {
-		lk.Unlock()
-		e.deleteChunks(meta) // commit never happened; reclaim the chunks
 		return ObjectMeta{}, err
 	}
-	if err := e.b.meta.Put(e.dc, row, version); err != nil {
-		lk.Unlock()
-		e.deleteChunks(meta)
-		return ObjectMeta{}, fmt.Errorf("engine: metadata write: %w", err)
-	}
-	if err := e.b.writeIndex(e.dc, container, key, uuid, ts); err != nil {
-		// The object itself committed; only the listing entry failed.
-		// Keep the chunks — deleting them now would corrupt a readable
-		// object.
-		lk.Unlock()
-		return ObjectMeta{}, err
-	}
-	lk.Unlock()
 
 	// Update is in place: discard the superseded version's chunks and
 	// cached stripes (outside the lock — chunk deletion may hit remote
@@ -211,13 +178,59 @@ func (e *Engine) PutReader(ctx context.Context, container, key string, r io.Read
 		e.deleteChunks(*prev)
 		e.invalidateCached(*prev)
 	}
-	e.cleanupVersions(losers)
 	e.b.setPlacement(obj, res.Placement)
 	e.agent.Log(stats.Event{
 		Object: obj, Class: class, Kind: stats.EventWrite,
 		Bytes: size, StorageBytes: size, Period: now,
 	})
 	return meta, nil
+}
+
+// commitObject publishes meta as its row's live version under the row
+// lock: the stored version is re-read and the write preconditions
+// re-checked inside the lock, so two concurrent conditional writes
+// cannot both pass the check-then-act window. The body transfer runs
+// unlocked; only this metadata commit serializes. On success the
+// superseded version (nil if none) is returned for the caller to clean
+// up; on failure meta's staged chunks are rolled back — except after a
+// listing-index failure, where the object itself committed and the
+// chunks must survive.
+func (e *Engine) commitObject(meta *ObjectMeta, opts PutOptions) (*ObjectMeta, error) {
+	row := RowKey(meta.Container, meta.Key)
+	lk := e.b.rowLock(row)
+	lk.Lock()
+	prev, losers := e.currentVersion(row)
+	if err := checkWriteConditions(opts, prev); err != nil {
+		lk.Unlock()
+		e.deleteChunks(*meta) // the loser's chunks, staged above
+		e.cleanupVersions(losers)
+		return nil, err
+	}
+	if prev != nil {
+		meta.CreatedAt = prev.CreatedAt
+	}
+	ts := e.b.clock.Timestamp()
+	version, err := encodeMeta(*meta, ts)
+	if err != nil {
+		lk.Unlock()
+		e.deleteChunks(*meta) // commit never happened; reclaim the chunks
+		return nil, err
+	}
+	if err := e.b.meta.Put(e.dc, row, version); err != nil {
+		lk.Unlock()
+		e.deleteChunks(*meta)
+		return nil, fmt.Errorf("engine: metadata write: %w", err)
+	}
+	if err := e.b.writeIndex(e.dc, meta.Container, meta.Key, meta.UUID, ts); err != nil {
+		// The object itself committed; only the listing entry failed.
+		// Keep the chunks — deleting them now would corrupt a readable
+		// object.
+		lk.Unlock()
+		return nil, err
+	}
+	lk.Unlock()
+	e.cleanupVersions(losers)
+	return prev, nil
 }
 
 // currentVersion reads a row's live version. Conflict losers are
@@ -346,108 +359,6 @@ func removeSpec(specs []cloud.Spec, name string) []cloud.Spec {
 		}
 	}
 	return out
-}
-
-// writeChunksStream reads the body stripe by stripe, erasure-codes each
-// stripe with (m, n) from the placement, and fans the chunk writes out
-// to the providers in parallel goroutines. The object's checksum is
-// computed as the body streams through and stored into meta. On any
-// failure — including ctx cancellation mid-fan-out — every chunk
-// already written is rolled back.
-func (e *Engine) writeChunksStream(ctx context.Context, meta *ObjectMeta, p core.Placement, r io.Reader) error {
-	coder, err := erasure.New(p.M, p.N())
-	if err != nil {
-		return err
-	}
-	stores := make([]cloud.Backend, p.N())
-	meta.Chunks = make([]string, p.N())
-	for i, spec := range p.Providers {
-		store, ok := e.b.registry.Store(spec.Name)
-		if !ok {
-			return fmt.Errorf("engine: provider %s vanished", spec.Name)
-		}
-		stores[i] = store
-		meta.Chunks[i] = spec.Name
-	}
-
-	tr := obs.TraceFrom(ctx)
-	sum := md5.New()
-	stripes := meta.StripeCount()
-	meta.StripeSums = make([]string, stripes)
-	var buf []byte
-	for s := 0; s < stripes; s++ {
-		if err := ctx.Err(); err != nil {
-			e.rollbackStripes(*meta, s)
-			return err
-		}
-		plen := meta.stripeLen(s)
-		if int64(cap(buf)) < plen {
-			buf = make([]byte, plen)
-		}
-		buf = buf[:plen]
-		if _, err := io.ReadFull(r, buf); err != nil {
-			e.rollbackStripes(*meta, s)
-			// A short body is the caller's mistake; any other read error
-			// (source-provider failure during migrate, client disconnect)
-			// keeps its own identity for status mapping.
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return fmt.Errorf("%w: body ended before the declared size", ErrInvalidArgument)
-			}
-			return fmt.Errorf("engine: object body read: %w", err)
-		}
-		sum.Write(buf)
-		stripeSum := md5.Sum(buf)
-		meta.StripeSums[s] = hex.EncodeToString(stripeSum[:])
-		encodeStart := time.Now()
-		chunks, err := coder.Encode(buf)
-		if err != nil {
-			e.rollbackStripes(*meta, s)
-			return err
-		}
-		e.b.observeStage(tr, "encode", encodeStart)
-		fanoutStart := time.Now()
-		if err := e.fanOutStripe(ctx, stores, *meta, s, chunks); err != nil {
-			e.rollbackStripes(*meta, s+1)
-			return err
-		}
-		e.b.observeStage(tr, "fanout", fanoutStart)
-	}
-	meta.Checksum = hex.EncodeToString(sum.Sum(nil))
-	return nil
-}
-
-// fanOutStripe writes one stripe's n chunks to their providers
-// concurrently. The first error (a provider failure or ctx
-// cancellation) is returned; the remaining writes run to completion so
-// rollback sees a consistent picture.
-func (e *Engine) fanOutStripe(ctx context.Context, stores []cloud.Backend, meta ObjectMeta, s int, chunks [][]byte) error {
-	var wg sync.WaitGroup
-	errs := make([]error, len(stores))
-	for i := range stores {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			t0 := time.Now()
-			err := stores[i].Put(ctx, meta.chunkKey(s, i), chunks[i])
-			e.b.observeProviderOp(meta.Chunks[i], "put", t0, err)
-			if err != nil {
-				errs[i] = fmt.Errorf("engine: chunk write to %s: %w", meta.Chunks[i], err)
-			}
-		}(i)
-	}
-	wg.Wait()
-	return errors.Join(errs...)
-}
-
-// rollbackStripes best-effort deletes the chunks of stripes [0, upto).
-// Cleanup runs detached from the request context: a cancelled request
-// must still release the chunks it managed to write.
-func (e *Engine) rollbackStripes(meta ObjectMeta, upto int) {
-	for s := 0; s < upto; s++ {
-		for i, name := range meta.Chunks {
-			e.deleteChunkAt(name, meta.chunkKey(s, i))
-		}
-	}
 }
 
 // Get serves an object fully buffered: stripes come from the stripe

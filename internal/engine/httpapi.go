@@ -35,11 +35,27 @@ import (
 //	       Content-Type = MIME, X-Scalia-TTL-Hours = lifetime hint,
 //	       If-Match / If-None-Match:* = conditional write)
 //	GET    /v1/objects/{container}/{key}  fetch (streaming; If-None-Match -> 304;
-//	       single Range: bytes=... -> 206, mapped onto whole stripes so only
-//	       the overlapped stripes are fetched or served from cache)
+//	       Range: bytes=... -> 206, mapped onto whole stripes so only
+//	       the overlapped stripes are fetched or served from cache;
+//	       multi-range requests are answered with the first range only)
 //	HEAD   /v1/objects/{container}/{key}  metadata only
 //	DELETE /v1/objects/{container}/{key}  delete (If-Match = conditional)
 //	GET    /v1/objects/{container}?prefix=&limit=&after=  paginated list
+//
+// Multipart routes (S3-style, selected by query parameters on the
+// object path):
+//
+//	POST   /v1/objects/{container}/{key}?uploads            open an upload
+//	       session (X-Scalia-Size-Hint = expected total bytes for
+//	       placement planning; Content-Type / TTL / preconditions as PUT)
+//	PUT    /v1/objects/{container}/{key}?partNumber=N&uploadId=ID
+//	       stage one part (streaming body; every part except the final
+//	       one must be a whole multiple of the stripe size); the response
+//	       ETag is the part's MD5, quoted
+//	POST   /v1/objects/{container}/{key}?uploadId=ID        complete: JSON
+//	       body {"parts":[{"partNumber":1,"etag":"..."}, ...]}
+//	GET    /v1/objects/{container}/{key}?uploadId=ID        list staged parts
+//	DELETE /v1/objects/{container}/{key}?uploadId=ID        abort
 //
 // Admin routes:
 //
@@ -85,6 +101,7 @@ func NewGateway(b *Broker) *Gateway {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /v1/objects/{container}/{key...}", g.putObject)
 	mux.HandleFunc("GET /v1/objects/{container}/{key...}", g.getObject)
+	mux.HandleFunc("POST /v1/objects/{container}/{key...}", g.postObject)
 	mux.HandleFunc("DELETE /v1/objects/{container}/{key...}", g.deleteObject)
 	mux.HandleFunc("GET /v1/objects/{container}", g.listObjects)
 	mux.HandleFunc("GET /v1/providers", g.listProviders)
@@ -230,6 +247,8 @@ func statusFromErr(err error) (int, string) {
 	switch {
 	case errors.Is(err, ErrObjectNotFound):
 		return http.StatusNotFound, "not_found"
+	case errors.Is(err, ErrUploadNotFound):
+		return http.StatusNotFound, "upload_not_found"
 	case errors.Is(err, ErrPreconditionFailed):
 		return http.StatusPreconditionFailed, "precondition_failed"
 	case errors.Is(err, ErrInvalidArgument):
@@ -270,26 +289,14 @@ func failErr(w http.ResponseWriter, err error) {
 
 // --- object routes ---
 
-func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request) {
-	container, key := r.PathValue("container"), r.PathValue("key")
-	size := r.ContentLength
-	if size < 0 {
-		writeError(w, http.StatusLengthRequired, "length_required",
-			"streaming writes need a declared Content-Length")
-		return
-	}
-	if size > g.MaxObjectBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, "too_large",
-			fmt.Sprintf("object exceeds %d bytes", g.MaxObjectBytes))
-		return
-	}
-	// If-None-Match on PUT supports only the create-only form "*";
-	// silently ignoring another value would drop a precondition the
-	// client explicitly asked for (RFC 9110 §13.1.2).
+// parsePutOptions extracts the write options shared by PUT and the
+// multipart session open: MIME, conditional headers and the TTL hint.
+// A non-"*" If-None-Match reports an error — silently ignoring a value
+// the client explicitly asked for would drop a precondition
+// (RFC 9110 §13.1.2).
+func parsePutOptions(r *http.Request) (PutOptions, error) {
 	if inm := r.Header.Get("If-None-Match"); inm != "" && inm != "*" {
-		writeError(w, http.StatusBadRequest, "invalid_argument",
-			`PUT supports only If-None-Match: *`)
-		return
+		return PutOptions{}, fmt.Errorf(`writes support only If-None-Match: *`)
 	}
 	opts := PutOptions{
 		MIME:    r.Header.Get("Content-Type"),
@@ -302,6 +309,31 @@ func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request) {
 		if v, err := strconv.ParseFloat(ttl, 64); err == nil && v > 0 {
 			opts.TTLHours = v
 		}
+	}
+	return opts, nil
+}
+
+func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("uploadId") != "" || r.URL.Query().Get("partNumber") != "" {
+		g.uploadPart(w, r)
+		return
+	}
+	container, key := r.PathValue("container"), r.PathValue("key")
+	size := r.ContentLength
+	if size < 0 {
+		writeError(w, http.StatusLengthRequired, "length_required",
+			"streaming writes need a declared Content-Length")
+		return
+	}
+	if size > g.MaxObjectBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("object exceeds %d bytes", g.MaxObjectBytes))
+		return
+	}
+	opts, err := parsePutOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
 	}
 	meta, err := g.engine().PutReader(r.Context(), container, key, r.Body, size, opts)
 	if err != nil {
@@ -316,6 +348,10 @@ func (g *Gateway) putObject(w http.ResponseWriter, r *http.Request) {
 }
 
 func (g *Gateway) getObject(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("uploadId"); id != "" {
+		g.listParts(w, r, id)
+		return
+	}
 	container, key := r.PathValue("container"), r.PathValue("key")
 	e := g.engine()
 	w.Header().Set("Accept-Ranges", "bytes")
@@ -392,9 +428,14 @@ type rangeSpec struct {
 	suffix        int64
 }
 
-// parseRangeHeader parses a single-range "bytes=" header. Multi-range
-// and malformed headers report !ok and the gateway serves the full body
-// with 200, which RFC 9110 §14.2 explicitly permits.
+// parseRangeHeader parses a "bytes=" Range header. The gateway speaks
+// single-range semantics: a multi-range header ("bytes=a-b,c-d") is
+// answered with its FIRST range as a plain 206 — RFC 9110 §14.2 lets a
+// server satisfy a subset of the requested ranges, and one
+// stripe-mapped range beats the old behaviour of shipping the entire
+// body with 200 (which large-object clients asking for two small slices
+// never want). Malformed headers still report !ok and fall back to the
+// full 200 body.
 func parseRangeHeader(h string) (rangeSpec, bool) {
 	const prefix = "bytes="
 	spec := rangeSpec{suffix: -1}
@@ -402,7 +443,12 @@ func parseRangeHeader(h string) (rangeSpec, bool) {
 		return spec, false
 	}
 	val := strings.TrimSpace(strings.TrimPrefix(h, prefix))
-	if val == "" || strings.Contains(val, ",") {
+	if comma := strings.IndexByte(val, ','); comma >= 0 {
+		// Multi-range: serve the first range only. An empty or malformed
+		// first element falls through to the usual !ok handling below.
+		val = strings.TrimSpace(val[:comma])
+	}
+	if val == "" {
 		return spec, false
 	}
 	dash := strings.IndexByte(val, '-')
@@ -521,6 +567,14 @@ func etagMatches(header string, meta ObjectMeta) bool {
 }
 
 func (g *Gateway) deleteObject(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("uploadId"); id != "" {
+		if err := g.engine().AbortUpload(r.Context(), id); err != nil {
+			failErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
 	container, key := r.PathValue("container"), r.PathValue("key")
 	if err := g.engine().DeleteIf(r.Context(), container, key, r.Header.Get("If-Match")); err != nil {
 		failErr(w, err)
@@ -528,6 +582,122 @@ func (g *Gateway) deleteObject(w http.ResponseWriter, r *http.Request) {
 	}
 	g.broker.Metadata().Flush()
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- multipart routes ---
+
+// postObject dispatches the two POST forms of the object path:
+// ?uploads opens a multipart session, ?uploadId=… completes one.
+func (g *Gateway) postObject(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	switch {
+	case q.Has("uploads"):
+		g.createUpload(w, r)
+	case q.Get("uploadId") != "":
+		g.completeUpload(w, r, q.Get("uploadId"))
+	default:
+		writeError(w, http.StatusBadRequest, "invalid_argument",
+			"POST on an object needs ?uploads or ?uploadId=")
+	}
+}
+
+func (g *Gateway) createUpload(w http.ResponseWriter, r *http.Request) {
+	container, key := r.PathValue("container"), r.PathValue("key")
+	opts, err := parsePutOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	var sizeHint int64
+	if h := r.Header.Get("X-Scalia-Size-Hint"); h != "" {
+		v, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "invalid_argument",
+				"X-Scalia-Size-Hint must be a non-negative byte count")
+			return
+		}
+		sizeHint = v
+	}
+	info, err := g.engine().CreateUpload(r.Context(), container, key, sizeHint, opts)
+	if err != nil {
+		failErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (g *Gateway) uploadPart(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	id := q.Get("uploadId")
+	if id == "" || q.Get("partNumber") == "" {
+		writeError(w, http.StatusBadRequest, "invalid_argument",
+			"part uploads need both ?partNumber= and ?uploadId=")
+		return
+	}
+	partNumber, err := strconv.Atoi(q.Get("partNumber"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", "partNumber must be an integer")
+		return
+	}
+	size := r.ContentLength
+	if size < 0 {
+		writeError(w, http.StatusLengthRequired, "length_required",
+			"part uploads need a declared Content-Length")
+		return
+	}
+	if size > g.MaxObjectBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("part exceeds %d bytes", g.MaxObjectBytes))
+		return
+	}
+	part, err := g.engine().UploadPart(r.Context(), id, partNumber, r.Body, size)
+	if err != nil {
+		failErr(w, err)
+		return
+	}
+	w.Header().Set("ETag", `"`+part.ETag+`"`)
+	writeJSON(w, http.StatusOK, part)
+}
+
+// completeUploadRequest is the JSON body of POST …?uploadId=….
+type completeUploadRequest struct {
+	Parts []CompletedPart `json:"parts"`
+}
+
+func (g *Gateway) completeUpload(w http.ResponseWriter, r *http.Request, id string) {
+	var req completeUploadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", "malformed part list: "+err.Error())
+		return
+	}
+	meta, err := g.engine().CompleteUpload(r.Context(), id, req.Parts)
+	if err != nil {
+		failErr(w, err)
+		return
+	}
+	g.broker.Metadata().Flush()
+	writeMetaHeaders(w, meta)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(meta) //nolint:errcheck
+}
+
+// ListPartsResult is the GET …?uploadId=… response document.
+type ListPartsResult struct {
+	Upload UploadInfo `json:"upload"`
+	Parts  []PartInfo `json:"parts"`
+}
+
+func (g *Gateway) listParts(w http.ResponseWriter, r *http.Request, id string) {
+	info, parts, err := g.engine().ListParts(r.Context(), id)
+	if err != nil {
+		failErr(w, err)
+		return
+	}
+	if parts == nil {
+		parts = []PartInfo{}
+	}
+	writeJSON(w, http.StatusOK, ListPartsResult{Upload: info, Parts: parts})
 }
 
 // ListResult is the paginated response of GET /v1/objects/{container}.
@@ -694,10 +864,17 @@ type Stats struct {
 	// cache vs fetched, prefetch pipeline deliveries, and parallel-fetch
 	// fallbacks onto spare providers.
 	ReadPath ReadPathStats `json:"readPath"`
+	// WritePath reports the streaming write path: configured pipeline
+	// depth, stripes fanned out, write buffers in flight against the
+	// shared budget (current and peak), and open multipart uploads.
+	WritePath WritePathStats `json:"writePath"`
 
 	Engines        int `json:"engines"`
 	Providers      int `json:"providers"`
 	PendingDeletes int `json:"pendingDeletes"`
+	// StripeBytes is the deployment's stripe size. Multipart callers
+	// need it to build stripe-aligned non-final parts.
+	StripeBytes int64 `json:"stripeBytes"`
 }
 
 func (g *Gateway) stats(w http.ResponseWriter, r *http.Request) {
@@ -710,9 +887,11 @@ func (g *Gateway) stats(w http.ResponseWriter, r *http.Request) {
 		CostUSD:        b.Registry().TotalCost(),
 		StripeCache:    b.Caches().Stats(),
 		ReadPath:       b.ReadStats(),
+		WritePath:      b.WriteStats(),
 		Engines:        len(b.Engines()),
 		Providers:      b.Registry().Len(),
 		PendingDeletes: b.PendingDeletes(),
+		StripeBytes:    b.cfg.StripeBytes,
 	})
 }
 

@@ -44,7 +44,20 @@ type ObjectMeta struct {
 	// whole object. Metadata written before stripe sums existed leaves
 	// this nil; such reads fall back to the whole-object Checksum.
 	StripeSums []string `json:"stripeSums,omitempty"`
+	// PartStripes, set on objects assembled from a multipart upload,
+	// records how many stripes each part contributed (part 1 first; the
+	// values sum to Stripes). Multipart chunk keys are part-scoped — the
+	// keys the parts were staged under ARE the committed keys, so
+	// completing an upload moves no chunk data. Every part except the
+	// last covers a whole number of stripes, so the global stripe
+	// geometry (stripeSpan, stripeLen) is identical to a plain object's.
+	PartStripes []int `json:"partStripes,omitempty"`
 }
+
+// Multipart reports whether this version was assembled from a
+// multipart upload. Such versions use part-scoped chunk keys and an
+// ETag-of-ETags checksum instead of a whole-body MD5.
+func (m ObjectMeta) Multipart() bool { return len(m.PartStripes) > 0 }
 
 // stripeSum returns the stored MD5 of stripe s, or "" when this
 // version's metadata predates per-stripe checksums.
@@ -122,8 +135,30 @@ func ChunkKeyAt(skey string, stripes, s, i int) string {
 	return fmt.Sprintf("%s/s%05d/chunk%03d", skey, s, i)
 }
 
-// chunkKey names chunk i of stripe s of this object version.
+// PartChunkKey names chunk i of local stripe s of part number part of a
+// multipart upload. Parts stage their chunks under these keys, and a
+// completed multipart object keeps them, so completion is a metadata-
+// only commit.
+func PartChunkKey(skey string, part, s, i int) string {
+	return fmt.Sprintf("%s/p%05d/s%05d/chunk%03d", skey, part, s, i)
+}
+
+// chunkKey names chunk i of stripe s of this object version. For
+// multipart versions the global stripe index is mapped to (part, local
+// stripe) through PartStripes.
 func (m ObjectMeta) chunkKey(s, i int) string {
+	if len(m.PartStripes) > 0 {
+		part := 1
+		for _, ns := range m.PartStripes {
+			if s < ns {
+				return PartChunkKey(m.SKey, part, s, i)
+			}
+			s -= ns
+			part++
+		}
+		// A stripe index past the recorded parts indicates corrupt
+		// metadata; fall through to the plain layout, which will miss.
+	}
 	return ChunkKeyAt(m.SKey, m.StripeCount(), s, i)
 }
 

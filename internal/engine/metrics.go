@@ -39,6 +39,9 @@ type brokerMetrics struct {
 	readFetched    *obs.Counter
 	readPrefetched *obs.Counter
 	readFallbacks  *obs.Counter
+
+	// Write-path counters, Broker.WriteStats's source of truth.
+	writeStripes *obs.Counter
 }
 
 // Metric family names, shared by the encoder output, the health
@@ -87,6 +90,9 @@ func newBrokerMetrics(b *Broker) *brokerMetrics {
 			"Stripes delivered by the background prefetcher."),
 		readFallbacks: reg.Counter("scalia_read_fallbacks_total",
 			"Chunk fetches that failed and fell back to a spare provider."),
+
+		writeStripes: reg.Counter("scalia_write_stripes_total",
+			"Stripes fanned out to providers by completed writes."),
 	}
 
 	// Planner cache (source: core.Planner's own counters).
@@ -192,11 +198,23 @@ func newBrokerMetrics(b *Broker) *brokerMetrics {
 		"Providers in the storage registry.",
 		func() float64 { return float64(len(b.registry.Snapshot())) })
 	reg.GaugeFunc("scalia_read_buffered_stripes",
-		"Stripe buffers currently held under the read budget.",
+		"Stripe buffers currently held by reads under the shared budget.",
 		func() float64 { return float64(b.readBufInUse.Load()) })
 	reg.GaugeFunc("scalia_read_buffered_stripes_peak",
-		"High-water mark of stripe buffers held under the read budget.",
+		"High-water mark of stripe buffers held by reads under the shared budget.",
 		func() float64 { return float64(b.readBufPeak.Load()) })
+	reg.GaugeFunc("scalia_write_pipeline_depth",
+		"Configured streaming-PUT encode-ahead depth (0 = sequential).",
+		func() float64 { return float64(b.cfg.WritePipelineDepth) })
+	reg.GaugeFunc("scalia_write_buffered_stripes",
+		"Stripe buffers currently held by writes under the shared budget.",
+		func() float64 { return float64(b.writeBufInUse.Load()) })
+	reg.GaugeFunc("scalia_write_buffered_stripes_peak",
+		"High-water mark of stripe buffers held by writes under the shared budget.",
+		func() float64 { return float64(b.writeBufPeak.Load()) })
+	reg.GaugeFunc("scalia_multipart_uploads_active",
+		"Open multipart upload sessions.",
+		func() float64 { return float64(b.activeUploads()) })
 
 	// Process vitals.
 	reg.GaugeFunc("scalia_uptime_seconds",

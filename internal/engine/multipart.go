@@ -1,0 +1,486 @@
+package engine
+
+import (
+	"context"
+	"crypto/md5"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"scalia/internal/core"
+	"scalia/internal/obs"
+	"scalia/internal/stats"
+)
+
+// Resumable multipart uploads. A large PUT whose connection drops at
+// stripe 400/500 should resume, not restart: the client opens an
+// upload session, streams stripe-aligned parts (each erasure-coded and
+// fanned out through the write pipeline like a regular PUT), and
+// completes the upload with the part list. Parts stage their chunks
+// under part-scoped keys that ARE the committed object's chunk keys
+// (ObjectMeta.PartStripes maps global stripe indexes onto them), so
+// completion is one batched metadata commit under the row lock — no
+// chunk data moves. A dropped part is simply re-sent; completed parts
+// are never re-transferred (ListParts reports what survived).
+//
+// Wire-level the /v1 gateway mirrors S3: POST …?uploads opens a
+// session, PUT …?partNumber=N&uploadId=… stages a part and returns its
+// ETag, POST …?uploadId=… completes, DELETE …?uploadId=… aborts, and
+// GET …?uploadId=… lists staged parts.
+
+// ErrUploadNotFound marks operations against an unknown (or already
+// completed/aborted) multipart upload; gateways map it to 404.
+var ErrUploadNotFound = errors.New("engine: multipart upload not found")
+
+// MaxUploadParts bounds the parts of one multipart upload (S3's limit).
+const MaxUploadParts = 10000
+
+// UploadInfo identifies an open multipart upload session.
+type UploadInfo struct {
+	UploadID  string `json:"uploadId"`
+	Container string `json:"container"`
+	Key       string `json:"key"`
+}
+
+// PartInfo describes one staged part of a multipart upload.
+type PartInfo struct {
+	PartNumber int    `json:"partNumber"`
+	ETag       string `json:"etag"` // MD5 of the part payload, hex
+	Size       int64  `json:"size"`
+	Stripes    int    `json:"stripes"`
+}
+
+// CompletedPart names one part in a CompleteUpload request. ETag is
+// optional ("" skips verification) but strongly recommended.
+type CompletedPart struct {
+	PartNumber int    `json:"partNumber"`
+	ETag       string `json:"etag"`
+}
+
+// uploadSession is one open multipart upload. The placement — and with
+// it the (m, n) code and provider set — is planned once at creation so
+// every part stripes identically.
+type uploadSession struct {
+	id        string
+	container string
+	key       string
+	opts      PutOptions
+	ruleName  string
+	uuid      string // version identity the completed object commits under
+	skey      string
+	placement core.Placement
+	names     []string // provider name per chunk index, placement order
+	createdAt int64
+
+	mu       sync.Mutex
+	closed   bool
+	inflight map[int]bool        // part numbers currently streaming
+	parts    map[int]*stagedPart // staged (fully written) parts
+}
+
+// stagedPart records one fully staged part.
+type stagedPart struct {
+	number     int
+	size       int64
+	etag       string
+	stripes    int
+	stripeSums []string
+}
+
+// --- broker session table ---
+
+func (b *Broker) activeUploads() int {
+	b.uploadsMu.Lock()
+	defer b.uploadsMu.Unlock()
+	return len(b.uploads)
+}
+
+func (b *Broker) addUpload(s *uploadSession) {
+	b.uploadsMu.Lock()
+	b.uploads[s.id] = s
+	b.uploadsMu.Unlock()
+}
+
+func (b *Broker) getUpload(id string) (*uploadSession, error) {
+	b.uploadsMu.Lock()
+	s, ok := b.uploads[id]
+	b.uploadsMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUploadNotFound, id)
+	}
+	return s, nil
+}
+
+func (b *Broker) removeUpload(id string) {
+	b.uploadsMu.Lock()
+	delete(b.uploads, id)
+	b.uploadsMu.Unlock()
+}
+
+// --- engine operations ---
+
+// CreateUpload opens a multipart upload session for an object. The
+// placement is planned now — sizeHint (0 = unknown, planned at one
+// stripe) feeds the cost model — and every part inherits it, so all
+// parts stripe across the same provider set with the same threshold.
+// opts preconditions are fast-checked here and re-checked
+// authoritatively when the upload completes.
+func (e *Engine) CreateUpload(ctx context.Context, container, key string, sizeHint int64, opts PutOptions) (UploadInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return UploadInfo{}, err
+	}
+	if container == "" || key == "" {
+		return UploadInfo{}, fmt.Errorf("%w: container and key are required", ErrInvalidArgument)
+	}
+	if sizeHint < 0 {
+		return UploadInfo{}, fmt.Errorf("%w: negative size hint", ErrInvalidArgument)
+	}
+	planBytes := sizeHint
+	if planBytes == 0 {
+		planBytes = e.b.cfg.StripeBytes
+	}
+	class := stats.ClassKey(opts.MIME, planBytes)
+	rule := e.b.rules.Resolve(container, key, class)
+	if opts.Rule != nil {
+		rule = *opts.Rule
+		if err := rule.Validate(); err != nil {
+			return UploadInfo{}, err
+		}
+	}
+	res, err := e.placeWithRetry(rule, e.writeLoad(objectName(container, key), class, planBytes), planBytes)
+	if err != nil {
+		return UploadInfo{}, err
+	}
+	prev, losers := e.currentVersion(RowKey(container, key))
+	e.cleanupVersions(losers)
+	if err := checkWriteConditions(opts, prev); err != nil {
+		return UploadInfo{}, err
+	}
+
+	uuid := NewUUID()
+	names := make([]string, 0, res.Placement.N())
+	for _, spec := range res.Placement.Providers {
+		names = append(names, spec.Name)
+	}
+	s := &uploadSession{
+		id:        NewUUID(),
+		container: container,
+		key:       key,
+		opts:      opts,
+		ruleName:  rule.Name,
+		uuid:      uuid,
+		skey:      StorageKey(container, key, uuid),
+		placement: res.Placement,
+		names:     names,
+		createdAt: e.b.clock.Period(),
+		inflight:  make(map[int]bool),
+		parts:     make(map[int]*stagedPart),
+	}
+	e.b.addUpload(s)
+	return UploadInfo{UploadID: s.id, Container: container, Key: key}, nil
+}
+
+// UploadPart streams one part of an open upload through the write
+// pipeline, staging its chunks under part-scoped keys. size must be
+// the exact part length; re-sending a part number replaces the earlier
+// attempt. Every part except the upload's final one must be a whole
+// multiple of the deployment's stripe size, so the assembled object's
+// stripe geometry stays uniform (violations surface at CompleteUpload,
+// where the final part is known).
+func (e *Engine) UploadPart(ctx context.Context, uploadID string, partNumber int, r io.Reader, size int64) (PartInfo, error) {
+	if partNumber < 1 || partNumber > MaxUploadParts {
+		return PartInfo{}, fmt.Errorf("%w: part number %d outside [1, %d]", ErrInvalidArgument, partNumber, MaxUploadParts)
+	}
+	if size < 1 {
+		return PartInfo{}, fmt.Errorf("%w: parts must declare a positive size", ErrInvalidArgument)
+	}
+	s, err := e.b.getUpload(uploadID)
+	if err != nil {
+		return PartInfo{}, err
+	}
+
+	// Claim the part number: concurrent uploads of different parts
+	// proceed in parallel, concurrent uploads of the same part conflict.
+	// A replaced attempt's record is removed before its chunks are — a
+	// mid-replace crash leaves no record, so the part reads as missing
+	// and the client re-sends it.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return PartInfo{}, fmt.Errorf("%w: %s", ErrUploadNotFound, uploadID)
+	}
+	if s.inflight[partNumber] {
+		s.mu.Unlock()
+		return PartInfo{}, fmt.Errorf("%w: part %d is already uploading", ErrInvalidArgument, partNumber)
+	}
+	s.inflight[partNumber] = true
+	replaced := s.parts[partNumber]
+	delete(s.parts, partNumber)
+	s.mu.Unlock()
+	settle := func() { // drop the claim on every exit path
+		s.mu.Lock()
+		delete(s.inflight, partNumber)
+		s.mu.Unlock()
+	}
+	if replaced != nil {
+		e.deletePartChunks(s, replaced)
+	}
+
+	stripes := stripeCount(size, e.b.cfg.StripeBytes)
+	plan, err := e.partWritePlan(s, partNumber, size, stripes)
+	if err != nil {
+		settle()
+		return PartInfo{}, err
+	}
+	etag, stripeSums, err := e.writeStripes(ctx, plan, r)
+	if err != nil {
+		settle()
+		return PartInfo{}, err
+	}
+	part := &stagedPart{
+		number: partNumber, size: size, etag: etag,
+		stripes: stripes, stripeSums: stripeSums,
+	}
+	s.mu.Lock()
+	if s.closed {
+		// The upload was aborted while this part streamed; its chunks
+		// are ours to clean up.
+		s.mu.Unlock()
+		e.deletePartChunks(s, part)
+		return PartInfo{}, fmt.Errorf("%w: %s", ErrUploadNotFound, uploadID)
+	}
+	s.parts[partNumber] = part
+	delete(s.inflight, partNumber)
+	s.mu.Unlock()
+	return PartInfo{PartNumber: partNumber, ETag: etag, Size: size, Stripes: stripes}, nil
+}
+
+// partWritePlan builds the pipeline plan for one part: the session's
+// frozen placement, the part's local stripe geometry, part-scoped keys.
+func (e *Engine) partWritePlan(s *uploadSession, partNumber int, size int64, stripes int) (stripeWritePlan, error) {
+	coder, stores, names, err := e.resolvePlacement(s.placement)
+	if err != nil {
+		return stripeWritePlan{}, err
+	}
+	stripeBytes := e.b.cfg.StripeBytes
+	return stripeWritePlan{
+		coder: coder, stores: stores, names: names,
+		stripes: stripes,
+		stripeLen: func(st int) int64 {
+			if left := size - int64(st)*stripeBytes; left < stripeBytes {
+				return left
+			}
+			return stripeBytes
+		},
+		key: func(st, i int) string { return PartChunkKey(s.skey, partNumber, st, i) },
+	}, nil
+}
+
+// ListParts reports the staged parts of an open upload, sorted by part
+// number — the resume protocol's "what survived" answer.
+func (e *Engine) ListParts(ctx context.Context, uploadID string) (UploadInfo, []PartInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return UploadInfo{}, nil, err
+	}
+	s, err := e.b.getUpload(uploadID)
+	if err != nil {
+		return UploadInfo{}, nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return UploadInfo{}, nil, fmt.Errorf("%w: %s", ErrUploadNotFound, uploadID)
+	}
+	out := make([]PartInfo, 0, len(s.parts))
+	for _, p := range s.parts {
+		out = append(out, PartInfo{PartNumber: p.number, ETag: p.etag, Size: p.size, Stripes: p.stripes})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PartNumber < out[j].PartNumber })
+	return UploadInfo{UploadID: s.id, Container: s.container, Key: s.key}, out, nil
+}
+
+// CompleteUpload assembles the staged parts into the live object
+// version: one batched metadata commit under the row lock, no chunk
+// movement. parts must name every part of the object — consecutive
+// numbers from 1 — and non-final parts must be stripe-aligned; a
+// mismatched or missing part fails with ErrInvalidArgument and leaves
+// the session open, so the client can re-send the part and retry.
+// Staged parts left out of the list are garbage-collected.
+func (e *Engine) CompleteUpload(ctx context.Context, uploadID string, parts []CompletedPart) (ObjectMeta, error) {
+	if err := ctx.Err(); err != nil {
+		return ObjectMeta{}, err
+	}
+	if len(parts) == 0 {
+		return ObjectMeta{}, fmt.Errorf("%w: empty part list", ErrInvalidArgument)
+	}
+	s, err := e.b.getUpload(uploadID)
+	if err != nil {
+		return ObjectMeta{}, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ObjectMeta{}, fmt.Errorf("%w: %s", ErrUploadNotFound, uploadID)
+	}
+	staged, extra, err := matchParts(s, parts, e.b.cfg.StripeBytes)
+	if err != nil {
+		s.mu.Unlock()
+		return ObjectMeta{}, err // session stays open for a retry
+	}
+	if len(s.inflight) > 0 {
+		s.mu.Unlock()
+		return ObjectMeta{}, fmt.Errorf("%w: %d parts still uploading", ErrInvalidArgument, len(s.inflight))
+	}
+	s.closed = true
+	s.mu.Unlock()
+	e.b.removeUpload(uploadID)
+
+	// Staged-but-unlisted parts will not be part of the object; GC them.
+	for _, p := range extra {
+		e.deletePartChunks(s, p)
+	}
+
+	var (
+		size        int64
+		totalStripe int
+		partStripes = make([]int, len(staged))
+		stripeSums  []string
+		etagSum     = md5.New()
+	)
+	for i, p := range staged {
+		size += p.size
+		totalStripe += p.stripes
+		partStripes[i] = p.stripes
+		stripeSums = append(stripeSums, p.stripeSums...)
+		if raw, err := hex.DecodeString(p.etag); err == nil {
+			etagSum.Write(raw) //nolint:errcheck
+		}
+	}
+	now := e.b.clock.Period()
+	class := stats.ClassKey(s.opts.MIME, size)
+	meta := ObjectMeta{
+		Container: s.container,
+		Key:       s.key,
+		MIME:      s.opts.MIME,
+		Size:      size,
+		// S3-style composite: MD5 over the concatenated part digests,
+		// suffixed with the part count. Not a body MD5 — the read path
+		// relies on the per-stripe sums instead.
+		Checksum:    hex.EncodeToString(etagSum.Sum(nil)) + "-" + strconv.Itoa(len(staged)),
+		RuleName:    s.ruleName,
+		Class:       class,
+		SKey:        s.skey,
+		M:           s.placement.M,
+		Chunks:      s.names,
+		UUID:        s.uuid,
+		TTLHours:    s.opts.TTLHours,
+		CreatedAt:   now,
+		Stripes:     totalStripe,
+		StripeBytes: e.b.cfg.StripeBytes,
+		StripeSums:  stripeSums,
+		PartStripes: partStripes,
+	}
+
+	tr := obs.TraceFrom(ctx)
+	commitStart := time.Now()
+	prev, err := e.commitObject(&meta, s.opts)
+	e.b.observeStage(tr, "commit", commitStart)
+	if err != nil {
+		return ObjectMeta{}, err
+	}
+	if prev != nil {
+		e.deleteChunks(*prev)
+		e.invalidateCached(*prev)
+	}
+	obj := objectName(s.container, s.key)
+	e.b.setPlacement(obj, s.placement)
+	e.agent.Log(stats.Event{
+		Object: obj, Class: class, Kind: stats.EventWrite,
+		Bytes: size, StorageBytes: size, Period: now,
+	})
+	return meta, nil
+}
+
+// matchParts validates a CompleteUpload part list against the staged
+// parts: consecutive numbers from 1, ETags matching, and every part but
+// the last stripe-aligned. It returns the staged parts in part order
+// plus the staged parts the list leaves out.
+func matchParts(s *uploadSession, parts []CompletedPart, stripeBytes int64) (staged []*stagedPart, extra []*stagedPart, err error) {
+	listed := make(map[int]bool, len(parts))
+	ordered := append([]CompletedPart(nil), parts...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].PartNumber < ordered[j].PartNumber })
+	staged = make([]*stagedPart, 0, len(ordered))
+	for i, cp := range ordered {
+		if cp.PartNumber != i+1 {
+			return nil, nil, fmt.Errorf("%w: part numbers must be consecutive from 1 (got %d at position %d)",
+				ErrInvalidArgument, cp.PartNumber, i+1)
+		}
+		p, ok := s.parts[cp.PartNumber]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: part %d was never uploaded", ErrInvalidArgument, cp.PartNumber)
+		}
+		if want := strings.Trim(cp.ETag, `"`); want != "" && want != p.etag {
+			return nil, nil, fmt.Errorf("%w: part %d etag mismatch", ErrInvalidArgument, cp.PartNumber)
+		}
+		listed[cp.PartNumber] = true
+		staged = append(staged, p)
+	}
+	for i, p := range staged[:len(staged)-1] {
+		if p.size%stripeBytes != 0 {
+			return nil, nil, fmt.Errorf("%w: part %d (%d bytes) is not stripe-aligned; only the final part may be",
+				ErrInvalidArgument, i+1, p.size)
+		}
+	}
+	for n, p := range s.parts {
+		if !listed[n] {
+			extra = append(extra, p)
+		}
+	}
+	return staged, extra, nil
+}
+
+// AbortUpload tears an upload session down and garbage-collects every
+// staged part's chunks. Parts still streaming clean up after
+// themselves when they finish.
+func (e *Engine) AbortUpload(ctx context.Context, uploadID string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s, err := e.b.getUpload(uploadID)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUploadNotFound, uploadID)
+	}
+	s.closed = true
+	staged := make([]*stagedPart, 0, len(s.parts))
+	for _, p := range s.parts {
+		staged = append(staged, p)
+	}
+	s.parts = nil
+	s.mu.Unlock()
+	e.b.removeUpload(uploadID)
+	for _, p := range staged {
+		e.deletePartChunks(s, p)
+	}
+	return nil
+}
+
+// deletePartChunks best-effort removes every chunk a staged part wrote.
+func (e *Engine) deletePartChunks(s *uploadSession, p *stagedPart) {
+	for st := 0; st < p.stripes; st++ {
+		for i, name := range s.names {
+			e.deleteChunkAt(name, PartChunkKey(s.skey, p.number, st, i))
+		}
+	}
+}

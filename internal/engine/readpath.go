@@ -134,7 +134,10 @@ func (e *Engine) openObjectRange(ctx context.Context, meta ObjectMeta, start, en
 		userRead: userRead, start: start, end: end,
 		// The whole-object hash chain only pays off when the final
 		// comparison can run, i.e. the stream covers every stripe.
-		sum: md5.New(), hashAll: start == 0 && end == meta.StripeCount()-1,
+		// Multipart versions opt out: their Checksum is an ETag-of-ETags
+		// composite, not a body MD5 (per-stripe sums still verify every
+		// fetched stripe).
+		sum: md5.New(), hashAll: start == 0 && end == meta.StripeCount()-1 && !meta.Multipart(),
 		next: start + 1,
 	}
 	first, slot, err := or.loadStripe(start)

@@ -661,7 +661,7 @@ func TestReadBufferBudgetReleasedOnEarlyClose(t *testing.T) {
 // entirely — no semaphore, no gauges.
 func TestReadBufferBudgetUnbounded(t *testing.T) {
 	b := newTestBroker(t, Config{StripeBytes: 16 << 10, MaxReadBufferBytes: -1})
-	if b.readBufSem != nil {
+	if b.bufSem != nil {
 		t.Fatal("negative MaxReadBufferBytes must disable the budget")
 	}
 	payload := bytes.Repeat([]byte("u"), 64<<10)

@@ -1,0 +1,48 @@
+package erasure
+
+import "sync"
+
+// Encode scratch pooling. Every encoded stripe needs an n-chunk backing
+// array plus the chunk-slice header; on the streaming write path that
+// is two garbage allocations per stripe, and at production stripe sizes
+// the allocator — not the Galois arithmetic — shows up first in
+// BrokerPut's allocs/op. The pools below recycle both. Buffers of
+// mixed deployments converge to the largest stripe in use, which is
+// bounded by the deployment's configured stripe size.
+
+var (
+	// backingPool recycles chunk backing arrays. *[]byte keeps the
+	// slice header off the heap on Put.
+	backingPool = sync.Pool{New: func() any { b := []byte(nil); return &b }}
+	// chunksPool recycles the chunk-slice headers.
+	chunksPool = sync.Pool{New: func() any { c := [][]byte(nil); return &c }}
+)
+
+// EncodePooled is Encode with the chunk array and its backing drawn
+// from an internal pool instead of the garbage collector. The caller
+// owns every returned chunk until it hands the whole slice back via
+// ReleaseChunks; after that the memory is recycled, so no chunk may be
+// retained past the release (backends that keep payload references
+// beyond Put's return cannot be used with the pooled path — the
+// in-tree backends all copy or serialize before returning).
+func (c *Coder) EncodePooled(data []byte) ([][]byte, error) {
+	bp := backingPool.Get().(*[]byte)
+	cp := chunksPool.Get().(*[][]byte)
+	return c.encode(data, *bp, *cp)
+}
+
+// ReleaseChunks returns a chunk set obtained from EncodePooled to the
+// pool. The chunks share one backing array whose full capacity is
+// reachable through chunk 0, so the set is recycled wholesale.
+func ReleaseChunks(chunks [][]byte) {
+	if len(chunks) == 0 {
+		return
+	}
+	b := chunks[0][:0]
+	backingPool.Put(&b)
+	for i := range chunks {
+		chunks[i] = nil
+	}
+	cs := chunks[:0]
+	chunksPool.Put(&cs)
+}

@@ -70,30 +70,52 @@ func (c *Coder) ChunkSize(dataLen int) int {
 // must remember the original length (Scalia stores it in object metadata)
 // and pass it to Decode.
 func (c *Coder) Encode(data []byte) ([][]byte, error) {
+	return c.encode(data, nil, nil)
+}
+
+// encode is the shared core of Encode and EncodePooled: backing and
+// chunks are reused when their capacity suffices (their contents may be
+// arbitrary — every byte of the output is written below) and replaced
+// with fresh allocations otherwise.
+func (c *Coder) encode(data, backing []byte, chunks [][]byte) ([][]byte, error) {
 	size := c.ChunkSize(len(data))
 	if size == 0 {
 		size = 1 // zero-length objects still produce 1-byte chunks
 	}
-	chunks := make([][]byte, c.n)
-	backing := make([]byte, c.n*size)
+	if need := c.n * size; cap(backing) < need {
+		backing = make([]byte, need)
+	} else {
+		backing = backing[:need]
+	}
+	if cap(chunks) < c.n {
+		chunks = make([][]byte, c.n)
+	} else {
+		chunks = chunks[:c.n]
+	}
 	for i := range chunks {
 		chunks[i] = backing[i*size : (i+1)*size]
 	}
-	// Data stripes: rows 0..m-1 are plain copies (systematic code).
+	// Data stripes: rows 0..m-1 are plain copies (systematic code). The
+	// tail past len(data) is the zero padding — cleared explicitly since
+	// pooled backing arrives dirty.
 	for i := 0; i < c.m; i++ {
-		lo := i * size
-		if lo < len(data) {
+		var n int
+		if lo := i * size; lo < len(data) {
 			hi := lo + size
 			if hi > len(data) {
 				hi = len(data)
 			}
-			copy(chunks[i], data[lo:hi])
+			n = copy(chunks[i], data[lo:hi])
 		}
+		clear(chunks[i][n:])
 	}
-	// Parity stripes: rows m..n-1 are linear combinations of the data rows.
+	// Parity stripes: rows m..n-1 are linear combinations of the data
+	// rows. The first term assigns rather than accumulates, so parity
+	// rows of dirty pooled backing need no pre-zeroing either.
 	for r := c.m; r < c.n; r++ {
 		row := c.enc.row(r)
-		for k := 0; k < c.m; k++ {
+		mulSlice(row[0], chunks[0], chunks[r])
+		for k := 1; k < c.m; k++ {
 			mulAddSlice(row[k], chunks[k], chunks[r])
 		}
 	}

@@ -87,6 +87,16 @@ type (
 	// ReadPathStats is the streaming-read counter snapshot: stripes from
 	// cache vs fetched, prefetch deliveries, fan-out fallbacks.
 	ReadPathStats = engine.ReadPathStats
+	// WritePathStats is the streaming-write counter snapshot: pipeline
+	// depth, stripes fanned out, write buffers in flight against the
+	// shared budget, open multipart uploads.
+	WritePathStats = engine.WritePathStats
+	// UploadInfo identifies an open multipart upload session.
+	UploadInfo = engine.UploadInfo
+	// PartInfo describes one staged part of a multipart upload.
+	PartInfo = engine.PartInfo
+	// CompletedPart names one part in a CompleteUpload request.
+	CompletedPart = engine.CompletedPart
 	// ProviderStatus is one market participant on GET /v1/providers.
 	ProviderStatus = engine.ProviderStatus
 	// RepairPolicy selects how repair treats chunks at failed providers.
@@ -115,6 +125,7 @@ var (
 	ErrInvalidArgument      = engine.ErrInvalidArgument
 	ErrNotEnoughChunks      = engine.ErrNotEnoughChunks
 	ErrRangeNotSatisfiable  = engine.ErrRangeNotSatisfiable
+	ErrUploadNotFound       = engine.ErrUploadNotFound
 	ErrInfeasiblePlacement  = core.ErrNoProviders
 	ErrProviderUnavailable  = cloud.ErrUnavailable
 	ErrProviderOverCapacity = cloud.ErrOverCapacity
@@ -163,10 +174,20 @@ type Options struct {
 	// caller (default engine.DefaultPrefetchStripes). Negative disables
 	// prefetching.
 	PrefetchStripes int
-	// MaxReadBufferBytes bounds the stripe buffers all streaming reads
-	// of the deployment hold concurrently, so many concurrent large GETs
-	// cannot blow up read-path memory (default
-	// engine.DefaultMaxReadBufferBytes; negative removes the bound).
+	// WritePipelineDepth bounds how many stripes a streaming write keeps
+	// in flight at once: stripe s+1 erasure-codes while stripe s's chunks
+	// fan out to the providers (default engine.DefaultWritePipelineDepth).
+	// Negative forces the sequential encode-then-fan-out loop.
+	WritePipelineDepth int
+	// MaxBufferBytes bounds the stripe buffers ALL streaming reads and
+	// writes of the deployment hold concurrently — one shared budget, so
+	// any mix of concurrent large GETs and PUTs cannot blow up broker
+	// memory (default engine.DefaultMaxBufferBytes; negative removes the
+	// bound).
+	MaxBufferBytes int64
+	// MaxReadBufferBytes is the deprecated name of MaxBufferBytes, kept
+	// so existing callers keep compiling; it is consulted only when
+	// MaxBufferBytes is zero.
 	MaxReadBufferBytes int64
 	// ForceRestripeRepair disables the chunk-swap repair fast path so
 	// every active repair fully re-places the object — an ablation knob
@@ -195,6 +216,8 @@ func New(opts Options) (*Client, error) {
 		StripeBytes:         opts.StripeBytes,
 		ReadParallelism:     opts.ReadParallelism,
 		PrefetchStripes:     opts.PrefetchStripes,
+		WritePipelineDepth:  opts.WritePipelineDepth,
+		MaxBufferBytes:      opts.MaxBufferBytes,
 		MaxReadBufferBytes:  opts.MaxReadBufferBytes,
 		ForceRestripeRepair: opts.ForceRestripeRepair,
 		Clock:               opts.Clock,
@@ -287,6 +310,52 @@ func (c *Client) PutReader(ctx context.Context, container, key string, r io.Read
 	}
 	c.broker.Metadata().Flush()
 	return meta, nil
+}
+
+// CreateUpload opens a resumable multipart upload for an object. The
+// placement — provider set and erasure threshold — is planned once,
+// using sizeHint (0 = unknown) as the cost-model input, and every part
+// inherits it. Stream the parts with UploadPart (each except the final
+// one a whole multiple of the stripe size), then CompleteUpload with
+// the part list; a dropped connection costs only the part it
+// interrupted (ListParts reports what survived).
+func (c *Client) CreateUpload(ctx context.Context, container, key string, sizeHint int64, opts ...PutOption) (UploadInfo, error) {
+	var po engine.PutOptions
+	for _, opt := range opts {
+		opt(&po)
+	}
+	return c.engine().CreateUpload(ctx, container, key, sizeHint, po)
+}
+
+// UploadPart streams one part of an open upload through the write
+// pipeline. size must be the exact part length; re-sending a part
+// number replaces the earlier attempt.
+func (c *Client) UploadPart(ctx context.Context, uploadID string, partNumber int, r io.Reader, size int64) (PartInfo, error) {
+	return c.engine().UploadPart(ctx, uploadID, partNumber, r, size)
+}
+
+// ListParts reports an open upload's staged parts, sorted by number.
+func (c *Client) ListParts(ctx context.Context, uploadID string) (UploadInfo, []PartInfo, error) {
+	return c.engine().ListParts(ctx, uploadID)
+}
+
+// CompleteUpload assembles the staged parts into the live object
+// version in one batched metadata commit — no chunk data moves. parts
+// must name every part, consecutively from 1; a mismatch fails with
+// ErrInvalidArgument and leaves the upload open for a retry.
+func (c *Client) CompleteUpload(ctx context.Context, uploadID string, parts []CompletedPart) (ObjectMeta, error) {
+	meta, err := c.engine().CompleteUpload(ctx, uploadID, parts)
+	if err != nil {
+		return meta, err
+	}
+	c.broker.Metadata().Flush()
+	return meta, nil
+}
+
+// AbortUpload tears an upload session down and garbage-collects every
+// staged part's chunks.
+func (c *Client) AbortUpload(ctx context.Context, uploadID string) error {
+	return c.engine().AbortUpload(ctx, uploadID)
 }
 
 // Get fetches an object fully buffered, with its metadata.
