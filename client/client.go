@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
+	"mime/multipart"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -426,6 +428,134 @@ func (w *windowReadCloser) Read(p []byte) (int, error) {
 
 func (w *windowReadCloser) Close() error { return w.rc.Close() }
 
+// ByteRange names one byte window of a multi-range GET: [Offset,
+// Offset+Length), with Length -1 standing for "to the object end".
+type ByteRange struct {
+	Offset int64
+	Length int64
+}
+
+// RangePart is one returned window of GetRanges: the bytes served plus
+// the offset the server actually resolved them at.
+type RangePart struct {
+	Offset int64
+	Data   []byte
+}
+
+// GetRanges fetches several byte windows of one object in a single
+// request (Range: bytes=a-b,c-d), decoding the gateway's
+// multipart/byteranges 206 body (RFC 9110 §14.6). Parts return in the
+// server's serving order — request order, minus windows the object is
+// too small to satisfy (the gateway serves the satisfiable subset). A
+// plain single-range 206 wraps into one part; a server or intermediary
+// that ignores the Range header and ships the full 200 body has every
+// window carved out client-side. Bodies buffer in memory: multi-range
+// reads are for collections of small slices, not bulk transfer — use
+// GetRange to stream one large window.
+func (c *Client) GetRanges(ctx context.Context, container, key string, ranges []ByteRange) ([]RangePart, scalia.ObjectMeta, error) {
+	if len(ranges) == 0 {
+		return nil, scalia.ObjectMeta{}, fmt.Errorf("%w: empty range list", scalia.ErrInvalidArgument)
+	}
+	var hdr strings.Builder
+	hdr.WriteString("bytes=")
+	for i, r := range ranges {
+		if r.Offset < 0 || r.Length == 0 || r.Length < -1 {
+			return nil, scalia.ObjectMeta{}, fmt.Errorf("%w: range offset %d length %d",
+				scalia.ErrInvalidArgument, r.Offset, r.Length)
+		}
+		if i > 0 {
+			hdr.WriteByte(',')
+		}
+		if r.Length < 0 {
+			fmt.Fprintf(&hdr, "%d-", r.Offset)
+		} else {
+			fmt.Fprintf(&hdr, "%d-%d", r.Offset, r.Offset+r.Length-1)
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.objectURL(container, key), nil)
+	if err != nil {
+		return nil, scalia.ObjectMeta{}, err
+	}
+	req.Header.Set("Range", hdr.String())
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, scalia.ObjectMeta{}, err
+	}
+	defer resp.Body.Close()
+	meta := metaFromHeaders(container, key, resp.Header)
+	switch resp.StatusCode {
+	case http.StatusPartialContent:
+		mediatype, params, merr := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+		if merr != nil || mediatype != "multipart/byteranges" {
+			// A single-range 206: one window, offset from Content-Range.
+			offset, ok := contentRangeStart(resp.Header.Get("Content-Range"))
+			if !ok {
+				offset = ranges[0].Offset
+			}
+			data, rerr := io.ReadAll(resp.Body)
+			if rerr != nil {
+				return nil, meta, rerr
+			}
+			return []RangePart{{Offset: offset, Data: data}}, meta, nil
+		}
+		mr := multipart.NewReader(resp.Body, params["boundary"])
+		var parts []RangePart
+		for {
+			p, perr := mr.NextPart()
+			if errors.Is(perr, io.EOF) {
+				return parts, meta, nil
+			}
+			if perr != nil {
+				return nil, meta, fmt.Errorf("%w: malformed byteranges body: %v", ErrRemote, perr)
+			}
+			offset, ok := contentRangeStart(p.Header.Get("Content-Range"))
+			if !ok {
+				return nil, meta, fmt.Errorf("%w: part without Content-Range", ErrRemote)
+			}
+			data, rerr := io.ReadAll(p)
+			if rerr != nil {
+				return nil, meta, rerr
+			}
+			parts = append(parts, RangePart{Offset: offset, Data: data})
+		}
+	case http.StatusOK:
+		data, rerr := io.ReadAll(resp.Body)
+		if rerr != nil {
+			return nil, meta, rerr
+		}
+		size := int64(len(data))
+		parts := make([]RangePart, 0, len(ranges))
+		for _, r := range ranges {
+			if r.Offset >= size {
+				continue
+			}
+			end := size
+			if r.Length >= 0 && r.Offset+r.Length < size {
+				end = r.Offset + r.Length
+			}
+			parts = append(parts, RangePart{Offset: r.Offset, Data: data[r.Offset:end]})
+		}
+		return parts, meta, nil
+	default:
+		return nil, scalia.ObjectMeta{}, decodeErr(resp)
+	}
+}
+
+// contentRangeStart parses the first-byte position out of a
+// "bytes a-b/size" Content-Range header.
+func contentRangeStart(h string) (int64, bool) {
+	h = strings.TrimPrefix(h, "bytes ")
+	dash := strings.IndexByte(h, '-')
+	if dash < 0 {
+		return 0, false
+	}
+	start, err := strconv.ParseInt(h[:dash], 10, 64)
+	if err != nil || start < 0 {
+		return 0, false
+	}
+	return start, true
+}
+
 // GetIfNoneMatch is a conditional fetch: when the stored ETag equals
 // etag the gateway answers 304 and notModified is true with a nil
 // reader.
@@ -632,6 +762,50 @@ func (c *Client) RemoveProvider(ctx context.Context, name string) error {
 	if err != nil {
 		return err
 	}
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return decodeErr(resp)
+	}
+	return nil
+}
+
+// SetProviderAvailable injects or clears a transient provider outage
+// through the admin API (PUT /v1/providers/{name}/availability) — the
+// wire-side counterpart of the facade's SetProviderAvailable, used by
+// scripted chaos schedules. Unknown providers — and backends without
+// failure injection — surface as scalia.ErrObjectNotFound.
+func (c *Client) SetProviderAvailable(ctx context.Context, name string, up bool) error {
+	body := struct {
+		Available bool `json:"available"`
+	}{Available: up}
+	return c.putJSONNoContent(ctx,
+		c.base+"/v1/providers/"+url.PathEscape(name)+"/availability", body)
+}
+
+// SetProviderPricing replaces a provider's price sheet at runtime (PUT
+// /v1/providers/{name}/pricing) — a scripted market price event; the
+// deployment bumps its market epoch so subsequent placements re-plan
+// against the new prices.
+func (c *Client) SetProviderPricing(ctx context.Context, name string, p scalia.Pricing) error {
+	return c.putJSONNoContent(ctx,
+		c.base+"/v1/providers/"+url.PathEscape(name)+"/pricing", p)
+}
+
+// putJSONNoContent PUTs a JSON body and expects 204.
+func (c *Client) putJSONNoContent(ctx context.Context, u string, body any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.do(req)
 	if err != nil {
 		return err

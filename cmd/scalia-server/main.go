@@ -67,6 +67,8 @@ func main() {
 		"total stripe buffers streaming reads AND writes may hold at once (MB; negative = unbounded)")
 	maxReadBufferMB := flag.Int64("max-read-buffer-mb", 0,
 		"deprecated alias of -max-buffer-mb; consulted only when -max-buffer-mb is left at its default")
+	multipartTTL := flag.Duration("multipart-ttl", 24*time.Hour,
+		"evict multipart upload sessions idle this long and GC their staged chunks (0 = never)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	accessLog := flag.Bool("access-log", true, "log one structured line per gateway request")
 	flag.Parse()
@@ -118,6 +120,29 @@ func main() {
 		}
 	}()
 
+	if *multipartTTL > 0 {
+		go func() {
+			// Sweeping at a quarter of the TTL bounds over-retention to
+			// 1.25x the deadline without busy-scanning the table.
+			every := *multipartTTL / 4
+			if every > time.Minute {
+				every = time.Minute
+			}
+			ticker := time.NewTicker(every)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+				}
+				if n := client.Broker().SweepExpiredUploads(*multipartTTL); n > 0 {
+					log.Printf("multipart-gc: evicted %d abandoned upload sessions (ttl %s)", n, multipartTTL)
+				}
+			}
+		}()
+	}
+
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	gw := client.NewGateway()
 	if *accessLog {
@@ -138,6 +163,7 @@ func main() {
 		"prefetchStripes", *prefetchStripes,
 		"writePipelineDepth", *writeDepth,
 		"optimizeEvery", optimizeEvery.String(),
+		"multipartTTL", multipartTTL.String(),
 		"periodHours", *periodHours,
 		"pprof", *pprofOn,
 		"providers", "Fig. 3 simulated set")

@@ -34,9 +34,10 @@ var (
 // are metered; transient failures can be injected with SetAvailable,
 // matching the §IV-E active-repair experiment.
 type BlobStore struct {
-	spec Spec
-
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	// spec is guarded by mu: the price sheet can change at runtime
+	// (SetPricing market events); everything else is fixed at creation.
+	spec    Spec
 	objects map[string][]byte
 	used    int64
 	down    bool
@@ -56,7 +57,27 @@ func NewBlobStore(spec Spec) *BlobStore {
 }
 
 // Spec returns the provider's description and price sheet.
-func (s *BlobStore) Spec() Spec { return s.spec }
+func (s *BlobStore) Spec() Spec {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.spec
+}
+
+// SetPricing replaces the provider's price sheet at runtime — the
+// paper's market price event (§IV-D, a provider "suddenly increasing
+// its pricing policy"). When the store is attached to a registry, the
+// change is pushed back so the market epoch advances and cached
+// placement searches re-plan against the new prices.
+func (s *BlobStore) SetPricing(p Pricing) {
+	s.mu.Lock()
+	changed := s.spec.Pricing != p
+	s.spec.Pricing = p
+	notify := s.notify
+	s.mu.Unlock()
+	if changed && notify != nil {
+		notify()
+	}
+}
 
 // Meter returns the provider's billing meter.
 func (s *BlobStore) Meter() *Meter { return &s.meter }

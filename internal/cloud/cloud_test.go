@@ -424,6 +424,46 @@ func TestDirectAvailabilityBumpsEpoch(t *testing.T) {
 	}
 }
 
+// TestSetPricingBumpsEpoch pins the market price event: a runtime
+// pricing change through the registry mutates the spec the market
+// snapshot serves, bumps the epoch exactly once, and repeating the same
+// price sheet is a no-op.
+func TestSetPricingBumpsEpoch(t *testing.T) {
+	r := NewPaperRegistry()
+	e0 := r.Epoch()
+
+	newPrices := Pricing{StorageGBMonth: 0.5, BandwidthInGB: 0.1, BandwidthOutGB: 0.3, OpsPer1000: 0.02}
+	if !r.SetPricing(NameAzure, newPrices) {
+		t.Fatal("SetPricing on a known BlobStore provider must succeed")
+	}
+	e1, specs, _ := r.Market()
+	if e1 <= e0 {
+		t.Fatalf("pricing change must bump the epoch: %d -> %d", e0, e1)
+	}
+	found := false
+	for _, spec := range specs {
+		if spec.Name == NameAzure {
+			found = true
+			if spec.Pricing != newPrices {
+				t.Fatalf("market snapshot serves stale pricing: %+v", spec.Pricing)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("provider missing from market snapshot")
+	}
+
+	// Re-applying the identical sheet must not churn the epoch.
+	r.SetPricing(NameAzure, newPrices)
+	if e2 := r.Epoch(); e2 != e1 {
+		t.Fatalf("unchanged pricing must not move the epoch: %d -> %d", e1, e2)
+	}
+
+	if r.SetPricing("nope", newPrices) {
+		t.Fatal("SetPricing on an unknown provider must report false")
+	}
+}
+
 func TestRegistryMarketCachesSnapshot(t *testing.T) {
 	r := NewPaperRegistry()
 	e1, specs1, free1 := r.Market()

@@ -37,6 +37,13 @@ type AvailabilitySetter interface {
 	SetAvailable(up bool)
 }
 
+// PricingSetter is implemented by backends whose price sheet can change
+// at runtime (simulated providers support scripted market price
+// events); remote private resources have no mutable price sheet.
+type PricingSetter interface {
+	SetPricing(p Pricing)
+}
+
 // ChangeNotifierSetter is implemented by backends that accept a
 // registry back-reference: the registry installs a notifier at
 // Register time, and the backend calls it whenever its availability
@@ -188,6 +195,30 @@ func (r *Registry) SetAvailable(name string, up bool) bool {
 		return false
 	}
 	setter.SetAvailable(up)
+	if _, selfNotifying := s.(ChangeNotifierSetter); !selfNotifying {
+		r.noteBackendChange()
+	}
+	return true
+}
+
+// SetPricing replaces the named provider's price sheet at runtime, when
+// its backend supports pricing mutation (PricingSetter). Epoch
+// bookkeeping mirrors SetAvailable: self-notifying backends push the
+// change back themselves (exactly once, only on a real change); the
+// registry bumps for the rest. The setter runs outside the registry
+// lock because its back-reference notification re-enters the registry.
+func (r *Registry) SetPricing(name string, p Pricing) bool {
+	r.mu.RLock()
+	s, ok := r.stores[name]
+	r.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	setter, ok := s.(PricingSetter)
+	if !ok {
+		return false
+	}
+	setter.SetPricing(p)
 	if _, selfNotifying := s.(ChangeNotifierSetter); !selfNotifying {
 		r.noteBackendChange()
 	}

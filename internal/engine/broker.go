@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"scalia/internal/cache"
 	"scalia/internal/cloud"
@@ -231,6 +232,11 @@ type Broker struct {
 	writeBufInUse atomic.Int64
 	writeBufPeak  atomic.Int64
 
+	// now is the wall-clock source for multipart-session idle tracking.
+	// Production brokers use time.Now; the TTL-sweep tests substitute a
+	// fake clock.
+	now func() time.Time
+
 	// uploads holds the in-progress multipart upload sessions, keyed by
 	// upload ID. Sessions are broker-level state: the gateway round-
 	// robins parts across engines, and any engine must resolve any
@@ -287,6 +293,12 @@ type ReadPathStats struct {
 	// concurrently under the MaxReadBufferBytes budget (0 while the
 	// budget is unbounded or untouched).
 	BufferedStripesPeak int64 `json:"bufferedStripesPeak"`
+	// BufferedStripes is the stripe buffers reads hold right now under
+	// the shared budget. After every streaming GET has drained or been
+	// torn down — including mid-stream provider flips — it must return
+	// to 0: a non-zero resting value is a leaked budget slot (the
+	// loadgen chaos suite asserts this invariant).
+	BufferedStripes int64 `json:"bufferedStripes"`
 }
 
 // ReadStats returns the cumulative read-path counters. The values are
@@ -299,6 +311,7 @@ func (b *Broker) ReadStats() ReadPathStats {
 		PrefetchedStripes:   b.metrics.readPrefetched.Value(),
 		FetchFallbacks:      b.metrics.readFallbacks.Value(),
 		BufferedStripesPeak: b.readBufPeak.Load(),
+		BufferedStripes:     b.readBufInUse.Load(),
 	}
 }
 
@@ -425,6 +438,7 @@ func NewBroker(cfg Config) *Broker {
 		statsDB:   stats.NewDB(cfg.PeriodHours),
 		rules:     NewRuleStore(cfg.DefaultRule),
 		clock:     cfg.Clock,
+		now:       time.Now,
 		decisions: make(map[string]*core.DecisionController),
 		placement: make(map[string]core.Placement),
 		uploads:   make(map[string]*uploadSession),

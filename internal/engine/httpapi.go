@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"mime/multipart"
 	"net/http"
 	"net/http/pprof"
+	"net/textproto"
 	"runtime"
 	"strconv"
 	"strings"
@@ -37,7 +39,7 @@ import (
 //	GET    /v1/objects/{container}/{key}  fetch (streaming; If-None-Match -> 304;
 //	       Range: bytes=... -> 206, mapped onto whole stripes so only
 //	       the overlapped stripes are fetched or served from cache;
-//	       multi-range requests are answered with the first range only)
+//	       multi-range requests stream a multipart/byteranges body)
 //	HEAD   /v1/objects/{container}/{key}  metadata only
 //	DELETE /v1/objects/{container}/{key}  delete (If-Match = conditional)
 //	GET    /v1/objects/{container}?prefix=&limit=&after=  paginated list
@@ -62,6 +64,10 @@ import (
 //	GET    /v1/providers        provider market with availability + usage
 //	POST   /v1/providers        register a provider (JSON cloud.Spec)
 //	DELETE /v1/providers/{name} deregister a provider
+//	PUT    /v1/providers/{name}/availability  inject/clear an outage
+//	       (JSON {"available": bool} — scripted chaos)
+//	PUT    /v1/providers/{name}/pricing  replace the price sheet at
+//	       runtime (JSON cloud.Pricing — scripted market event)
 //	PUT    /v1/rules/{container} pin a placement rule (JSON core.Rule)
 //	POST   /v1/optimize         run one optimization round
 //	POST   /v1/repair?policy=wait|active  run a repair pass
@@ -107,6 +113,8 @@ func NewGateway(b *Broker) *Gateway {
 	mux.HandleFunc("GET /v1/providers", g.listProviders)
 	mux.HandleFunc("POST /v1/providers", g.addProvider)
 	mux.HandleFunc("DELETE /v1/providers/{name}", g.removeProvider)
+	mux.HandleFunc("PUT /v1/providers/{name}/availability", g.setProviderAvailability)
+	mux.HandleFunc("PUT /v1/providers/{name}/pricing", g.setProviderPricing)
 	mux.HandleFunc("PUT /v1/rules/{container}", g.setRule)
 	mux.HandleFunc("POST /v1/optimize", g.optimize)
 	mux.HandleFunc("POST /v1/repair", g.repair)
@@ -382,7 +390,7 @@ func (g *Gateway) getObject(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if spec, ok := parseRangeHeader(r.Header.Get("Range")); ok {
+	if specs, ok := parseRangeHeader(r.Header.Get("Range")); ok {
 		serve := true
 		if ir := strings.TrimSpace(r.Header.Get("If-Range")); ir != "" {
 			// If-Range gates the range on validator currency (RFC 9110
@@ -397,7 +405,11 @@ func (g *Gateway) getObject(w http.ResponseWriter, r *http.Request) {
 			serve = ifRangeMatches(ir, head)
 		}
 		if serve {
-			g.serveRange(w, r, e, container, key, spec)
+			if len(specs) == 1 {
+				g.serveRange(w, r, e, container, key, specs[0])
+			} else {
+				g.serveMultiRange(w, r, e, container, key, specs)
+			}
 			return
 		}
 	}
@@ -428,26 +440,33 @@ type rangeSpec struct {
 	suffix        int64
 }
 
-// parseRangeHeader parses a "bytes=" Range header. The gateway speaks
-// single-range semantics: a multi-range header ("bytes=a-b,c-d") is
-// answered with its FIRST range as a plain 206 — RFC 9110 §14.2 lets a
-// server satisfy a subset of the requested ranges, and one
-// stripe-mapped range beats the old behaviour of shipping the entire
-// body with 200 (which large-object clients asking for two small slices
-// never want). Malformed headers still report !ok and fall back to the
-// full 200 body.
-func parseRangeHeader(h string) (rangeSpec, bool) {
+// parseRangeHeader parses a "bytes=" Range header into its full
+// ranges-specifier list. One element yields a plain 206 (serveRange);
+// several yield a multipart/byteranges body (serveMultiRange, RFC 9110
+// §14.6). Any syntactically invalid element invalidates the whole
+// header (§14.2 — an invalid ranges-specifier is ignored), reported as
+// !ok so the caller falls back to the full 200 body.
+func parseRangeHeader(h string) ([]rangeSpec, bool) {
 	const prefix = "bytes="
-	spec := rangeSpec{suffix: -1}
 	if !strings.HasPrefix(h, prefix) {
-		return spec, false
+		return nil, false
 	}
-	val := strings.TrimSpace(strings.TrimPrefix(h, prefix))
-	if comma := strings.IndexByte(val, ','); comma >= 0 {
-		// Multi-range: serve the first range only. An empty or malformed
-		// first element falls through to the usual !ok handling below.
-		val = strings.TrimSpace(val[:comma])
+	parts := strings.Split(strings.TrimPrefix(h, prefix), ",")
+	specs := make([]rangeSpec, 0, len(parts))
+	for _, part := range parts {
+		spec, ok := parseRangeSpec(strings.TrimSpace(part))
+		if !ok {
+			return nil, false
+		}
+		specs = append(specs, spec)
 	}
+	return specs, true
+}
+
+// parseRangeSpec parses one ranges-specifier element ("a-b", "a-",
+// "-n").
+func parseRangeSpec(val string) (rangeSpec, bool) {
+	spec := rangeSpec{suffix: -1}
 	if val == "" {
 		return spec, false
 	}
@@ -533,6 +552,83 @@ func (g *Gateway) serveRange(w http.ResponseWriter, r *http.Request, e *Engine, 
 	w.Header().Set("Content-Length", strconv.FormatInt(served, 10))
 	w.WriteHeader(http.StatusPartialContent)
 	io.Copy(w, rc) //nolint:errcheck
+}
+
+// serveMultiRange answers a multi-range GET with a multipart/byteranges
+// body (RFC 9110 §14.6): one part per satisfiable requested range, in
+// request order, each carrying its own Content-Range. All ranges are
+// resolved against a single metadata snapshot so every Content-Range
+// names the same complete-length. Unsatisfiable elements are dropped
+// (§15.3.7 allows serving the satisfiable subset); a request with no
+// satisfiable range at all is a 416. Ranges are served as requested —
+// overlapping or out-of-order elements are not coalesced. The body
+// streams stripe by stripe per part, so there is no Content-Length; a
+// mid-stream failure truncates the multipart payload, which the client
+// detects by the missing closing boundary.
+func (g *Gateway) serveMultiRange(w http.ResponseWriter, r *http.Request, e *Engine, container, key string, specs []rangeSpec) {
+	head, err := e.Head(r.Context(), container, key)
+	if err != nil {
+		failErr(w, err)
+		return
+	}
+	type window struct{ offset, length int64 }
+	windows := make([]window, 0, len(specs))
+	for _, spec := range specs {
+		offset, length := spec.start, spec.length
+		if spec.suffix >= 0 {
+			if spec.suffix == 0 {
+				continue
+			}
+			offset = head.Size - spec.suffix
+			if offset < 0 {
+				offset = 0
+			}
+			length = -1
+		}
+		if offset >= head.Size {
+			continue
+		}
+		if rest := head.Size - offset; length < 0 || length > rest {
+			length = rest
+		}
+		windows = append(windows, window{offset, length})
+	}
+	if len(windows) == 0 {
+		w.Header().Set("Content-Range", "bytes */"+strconv.FormatInt(head.Size, 10))
+		writeError(w, http.StatusRequestedRangeNotSatisfiable, "range_not_satisfiable",
+			"no satisfiable range")
+		return
+	}
+
+	mw := multipart.NewWriter(w)
+	writeMetaHeaders(w, head)
+	w.Header().Set("Content-Type", "multipart/byteranges; boundary="+mw.Boundary())
+	w.WriteHeader(http.StatusPartialContent)
+	for _, win := range windows {
+		rc, _, err := e.GetRangeReader(r.Context(), container, key, win.offset, win.length)
+		if err != nil {
+			// The 206 status line is already on the wire: all we can do
+			// is stop, leaving the payload visibly truncated.
+			return
+		}
+		ph := make(textproto.MIMEHeader)
+		if head.MIME != "" {
+			ph.Set("Content-Type", head.MIME)
+		}
+		ph.Set("Content-Range",
+			fmt.Sprintf("bytes %d-%d/%d", win.offset, win.offset+win.length-1, head.Size))
+		pw, err := mw.CreatePart(ph)
+		if err != nil {
+			rc.Close()
+			return
+		}
+		_, err = io.Copy(pw, rc)
+		rc.Close()
+		if err != nil {
+			return
+		}
+	}
+	mw.Close() //nolint:errcheck
 }
 
 // ifRangeMatches evaluates an If-Range validator against the stored
@@ -794,6 +890,53 @@ func (g *Gateway) removeProvider(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if _, ok := g.broker.Registry().Deregister(name); !ok {
 		writeError(w, http.StatusNotFound, "not_found", "unknown provider "+name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// setProviderAvailability is the scripted-chaos admin route: it injects
+// or clears a transient outage on a provider that supports failure
+// injection. The flip goes through the registry, so the market epoch
+// bumps and cached placement searches are invalidated — exactly the
+// semantics of flipping the backend in-process, but reachable from a
+// load generator on the other side of the wire. Unknown providers and
+// backends without failure injection (remote private resources) are
+// 404.
+func (g *Gateway) setProviderAvailability(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req struct {
+		Available *bool `json:"available"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Available == nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument",
+			`body must be {"available": true|false}`)
+		return
+	}
+	if !g.broker.Registry().SetAvailable(name, *req.Available) {
+		writeError(w, http.StatusNotFound, "not_found",
+			"unknown provider "+name+" (or no failure injection)")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// setProviderPricing replaces a provider's price sheet at runtime — a
+// scripted market price event (the paper's provider "suddenly
+// increasing its pricing policy"). The registry bumps the market epoch
+// so subsequent placements re-plan against the new prices. Unknown
+// providers and backends with immutable pricing are 404.
+func (g *Gateway) setProviderPricing(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var p cloud.Pricing
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument",
+			"malformed pricing: "+err.Error())
+		return
+	}
+	if !g.broker.Registry().SetPricing(name, p) {
+		writeError(w, http.StatusNotFound, "not_found",
+			"unknown provider "+name+" (or fixed pricing)")
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

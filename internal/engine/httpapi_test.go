@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"mime"
+	"mime/multipart"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -552,25 +554,74 @@ func TestGatewayRangeRequests(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	// Multi-range headers are served by their FIRST range as a plain 206
-	// (RFC 9110 §14.2 lets a server satisfy a subset of the ranges) —
-	// the seed shipped the entire body with 200 here, which a client
-	// asking for two small slices of a large object never wants.
+	// Multi-range headers are served as a true multipart/byteranges 206
+	// (RFC 9110 §14.6): one part per range, each with its own
+	// Content-Range against the same complete-length.
 	resp = get("bytes=1500-2499,4000-4099")
-	body, _ = io.ReadAll(resp.Body)
-	resp.Body.Close()
 	if resp.StatusCode != http.StatusPartialContent {
-		t.Fatalf("multi-range GET = %d, want 206 of the first range", resp.StatusCode)
+		t.Fatalf("multi-range GET = %d, want 206", resp.StatusCode)
 	}
-	if !bytes.Equal(body, payload[1500:2500]) {
-		t.Fatalf("multi-range body mismatch: %d bytes", len(body))
+	mediatype, params, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if err != nil || mediatype != "multipart/byteranges" || params["boundary"] == "" {
+		t.Fatalf("multi-range Content-Type = %q (%v)", resp.Header.Get("Content-Type"), err)
 	}
-	if cr := resp.Header.Get("Content-Range"); cr != fmt.Sprintf("bytes 1500-2499/%d", size) {
-		t.Fatalf("multi-range Content-Range = %q", cr)
+	mr := multipart.NewReader(resp.Body, params["boundary"])
+	wantParts := []struct {
+		cr   string
+		data []byte
+	}{
+		{fmt.Sprintf("bytes 1500-2499/%d", size), payload[1500:2500]},
+		{fmt.Sprintf("bytes 4000-4099/%d", size), payload[4000:4100]},
 	}
-	// A multi-range whose first element is malformed still degrades to
-	// the full 200 body, as do plainly malformed headers.
-	for _, rng := range []string{"bytes=abc-def", "bytes=abc-def,0-10", "items=0-1"} {
+	for i, want := range wantParts {
+		part, err := mr.NextPart()
+		if err != nil {
+			t.Fatalf("part %d: %v", i, err)
+		}
+		if cr := part.Header.Get("Content-Range"); cr != want.cr {
+			t.Fatalf("part %d Content-Range = %q, want %q", i, cr, want.cr)
+		}
+		got, err := io.ReadAll(part)
+		if err != nil || !bytes.Equal(got, want.data) {
+			t.Fatalf("part %d body mismatch: %d bytes (%v)", i, len(got), err)
+		}
+	}
+	if _, err := mr.NextPart(); err != io.EOF {
+		t.Fatalf("expected exactly 2 parts, NextPart = %v", err)
+	}
+	resp.Body.Close()
+
+	// A multi-range mixing satisfiable and unsatisfiable elements serves
+	// only the satisfiable subset; all-unsatisfiable is a 416.
+	resp = get(fmt.Sprintf("bytes=0-99,%d-", size))
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("partially satisfiable multi-range = %d, want 206", resp.StatusCode)
+	}
+	_, params, _ = mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	mr = multipart.NewReader(resp.Body, params["boundary"])
+	part, err := mr.NextPart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := io.ReadAll(part); !bytes.Equal(got, payload[:100]) {
+		t.Fatalf("satisfiable-subset part mismatch: %d bytes", len(got))
+	}
+	if _, err := mr.NextPart(); err != io.EOF {
+		t.Fatalf("expected exactly 1 part, NextPart = %v", err)
+	}
+	resp.Body.Close()
+	resp = get(fmt.Sprintf("bytes=%d-,-0", size))
+	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Fatalf("all-unsatisfiable multi-range = %d, want 416", resp.StatusCode)
+	}
+	if cr := resp.Header.Get("Content-Range"); cr != fmt.Sprintf("bytes */%d", size) {
+		t.Fatalf("multi-range 416 Content-Range = %q", cr)
+	}
+	resp.Body.Close()
+
+	// Any malformed element invalidates the whole header (RFC 9110
+	// §14.2): the response degrades to the full 200 body.
+	for _, rng := range []string{"bytes=abc-def", "bytes=abc-def,0-10", "bytes=0-10,abc-def", "items=0-1"} {
 		resp = get(rng)
 		body, _ = io.ReadAll(resp.Body)
 		resp.Body.Close()

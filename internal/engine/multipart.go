@@ -82,6 +82,10 @@ type uploadSession struct {
 	closed   bool
 	inflight map[int]bool        // part numbers currently streaming
 	parts    map[int]*stagedPart // staged (fully written) parts
+	// lastActive is the broker wall-clock of the session's most recent
+	// use (creation, part claim/settle, part listing); the TTL sweep
+	// evicts sessions idle past the deadline.
+	lastActive time.Time
 }
 
 // stagedPart records one fully staged part.
@@ -169,18 +173,19 @@ func (e *Engine) CreateUpload(ctx context.Context, container, key string, sizeHi
 		names = append(names, spec.Name)
 	}
 	s := &uploadSession{
-		id:        NewUUID(),
-		container: container,
-		key:       key,
-		opts:      opts,
-		ruleName:  rule.Name,
-		uuid:      uuid,
-		skey:      StorageKey(container, key, uuid),
-		placement: res.Placement,
-		names:     names,
-		createdAt: e.b.clock.Period(),
-		inflight:  make(map[int]bool),
-		parts:     make(map[int]*stagedPart),
+		id:         NewUUID(),
+		container:  container,
+		key:        key,
+		opts:       opts,
+		ruleName:   rule.Name,
+		uuid:       uuid,
+		skey:       StorageKey(container, key, uuid),
+		placement:  res.Placement,
+		names:      names,
+		createdAt:  e.b.clock.Period(),
+		inflight:   make(map[int]bool),
+		parts:      make(map[int]*stagedPart),
+		lastActive: e.b.now(),
 	}
 	e.b.addUpload(s)
 	return UploadInfo{UploadID: s.id, Container: container, Key: key}, nil
@@ -220,12 +225,14 @@ func (e *Engine) UploadPart(ctx context.Context, uploadID string, partNumber int
 		return PartInfo{}, fmt.Errorf("%w: part %d is already uploading", ErrInvalidArgument, partNumber)
 	}
 	s.inflight[partNumber] = true
+	s.lastActive = e.b.now()
 	replaced := s.parts[partNumber]
 	delete(s.parts, partNumber)
 	s.mu.Unlock()
 	settle := func() { // drop the claim on every exit path
 		s.mu.Lock()
 		delete(s.inflight, partNumber)
+		s.lastActive = e.b.now()
 		s.mu.Unlock()
 	}
 	if replaced != nil {
@@ -257,6 +264,7 @@ func (e *Engine) UploadPart(ctx context.Context, uploadID string, partNumber int
 	}
 	s.parts[partNumber] = part
 	delete(s.inflight, partNumber)
+	s.lastActive = e.b.now()
 	s.mu.Unlock()
 	return PartInfo{PartNumber: partNumber, ETag: etag, Size: size, Stripes: stripes}, nil
 }
@@ -297,6 +305,7 @@ func (e *Engine) ListParts(ctx context.Context, uploadID string) (UploadInfo, []
 	if s.closed {
 		return UploadInfo{}, nil, fmt.Errorf("%w: %s", ErrUploadNotFound, uploadID)
 	}
+	s.lastActive = e.b.now() // a resume probe is activity
 	out := make([]PartInfo, 0, len(s.parts))
 	for _, p := range s.parts {
 		out = append(out, PartInfo{PartNumber: p.number, ETag: p.etag, Size: p.size, Stripes: p.stripes})
@@ -483,4 +492,50 @@ func (e *Engine) deletePartChunks(s *uploadSession, p *stagedPart) {
 			e.deleteChunkAt(name, PartChunkKey(s.skey, p.number, st, i))
 		}
 	}
+}
+
+// SweepExpiredUploads evicts multipart upload sessions whose last
+// activity (creation, part upload, part listing) is at least ttl ago:
+// abandoned sessions would otherwise pin their staged chunks — and the
+// provider bytes billed for them — in perpetuity, since sessions live
+// only in broker memory. Eviction follows the abort path: the session
+// closes, leaves the table (the activeUploads gauge is the table
+// length, so it drops with it) and every staged part's chunks are
+// garbage-collected. Sessions with a part currently streaming are
+// skipped — an in-flight part is activity, whatever the clock says.
+// ttl <= 0 disables the sweep. Returns the number of sessions evicted.
+func (b *Broker) SweepExpiredUploads(ttl time.Duration) int {
+	if ttl <= 0 {
+		return 0
+	}
+	now := b.now()
+	b.uploadsMu.Lock()
+	sessions := make([]*uploadSession, 0, len(b.uploads))
+	for _, s := range b.uploads {
+		sessions = append(sessions, s)
+	}
+	b.uploadsMu.Unlock()
+
+	e := b.Engine(0)
+	evicted := 0
+	for _, s := range sessions {
+		s.mu.Lock()
+		if s.closed || len(s.inflight) > 0 || now.Sub(s.lastActive) < ttl {
+			s.mu.Unlock()
+			continue
+		}
+		s.closed = true
+		staged := make([]*stagedPart, 0, len(s.parts))
+		for _, p := range s.parts {
+			staged = append(staged, p)
+		}
+		s.parts = nil
+		s.mu.Unlock()
+		b.removeUpload(s.id)
+		for _, p := range staged {
+			e.deletePartChunks(s, p)
+		}
+		evicted++
+	}
+	return evicted
 }

@@ -1,0 +1,155 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"scalia"
+)
+
+// ReportSchema identifies the BENCH JSON layout emitted by a loadgen
+// run; bump on breaking changes.
+const ReportSchema = "scalia-loadgen/v1"
+
+// OpStats is the per-op-type slice of a run: volume, latency quantiles
+// (measured against the scheduled dispatch time, so queueing delay from
+// a saturated deployment is charged to the op — no coordinated
+// omission), and errors bucketed by typed error code.
+type OpStats struct {
+	Count        int64            `json:"count"`
+	Errors       int64            `json:"errors"`
+	P50Ms        float64          `json:"p50Ms"`
+	P90Ms        float64          `json:"p90Ms"`
+	P99Ms        float64          `json:"p99Ms"`
+	ErrorsByCode map[string]int64 `json:"errorsByCode,omitempty"`
+}
+
+// StatsDelta is the deployment-side view of the run: /v1/stats scraped
+// before and after, differenced for the cumulative counters and
+// reported raw for the gauges whose resting values are the interesting
+// part.
+type StatsDelta struct {
+	CacheHits         int64   `json:"cacheHits"`
+	CacheMisses       int64   `json:"cacheMisses"`
+	StripesFromCache  int64   `json:"stripesFromCache"`
+	StripesFetched    int64   `json:"stripesFetched"`
+	PrefetchedStripes int64   `json:"prefetchedStripes"`
+	FetchFallbacks    int64   `json:"fetchFallbacks"`
+	StripesWritten    int64   `json:"stripesWritten"`
+	RepairPasses      int     `json:"repairPasses"`
+	RepairRepaired    int     `json:"repairRepaired"`
+	RepairSwapped     int     `json:"repairSwapped"`
+	RepairRestriped   int     `json:"repairRestriped"`
+	OptimizerRounds   int     `json:"optimizerRounds"`
+	OptimizerMigrated int     `json:"optimizerMigrated"`
+	CostUSD           float64 `json:"costUSD"`
+
+	// Gauges sampled after the run (not differenced).
+	ReadBufferedStripesPeak  int64 `json:"readBufferedStripesPeak"`
+	WriteBufferedStripesPeak int64 `json:"writeBufferedStripesPeak"`
+	// ReadBufferedStripes must be 0 at rest — anything else is a leaked
+	// prefetch-budget slot.
+	ReadBufferedStripes int64 `json:"readBufferedStripes"`
+	ActiveUploads       int   `json:"activeUploads"`
+	PendingDeletes      int   `json:"pendingDeletes"`
+}
+
+// diffStats builds the delta between two /v1/stats scrapes.
+func diffStats(before, after scalia.Stats) *StatsDelta {
+	return &StatsDelta{
+		CacheHits:         int64(after.StripeCache.Hits) - int64(before.StripeCache.Hits),
+		CacheMisses:       int64(after.StripeCache.Misses) - int64(before.StripeCache.Misses),
+		StripesFromCache:  after.ReadPath.StripesFromCache - before.ReadPath.StripesFromCache,
+		StripesFetched:    after.ReadPath.StripesFetched - before.ReadPath.StripesFetched,
+		PrefetchedStripes: after.ReadPath.PrefetchedStripes - before.ReadPath.PrefetchedStripes,
+		FetchFallbacks:    after.ReadPath.FetchFallbacks - before.ReadPath.FetchFallbacks,
+		StripesWritten:    after.WritePath.StripesWritten - before.WritePath.StripesWritten,
+		RepairPasses:      after.Repair.Passes - before.Repair.Passes,
+		RepairRepaired:    after.Repair.Repaired - before.Repair.Repaired,
+		RepairSwapped:     after.Repair.Swapped - before.Repair.Swapped,
+		RepairRestriped:   after.Repair.Restriped - before.Repair.Restriped,
+		OptimizerRounds:   after.Optimizer.Rounds - before.Optimizer.Rounds,
+		OptimizerMigrated: after.Optimizer.Migrated - before.Optimizer.Migrated,
+		CostUSD:           after.CostUSD - before.CostUSD,
+
+		ReadBufferedStripesPeak:  after.ReadPath.BufferedStripesPeak,
+		WriteBufferedStripesPeak: after.WritePath.BufferedStripesPeak,
+		ReadBufferedStripes:      after.ReadPath.BufferedStripes,
+		ActiveUploads:            after.WritePath.ActiveUploads,
+		PendingDeletes:           after.PendingDeletes,
+	}
+}
+
+// Report is the BENCH_loadgen JSON artifact for one run.
+type Report struct {
+	Schema   string `json:"schema"`
+	Scenario string `json:"scenario"`
+	Seed     uint64 `json:"seed"`
+	Workers  int    `json:"workers"`
+
+	// OfferedRatePerSec is what the open-loop pacer scheduled;
+	// AchievedRatePerSec is what the deployment absorbed. A gap means
+	// the deployment could not keep up with the offered load.
+	OfferedRatePerSec  float64 `json:"offeredRatePerSec"`
+	AchievedRatePerSec float64 `json:"achievedRatePerSec"`
+	DurationSeconds    float64 `json:"durationSeconds"`
+
+	// SeedOps populates the namespace before pacing starts so Get and
+	// Delete target objects the run wrote; it is untimed.
+	SeedOps    int64 `json:"seedOps"`
+	SeedErrors int64 `json:"seedErrors"`
+
+	TotalOps    int64   `json:"totalOps"`
+	TotalErrors int64   `json:"totalErrors"`
+	ErrorRate   float64 `json:"errorRate"`
+
+	Ops          map[string]OpStats `json:"ops"`
+	ErrorsByCode map[string]int64   `json:"errorsByCode,omitempty"`
+
+	Chaos      []ExecutedEvent `json:"chaos,omitempty"`
+	StatsDelta *StatsDelta     `json:"statsDelta,omitempty"`
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Summary renders a short human-readable digest for terminal output.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario=%s seed=%d workers=%d\n", r.Scenario, r.Seed, r.Workers)
+	fmt.Fprintf(&b, "offered=%.1f/s achieved=%.1f/s elapsed=%.1fs\n",
+		r.OfferedRatePerSec, r.AchievedRatePerSec, r.DurationSeconds)
+	fmt.Fprintf(&b, "ops=%d errors=%d (%.3f%%) seed-ops=%d\n",
+		r.TotalOps, r.TotalErrors, r.ErrorRate*100, r.SeedOps)
+	kinds := make([]string, 0, len(r.Ops))
+	for k := range r.Ops {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		s := r.Ops[k]
+		fmt.Fprintf(&b, "  %-6s n=%-7d err=%-5d p50=%.1fms p90=%.1fms p99=%.1fms\n",
+			k, s.Count, s.Errors, s.P50Ms, s.P90Ms, s.P99Ms)
+	}
+	for _, ev := range r.Chaos {
+		status := "ok"
+		if ev.Error != "" {
+			status = "ERR " + ev.Error
+		}
+		fmt.Fprintf(&b, "  chaos t=%.1fs %s %s [%s]\n", ev.AtSeconds, ev.Action, ev.Provider, status)
+	}
+	if d := r.StatsDelta; d != nil {
+		fmt.Fprintf(&b, "  stats: cache-hits=%d stripes-fetched=%d fallbacks=%d repairs=%d migrated=%d buffered-stripes=%d (must be 0)\n",
+			d.CacheHits, d.StripesFetched, d.FetchFallbacks, d.RepairRepaired, d.OptimizerMigrated, d.ReadBufferedStripes)
+	}
+	return b.String()
+}

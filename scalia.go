@@ -464,6 +464,14 @@ func (c *Client) SetProviderAvailable(name string, up bool) bool {
 	return c.broker.Registry().SetAvailable(name, up)
 }
 
+// SetProviderPricing replaces a provider's price sheet at runtime — the
+// paper's market price event. The market epoch bumps so cached
+// placement searches re-plan against the new prices; false means the
+// provider is unknown or its backend has immutable pricing.
+func (c *Client) SetProviderPricing(name string, p Pricing) bool {
+	return c.broker.Registry().SetPricing(name, p)
+}
+
 // Optimize runs one periodic optimization procedure (leader election,
 // trend-gated recomputation, cost-justified migration). Cancelling ctx
 // stops the shard scans early.
