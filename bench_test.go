@@ -548,6 +548,19 @@ func (s *slowRWBackend) Put(ctx context.Context, key string, data []byte) error 
 	return s.BlobStore.Put(ctx, key, data)
 }
 
+// PutBatch pays the round-trip ONCE for the whole batch — the
+// amortization the swap batcher exists to exploit. Without this
+// override the embedded BlobStore's PutBatch would be free of the
+// simulated latency entirely.
+func (s *slowRWBackend) PutBatch(ctx context.Context, items []cloud.BatchItem) error {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return s.BlobStore.PutBatch(ctx, items)
+}
+
 // BenchmarkRepairSwap measures one active repair of an 8-stripe (m=2,
 // n=3) object after a single provider failure, against providers with a
 // simulated per-op round-trip: the same-(m,n) chunk-swap path (write
@@ -633,4 +646,126 @@ func BenchmarkRepairSwap(b *testing.B) {
 
 	b.Run("swap", func(b *testing.B) { run(b, false) })
 	b.Run("restripe", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkRepairAffected measures one repair pass after a
+// single-provider outage affecting ~1% of a multi-thousand-object
+// store: the provider→objects inverted index enumerates only the
+// affected objects, against the pre-index full scan kept as
+// RepairFullScan. objects-checked/op is the headline ablation metric —
+// indexed stays at the affected count while fullscan walks the store.
+func BenchmarkRepairAffected(b *testing.B) {
+	const total, affectedPct = 3000, 100 // 1 in 100 objects lands on the victim
+	setup := func(b *testing.B) *engine.Broker {
+		b.Helper()
+		reg := cloud.NewRegistry()
+		for _, name := range []string{"A", "B", "C"} {
+			reg.Register(cloud.NewBlobStore(cloud.Spec{
+				Name: name, Durability: 0.99999, Availability: 0.999,
+				Zones:   []cloud.Zone{cloud.ZoneUS},
+				Pricing: cloud.Pricing{StorageGBMonth: 0.10, BandwidthInGB: 0.1, BandwidthOutGB: 0.15, OpsPer1000: 0.01},
+			}))
+		}
+		// The victim serves a zone of its own so only the "vic"
+		// container's rule ever places chunks there.
+		reg.Register(cloud.NewBlobStore(cloud.Spec{
+			Name: "V", Durability: 0.99999, Availability: 0.999,
+			Zones:   []cloud.Zone{cloud.ZoneAPAC},
+			Pricing: cloud.Pricing{StorageGBMonth: 0.10, BandwidthInGB: 0.1, BandwidthOutGB: 0.15, OpsPer1000: 0.01},
+		}))
+		br := engine.NewBroker(engine.Config{Registry: reg, Clock: engine.NewSimClock()})
+		b.Cleanup(br.Close)
+		br.Rules().SetContainerRule("hot", core.Rule{
+			Durability: 0.9999, Availability: 0.99, Zones: []cloud.Zone{cloud.ZoneUS}, LockIn: 1.0 / 3,
+		})
+		br.Rules().SetContainerRule("vic", core.Rule{
+			Durability: 0.999, Availability: 0.99, Zones: []cloud.Zone{cloud.ZoneAPAC}, LockIn: 1,
+		})
+		e := br.Engine(0)
+		payload := make([]byte, 512)
+		for i := 0; i < total; i++ {
+			container := "hot"
+			if i%affectedPct == 0 {
+				container = "vic"
+			}
+			if _, err := e.Put(bgctx, container, fmt.Sprintf("k%d", i), payload, engine.PutOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		br.FlushStats()
+		return br
+	}
+	run := func(b *testing.B, pass func(*engine.Broker) (engine.RepairReport, error)) {
+		b.Helper()
+		br := setup(b)
+		var checked, affected int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			br.Registry().SetAvailable("V", false)
+			rep, err := pass(br)
+			if err != nil || rep.Affected != total/affectedPct {
+				b.Fatalf("repair: %v (%+v)", err, rep)
+			}
+			br.Registry().SetAvailable("V", true)
+			checked += int64(rep.Checked)
+			affected += int64(rep.Affected)
+		}
+		b.ReportMetric(float64(checked)/float64(b.N), "objects-checked/op")
+		b.ReportMetric(float64(affected)/float64(b.N), "objects-affected/op")
+	}
+	b.Run("indexed", func(b *testing.B) {
+		run(b, func(br *engine.Broker) (engine.RepairReport, error) {
+			return br.Repair(bgctx, engine.RepairWait)
+		})
+	})
+	b.Run("fullscan", func(b *testing.B) {
+		run(b, func(br *engine.Broker) (engine.RepairReport, error) {
+			return br.RepairFullScan(bgctx, engine.RepairWait)
+		})
+	})
+}
+
+// BenchmarkReoptimizeEvent measures reacting to one market event (a
+// pricing change on a provider carrying data): the event-driven path
+// drains exactly the invalidated objects from the maintenance queue,
+// against the periodic full-store Optimize the event path replaces.
+// The two pricing sheets differ by a hair so the re-plan keeps every
+// placement put — isolating invalidation + re-plan cost from migration
+// traffic.
+func BenchmarkReoptimizeEvent(b *testing.B) {
+	sheets := []cloud.Pricing{
+		{StorageGBMonth: 0.100, BandwidthInGB: 0.10, BandwidthOutGB: 0.15, OpsPer1000: 0.01},
+		{StorageGBMonth: 0.101, BandwidthInGB: 0.10, BandwidthOutGB: 0.15, OpsPer1000: 0.01},
+	}
+	b.Run("event-drain", func(b *testing.B) {
+		br, _ := newBenchBroker(b, 512)
+		victim := br.ProviderIndex().ProviderNames()[0]
+		var drained int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := br.Registry().UpdatePricing(victim, sheets[i%2]); err != nil {
+				b.Fatal(err)
+			}
+			drained += int64(br.DrainMaintenance(bgctx))
+		}
+		b.ReportMetric(float64(drained)/float64(b.N), "objects-replanned/op")
+	})
+	b.Run("full-optimize", func(b *testing.B) {
+		br, clock := newBenchBroker(b, 512)
+		victim := br.ProviderIndex().ProviderNames()[0]
+		var scanned int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := br.Registry().UpdatePricing(victim, sheets[i%2]); err != nil {
+				b.Fatal(err)
+			}
+			clock.Advance(1)
+			rep, err := br.OptimizeFullScan(bgctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scanned += int64(rep.Scanned)
+		}
+		b.ReportMetric(float64(scanned)/float64(b.N), "objects-replanned/op")
+	})
 }

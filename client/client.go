@@ -26,6 +26,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"scalia"
 	"scalia/internal/obs"
@@ -103,6 +104,12 @@ func sentinelFor(code string) error {
 		return scalia.ErrObjectTooLarge
 	case "over_capacity":
 		return scalia.ErrProviderOverCapacity
+	case "unknown_provider":
+		return scalia.ErrUnknownProvider
+	case "unsupported_mutation":
+		return scalia.ErrUnsupportedMutation
+	case "job_not_found":
+		return scalia.ErrObjectNotFound
 	default:
 		return ErrRemote
 	}
@@ -773,30 +780,53 @@ func (c *Client) RemoveProvider(ctx context.Context, name string) error {
 	return nil
 }
 
-// SetProviderAvailable injects or clears a transient provider outage
-// through the admin API (PUT /v1/providers/{name}/availability) — the
-// wire-side counterpart of the facade's SetProviderAvailable, used by
-// scripted chaos schedules. Unknown providers — and backends without
-// failure injection — surface as scalia.ErrObjectNotFound.
-func (c *Client) SetProviderAvailable(ctx context.Context, name string, up bool) error {
+// UpdateProviderAvailability injects or clears a transient provider
+// outage through the admin API (PUT /v1/providers/{name}/availability)
+// and returns the market epoch the mutation advanced the deployment to.
+// Unknown providers surface as scalia.ErrUnknownProvider; backends
+// without failure injection as scalia.ErrUnsupportedMutation.
+func (c *Client) UpdateProviderAvailability(ctx context.Context, name string, up bool) (scalia.ProviderMutation, error) {
 	body := struct {
 		Available bool `json:"available"`
 	}{Available: up}
-	return c.putJSONNoContent(ctx,
-		c.base+"/v1/providers/"+url.PathEscape(name)+"/availability", body)
+	var mut scalia.ProviderMutation
+	err := c.putJSON(ctx,
+		c.base+"/v1/providers/"+url.PathEscape(name)+"/availability", body, &mut)
+	return mut, err
 }
 
-// SetProviderPricing replaces a provider's price sheet at runtime (PUT
-// /v1/providers/{name}/pricing) — a scripted market price event; the
-// deployment bumps its market epoch so subsequent placements re-plan
-// against the new prices.
+// SetProviderAvailable is UpdateProviderAvailability without the
+// epoch-echoing response — the error-only convenience chaos schedules
+// use.
+func (c *Client) SetProviderAvailable(ctx context.Context, name string, up bool) error {
+	_, err := c.UpdateProviderAvailability(ctx, name, up)
+	return err
+}
+
+// UpdateProviderPricing replaces a provider's price sheet at runtime
+// (PUT /v1/providers/{name}/pricing) — a scripted market price event;
+// the response echoes the new market epoch, so the caller can correlate
+// the event with subsequent placement decisions. Error contract as
+// UpdateProviderAvailability.
+func (c *Client) UpdateProviderPricing(ctx context.Context, name string, p scalia.Pricing) (scalia.ProviderMutation, error) {
+	body := struct {
+		Pricing scalia.Pricing `json:"pricing"`
+	}{Pricing: p}
+	var mut scalia.ProviderMutation
+	err := c.putJSON(ctx,
+		c.base+"/v1/providers/"+url.PathEscape(name)+"/pricing", body, &mut)
+	return mut, err
+}
+
+// SetProviderPricing is UpdateProviderPricing without the epoch-echoing
+// response.
 func (c *Client) SetProviderPricing(ctx context.Context, name string, p scalia.Pricing) error {
-	return c.putJSONNoContent(ctx,
-		c.base+"/v1/providers/"+url.PathEscape(name)+"/pricing", p)
+	_, err := c.UpdateProviderPricing(ctx, name, p)
+	return err
 }
 
-// putJSONNoContent PUTs a JSON body and expects 204.
-func (c *Client) putJSONNoContent(ctx context.Context, u string, body any) error {
+// putJSON PUTs a JSON body and decodes a 200 JSON response into v.
+func (c *Client) putJSON(ctx context.Context, u string, body, v any) error {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return err
@@ -806,33 +836,116 @@ func (c *Client) putJSONNoContent(ctx context.Context, u string, body any) error
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent {
-		return decodeErr(resp)
-	}
-	return nil
+	return c.doJSONStatus(req, http.StatusOK, v)
 }
 
-// Optimize runs one periodic optimization round on the deployment.
+// Optimize runs one optimization round synchronously (?wait=true) and
+// returns the final report — the pre-jobs blocking contract. Large
+// deployments should prefer StartOptimize + WaitForJob so no HTTP
+// request stays open across a full scan.
 func (c *Client) Optimize(ctx context.Context) (scalia.OptimizeReport, error) {
 	var rep scalia.OptimizeReport
-	err := c.postJSON(ctx, c.base+"/v1/optimize", &rep)
+	err := c.postJSON(ctx, c.base+"/v1/optimize?wait=true", &rep)
 	return rep, err
 }
 
-// Repair runs a repair pass with the given policy.
+// Repair runs a repair pass synchronously (?wait=true) with the given
+// policy and returns the final report.
 func (c *Client) Repair(ctx context.Context, policy scalia.RepairPolicy) (scalia.RepairReport, error) {
-	p := "wait"
-	if policy == scalia.RepairActive {
-		p = "active"
-	}
 	var rep scalia.RepairReport
-	err := c.postJSON(ctx, c.base+"/v1/repair?policy="+p, &rep)
+	err := c.postJSON(ctx, c.base+"/v1/repair?wait=true&policy="+policyName(policy), &rep)
 	return rep, err
+}
+
+func policyName(policy scalia.RepairPolicy) string {
+	if policy == scalia.RepairActive {
+		return "active"
+	}
+	return "wait"
+}
+
+// StartOptimize dispatches an asynchronous optimization round (POST
+// /v1/optimize, 202 Accepted) and returns the job resource to poll.
+func (c *Client) StartOptimize(ctx context.Context) (scalia.Job, error) {
+	var job scalia.Job
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/optimize", nil)
+	if err != nil {
+		return job, err
+	}
+	err = c.doJSONStatus(req, http.StatusAccepted, &job)
+	return job, err
+}
+
+// StartRepair dispatches an asynchronous repair pass (POST /v1/repair,
+// 202 Accepted) and returns the job resource to poll.
+func (c *Client) StartRepair(ctx context.Context, policy scalia.RepairPolicy) (scalia.Job, error) {
+	var job scalia.Job
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/repair?policy="+policyName(policy), nil)
+	if err != nil {
+		return job, err
+	}
+	err = c.doJSONStatus(req, http.StatusAccepted, &job)
+	return job, err
+}
+
+// Job fetches one maintenance job: state, live progress, and the final
+// report once the pass finishes. Unknown jobs surface as
+// scalia.ErrObjectNotFound.
+func (c *Client) Job(ctx context.Context, id string) (scalia.Job, error) {
+	var job scalia.Job
+	err := c.getJSON(ctx, c.base+"/v1/jobs/"+url.PathEscape(id), &job)
+	return job, err
+}
+
+// Jobs pages through the deployment's maintenance jobs with the same
+// prefix/limit/after shape as the object listing. Zero values mean no
+// prefix filter, first page, server default page size.
+func (c *Client) Jobs(ctx context.Context, prefix, after string, limit int) (scalia.JobList, error) {
+	q := url.Values{}
+	if prefix != "" {
+		q.Set("prefix", prefix)
+	}
+	if after != "" {
+		q.Set("after", after)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	u := c.base + "/v1/jobs"
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	var list scalia.JobList
+	err := c.getJSON(ctx, u, &list)
+	return list, err
+}
+
+// WaitForJob polls a job every interval (default 50ms when <= 0) until
+// it leaves the running state or ctx is cancelled. A job that finishes
+// in the failed state is returned with a non-nil error wrapping its
+// message.
+func (c *Client) WaitForJob(ctx context.Context, id string, interval time.Duration) (scalia.Job, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		job, err := c.Job(ctx, id)
+		if err != nil {
+			return job, err
+		}
+		switch job.State {
+		case scalia.JobDone:
+			return job, nil
+		case scalia.JobFailed:
+			return job, fmt.Errorf("%w: job %s failed: %s", ErrRemote, id, job.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return job, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
 }
 
 // Stats returns the deployment's operational counters: planner cache
@@ -860,12 +973,16 @@ func (c *Client) postJSON(ctx context.Context, u string, v any) error {
 }
 
 func (c *Client) doJSON(req *http.Request, v any) error {
+	return c.doJSONStatus(req, http.StatusOK, v)
+}
+
+func (c *Client) doJSONStatus(req *http.Request, want int, v any) error {
 	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != want {
 		return decodeErr(resp)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {

@@ -1,0 +1,68 @@
+package client_test
+
+import (
+	"errors"
+	"testing"
+
+	"scalia"
+)
+
+// TestClientAsyncJobs drives the jobs API end to end over the wire:
+// dispatch returns a registered job, WaitForJob polls it to a terminal
+// state with the report attached, the listing pages dispatched jobs in
+// creation order, and unknown IDs surface the not-found sentinel.
+func TestClientAsyncJobs(t *testing.T) {
+	_, c := newRemote(t, scalia.Options{})
+
+	if _, err := c.Put(ctx, "c", "k", []byte("async")); err != nil {
+		t.Fatal(err)
+	}
+
+	job, err := c.StartRepair(ctx, scalia.RepairActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.Kind != scalia.JobRepair || job.Policy != "active" {
+		t.Fatalf("dispatched job = %+v", job)
+	}
+	job, err = c.WaitForJob(ctx, job.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All providers are healthy, so the indexed pass enumerates nothing.
+	if job.State != scalia.JobDone || job.Repair == nil || job.Repair.Checked != 0 {
+		t.Fatalf("finished repair job = %+v", job)
+	}
+
+	job2, err := c.StartOptimize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job2, err = c.WaitForJob(ctx, job2.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job2.State != scalia.JobDone || job2.Optimize == nil || job2.Optimize.Leader == "" {
+		t.Fatalf("finished optimize job = %+v", job2)
+	}
+
+	// Both dispatched jobs page back in creation order.
+	page, err := c.Jobs(ctx, "", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Jobs) != 1 || page.Jobs[0].ID != job.ID || !page.Truncated {
+		t.Fatalf("first page = %+v", page)
+	}
+	page, err = c.Jobs(ctx, "", page.Next, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Jobs) != 1 || page.Jobs[0].ID != job2.ID || page.Truncated {
+		t.Fatalf("second page = %+v", page)
+	}
+
+	if _, err := c.Job(ctx, "j99999999"); !errors.Is(err, scalia.ErrObjectNotFound) {
+		t.Fatalf("unknown job = %v, want not-found sentinel", err)
+	}
+}

@@ -69,6 +69,12 @@ func main() {
 		"deprecated alias of -max-buffer-mb; consulted only when -max-buffer-mb is left at its default")
 	multipartTTL := flag.Duration("multipart-ttl", 24*time.Hour,
 		"evict multipart upload sessions idle this long and GC their staged chunks (0 = never)")
+	reoptWorkers := flag.Int("reopt-workers", 2,
+		"background workers draining the event-driven reoptimization queue (0 = enqueue only)")
+	reoptQueue := flag.Int("reopt-queue", engine.DefaultReoptQueueDepth,
+		"bound on queued placement invalidations (overflow is dropped and left to periodic optimize)")
+	swapBatch := flag.Int("swap-batch", engine.DefaultSwapBatchSize,
+		"prepared chunk swaps batched per provider write during repair (negative = unbatched)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	accessLog := flag.Bool("access-log", true, "log one structured line per gateway request")
 	flag.Parse()
@@ -91,6 +97,9 @@ func main() {
 		PrefetchStripes:    *prefetchStripes,
 		WritePipelineDepth: *writeDepth,
 		MaxBufferBytes:     maxBuffer,
+		ReoptWorkers:       *reoptWorkers,
+		ReoptQueueDepth:    *reoptQueue,
+		SwapBatchSize:      *swapBatch,
 		Clock:              engine.NewWallClock(*periodHours),
 	})
 	if err != nil {

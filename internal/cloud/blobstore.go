@@ -144,6 +144,65 @@ func (s *BlobStore) Put(ctx context.Context, key string, data []byte) error {
 	return nil
 }
 
+// BatchItem is one write of a provider batch.
+type BatchItem struct {
+	Key  string
+	Data []byte
+}
+
+// BatchWriter is implemented by backends that can accept many chunk
+// writes in one provider round-trip. Repairing many small objects onto
+// the same spare amortizes the per-op latency that otherwise dominates:
+// the engine groups prepared swap chunks by target provider and
+// flushes them through PutBatch.
+type BatchWriter interface {
+	PutBatch(ctx context.Context, items []BatchItem) error
+}
+
+// PutBatch stores every item under one lock acquisition — the simulated
+// equivalent of a single provider round-trip. Validation (availability,
+// chunk-size limit, capacity) runs over the whole batch before any
+// write lands, so a rejected batch leaves the store untouched; each
+// item is still metered individually, keeping billing identical to
+// per-item Puts.
+func (s *BlobStore) PutBatch(ctx context.Context, items []BatchItem) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return fmt.Errorf("%w: %s", ErrUnavailable, s.spec.Name)
+	}
+	var delta int64
+	for _, it := range items {
+		if it.Key == "" {
+			return fmt.Errorf("cloud: empty key")
+		}
+		if s.spec.MaxChunkBytes > 0 && int64(len(it.Data)) > s.spec.MaxChunkBytes {
+			return fmt.Errorf("%w: %s limit %d got %d", ErrTooLarge, s.spec.Name, s.spec.MaxChunkBytes, len(it.Data))
+		}
+		delta += int64(len(it.Data))
+		if old, ok := s.objects[it.Key]; ok {
+			delta -= int64(len(old))
+		}
+	}
+	if s.spec.CapacityBytes > 0 && s.used+delta > s.spec.CapacityBytes {
+		return fmt.Errorf("%w: %s", ErrOverCapacity, s.spec.Name)
+	}
+	for _, it := range items {
+		cp := make([]byte, len(it.Data))
+		copy(cp, it.Data)
+		if old, ok := s.objects[it.Key]; ok {
+			s.used -= int64(len(old))
+		}
+		s.objects[it.Key] = cp
+		s.used += int64(len(cp))
+		s.meter.RecordIn(int64(len(cp)))
+	}
+	return nil
+}
+
 // Get retrieves the object stored under key.
 func (s *BlobStore) Get(ctx context.Context, key string) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
@@ -225,4 +284,7 @@ func (s *BlobStore) AccrueStorage(hours float64) {
 	s.meter.AccrueStorage(s.UsedBytes(), hours)
 }
 
-var _ Store = (*BlobStore)(nil)
+var (
+	_ Store       = (*BlobStore)(nil)
+	_ BatchWriter = (*BlobStore)(nil)
+)

@@ -1,0 +1,99 @@
+package cloud
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+func batchStore(capacity, maxChunk int64) *BlobStore {
+	return NewBlobStore(Spec{
+		Name: "B", Durability: 0.99999, Availability: 0.999,
+		Zones: []Zone{ZoneUS}, CapacityBytes: capacity, MaxChunkBytes: maxChunk,
+	})
+}
+
+func TestPutBatchAllOrNothing(t *testing.T) {
+	ctx := context.Background()
+	s := batchStore(100, 0)
+	if err := s.Put(ctx, "keep", bytes.Repeat([]byte{1}, 40)); err != nil {
+		t.Fatal(err)
+	}
+	// 40 used + 70 batched > 100 capacity: the whole batch must bounce
+	// with nothing landed, even though item "a" alone would fit.
+	err := s.PutBatch(ctx, []BatchItem{
+		{Key: "a", Data: bytes.Repeat([]byte{2}, 30)},
+		{Key: "b", Data: bytes.Repeat([]byte{3}, 40)},
+	})
+	if !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("over-capacity batch = %v", err)
+	}
+	if s.ObjectCount() != 1 || s.UsedBytes() != 40 {
+		t.Fatalf("rejected batch landed writes: %d objects, %d bytes", s.ObjectCount(), s.UsedBytes())
+	}
+	// Same for a chunk-size violation buried mid-batch.
+	s2 := batchStore(0, 10)
+	err = s2.PutBatch(ctx, []BatchItem{
+		{Key: "ok", Data: []byte("small")},
+		{Key: "big", Data: bytes.Repeat([]byte{4}, 11)},
+	})
+	if !errors.Is(err, ErrTooLarge) || s2.ObjectCount() != 0 {
+		t.Fatalf("oversized batch = %v, %d objects", err, s2.ObjectCount())
+	}
+	// Empty keys are rejected like single Puts.
+	if err := s2.PutBatch(ctx, []BatchItem{{Key: "", Data: []byte("x")}}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestPutBatchUnavailable(t *testing.T) {
+	ctx := context.Background()
+	s := batchStore(0, 0)
+	s.SetAvailable(false)
+	err := s.PutBatch(ctx, []BatchItem{{Key: "a", Data: []byte("x")}})
+	if !errors.Is(err, ErrUnavailable) || s.ObjectCount() != 0 {
+		t.Fatalf("down store batch = %v, %d objects", err, s.ObjectCount())
+	}
+}
+
+// TestPutBatchMeteringMatchesPuts: one batched round-trip must bill
+// exactly like the equivalent sequence of single Puts, including the
+// used-bytes adjustment when the batch overwrites an existing object.
+func TestPutBatchMeteringMatchesPuts(t *testing.T) {
+	ctx := context.Background()
+	items := []BatchItem{
+		{Key: "a", Data: bytes.Repeat([]byte{1}, 1000)},
+		{Key: "b", Data: bytes.Repeat([]byte{2}, 500)},
+		{Key: "a", Data: bytes.Repeat([]byte{3}, 200)}, // overwrite within the batch
+	}
+	batched, single := batchStore(0, 0), batchStore(0, 0)
+	seed := bytes.Repeat([]byte{9}, 300)
+	for _, s := range []*BlobStore{batched, single} {
+		if err := s.Put(ctx, "b", seed); err != nil { // pre-existing object overwritten by the batch
+			t.Fatal(err)
+		}
+	}
+	if err := batched.PutBatch(ctx, items); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if err := single.Put(ctx, it.Key, it.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if batched.UsedBytes() != single.UsedBytes() || batched.ObjectCount() != single.ObjectCount() {
+		t.Fatalf("state diverged: batch %d/%d bytes/objects, puts %d/%d",
+			batched.UsedBytes(), batched.ObjectCount(), single.UsedBytes(), single.ObjectCount())
+	}
+	if batched.UsedBytes() != 700 { // a=200 (final) + b=500
+		t.Fatalf("used = %d, want 700", batched.UsedBytes())
+	}
+	if bu, su := batched.Meter().Snapshot(), single.Meter().Snapshot(); bu != su {
+		t.Fatalf("billing diverged: batch %+v, puts %+v", bu, su)
+	}
+	got, err := batched.Get(ctx, "a")
+	if err != nil || len(got) != 200 || got[0] != 3 {
+		t.Fatalf("in-batch overwrite: %d bytes, err %v", len(got), err)
+	}
+}

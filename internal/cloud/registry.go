@@ -1,10 +1,43 @@
 package cloud
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 )
+
+// Typed errors for the admin mutation surface: callers can distinguish
+// a name that is not in the market from a backend that exists but does
+// not support the requested mutation (remote private resources have no
+// injectable outage or mutable price sheet).
+var (
+	ErrUnknownProvider     = errors.New("cloud: unknown provider")
+	ErrUnsupportedMutation = errors.New("cloud: provider does not support this mutation")
+)
+
+// MarketEventKind classifies a market change.
+type MarketEventKind string
+
+// Market event kinds. KindChange covers state flipped directly on a
+// backend (bypassing the registry): the notifier back-reference carries
+// the provider identity but not which of availability/pricing moved.
+const (
+	KindRegister     MarketEventKind = "register"
+	KindDeregister   MarketEventKind = "deregister"
+	KindAvailability MarketEventKind = "availability"
+	KindPricing      MarketEventKind = "pricing"
+	KindChange       MarketEventKind = "change"
+)
+
+// MarketEvent is one market change with provider identity — the signal
+// behind event-driven maintenance. Epoch is the market epoch after the
+// change.
+type MarketEvent struct {
+	Epoch    uint64          `json:"epoch"`
+	Provider string          `json:"provider,omitempty"`
+	Kind     MarketEventKind `json:"kind"`
+}
 
 // Backend is a storage provider attached to the registry: the blob
 // Store operations plus the descriptive surface the placement engine
@@ -74,6 +107,11 @@ type Registry struct {
 	epoch uint64
 	// snap caches the available-provider view for the current epoch.
 	snap *marketSnapshot
+	// subscribers receive every MarketEvent, called synchronously
+	// outside the registry lock after the epoch bump. Callbacks must be
+	// fast and non-blocking; the engine's maintenance queue uses one to
+	// enqueue invalidated objects.
+	subscribers []func(MarketEvent)
 }
 
 // marketSnapshot is the immutable available-provider view at one epoch.
@@ -102,11 +140,13 @@ func NewPaperRegistry() *Registry {
 // Register adds a provider. Registering an existing name replaces its
 // spec (a provider "suddenly increasing its pricing policy").
 func (r *Registry) Register(s Backend) {
+	name := s.Spec().Name
 	r.attach(s)
 	r.mu.Lock()
-	old := r.stores[s.Spec().Name]
-	r.stores[s.Spec().Name] = s
+	old := r.stores[name]
+	r.stores[name] = s
 	r.bumpEpochLocked()
+	epoch := r.epoch
 	r.notifyLocked()
 	r.mu.Unlock()
 	if old != nil && old != s {
@@ -114,25 +154,52 @@ func (r *Registry) Register(s Backend) {
 			n.SetChangeNotifier(nil) // the replaced backend is detached
 		}
 	}
+	r.emit(MarketEvent{Epoch: epoch, Provider: name, Kind: KindRegister})
 }
 
 // attach installs the registry back-reference on backends that support
 // it, so availability flipped directly on the backend still bumps the
-// market epoch.
+// market epoch. The closure captures the provider name: out-of-band
+// changes arrive as named MarketEvents, which is what lets the
+// maintenance queue invalidate only the affected objects.
 func (r *Registry) attach(s Backend) {
 	if n, ok := s.(ChangeNotifierSetter); ok {
-		n.SetChangeNotifier(r.noteBackendChange)
+		name := s.Spec().Name
+		n.SetChangeNotifier(func() { r.noteBackendChange(name) })
 	}
 }
 
 // noteBackendChange records an out-of-band backend state change:
-// advance the market epoch and wake the membership watchers. It is the
-// callback handed to ChangeNotifierSetter backends.
-func (r *Registry) noteBackendChange() {
+// advance the market epoch, wake the membership watchers, and emit a
+// named MarketEvent. It is the callback handed to ChangeNotifierSetter
+// backends (wrapped to capture the provider name).
+func (r *Registry) noteBackendChange(name string) {
 	r.mu.Lock()
 	r.bumpEpochLocked()
+	epoch := r.epoch
 	r.notifyLocked()
 	r.mu.Unlock()
+	r.emit(MarketEvent{Epoch: epoch, Provider: name, Kind: KindChange})
+}
+
+// Subscribe registers fn to be called (synchronously, outside the
+// registry lock) after every market change. Callbacks must not block:
+// they run on whatever goroutine performed the mutation, including
+// engine write paths that downed a provider mid-flight.
+func (r *Registry) Subscribe(fn func(MarketEvent)) {
+	r.mu.Lock()
+	r.subscribers = append(r.subscribers, fn)
+	r.mu.Unlock()
+}
+
+// emit delivers ev to every subscriber. Called outside r.mu.
+func (r *Registry) emit(ev MarketEvent) {
+	r.mu.RLock()
+	subs := r.subscribers
+	r.mu.RUnlock()
+	for _, fn := range subs {
+		fn(ev)
+	}
 }
 
 // RegisterIfAbsent adds a provider only when its name is free,
@@ -148,9 +215,11 @@ func (r *Registry) RegisterIfAbsent(s Backend) bool {
 	}
 	r.stores[name] = s
 	r.bumpEpochLocked()
+	epoch := r.epoch
 	r.notifyLocked()
 	r.mu.Unlock()
 	r.attach(s)
+	r.emit(MarketEvent{Epoch: epoch, Provider: name, Kind: KindRegister})
 	return true
 }
 
@@ -159,9 +228,11 @@ func (r *Registry) RegisterIfAbsent(s Backend) bool {
 func (r *Registry) Deregister(name string) (Backend, bool) {
 	r.mu.Lock()
 	s, ok := r.stores[name]
+	var epoch uint64
 	if ok {
 		delete(r.stores, name)
 		r.bumpEpochLocked()
+		epoch = r.epoch
 		r.notifyLocked()
 	}
 	r.mu.Unlock()
@@ -171,6 +242,7 @@ func (r *Registry) Deregister(name string) (Backend, bool) {
 		if n, isNotifiable := s.(ChangeNotifierSetter); isNotifiable {
 			n.SetChangeNotifier(nil)
 		}
+		r.emit(MarketEvent{Epoch: epoch, Provider: name, Kind: KindDeregister})
 	}
 	return s, ok
 }
@@ -184,21 +256,30 @@ func (r *Registry) Deregister(name string) (Backend, bool) {
 // for backends without one. The setter runs outside the registry lock:
 // its back-reference notification re-enters the registry.
 func (r *Registry) SetAvailable(name string, up bool) bool {
+	_, err := r.UpdateAvailability(name, up)
+	return err == nil
+}
+
+// UpdateAvailability is SetAvailable with the unified admin contract:
+// it reports the market epoch after the change and distinguishes an
+// unknown provider (ErrUnknownProvider) from a backend without failure
+// injection (ErrUnsupportedMutation).
+func (r *Registry) UpdateAvailability(name string, up bool) (uint64, error) {
 	r.mu.RLock()
 	s, ok := r.stores[name]
 	r.mu.RUnlock()
 	if !ok {
-		return false
+		return r.Epoch(), fmt.Errorf("%w: %s", ErrUnknownProvider, name)
 	}
 	setter, ok := s.(AvailabilitySetter)
 	if !ok {
-		return false
+		return r.Epoch(), fmt.Errorf("%w: %s has no availability injection", ErrUnsupportedMutation, name)
 	}
 	setter.SetAvailable(up)
 	if _, selfNotifying := s.(ChangeNotifierSetter); !selfNotifying {
-		r.noteBackendChange()
+		r.noteNamed(name, KindAvailability)
 	}
-	return true
+	return r.Epoch(), nil
 }
 
 // SetPricing replaces the named provider's price sheet at runtime, when
@@ -208,21 +289,41 @@ func (r *Registry) SetAvailable(name string, up bool) bool {
 // registry bumps for the rest. The setter runs outside the registry
 // lock because its back-reference notification re-enters the registry.
 func (r *Registry) SetPricing(name string, p Pricing) bool {
+	_, err := r.UpdatePricing(name, p)
+	return err == nil
+}
+
+// UpdatePricing is SetPricing with the unified admin contract: it
+// reports the market epoch after the change and distinguishes an
+// unknown provider (ErrUnknownProvider) from a backend without a
+// mutable price sheet (ErrUnsupportedMutation).
+func (r *Registry) UpdatePricing(name string, p Pricing) (uint64, error) {
 	r.mu.RLock()
 	s, ok := r.stores[name]
 	r.mu.RUnlock()
 	if !ok {
-		return false
+		return r.Epoch(), fmt.Errorf("%w: %s", ErrUnknownProvider, name)
 	}
 	setter, ok := s.(PricingSetter)
 	if !ok {
-		return false
+		return r.Epoch(), fmt.Errorf("%w: %s has no mutable price sheet", ErrUnsupportedMutation, name)
 	}
 	setter.SetPricing(p)
 	if _, selfNotifying := s.(ChangeNotifierSetter); !selfNotifying {
-		r.noteBackendChange()
+		r.noteNamed(name, KindPricing)
 	}
-	return true
+	return r.Epoch(), nil
+}
+
+// noteNamed bumps the epoch for a registry-mediated change on a backend
+// without a notifier back-reference, emitting the precise event kind.
+func (r *Registry) noteNamed(name string, kind MarketEventKind) {
+	r.mu.Lock()
+	r.bumpEpochLocked()
+	epoch := r.epoch
+	r.notifyLocked()
+	r.mu.Unlock()
+	r.emit(MarketEvent{Epoch: epoch, Provider: name, Kind: kind})
 }
 
 // Epoch returns the current market epoch. The epoch increases on every

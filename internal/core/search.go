@@ -24,8 +24,17 @@ type Search struct {
 
 	// specs is the zone-filtered market, sorted by name.
 	specs []cloud.Spec
-	// feasible holds the market-feasible candidate sets (exact mode).
+	// feasible holds the market-feasible candidate sets (exact mode),
+	// sorted ascending by storFloor so Best can stop scanning at the
+	// first candidate whose load-independent lower bound already exceeds
+	// the best price found (branch and bound).
 	feasible []Placement
+	// storFloor[i] is feasible[i]'s storage-cost floor per stored GB and
+	// period-hour fraction: (Σ StorageGBMonth over the set) / m. Every
+	// PeriodCost component except storage is ≥ 0, so
+	// storFloor × storageGB × periodHours/HoursPerMonth lower-bounds the
+	// candidate's price at ANY load.
+	storFloor []float64
 	// byStorage is the storage-cheapest ordering of specs (pruned mode).
 	byStorage []cloud.Spec
 }
@@ -84,6 +93,35 @@ func NewSearch(specs []cloud.Spec, rule Rule, opts Options) (*Search, error) {
 	if len(s.feasible) == 0 {
 		return nil, ErrNoProviders
 	}
+	// Order candidates by their load-independent storage floor so Best's
+	// scan can branch-and-bound: once the floor exceeds the running best
+	// price, no later candidate can win. Stable sort + name tie-break
+	// keeps the scan order (and hence tieBreak resolution) deterministic.
+	s.storFloor = make([]float64, len(s.feasible))
+	for i, p := range s.feasible {
+		var sum float64
+		for _, spec := range p.Providers {
+			sum += spec.Pricing.StorageGBMonth
+		}
+		s.storFloor[i] = sum / float64(p.M)
+	}
+	order := make([]int, len(s.feasible))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if s.storFloor[order[a]] != s.storFloor[order[b]] {
+			return s.storFloor[order[a]] < s.storFloor[order[b]]
+		}
+		return tieBreak(s.feasible[order[a]], s.feasible[order[b]])
+	})
+	feas := make([]Placement, len(order))
+	floors := make([]float64, len(order))
+	for i, idx := range order {
+		feas[i] = s.feasible[idx]
+		floors[i] = s.storFloor[idx]
+	}
+	s.feasible, s.storFloor = feas, floors
 	return s, nil
 }
 
@@ -102,7 +140,19 @@ func (s *Search) Best(load stats.Summary, objectBytes int64, free map[string]int
 		return prunedBest(s.specs, s.byStorage, s.rule, load, s.periodHours, objectBytes, free)
 	}
 	best := Result{Price: math.MaxFloat64}
-	for _, p := range s.feasible {
+	// Load-dependent scale of the per-candidate storage floor: floor(p) =
+	// storFloor[p] × floorScale lower-bounds PeriodCost(p, load) because
+	// every other cost component is non-negative.
+	floorScale := load.StorageBytes / 1e9 * s.periodHours / cloud.HoursPerMonth
+	for i, p := range s.feasible {
+		if best.Feasible && s.storFloor[i]*floorScale > best.Price+1e-15 {
+			// Candidates are sorted by storage floor: every remaining one
+			// is bounded below the same way and cannot beat (or epsilon-tie)
+			// the incumbent. This prune is what keeps Best cheap on large
+			// markets — the exponential candidate list is scanned only up
+			// to the bound.
+			break
+		}
 		best.Evaluated++
 		if !chunkFits(p.Providers, p.M, objectBytes, free) {
 			continue

@@ -124,7 +124,34 @@ type Config struct {
 	// for benchmarks and tests (BenchmarkRepairSwap compares the two
 	// mechanisms on the same failure scenario).
 	ForceRestripeRepair bool
+	// ReoptWorkers is the number of background workers draining the
+	// event-driven reoptimization queue (objects whose cached placement
+	// a market event invalidated). 0 — the default — enqueues but does
+	// not drain automatically: callers drain explicitly with
+	// DrainMaintenance (deterministic for embedded deployments and
+	// tests). scalia-server enables background draining with
+	// -reopt-workers.
+	ReoptWorkers int
+	// ReoptQueueDepth bounds the maintenance queue (default
+	// DefaultReoptQueueDepth); when full, further invalidations are
+	// dropped and counted — the periodic trend-gated Optimize pass is
+	// the backstop that eventually revisits them.
+	ReoptQueueDepth int
+	// SwapBatchSize is how many prepared single-stripe chunk swaps a
+	// repair pass accumulates before flushing them to their target
+	// providers in per-provider batches (default DefaultSwapBatchSize;
+	// negative disables batching). Many small objects repaired onto the
+	// same spare then cost one provider round-trip per batch instead of
+	// one per chunk.
+	SwapBatchSize int
 }
+
+// DefaultReoptQueueDepth bounds the event-driven reoptimization queue.
+const DefaultReoptQueueDepth = 1 << 16
+
+// DefaultSwapBatchSize is how many prepared small-object swaps a repair
+// pass groups into one per-provider batched write.
+const DefaultSwapBatchSize = 16
 
 func (c *Config) fill() {
 	if len(c.Datacenters) == 0 {
@@ -171,6 +198,15 @@ func (c *Config) fill() {
 		c.WritePipelineDepth = DefaultWritePipelineDepth
 	case c.WritePipelineDepth < 0:
 		c.WritePipelineDepth = 0 // sequential
+	}
+	if c.ReoptQueueDepth <= 0 {
+		c.ReoptQueueDepth = DefaultReoptQueueDepth
+	}
+	switch {
+	case c.SwapBatchSize == 0:
+		c.SwapBatchSize = DefaultSwapBatchSize
+	case c.SwapBatchSize < 0:
+		c.SwapBatchSize = 1 // per-chunk writes
 	}
 	if c.MaxBufferBytes == 0 {
 		c.MaxBufferBytes = c.MaxReadBufferBytes // honor the deprecated knob
@@ -254,6 +290,19 @@ type Broker struct {
 	// live version's chunk keys, which two concurrent passes must not
 	// race on.
 	repairMu sync.Mutex
+
+	// provIndex is the provider→objects inverted index behind
+	// O(affected) maintenance: every placement commit keeps it in sync
+	// with the placement cache, and repair/reoptimization enumerate
+	// affected objects through it instead of scanning the whole store.
+	provIndex *stats.ProviderIndex
+	// maint is the event-driven reoptimization queue: a registry
+	// subscriber enqueues the objects a market event invalidated; a
+	// bounded worker pool (or an explicit drain) re-plans them.
+	maint *maintQueue
+	// jobs tracks asynchronous maintenance passes started through the
+	// jobs API (POST /v1/repair|optimize without ?wait=true).
+	jobs *jobRegistry
 
 	mu           sync.Mutex
 	lastOpt      int64
@@ -443,6 +492,8 @@ func NewBroker(cfg Config) *Broker {
 		placement: make(map[string]core.Placement),
 		uploads:   make(map[string]*uploadSession),
 		planner:   core.NewPlanner(cfg.PeriodHours, cfg.Pruned),
+		provIndex: stats.NewProviderIndex(),
+		jobs:      newJobRegistry(),
 	}
 	if cfg.MaxBufferBytes > 0 {
 		slots := cfg.MaxBufferBytes / cfg.StripeBytes
@@ -465,13 +516,44 @@ func NewBroker(cfg Config) *Broker {
 			id++
 		}
 	}
+	// The maintenance queue subscribes to named market events before the
+	// metric collectors are built, so its gauges are readable at scrape
+	// time.
+	b.maint = newMaintQueue(b, cfg.ReoptWorkers, cfg.ReoptQueueDepth)
+	b.registry.Subscribe(b.maint.onMarketEvent)
 	// Last: the metric collectors read the fields built above.
 	b.metrics = newBrokerMetrics(b)
 	return b
 }
 
-// Close releases the statistics pipeline.
-func (b *Broker) Close() { b.agg.Close() }
+// Close releases the statistics pipeline and stops the maintenance
+// queue workers.
+func (b *Broker) Close() {
+	b.maint.close()
+	b.agg.Close()
+}
+
+// ProviderIndex exposes the provider→objects inverted index (tests and
+// integrations; the serving path maintains it automatically).
+func (b *Broker) ProviderIndex() *stats.ProviderIndex { return b.provIndex }
+
+// MaintStats returns the maintenance-queue counter snapshot.
+func (b *Broker) MaintStats() MaintStats { return b.maint.stats() }
+
+// DrainMaintenance synchronously processes the queued invalidations
+// until the queue is empty or ctx is cancelled, returning how many
+// objects were re-planned. Deployments without background workers
+// (ReoptWorkers == 0) call this from tests, periodic tick loops or the
+// jobs API.
+func (b *Broker) DrainMaintenance(ctx context.Context) int {
+	return b.maint.drain(ctx)
+}
+
+// WaitMaintIdle blocks until the maintenance queue is empty and no
+// worker is mid-object, or ctx is cancelled.
+func (b *Broker) WaitMaintIdle(ctx context.Context) error {
+	return b.maint.waitIdle(ctx)
+}
 
 // Engines returns all engines.
 func (b *Broker) Engines() []*Engine { return b.engines }
@@ -547,10 +629,19 @@ func (b *Broker) CurrentPlacement(object string) (core.Placement, bool) {
 	return p, ok
 }
 
+// setPlacement is the single commit hook of every path that (re)places
+// an object — Put, multipart complete, migrate, repair swap and
+// re-stripe — so updating the provider index here keeps it in sync with
+// the committed layout.
 func (b *Broker) setPlacement(object string, p core.Placement) {
 	b.mu.Lock()
 	b.placement[object] = p
 	b.mu.Unlock()
+	names := make([]string, len(p.Providers))
+	for i, spec := range p.Providers {
+		names[i] = spec.Name
+	}
+	b.provIndex.Set(object, names)
 }
 
 func (b *Broker) dropPlacement(object string) {
@@ -558,6 +649,7 @@ func (b *Broker) dropPlacement(object string) {
 	delete(b.placement, object)
 	delete(b.decisions, object)
 	b.mu.Unlock()
+	b.provIndex.Drop(object)
 }
 
 // market returns the registry's epoch-cached available-market view:

@@ -118,6 +118,8 @@ func NewGateway(b *Broker) *Gateway {
 	mux.HandleFunc("PUT /v1/rules/{container}", g.setRule)
 	mux.HandleFunc("POST /v1/optimize", g.optimize)
 	mux.HandleFunc("POST /v1/repair", g.repair)
+	mux.HandleFunc("GET /v1/jobs", g.listJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", g.getJob)
 	mux.HandleFunc("GET /v1/stats", g.stats)
 	mux.HandleFunc("GET /v1/healthz", g.healthz)
 	mux.HandleFunc("GET /metrics", g.metricsHandler)
@@ -270,6 +272,13 @@ func statusFromErr(err error) (int, string) {
 		// it on the current market: the request is semantically
 		// unprocessable, not a server fault.
 		return http.StatusUnprocessableEntity, "infeasible_placement"
+	case errors.Is(err, cloud.ErrUnknownProvider):
+		return http.StatusNotFound, "unknown_provider"
+	case errors.Is(err, cloud.ErrUnsupportedMutation):
+		// The provider exists but its backend cannot take this mutation
+		// (remote private resources have no failure injection, fixed
+		// pricing): the request is well-formed but unprocessable here.
+		return http.StatusUnprocessableEntity, "unsupported_mutation"
 	case errors.Is(err, cloud.ErrTooLarge):
 		return http.StatusRequestEntityTooLarge, "too_large"
 	case errors.Is(err, cloud.ErrOverCapacity):
@@ -895,14 +904,31 @@ func (g *Gateway) removeProvider(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// ProviderMutation is the unified response of both admin mutation
+// routes (PUT /v1/providers/{name}/availability and .../pricing): the
+// provider acted on, which field changed, its new value, and the market
+// epoch the mutation advanced the registry to — so a caller can
+// correlate the event with subsequent placement decisions and stats.
+type ProviderMutation struct {
+	Provider string `json:"provider"`
+	// Epoch is the market epoch after the mutation; every cached
+	// placement search from before it is now invalid.
+	Epoch uint64 `json:"epoch"`
+	// Field names the mutated attribute: "availability" or "pricing".
+	Field     string         `json:"field"`
+	Available *bool          `json:"available,omitempty"`
+	Pricing   *cloud.Pricing `json:"pricing,omitempty"`
+}
+
 // setProviderAvailability is the scripted-chaos admin route: it injects
 // or clears a transient outage on a provider that supports failure
 // injection. The flip goes through the registry, so the market epoch
-// bumps and cached placement searches are invalidated — exactly the
-// semantics of flipping the backend in-process, but reachable from a
-// load generator on the other side of the wire. Unknown providers and
-// backends without failure injection (remote private resources) are
-// 404.
+// bumps, cached placement searches are invalidated and the maintenance
+// queue sees the event — exactly the semantics of flipping the backend
+// in-process, but reachable from a load generator on the other side of
+// the wire. Unknown providers are 404 unknown_provider; backends
+// without failure injection (remote private resources) are 422
+// unsupported_mutation.
 func (g *Gateway) setProviderAvailability(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req struct {
@@ -913,33 +939,41 @@ func (g *Gateway) setProviderAvailability(w http.ResponseWriter, r *http.Request
 			`body must be {"available": true|false}`)
 		return
 	}
-	if !g.broker.Registry().SetAvailable(name, *req.Available) {
-		writeError(w, http.StatusNotFound, "not_found",
-			"unknown provider "+name+" (or no failure injection)")
+	epoch, err := g.broker.Registry().UpdateAvailability(name, *req.Available)
+	if err != nil {
+		failErr(w, err)
 		return
 	}
-	w.WriteHeader(http.StatusNoContent)
+	writeJSON(w, http.StatusOK, ProviderMutation{
+		Provider: name, Epoch: epoch, Field: "availability", Available: req.Available,
+	})
 }
 
 // setProviderPricing replaces a provider's price sheet at runtime — a
 // scripted market price event (the paper's provider "suddenly
 // increasing its pricing policy"). The registry bumps the market epoch
-// so subsequent placements re-plan against the new prices. Unknown
-// providers and backends with immutable pricing are 404.
+// so subsequent placements re-plan against the new prices and the
+// maintenance queue re-plans the objects placed on the provider.
+// Unknown providers are 404 unknown_provider; backends with immutable
+// pricing are 422 unsupported_mutation.
 func (g *Gateway) setProviderPricing(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	var p cloud.Pricing
-	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+	var req struct {
+		Pricing *cloud.Pricing `json:"pricing"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Pricing == nil {
 		writeError(w, http.StatusBadRequest, "invalid_argument",
-			"malformed pricing: "+err.Error())
+			`body must be {"pricing": {...}}`)
 		return
 	}
-	if !g.broker.Registry().SetPricing(name, p) {
-		writeError(w, http.StatusNotFound, "not_found",
-			"unknown provider "+name+" (or fixed pricing)")
+	epoch, err := g.broker.Registry().UpdatePricing(name, *req.Pricing)
+	if err != nil {
+		failErr(w, err)
 		return
 	}
-	w.WriteHeader(http.StatusNoContent)
+	writeJSON(w, http.StatusOK, ProviderMutation{
+		Provider: name, Epoch: epoch, Field: "pricing", Pricing: req.Pricing,
+	})
 }
 
 func (g *Gateway) setRule(w http.ResponseWriter, r *http.Request) {
@@ -957,16 +991,49 @@ func (g *Gateway) setRule(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// wantWait reports whether the maintenance dispatch should block:
+// ?wait=true is the synchronous back-compat mode that holds the request
+// open and returns the final report with a 200, exactly the pre-jobs
+// contract.
+func wantWait(r *http.Request) (bool, error) {
+	s := r.URL.Query().Get("wait")
+	if s == "" {
+		return false, nil
+	}
+	v, err := strconv.ParseBool(s)
+	if err != nil {
+		return false, fmt.Errorf("%w: wait must be a boolean", ErrInvalidArgument)
+	}
+	return v, nil
+}
+
+// optimize dispatches an optimization round. Default: 202 Accepted with
+// the job resource and a Location header pointing at /v1/jobs/{id};
+// poll there for progress and the final report. ?wait=true blocks and
+// answers 200 with the report.
 func (g *Gateway) optimize(w http.ResponseWriter, r *http.Request) {
-	rep, err := g.broker.Optimize(r.Context())
+	wait, err := wantWait(r)
 	if err != nil {
 		failErr(w, err)
 		return
 	}
-	g.broker.Metadata().Flush()
-	writeJSON(w, http.StatusOK, rep)
+	if wait {
+		rep, err := g.broker.Optimize(r.Context())
+		if err != nil {
+			failErr(w, err)
+			return
+		}
+		g.broker.Metadata().Flush()
+		writeJSON(w, http.StatusOK, rep)
+		return
+	}
+	job := g.broker.StartOptimize()
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job)
 }
 
+// repair dispatches a repair pass; the async/wait contract mirrors
+// optimize's.
 func (g *Gateway) repair(w http.ResponseWriter, r *http.Request) {
 	policy := RepairWait
 	switch r.URL.Query().Get("policy") {
@@ -977,13 +1044,58 @@ func (g *Gateway) repair(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_argument", "policy must be wait or active")
 		return
 	}
-	rep, err := g.broker.Repair(r.Context(), policy)
+	wait, err := wantWait(r)
 	if err != nil {
 		failErr(w, err)
 		return
 	}
-	g.broker.Metadata().Flush()
-	writeJSON(w, http.StatusOK, rep)
+	if wait {
+		rep, err := g.broker.Repair(r.Context(), policy)
+		if err != nil {
+			failErr(w, err)
+			return
+		}
+		g.broker.Metadata().Flush()
+		writeJSON(w, http.StatusOK, rep)
+		return
+	}
+	job := g.broker.StartRepair(policy)
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+// getJob serves one job resource: state, live progress, and the final
+// report once the pass finishes.
+func (g *Gateway) getJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := g.broker.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "job_not_found", "unknown job "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// listJobs pages through the job registry with the same
+// prefix/limit/after shape as the object listing.
+func (g *Gateway) listJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := defaultListLimit
+	if s := q.Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "invalid_argument", "limit must be a positive integer")
+			return
+		}
+		if v < limit {
+			limit = v
+		}
+	}
+	res := g.broker.Jobs(q.Get("prefix"), q.Get("after"), limit)
+	if res.Jobs == nil {
+		res.Jobs = []JobView{}
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // Stats is the operational counter snapshot served on GET /v1/stats.
@@ -1011,6 +1123,9 @@ type Stats struct {
 	// depth, stripes fanned out, write buffers in flight against the
 	// shared budget (current and peak), and open multipart uploads.
 	WritePath WritePathStats `json:"writePath"`
+	// Maint reports the event-driven reoptimization queue: depth, worker
+	// pool size, and the enqueue/drain/drop counters.
+	Maint MaintStats `json:"maint"`
 
 	Engines        int `json:"engines"`
 	Providers      int `json:"providers"`
@@ -1031,6 +1146,7 @@ func (g *Gateway) stats(w http.ResponseWriter, r *http.Request) {
 		StripeCache:    b.Caches().Stats(),
 		ReadPath:       b.ReadStats(),
 		WritePath:      b.WriteStats(),
+		Maint:          b.MaintStats(),
 		Engines:        len(b.Engines()),
 		Providers:      b.Registry().Len(),
 		PendingDeletes: b.PendingDeletes(),

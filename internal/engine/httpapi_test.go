@@ -417,15 +417,16 @@ func TestGatewayAdminSurface(t *testing.T) {
 		t.Fatalf("double DELETE provider = %d", resp.StatusCode)
 	}
 
-	// Optimize and repair rounds return their reports.
-	resp = doReq(t, client, http.MethodPost, ts.URL+"/v1/optimize", nil, nil)
+	// Synchronous (?wait=true) optimize and repair return their reports
+	// with a 200 — the pre-jobs blocking contract.
+	resp = doReq(t, client, http.MethodPost, ts.URL+"/v1/optimize?wait=true", nil, nil)
 	var orep OptimizeReport
 	json.NewDecoder(resp.Body).Decode(&orep)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || orep.Leader == "" {
 		t.Fatalf("optimize = %d, %+v", resp.StatusCode, orep)
 	}
-	resp = doReq(t, client, http.MethodPost, ts.URL+"/v1/repair?policy=active", nil, nil)
+	resp = doReq(t, client, http.MethodPost, ts.URL+"/v1/repair?wait=true&policy=active", nil, nil)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("repair = %d", resp.StatusCode)
@@ -434,6 +435,11 @@ func TestGatewayAdminSurface(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bogus repair policy = %d", resp.StatusCode)
+	}
+	resp = doReq(t, client, http.MethodPost, ts.URL+"/v1/repair?wait=maybe", nil, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus wait = %d", resp.StatusCode)
 	}
 }
 
@@ -981,7 +987,7 @@ func TestGatewayFaultInjectionRepairSwap(t *testing.T) {
 		t.Fatalf("mid-repair stream (first half): %v", err)
 	}
 
-	resp = doReq(t, client, http.MethodPost, ts.URL+"/v1/repair?policy=active", nil, nil)
+	resp = doReq(t, client, http.MethodPost, ts.URL+"/v1/repair?wait=true&policy=active", nil, nil)
 	var rep RepairReport
 	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,359 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scalia/internal/cloud"
+	"scalia/internal/core"
+)
+
+// maintMarket builds a small four-provider market with one designated
+// victim, all feasible under the default rule.
+func maintMarket() *cloud.Registry {
+	reg := cloud.NewRegistry()
+	for i, name := range []string{"A", "B", "C", "V"} {
+		reg.Register(cloud.NewBlobStore(cloud.Spec{
+			Name: name, Durability: 0.99999, Availability: 0.999,
+			Zones: []cloud.Zone{cloud.ZoneUS, cloud.ZoneEU},
+			Pricing: cloud.Pricing{
+				StorageGBMonth: 0.08 + 0.01*float64(i),
+				BandwidthInGB:  0.05, BandwidthOutGB: 0.12, OpsPer1000: 0.01,
+			},
+		}))
+	}
+	return reg
+}
+
+// TestRepairIndexedOutage1M is the tentpole acceptance test: a
+// metadata-only synthetic store of 1,000,000 objects where only 10,000
+// hold a chunk on the failed provider. The repair pass must enumerate
+// its candidates through the provider→objects index — touching exactly
+// the affected objects (a 100x reduction, well past the required 10x)
+// and never calling statsDB.Objects() (the full-scan enumerator).
+func TestRepairIndexedOutage1M(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-object synthetic store is not a -short test")
+	}
+	reg := maintMarket()
+	b := newTestBroker(t, Config{Registry: reg})
+	e0 := b.Engine(0)
+
+	specOf := func(name string) cloud.Spec {
+		s, ok := reg.Store(name)
+		if !ok {
+			t.Fatalf("unknown provider %s", name)
+		}
+		return s.Spec()
+	}
+	// 990k unaffected objects: placement on healthy providers only,
+	// committed through setPlacement — the same hook Put/migrate/repair
+	// use — so the inverted index sees them. No metadata rows exist for
+	// them: an O(affected) repair never looks.
+	pHealthy := core.Placement{M: 2, Providers: []cloud.Spec{specOf("A"), specOf("B"), specOf("C")}}
+	const total, affected = 1_000_000, 10_000
+	for i := 0; i < total-affected; i++ {
+		b.setPlacement(fmt.Sprintf("bulk/obj%07d", i), pHealthy)
+	}
+	// 10k affected objects: a chunk on the victim, plus real metadata
+	// rows so the pass can Head them.
+	pVictim := core.Placement{M: 2, Providers: []cloud.Spec{specOf("V"), specOf("A"), specOf("B")}}
+	ts := b.clock.Timestamp()
+	for i := 0; i < affected; i++ {
+		key := fmt.Sprintf("obj%07d", i)
+		uuid := NewUUID()
+		meta := ObjectMeta{
+			Container: "hot", Key: key, Size: 64, M: 2,
+			Chunks: []string{"V", "A", "B"},
+			UUID:   uuid, SKey: StorageKey("hot", key, uuid),
+		}
+		version, err := encodeMeta(meta, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.meta.Put(e0.dc, RowKey("hot", key), version); err != nil {
+			t.Fatal(err)
+		}
+		b.setPlacement("hot/"+key, pVictim)
+	}
+	if got := b.ProviderIndex().Len(); got != total {
+		t.Fatalf("indexed objects = %d, want %d", got, total)
+	}
+
+	reg.SetAvailable("V", false)
+
+	objCalls0 := b.statsDB.ObjectsCalls()
+	indexed0 := b.metrics.repairIndexed.Value()
+	rep, err := b.Repair(ctx, RepairWait)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checked != affected || rep.Affected != affected || rep.Waited != affected {
+		t.Fatalf("repair touched the wrong population: %+v", rep)
+	}
+	if delta := b.statsDB.ObjectsCalls() - objCalls0; delta != 0 {
+		t.Fatalf("repair fell back to statsDB.Objects() %d times", delta)
+	}
+	if got := b.metrics.repairIndexed.Value() - indexed0; got != affected {
+		t.Fatalf("repair.objectsIndexed = %d, want %d", got, affected)
+	}
+	// The acceptance ratio: indexed enumeration touches >= 10x fewer
+	// objects than a full scan of the store would.
+	if ratio := total / rep.Checked; ratio < 10 {
+		t.Fatalf("indexed repair touched 1/%d of the store, want >= 1/10", ratio)
+	}
+}
+
+// TestMaintQueueDrainsInvalidatedSet asserts the event-driven
+// reoptimization contract: a pricing bump on one provider enqueues
+// exactly the objects holding a chunk there (deduplicated), the drain
+// re-plans exactly that set, and the whole cycle never enumerates the
+// object population through statsDB.Objects().
+func TestMaintQueueDrainsInvalidatedSet(t *testing.T) {
+	b := newTestBroker(t, Config{})
+	e := b.Engine(0)
+	for i := 0; i < 24; i++ {
+		if _, err := e.Put(ctx, "c", fmt.Sprintf("k%02d", i), []byte(strings.Repeat("x", 256)), PutOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.FlushStats()
+
+	// Pick the provider carrying the most chunks; its object set is the
+	// invalidated population.
+	var victim string
+	for _, name := range b.ProviderIndex().ProviderNames() {
+		if victim == "" || b.ProviderIndex().Count(name) > b.ProviderIndex().Count(victim) {
+			victim = name
+		}
+	}
+	invalidated := b.ProviderIndex().Objects(victim)
+	if len(invalidated) == 0 {
+		t.Fatal("no objects indexed on any provider")
+	}
+
+	objCalls0 := b.statsDB.ObjectsCalls()
+	st0 := b.MaintStats()
+	if _, err := b.Registry().UpdatePricing(victim, cloud.Pricing{
+		StorageGBMonth: 5, BandwidthInGB: 1, BandwidthOutGB: 1, OpsPer1000: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st1 := b.MaintStats()
+	if got := st1.Enqueued - st0.Enqueued; got != int64(len(invalidated)) {
+		t.Fatalf("enqueued %d, want exactly the %d invalidated objects", got, len(invalidated))
+	}
+	if st1.QueueDepth != len(invalidated) || st1.Events-st0.Events != 1 {
+		t.Fatalf("queue state after bump: %+v", st1)
+	}
+	// A second bump before draining is fully deduplicated.
+	if _, err := b.Registry().UpdatePricing(victim, cloud.Pricing{
+		StorageGBMonth: 6, BandwidthInGB: 1, BandwidthOutGB: 1, OpsPer1000: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := b.MaintStats(); st2.Enqueued != st1.Enqueued {
+		t.Fatalf("duplicate invalidations enqueued: %+v", st2)
+	}
+
+	if n := b.DrainMaintenance(ctx); n != len(invalidated) {
+		t.Fatalf("drained %d, want %d", n, len(invalidated))
+	}
+	st3 := b.MaintStats()
+	if st3.QueueDepth != 0 || st3.Drained-st0.Drained != int64(len(invalidated)) {
+		t.Fatalf("queue state after drain: %+v", st3)
+	}
+	if delta := b.statsDB.ObjectsCalls() - objCalls0; delta != 0 {
+		t.Fatalf("event-driven reoptimization called statsDB.Objects() %d times", delta)
+	}
+}
+
+// TestMaintQueueConcurrentMutations runs market events against
+// concurrent Put/Delete traffic with background drain workers enabled;
+// under -race this asserts the index/queue/commit-hook locking. After
+// the dust settles every accepted invalidation must have drained.
+func TestMaintQueueConcurrentMutations(t *testing.T) {
+	b := newTestBroker(t, Config{ReoptWorkers: 2})
+	e := b.Engine(0)
+	seed := func(i int) string { return fmt.Sprintf("k%03d", i) }
+	for i := 0; i < 8; i++ {
+		if _, err := e.Put(ctx, "c", seed(i), []byte("seed"), PutOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.FlushStats()
+	victim := b.ProviderIndex().ProviderNames()[0]
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 8; i < 40; i++ {
+			if _, err := e.Put(ctx, "c", seed(i), []byte("churn"), PutOptions{}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			if err := e.Delete(ctx, "c", seed(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := b.Registry().UpdatePricing(victim, cloud.Pricing{
+				StorageGBMonth: 0.1 + 0.01*float64(i),
+				BandwidthInGB:  0.05, BandwidthOutGB: 0.12, OpsPer1000: 0.01,
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := b.WaitMaintIdle(waitCtx); err != nil {
+		t.Fatalf("queue never went idle: %v", err)
+	}
+	st := b.MaintStats()
+	if st.QueueDepth != 0 || st.Drained != st.Enqueued {
+		t.Fatalf("idle queue should have drained every accepted invalidation: %+v", st)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("default queue depth dropped invalidations: %+v", st)
+	}
+}
+
+// TestGatewayAsyncJobs is the jobs-API e2e: POST /v1/repair and
+// /v1/optimize answer 202 with a job resource and Location header, the
+// job is pollable to completion with its final report attached,
+// ?wait=true preserves the old synchronous 200 contract, and GET
+// /v1/jobs pages with the object-listing shape.
+func TestGatewayAsyncJobs(t *testing.T) {
+	_, ts := newGatewayServer(t, Config{})
+	client := ts.Client()
+
+	resp := doReq(t, client, http.MethodPut, ts.URL+"/v1/objects/c/k", []byte("jobs"), nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put = %d", resp.StatusCode)
+	}
+
+	poll := func(t *testing.T, loc string) JobView {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp := doReq(t, client, http.MethodGet, ts.URL+loc, nil, nil)
+			var job JobView
+			if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("poll %s = %d", loc, resp.StatusCode)
+			}
+			if job.State != JobRunning {
+				return job
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s still running: %+v", loc, job)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Async repair: 202 + Location, poll to done, report attached.
+	resp = doReq(t, client, http.MethodPost, ts.URL+"/v1/repair?policy=active", nil, nil)
+	var dispatched JobView
+	if err := json.NewDecoder(resp.Body).Decode(&dispatched); err != nil {
+		t.Fatal(err)
+	}
+	loc := resp.Header.Get("Location")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || dispatched.ID == "" || loc != "/v1/jobs/"+dispatched.ID {
+		t.Fatalf("dispatch repair = %d, job %+v, location %q", resp.StatusCode, dispatched, loc)
+	}
+	if dispatched.Kind != JobRepair || dispatched.Policy != "active" {
+		t.Fatalf("dispatched job = %+v", dispatched)
+	}
+	job := poll(t, loc)
+	if job.State != JobDone || job.Repair == nil || job.FinishedAt == nil || job.Error != "" {
+		t.Fatalf("finished repair job = %+v", job)
+	}
+	if job.Processed != int64(job.Repair.Checked) {
+		t.Fatalf("progress counter %d != checked %d", job.Processed, job.Repair.Checked)
+	}
+
+	// Async optimize: same lifecycle, optimize report attached.
+	resp = doReq(t, client, http.MethodPost, ts.URL+"/v1/optimize", nil, nil)
+	if err := json.NewDecoder(resp.Body).Decode(&dispatched); err != nil {
+		t.Fatal(err)
+	}
+	loc = resp.Header.Get("Location")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || dispatched.Kind != JobOptimize {
+		t.Fatalf("dispatch optimize = %d, %+v", resp.StatusCode, dispatched)
+	}
+	job = poll(t, loc)
+	if job.State != JobDone || job.Optimize == nil || job.Optimize.Leader == "" {
+		t.Fatalf("finished optimize job = %+v", job)
+	}
+
+	// ?wait=true keeps the pre-jobs synchronous contract: 200 + report.
+	resp = doReq(t, client, http.MethodPost, ts.URL+"/v1/repair?wait=true&policy=active", nil, nil)
+	var rep RepairReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait=true repair = %d", resp.StatusCode)
+	}
+
+	// Listing: three jobs exist (wait=true runs inline, minting none);
+	// page size 1 walks them in creation order via the cursor.
+	var ids []string
+	after := ""
+	for {
+		resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/jobs?limit=1&after="+after, nil, nil)
+		var page JobList
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(page.Jobs) > 1 {
+			t.Fatalf("limit=1 page returned %d jobs", len(page.Jobs))
+		}
+		for _, j := range page.Jobs {
+			ids = append(ids, j.ID)
+		}
+		if !page.Truncated {
+			break
+		}
+		after = page.Next
+	}
+	if len(ids) != 2 || ids[0] >= ids[1] {
+		t.Fatalf("paged job IDs = %v, want 2 ascending", ids)
+	}
+
+	// Unknown jobs are typed 404s.
+	resp = doReq(t, client, http.MethodGet, ts.URL+"/v1/jobs/j99999999", nil, nil)
+	if resp.StatusCode != http.StatusNotFound || errCode(t, resp) != "job_not_found" {
+		t.Fatalf("unknown job = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

@@ -42,6 +42,11 @@ type brokerMetrics struct {
 
 	// Write-path counters, Broker.WriteStats's source of truth.
 	writeStripes *obs.Counter
+
+	// repairIndexed counts candidate objects enumerated through the
+	// provider→objects index by Repair passes — compare against
+	// scalia_objects to see the O(affected) win over a full scan.
+	repairIndexed *obs.Counter
 }
 
 // Metric family names, shared by the encoder output, the health
@@ -93,6 +98,9 @@ func newBrokerMetrics(b *Broker) *brokerMetrics {
 
 		writeStripes: reg.Counter("scalia_write_stripes_total",
 			"Stripes fanned out to providers by completed writes."),
+
+		repairIndexed: reg.Counter("scalia_repair_objects_indexed_total",
+			"Candidate objects repair passes enumerated through the provider index."),
 	}
 
 	// Planner cache (source: core.Planner's own counters).
@@ -186,6 +194,29 @@ func newBrokerMetrics(b *Broker) *brokerMetrics {
 	reg.CounterFunc("scalia_repair_bytes_written_total",
 		"Bytes written by repair.",
 		func() float64 { return float64(b.RepairTotals().BytesWritten) })
+
+	// Event-driven maintenance queue (source: maintQueue counters).
+	reg.GaugeFunc("scalia_maint_queue_depth",
+		"Invalidated objects waiting in the reoptimization queue.",
+		func() float64 { return float64(b.maint.stats().QueueDepth) })
+	reg.GaugeFunc("scalia_maint_workers",
+		"Background maintenance drain workers (0 = manual drain).",
+		func() float64 { return float64(b.maint.stats().Workers) })
+	reg.CounterFunc("scalia_maint_enqueued_total",
+		"Objects whose cached placement a market event invalidated.",
+		func() float64 { return float64(b.maint.stats().Enqueued) })
+	reg.CounterFunc("scalia_maint_drained_total",
+		"Invalidated objects re-planned by the maintenance queue.",
+		func() float64 { return float64(b.maint.stats().Drained) })
+	reg.CounterFunc("scalia_maint_dropped_total",
+		"Invalidations discarded because the queue was full.",
+		func() float64 { return float64(b.maint.stats().Dropped) })
+	reg.CounterFunc("scalia_maint_migrated_total",
+		"Queue-drained objects that actually moved.",
+		func() float64 { return float64(b.maint.stats().Migrated) })
+	reg.CounterFunc("scalia_maint_events_total",
+		"Market events received by the maintenance subscriber.",
+		func() float64 { return float64(b.maint.stats().Events) })
 
 	// Deployment shape and transient state.
 	reg.GaugeFunc("scalia_pending_deletes",

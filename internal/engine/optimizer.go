@@ -168,6 +168,7 @@ func (e *Engine) optimizeShard(ctx context.Context, objs []string, now int64, fo
 		if ctx.Err() != nil {
 			break
 		}
+		noteProgress(ctx, 1)
 		changed := force || e.detectTrendChange(obj, now)
 		if !changed {
 			continue

@@ -92,19 +92,50 @@ func (b *Broker) recordRepair(rep RepairReport) {
 	b.mu.Unlock()
 }
 
-// Repair scans all objects and applies the policy to those with chunks
-// at unreachable providers. Under RepairActive each affected object is
-// repaired by the cheapest feasible mechanism — chunk swap first, full
-// re-placement as the fallback. Like Optimize, the scan is sharded
-// across all alive engines and runs in parallel — repair after a large
-// outage touches the whole object population, and the paper's engines
-// "scale by addition".
+// Repair applies the policy to objects with chunks at unreachable
+// providers. The candidate set is enumerated through the provider→
+// objects inverted index — only objects holding a chunk on an
+// unreachable (or deregistered) provider are examined, so a
+// single-provider outage costs O(affected), not O(store). Under
+// RepairActive each affected object is repaired by the cheapest
+// feasible mechanism — chunk swap first, full re-placement as the
+// fallback. Like Optimize, the scan is sharded across all alive engines
+// and runs in parallel.
 func (b *Broker) Repair(ctx context.Context, policy RepairPolicy) (RepairReport, error) {
+	affected := b.provIndex.ObjectsOn(b.unreachableProviders())
+	b.metrics.repairIndexed.Add(int64(len(affected)))
+	return b.repairScan(ctx, policy, affected)
+}
+
+// RepairFullScan is the pre-index repair pass: every known object is
+// checked, whether or not any of its providers changed. Kept as the
+// ablation baseline BenchmarkRepairAffected compares the indexed
+// enumeration against.
+func (b *Broker) RepairFullScan(ctx context.Context, policy RepairPolicy) (RepairReport, error) {
+	return b.repairScan(ctx, policy, b.statsDB.Objects())
+}
+
+// unreachableProviders returns the indexed providers that are currently
+// unregistered or unavailable — the providers whose objects a repair
+// pass must examine. Cost is O(providers carrying data), not O(objects).
+func (b *Broker) unreachableProviders() []string {
+	var down []string
+	for _, name := range b.provIndex.ProviderNames() {
+		s, ok := b.registry.Store(name)
+		if !ok || !s.Available() {
+			down = append(down, name)
+		}
+	}
+	return down
+}
+
+// repairScan runs one repair pass over the given candidate objects.
+func (b *Broker) repairScan(ctx context.Context, policy RepairPolicy, objs []string) (RepairReport, error) {
 	// One pass at a time: swap repairs reuse the live version's chunk
 	// keys, so two concurrent passes planning the same deterministic
 	// swap would race commit-vs-rollback on the same keys. (The commit
 	// failure path additionally refuses to roll back chunks the live
-	// version references — see swapRepair — but serializing the passes
+	// version references — see commitSwap — but serializing the passes
 	// keeps the race from arising at all.)
 	b.repairMu.Lock()
 	defer b.repairMu.Unlock()
@@ -117,7 +148,7 @@ func (b *Broker) Repair(ctx context.Context, policy RepairPolicy) (RepairReport,
 	now := b.clock.Period()
 
 	alive := b.aliveEngines()
-	shards := shardObjects(b.statsDB.Objects(), len(alive))
+	shards := shardObjects(objs, len(alive))
 
 	var report RepairReport
 	var mu sync.Mutex
@@ -150,16 +181,22 @@ func (b *Broker) Repair(ctx context.Context, policy RepairPolicy) (RepairReport,
 
 // repairShard applies the repair policy to one engine's share of the
 // object population.
-func (e *Engine) repairShard(ctx context.Context, objs []string, policy RepairPolicy, now int64) RepairReport {
+func (e *Engine) repairShard(ctx context.Context, objs []string, policy RepairPolicy, now int64) (report RepairReport) {
 	aliveFn := func(name string) bool {
 		s, ok := e.b.registry.Store(name)
 		return ok && s.Available()
 	}
-	var report RepairReport
+	// Prepared single-stripe swaps are batched per target provider so
+	// many small objects repaired onto the same spare cost one provider
+	// round-trip per batch. The deferred flush writes into the named
+	// return value, so swaps still pending at loop exit are counted.
+	batch := newSwapBatcher(e, e.b.cfg.SwapBatchSize)
+	defer batch.flush(ctx, &report)
 	for _, obj := range objs {
 		if ctx.Err() != nil {
 			break
 		}
+		noteProgress(ctx, 1)
 		container, key, ok := splitObjectName(obj)
 		if !ok {
 			continue
@@ -201,20 +238,35 @@ func (e *Engine) repairShard(ctx context.Context, objs []string, policy RepairPo
 			plan, perr := e.b.planner.Repair(epoch, specs, rule,
 				e.placementFromChunks(meta), aliveFn, sum, meta.Size, free)
 			if perr == nil && plan.Mode == core.RepairSwap {
-				written, wbytes, serr := e.swapRepair(ctx, meta, plan)
-				if serr == nil {
-					e.b.setPlacement(obj, plan.Placement)
-					report.Repaired++
-					report.Swapped++
-					report.ChunksWritten += written
-					report.BytesWritten += wbytes
-					continue
+				if batch.size > 1 && meta.StripeCount() == 1 {
+					// Small object: prepare the replacement chunks now,
+					// defer the provider writes to a per-provider batch.
+					ps, serr := e.prepareSwap(ctx, meta, plan)
+					if serr == nil {
+						batch.add(ctx, ps, &report)
+						continue
+					}
+					if ctx.Err() != nil {
+						break
+					}
+					// Preparation failed (a survivor died mid-fetch, rot);
+					// fall through to the full re-placement.
+				} else {
+					written, wbytes, serr := e.swapRepair(ctx, meta, plan)
+					if serr == nil {
+						e.b.setPlacement(obj, plan.Placement)
+						report.Repaired++
+						report.Swapped++
+						report.ChunksWritten += written
+						report.BytesWritten += wbytes
+						continue
+					}
+					if ctx.Err() != nil {
+						break
+					}
+					// The swap failed at execution (a target died
+					// mid-write); fall through to the full re-placement.
 				}
-				if ctx.Err() != nil {
-					break
-				}
-				// The swap failed at execution (a target died mid-write);
-				// fall through to the full re-placement.
 			} else if perr == nil && e.placementReachable(plan.Placement) {
 				// Reuse the planner's re-stripe plan rather than running
 				// the same search again; the reachability re-check mirrors
@@ -390,9 +442,19 @@ func (e *Engine) swapRepair(ctx context.Context, meta ObjectMeta, plan core.Repa
 		return 0, 0, firstErr
 	}
 
-	// Commit under the row lock, and only if the version we repaired is
-	// still the live one: a client write or delete that landed while the
-	// replacement chunks were copying must win.
+	if err := e.commitSwap(meta, plan, stripes); err != nil {
+		return 0, 0, err
+	}
+	return chunksWritten, bytesWritten, nil
+}
+
+// commitSwap installs a completed chunk swap's metadata under the row
+// lock, and only if the version repaired is still the live one: a
+// client write or delete that landed while the replacement chunks were
+// copying must win. On failure every replacement chunk of stripes
+// [0, stripes) is rolled back; on success the dead providers' stale
+// copies become postponed deletes (§III-D3).
+func (e *Engine) commitSwap(meta ObjectMeta, plan core.RepairPlan, stripes int) error {
 	row := RowKey(meta.Container, meta.Key)
 	lk := e.b.rowLock(row)
 	lk.Lock()
@@ -408,7 +470,7 @@ func (e *Engine) swapRepair(ctx context.Context, meta ObjectMeta, plan core.Repa
 				cur.Chunks[slot] != plan.Placement.Providers[slot].Name
 		})
 		e.cleanupVersions(losers)
-		return 0, 0, fmt.Errorf("engine: swap repair: object changed mid-repair")
+		return fmt.Errorf("engine: swap repair: object changed mid-repair")
 	}
 	newMeta := *cur
 	newMeta.Chunks = append([]string(nil), cur.Chunks...)
@@ -420,12 +482,12 @@ func (e *Engine) swapRepair(ctx context.Context, meta ObjectMeta, plan core.Repa
 	if err != nil {
 		lk.Unlock()
 		e.rollbackSwap(meta, plan, stripes, nil)
-		return 0, 0, err
+		return err
 	}
 	if err := e.b.meta.Put(e.dc, row, version); err != nil {
 		lk.Unlock()
 		e.rollbackSwap(meta, plan, stripes, nil)
-		return 0, 0, fmt.Errorf("engine: swap repair metadata write: %w", err)
+		return fmt.Errorf("engine: swap repair metadata write: %w", err)
 	}
 	lk.Unlock()
 	e.cleanupVersions(losers)
@@ -436,7 +498,7 @@ func (e *Engine) swapRepair(ctx context.Context, meta ObjectMeta, plan core.Repa
 			e.deleteChunkAt(meta.Chunks[i], meta.chunkKey(s, i))
 		}
 	}
-	return chunksWritten, bytesWritten, nil
+	return nil
 }
 
 // repairStripe repairs one stripe: fetch m surviving chunks, let the
@@ -526,4 +588,187 @@ func sameChunks(a, b []string) bool {
 		}
 	}
 	return true
+}
+
+// --- batched swap writes ---
+
+// pendingSwap is one single-stripe object's prepared chunk swap: the
+// replacement chunks are reconstructed and verified but not yet written.
+type pendingSwap struct {
+	obj  string
+	meta ObjectMeta
+	plan core.RepairPlan
+	// data holds the replacement chunk per replaced slot.
+	data  map[int][]byte
+	bytes int64
+}
+
+// prepareSwap reconstructs and verifies a single-stripe object's
+// replacement chunks without writing them, so the writes can be batched
+// with other objects repairing onto the same providers. Validation
+// mirrors swapRepair's.
+func (e *Engine) prepareSwap(ctx context.Context, meta ObjectMeta, plan core.RepairPlan) (*pendingSwap, error) {
+	n := len(meta.Chunks)
+	if plan.Placement.N() != n || plan.Placement.M != meta.M || len(plan.Replaced) == 0 {
+		return nil, fmt.Errorf("engine: swap plan does not match the stored layout")
+	}
+	coder, err := erasure.New(meta.M, n)
+	if err != nil {
+		return nil, err
+	}
+	replaced := make(map[int]bool, len(plan.Replaced))
+	for _, i := range plan.Replaced {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("engine: swap plan slot %d out of range", i)
+		}
+		name := plan.Placement.Providers[i].Name
+		st, ok := e.b.registry.Store(name)
+		if !ok || !st.Available() {
+			return nil, fmt.Errorf("%w: swap target %s", cloud.ErrUnavailable, name)
+		}
+		replaced[i] = true
+	}
+	order, err := e.rankChunks(meta, replaced)
+	if err != nil {
+		return nil, err
+	}
+	chunks, err := e.fetchRanked(ctx, meta, 0, order, false)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := coder.Decode(chunks, int(meta.stripeLen(0)))
+	if err != nil {
+		return nil, err
+	}
+	if want := meta.stripeSum(0); want != "" {
+		got := md5.Sum(payload)
+		if hex.EncodeToString(got[:]) != want {
+			return nil, fmt.Errorf("%w: stripe 0 during swap repair", ErrChecksum)
+		}
+	}
+	ps := &pendingSwap{
+		obj:  objectName(meta.Container, meta.Key),
+		meta: meta,
+		plan: plan,
+		data: make(map[int][]byte, len(plan.Replaced)),
+	}
+	for _, i := range plan.Replaced {
+		ps.data[i] = chunks[i]
+		ps.bytes += int64(len(chunks[i]))
+	}
+	return ps, nil
+}
+
+// swapBatcher accumulates prepared single-stripe swaps and flushes
+// their replacement-chunk writes grouped per target provider: one
+// PutBatch round-trip per provider per flush, instead of one Put per
+// chunk. Metadata commits stay per-object (row lock, live-version
+// check) after the writes land.
+type swapBatcher struct {
+	e    *Engine
+	size int
+	pend []*pendingSwap
+}
+
+func newSwapBatcher(e *Engine, size int) *swapBatcher {
+	if size < 1 {
+		size = 1
+	}
+	return &swapBatcher{e: e, size: size}
+}
+
+// add appends a prepared swap, flushing when the batch is full.
+func (sb *swapBatcher) add(ctx context.Context, ps *pendingSwap, report *RepairReport) {
+	sb.pend = append(sb.pend, ps)
+	if len(sb.pend) >= sb.size {
+		sb.flush(ctx, report)
+	}
+}
+
+// flush writes every pending replacement chunk, one batch per target
+// provider, then commits each object whose writes all landed. Objects
+// with a failed target are rolled back (best effort, succeeded
+// providers only) and counted Skipped.
+func (sb *swapBatcher) flush(ctx context.Context, report *RepairReport) {
+	if len(sb.pend) == 0 {
+		return
+	}
+	pend := sb.pend
+	sb.pend = nil
+
+	// Group the chunk writes by target provider.
+	groups := make(map[string][]cloud.BatchItem)
+	for _, ps := range pend {
+		for slot, data := range ps.data {
+			name := ps.plan.Placement.Providers[slot].Name
+			groups[name] = append(groups[name], cloud.BatchItem{
+				Key:  ps.meta.chunkKey(0, slot),
+				Data: data,
+			})
+		}
+	}
+	failed := make(map[string]error)
+	for name, items := range groups {
+		failed[name] = sb.e.putBatch(ctx, name, items)
+	}
+
+	for _, ps := range pend {
+		bad := false
+		for slot := range ps.data {
+			if failed[ps.plan.Placement.Providers[slot].Name] != nil {
+				bad = true
+				break
+			}
+		}
+		if bad {
+			// Roll back this object's chunks on the providers that did
+			// accept their batch; the failed provider wrote nothing
+			// (PutBatch validates before landing anything).
+			for slot := range ps.data {
+				name := ps.plan.Placement.Providers[slot].Name
+				if failed[name] == nil {
+					sb.e.deleteChunkAt(name, ps.meta.chunkKey(0, slot))
+				}
+			}
+			report.Skipped++
+			continue
+		}
+		if err := sb.e.commitSwap(ps.meta, ps.plan, 1); err != nil {
+			report.Skipped++
+			continue
+		}
+		sb.e.b.setPlacement(ps.obj, ps.plan.Placement)
+		report.Repaired++
+		report.Swapped++
+		report.ChunksWritten += len(ps.plan.Replaced)
+		report.BytesWritten += ps.bytes
+	}
+}
+
+// putBatch writes one provider's batch: through cloud.BatchWriter when
+// the backend supports it (one simulated round-trip), item by item
+// otherwise. On a per-item failure the already-written items of the
+// batch are rolled back so the batch is all-or-nothing either way.
+func (e *Engine) putBatch(ctx context.Context, provider string, items []cloud.BatchItem) error {
+	st, ok := e.b.registry.Store(provider)
+	if !ok {
+		return fmt.Errorf("%w: %s", cloud.ErrUnavailable, provider)
+	}
+	t0 := time.Now()
+	if bw, isBatch := st.(cloud.BatchWriter); isBatch {
+		err := bw.PutBatch(ctx, items)
+		e.b.observeProviderOp(provider, "put-batch", t0, err)
+		return err
+	}
+	for i, it := range items {
+		if err := st.Put(ctx, it.Key, it.Data); err != nil {
+			e.b.observeProviderOp(provider, "put-batch", t0, err)
+			for j := 0; j < i; j++ {
+				e.deleteChunkAt(provider, items[j].Key)
+			}
+			return err
+		}
+	}
+	e.b.observeProviderOp(provider, "put-batch", t0, nil)
+	return nil
 }

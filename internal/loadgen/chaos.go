@@ -220,14 +220,25 @@ func execute(ctx context.Context, c *client.Client, e Event) error {
 	case ActionSetPricing:
 		return c.SetProviderPricing(ctx, e.Provider, *e.Pricing)
 	case ActionOptimize:
-		_, err := c.Optimize(ctx)
+		// Dispatch-then-poll through the async jobs API: the chaos runner
+		// observes the 202 contract end-to-end instead of holding one HTTP
+		// request open across the whole pass.
+		job, err := c.StartOptimize(ctx)
+		if err != nil {
+			return err
+		}
+		_, err = c.WaitForJob(ctx, job.ID, 0)
 		return err
 	case ActionRepair:
 		policy := scalia.RepairActive
 		if e.Policy == "wait" {
 			policy = scalia.RepairWait
 		}
-		_, err := c.Repair(ctx, policy)
+		job, err := c.StartRepair(ctx, policy)
+		if err != nil {
+			return err
+		}
+		_, err = c.WaitForJob(ctx, job.ID, 0)
 		return err
 	case ActionAddProvider:
 		return c.AddProvider(ctx, *e.Spec)

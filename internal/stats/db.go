@@ -3,6 +3,7 @@ package stats
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // EventKind classifies an access event.
@@ -42,6 +43,11 @@ type DB struct {
 	created  map[string]int64  // object -> creation period
 
 	classes *ClassStats
+
+	// objectsCalls counts Objects() full-table scans, so tests and
+	// metrics can assert the O(affected) maintenance paths never fall
+	// back to a full scan.
+	objectsCalls atomic.Uint64
 }
 
 // NewDB returns an empty statistics database. periodHours is the wall
@@ -136,8 +142,10 @@ func (db *DB) AccessedSince(period int64) []string {
 }
 
 // Objects returns all known object keys, sorted (the full-table-scan
-// baseline the paper argues against; used by the ablation bench).
+// baseline the paper argues against; used by the ablation bench). Every
+// call is counted; see ObjectsCalls.
 func (db *DB) Objects() []string {
+	db.objectsCalls.Add(1)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.hist))
@@ -147,6 +155,12 @@ func (db *DB) Objects() []string {
 	sort.Strings(out)
 	return out
 }
+
+// ObjectsCalls returns how many times Objects() — the full-table scan —
+// has been invoked since the DB was created. The O(affected)
+// maintenance tests assert a zero delta across indexed repair and
+// event-driven reoptimization passes.
+func (db *DB) ObjectsCalls() uint64 { return db.objectsCalls.Load() }
 
 // CreatedAt returns the creation period of an object.
 func (db *DB) CreatedAt(object string) (int64, bool) {

@@ -101,6 +101,26 @@ type (
 	ProviderStatus = engine.ProviderStatus
 	// RepairPolicy selects how repair treats chunks at failed providers.
 	RepairPolicy = engine.RepairPolicy
+	// Job is an asynchronous maintenance job resource (POST /v1/repair
+	// and /v1/optimize dispatch one; GET /v1/jobs/{id} polls it).
+	Job = engine.JobView
+	// JobList is the paginated job listing of GET /v1/jobs.
+	JobList = engine.JobList
+	// MaintStats is the event-driven reoptimization queue's counter
+	// snapshot (GET /v1/stats).
+	MaintStats = engine.MaintStats
+	// ProviderMutation is the epoch-echoing response of the admin
+	// provider-mutation routes.
+	ProviderMutation = engine.ProviderMutation
+)
+
+// Job states and kinds of the asynchronous maintenance jobs API.
+const (
+	JobRunning  = engine.JobRunning
+	JobDone     = engine.JobDone
+	JobFailed   = engine.JobFailed
+	JobRepair   = engine.JobRepair
+	JobOptimize = engine.JobOptimize
 )
 
 // Zones.
@@ -130,6 +150,8 @@ var (
 	ErrProviderUnavailable  = cloud.ErrUnavailable
 	ErrProviderOverCapacity = cloud.ErrOverCapacity
 	ErrObjectTooLarge       = cloud.ErrTooLarge
+	ErrUnknownProvider      = cloud.ErrUnknownProvider
+	ErrUnsupportedMutation  = cloud.ErrUnsupportedMutation
 )
 
 // PaperProviders returns the five provider profiles of the paper's
@@ -193,6 +215,20 @@ type Options struct {
 	// every active repair fully re-places the object — an ablation knob
 	// for benchmarks comparing the two repair mechanisms.
 	ForceRestripeRepair bool
+	// ReoptWorkers sets the background worker pool that drains the
+	// event-driven reoptimization queue (market events → affected
+	// objects). 0 (the default) enqueues only; drain explicitly with
+	// DrainMaintenance. scalia-server enables workers via -reopt-workers.
+	ReoptWorkers int
+	// ReoptQueueDepth bounds the reoptimization queue (default
+	// engine.DefaultReoptQueueDepth). Overflow invalidations are dropped
+	// and counted; the periodic Optimize pass is their backstop.
+	ReoptQueueDepth int
+	// SwapBatchSize bounds how many prepared single-stripe chunk swaps a
+	// repair pass accumulates before flushing them as one batched write
+	// per target provider (default engine.DefaultSwapBatchSize; negative
+	// disables batching).
+	SwapBatchSize int
 	// Clock overrides time (tests and simulations use a manual clock).
 	Clock engine.Clock
 }
@@ -220,6 +256,9 @@ func New(opts Options) (*Client, error) {
 		MaxBufferBytes:      opts.MaxBufferBytes,
 		MaxReadBufferBytes:  opts.MaxReadBufferBytes,
 		ForceRestripeRepair: opts.ForceRestripeRepair,
+		ReoptWorkers:        opts.ReoptWorkers,
+		ReoptQueueDepth:     opts.ReoptQueueDepth,
+		SwapBatchSize:       opts.SwapBatchSize,
 		Clock:               opts.Clock,
 	}
 	if len(opts.Providers) > 0 {
@@ -464,12 +503,27 @@ func (c *Client) SetProviderAvailable(name string, up bool) bool {
 	return c.broker.Registry().SetAvailable(name, up)
 }
 
+// UpdateProviderAvailability is SetProviderAvailable with the unified
+// admin contract: it returns the market epoch the mutation advanced the
+// registry to, ErrUnknownProvider for absent providers, and
+// ErrUnsupportedMutation for backends without failure injection.
+func (c *Client) UpdateProviderAvailability(name string, up bool) (uint64, error) {
+	return c.broker.Registry().UpdateAvailability(name, up)
+}
+
 // SetProviderPricing replaces a provider's price sheet at runtime — the
 // paper's market price event. The market epoch bumps so cached
 // placement searches re-plan against the new prices; false means the
 // provider is unknown or its backend has immutable pricing.
 func (c *Client) SetProviderPricing(name string, p Pricing) bool {
 	return c.broker.Registry().SetPricing(name, p)
+}
+
+// UpdateProviderPricing is SetProviderPricing with the unified admin
+// contract: new market epoch on success, ErrUnknownProvider /
+// ErrUnsupportedMutation on failure.
+func (c *Client) UpdateProviderPricing(name string, p Pricing) (uint64, error) {
+	return c.broker.Registry().UpdatePricing(name, p)
 }
 
 // Optimize runs one periodic optimization procedure (leader election,
@@ -482,12 +536,42 @@ func (c *Client) Optimize(ctx context.Context) (OptimizeReport, error) {
 }
 
 // Repair scans for objects with chunks at unreachable providers and
-// applies the policy.
+// applies the policy. The candidate set comes from the provider→objects
+// index, so the pass costs O(affected), not O(store).
 func (c *Client) Repair(ctx context.Context, policy engine.RepairPolicy) (RepairReport, error) {
 	rep, err := c.broker.Repair(ctx, policy)
 	c.broker.Metadata().Flush()
 	return rep, err
 }
+
+// StartOptimize dispatches an asynchronous optimization round and
+// returns its job resource immediately; poll with Job.
+func (c *Client) StartOptimize() Job { return c.broker.StartOptimize() }
+
+// StartRepair dispatches an asynchronous repair pass and returns its
+// job resource immediately; poll with Job.
+func (c *Client) StartRepair(policy RepairPolicy) Job { return c.broker.StartRepair(policy) }
+
+// Job returns one maintenance job by ID.
+func (c *Client) Job(id string) (Job, bool) { return c.broker.Job(id) }
+
+// Jobs lists maintenance jobs with the object-listing pagination shape
+// (prefix/after/limit; limit <= 0 means no cap).
+func (c *Client) Jobs(prefix, after string, limit int) JobList {
+	return c.broker.Jobs(prefix, after, limit)
+}
+
+// DrainMaintenance synchronously re-plans the objects queued by market
+// events until the queue is empty or ctx is cancelled, returning how
+// many it processed. Deployments with Options.ReoptWorkers > 0 drain in
+// the background and rarely need this; tests and worker-less embedders
+// call it for deterministic draining.
+func (c *Client) DrainMaintenance(ctx context.Context) int {
+	return c.broker.DrainMaintenance(ctx)
+}
+
+// MaintStats snapshots the event-driven reoptimization queue counters.
+func (c *Client) MaintStats() MaintStats { return c.broker.MaintStats() }
 
 // ProcessPendingDeletes retries chunk deletions postponed during
 // provider outages.
