@@ -431,7 +431,7 @@ func (e *Engine) VerifyObject(ctx context.Context, container, key string) (reach
 		return 0, err
 	}
 	n := len(meta.Chunks)
-	coder, err := erasure.New(meta.M, n)
+	coder, err := erasure.Cached(meta.M, n)
 	if err != nil {
 		return 0, err
 	}

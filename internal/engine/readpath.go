@@ -117,10 +117,11 @@ func (e *Engine) openObjectReader(ctx context.Context, meta ObjectMeta, userRead
 // when the stream completes.
 func (e *Engine) openObjectRange(ctx context.Context, meta ObjectMeta, start, end int, userRead bool) (*objectReader, error) {
 	n := len(meta.Chunks)
-	// One coder serves every stripe of the stream: it depends only on
-	// (m, n), and rebuilding the generator matrix per stripe would put
-	// a matrix inversion on the hot read path.
-	coder, err := erasure.New(meta.M, n)
+	// The coder is resolved through the package-level cache: it depends
+	// only on (m, n), and rebuilding (and Gauss-inverting) the
+	// generator matrix per stream would put a matrix inversion on the
+	// hot read path.
+	coder, err := erasure.Cached(meta.M, n)
 	if err != nil {
 		return nil, err
 	}

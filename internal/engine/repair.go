@@ -364,7 +364,7 @@ func (e *Engine) swapRepair(ctx context.Context, meta ObjectMeta, plan core.Repa
 	if plan.Placement.N() != n || plan.Placement.M != meta.M || len(plan.Replaced) == 0 {
 		return 0, 0, fmt.Errorf("engine: swap plan does not match the stored layout")
 	}
-	coder, err := erasure.New(meta.M, n)
+	coder, err := erasure.Cached(meta.M, n)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -612,7 +612,7 @@ func (e *Engine) prepareSwap(ctx context.Context, meta ObjectMeta, plan core.Rep
 	if plan.Placement.N() != n || plan.Placement.M != meta.M || len(plan.Replaced) == 0 {
 		return nil, fmt.Errorf("engine: swap plan does not match the stored layout")
 	}
-	coder, err := erasure.New(meta.M, n)
+	coder, err := erasure.Cached(meta.M, n)
 	if err != nil {
 		return nil, err
 	}

@@ -61,7 +61,7 @@ type stripeWritePlan struct {
 // resolvePlacement materializes a placement's provider backends and an
 // (m, n) coder for it.
 func (e *Engine) resolvePlacement(p core.Placement) (*erasure.Coder, []cloud.Backend, []string, error) {
-	coder, err := erasure.New(p.M, p.N())
+	coder, err := erasure.Cached(p.M, p.N())
 	if err != nil {
 		return nil, nil, nil, err
 	}

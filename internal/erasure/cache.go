@@ -1,0 +1,57 @@
+package erasure
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Process-wide coder cache. A Coder is immutable and fully determined
+// by (m, n), but building one Gauss-inverts an m x m Vandermonde block
+// — O(m^3) table work that must never sit on a per-request path. The
+// engine's read, write, repair and reoptimization paths all resolve
+// their coder here, so the matrix build happens once per (m, n) for
+// the life of the process.
+
+// maxCachedCoders bounds the cache. (m, n) pairs come from placement
+// rules, so a real deployment uses a handful; the bound only guards
+// against unbounded growth under adversarial or fuzzed parameters.
+const maxCachedCoders = 256
+
+var (
+	coderMu    sync.RWMutex
+	coderCache = make(map[uint32]*Coder)
+)
+
+// Cached returns the shared coder for (m, n), building and caching it
+// on first use. Parameters are validated exactly like New. The
+// returned coder is immutable and safe for concurrent use; callers
+// must not assume exclusive ownership.
+func Cached(m, n int) (*Coder, error) {
+	if m < 1 || n < m || n > fieldSize {
+		return nil, fmt.Errorf("%w: m=%d n=%d", ErrInvalidParams, m, n)
+	}
+	key := uint32(m)<<16 | uint32(n)
+	coderMu.RLock()
+	c := coderCache[key]
+	coderMu.RUnlock()
+	if c != nil {
+		return c, nil
+	}
+	c, err := New(m, n)
+	if err != nil {
+		return nil, err
+	}
+	coderMu.Lock()
+	defer coderMu.Unlock()
+	if prev := coderCache[key]; prev != nil {
+		return prev, nil // lost the build race; keep the first coder
+	}
+	if len(coderCache) >= maxCachedCoders {
+		// Epoch reset: coders are cheap to rebuild relative to tracking
+		// per-entry recency, and a full cache means parameter churn no
+		// real deployment exhibits.
+		clear(coderCache)
+	}
+	coderCache[key] = c
+	return c, nil
+}

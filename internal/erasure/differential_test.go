@@ -1,0 +1,268 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestDifferentialFuzzKernels drives the table-driven, span-parallel
+// production paths against the retained scalar reference across random
+// geometries (m in [1,16], n in [m,32]) and sizes — including 0, 1 and
+// non-multiples of m — asserting byte-identical results for Encode,
+// Reconstruct (random erasure patterns) and Verify (clean and with a
+// corrupted byte). The span threshold is dropped so large cases
+// exercise the parallel kernels.
+func TestDifferentialFuzzKernels(t *testing.T) {
+	old := SpanThreshold()
+	SetSpanThreshold(1 << 10)
+	defer SetSpanThreshold(old)
+
+	rng := rand.New(rand.NewSource(20260808))
+	sizes := []int{0, 1, 2, 63, 64, 65, 1000, 4096, 12289}
+	for trial := 0; trial < 250; trial++ {
+		m := 1 + rng.Intn(16)
+		n := m + rng.Intn(33-m)
+		c, err := Cached(m, n)
+		if err != nil {
+			t.Fatalf("trial %d: Cached(%d,%d): %v", trial, m, n, err)
+		}
+		size := sizes[rng.Intn(len(sizes))]
+		if rng.Intn(4) == 0 {
+			size = rng.Intn(8 << 10)
+		}
+		data := make([]byte, size)
+		rng.Read(data)
+
+		want := c.encodeRef(data)
+		got, err := c.Encode(data)
+		if err != nil {
+			t.Fatalf("trial %d (m=%d n=%d size=%d): Encode: %v", trial, m, n, size, err)
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("trial %d (m=%d n=%d size=%d): chunk %d differs from scalar reference",
+					trial, m, n, size, i)
+			}
+		}
+
+		// Random erasure pattern within tolerance, applied to two
+		// copies: production Reconstruct vs the scalar reference.
+		erase := rng.Intn(n - m + 1)
+		perm := rng.Perm(n)
+		prod := make([][]byte, n)
+		ref := make([][]byte, n)
+		for i := range got {
+			prod[i] = append([]byte(nil), got[i]...)
+			ref[i] = append([]byte(nil), want[i]...)
+		}
+		for i := 0; i < erase; i++ {
+			prod[perm[i]], ref[perm[i]] = nil, nil
+		}
+		if err := c.Reconstruct(prod); err != nil {
+			t.Fatalf("trial %d: Reconstruct: %v", trial, err)
+		}
+		if err := c.reconstructRef(ref); err != nil {
+			t.Fatalf("trial %d: reconstructRef: %v", trial, err)
+		}
+		for i := range prod {
+			if !bytes.Equal(prod[i], ref[i]) {
+				t.Fatalf("trial %d (m=%d n=%d size=%d erase=%d): reconstructed chunk %d differs from scalar reference",
+					trial, m, n, size, erase, i)
+			}
+			if !bytes.Equal(prod[i], want[i]) {
+				t.Fatalf("trial %d: reconstructed chunk %d differs from original", trial, i)
+			}
+		}
+
+		if ok, err := c.Verify(prod); err != nil || !ok {
+			t.Fatalf("trial %d: clean Verify = %v, %v", trial, ok, err)
+		}
+		back, err := c.Decode(prod, size)
+		if err != nil || !bytes.Equal(back, data) {
+			t.Fatalf("trial %d: Decode mismatch (err=%v)", trial, err)
+		}
+		if size > 0 && n > m {
+			chunkLen := len(prod[0])
+			prod[rng.Intn(n)][rng.Intn(chunkLen)] ^= 1 + byte(rng.Intn(255))
+			ok, err := c.Verify(prod)
+			if err != nil {
+				t.Fatalf("trial %d: corrupted Verify: %v", trial, err)
+			}
+			if ok {
+				t.Fatalf("trial %d (m=%d n=%d size=%d): Verify missed a corrupted byte", trial, m, n, size)
+			}
+		}
+	}
+}
+
+// TestReconstructParityOnlyFastPath pins the identity fast path: when
+// every data chunk survives, Reconstruct regenerates parity without
+// touching the decode-matrix machinery, and the regenerated parity is
+// byte-identical to the scalar reference's inversion-based result.
+func TestReconstructParityOnlyFastPath(t *testing.T) {
+	c, err := New(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 5000)
+	rand.New(rand.NewSource(11)).Read(data)
+	want := c.encodeRef(data)
+	chunks := make([][]byte, c.n)
+	for i := 0; i < c.m; i++ {
+		chunks[i] = append([]byte(nil), want[i]...)
+	}
+	// All n-m parity chunks lost, all m data chunks intact.
+	if err := c.Reconstruct(chunks); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !bytes.Equal(chunks[i], want[i]) {
+			t.Fatalf("chunk %d differs after parity-only reconstruct", i)
+		}
+	}
+}
+
+// TestZeroLengthInvariant makes the empty-object encoding contract
+// explicit: ChunkSize(0) is 0 but Encode emits EncodedChunkSize(0) == 1
+// byte per chunk, and the whole chunk set round-trips (including
+// reconstruction) back to the empty object.
+func TestZeroLengthInvariant(t *testing.T) {
+	c, err := New(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ChunkSize(0); got != 0 {
+		t.Fatalf("ChunkSize(0) = %d, want 0", got)
+	}
+	if got := c.EncodedChunkSize(0); got != 1 {
+		t.Fatalf("EncodedChunkSize(0) = %d, want 1", got)
+	}
+	for _, dataLen := range []int{1, 3, 4, 300, 301} {
+		if got, want := c.EncodedChunkSize(dataLen), c.ChunkSize(dataLen); got != want {
+			t.Fatalf("EncodedChunkSize(%d) = %d, want ChunkSize = %d", dataLen, got, want)
+		}
+	}
+	chunks, err := c.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range chunks {
+		if len(ch) != 1 || ch[0] != 0 {
+			t.Fatalf("chunk %d = %v, want one zero byte", i, ch)
+		}
+	}
+	chunks[0], chunks[3] = nil, nil
+	if err := c.Reconstruct(chunks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(chunks, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Decode = %d bytes, %v; want empty", len(got), err)
+	}
+}
+
+// TestCoderCache checks identity, validation and the bounded epoch
+// reset of the package-level coder cache.
+func TestCoderCache(t *testing.T) {
+	a, err := Cached(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cached(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Cached(4,8) must return the same coder")
+	}
+	if _, err := Cached(0, 4); err == nil {
+		t.Fatal("Cached(0,4): expected ErrInvalidParams")
+	}
+	if _, err := Cached(5, 4); err == nil {
+		t.Fatal("Cached(5,4): expected ErrInvalidParams")
+	}
+	// Walk more (m, n) pairs than the bound holds; the cache must stay
+	// correct (and bounded) across the epoch reset.
+	count := 0
+	for m := 1; m <= 16 && count <= maxCachedCoders; m++ {
+		for n := m; n <= m+20 && count <= maxCachedCoders; n++ {
+			if _, err := Cached(m, n); err != nil {
+				t.Fatalf("Cached(%d,%d): %v", m, n, err)
+			}
+			count++
+		}
+	}
+	coderMu.RLock()
+	size := len(coderCache)
+	coderMu.RUnlock()
+	if size > maxCachedCoders {
+		t.Fatalf("cache grew to %d entries, bound is %d", size, maxCachedCoders)
+	}
+	c, err := Cached(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("post-eviction coders must still work")
+	chunks, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Decode(chunks, len(data)); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("post-eviction round-trip failed: %v", err)
+	}
+}
+
+// TestCoderCacheParallelHammer exercises the coder cache and the
+// span-parallel kernels concurrently; run with -race it proves both
+// are data-race free while sharing one coder across goroutines.
+func TestCoderCacheParallelHammer(t *testing.T) {
+	old := SpanThreshold()
+	SetSpanThreshold(512)
+	defer SetSpanThreshold(old)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				m := 1 + rng.Intn(6)
+				n := m + rng.Intn(5)
+				c, err := Cached(m, n)
+				if err != nil {
+					t.Errorf("Cached(%d,%d): %v", m, n, err)
+					return
+				}
+				data := make([]byte, 1+rng.Intn(16<<10))
+				rng.Read(data)
+				chunks, err := c.EncodePooled(data)
+				if err != nil {
+					t.Errorf("EncodePooled: %v", err)
+					return
+				}
+				if ok, err := c.Verify(chunks); err != nil || !ok {
+					t.Errorf("Verify = %v, %v", ok, err)
+					return
+				}
+				damaged := make([][]byte, n)
+				for j := range chunks {
+					damaged[j] = append([]byte(nil), chunks[j]...)
+				}
+				ReleaseChunks(chunks)
+				for j := 0; j < n-m; j++ {
+					damaged[rng.Intn(n)] = nil
+				}
+				got, err := c.Decode(damaged, len(data))
+				if err != nil || !bytes.Equal(got, data) {
+					t.Errorf("Decode mismatch (m=%d n=%d): %v", m, n, err)
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+}

@@ -5,7 +5,11 @@
 //
 // The implementation is self-contained (standard library only): GF(2^8)
 // arithmetic with log/exp tables, a Vandermonde-derived systematic
-// generator matrix, and Gaussian-elimination decoding.
+// generator matrix, and Gaussian-elimination decoding. The bulk slice
+// kernels are table-driven (see kernel.go) and fan large stripes out
+// across cores; build with -tags erasure_ref to route them through the
+// textbook single-byte scalar path instead, which serves as the
+// differential-test oracle.
 package erasure
 
 // GF(2^8) with the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d),
@@ -15,9 +19,23 @@ const fieldPoly = 0x11d
 // fieldSize is the number of elements in GF(2^8).
 const fieldSize = 256
 
+// kernBlock is the unroll granularity of the bulk slice kernels and
+// the alignment of parallel span boundaries (one cache line).
+const kernBlock = 64
+
 var (
 	expTable [2 * fieldSize]byte // exp[i] = generator^i, doubled to avoid mod in mul
 	logTable [fieldSize]int
+
+	// mulTable[c] is the full 256-entry product table of the constant c:
+	// mulTable[c][x] = c*x. One 64 KiB table shared by every Coder gives
+	// each generator-matrix coefficient its precomputed table for free —
+	// a coder "constructs" its per-coefficient tables by taking
+	// &mulTable[coeff] — and turns the hot slice kernels into a single
+	// branch-free lookup per byte (a byte index into a [256]byte array
+	// needs no bounds check), replacing the two log/exp lookups plus
+	// zero-test of the scalar path.
+	mulTable [fieldSize][fieldSize]byte
 )
 
 func init() {
@@ -33,6 +51,14 @@ func init() {
 	// Replicate so gfMul can index exp[logA+logB] without a modulo.
 	for i := fieldSize - 1; i < 2*fieldSize; i++ {
 		expTable[i] = expTable[i-(fieldSize-1)]
+	}
+	// Product tables; row 0 and column 0 stay zero.
+	for c := 1; c < fieldSize; c++ {
+		lc := logTable[c]
+		t := &mulTable[c]
+		for v := 1; v < fieldSize; v++ {
+			t[v] = expTable[lc+logTable[v]]
+		}
 	}
 }
 

@@ -1,0 +1,362 @@
+//go:build !erasure_ref
+
+package erasure
+
+// Table-driven GF(2^8) slice kernels. Each coefficient's full 256-entry
+// product table is precomputed (mulTable, galois.go), so the inner loop
+// is a single branch-free lookup-and-xor per byte. The loops walk
+// 64-byte blocks through fixed-size array views: converting a slice to
+// *[64]byte hoists the bounds check out of the block, and indexing a
+// [256]byte table with a byte needs no check at all.
+//
+// kernRow is the entry point the encode, reconstruct and verify paths
+// use: it computes one output row out = sum_k coefs[k]*in[k] over a
+// span, fusing up to four inputs per pass so the accumulator stays in
+// a register instead of being re-loaded and re-stored once per input.
+// kernel_ref.go swaps in the scalar reference path under
+// -tags erasure_ref.
+
+// kernRow computes dst = sum_k coefs[k] * ins[k][lo:hi], where dst has
+// length hi-lo. The first term assigns rather than accumulates, so dst
+// may arrive dirty (pooled scratch needs no pre-zeroing).
+func kernRow(coefs []byte, ins [][]byte, lo, hi int, dst []byte) {
+	switch len(ins) {
+	case 0:
+		clear(dst)
+	case 1:
+		kernMul(coefs[0], ins[0][lo:hi], dst)
+	case 2:
+		mul2(coefs, ins[0][lo:hi], ins[1][lo:hi], dst)
+	case 3:
+		mul3(coefs, ins[0][lo:hi], ins[1][lo:hi], ins[2][lo:hi], dst)
+	default:
+		mul4(coefs, ins[0][lo:hi], ins[1][lo:hi], ins[2][lo:hi], ins[3][lo:hi], dst)
+		k := 4
+		for ; k+4 <= len(ins); k += 4 {
+			mul4add(coefs[k:], ins[k][lo:hi], ins[k+1][lo:hi], ins[k+2][lo:hi], ins[k+3][lo:hi], dst)
+		}
+		switch len(ins) - k {
+		case 1:
+			kernMulAdd(coefs[k], ins[k][lo:hi], dst)
+		case 2:
+			mul2add(coefs[k:], ins[k][lo:hi], ins[k+1][lo:hi], dst)
+		case 3:
+			mul3add(coefs[k:], ins[k][lo:hi], ins[k+1][lo:hi], ins[k+2][lo:hi], dst)
+		}
+	}
+}
+
+// runJobSpan computes all jobs over one span, batching groups of four
+// rows that share an input set through the 4x4 micro-kernel and
+// falling back to row-at-a-time fused kernels for the rest. Encode,
+// reconstruct and verify all build their job batches over one shared
+// input set, so the fast grouping is the common case.
+func runJobSpan(jobs []rsJob, lo, hi int) {
+	i := 0
+	for i+4 <= len(jobs) && sameChunks(jobs[i].in, jobs[i+1].in) &&
+		sameChunks(jobs[i].in, jobs[i+2].in) && sameChunks(jobs[i].in, jobs[i+3].in) {
+		coefs := [4][]byte{jobs[i].row, jobs[i+1].row, jobs[i+2].row, jobs[i+3].row}
+		outs := [4][]byte{jobs[i].out, jobs[i+1].out, jobs[i+2].out, jobs[i+3].out}
+		kernRows4(&coefs, jobs[i].in, lo, hi, &outs)
+		i += 4
+	}
+	for ; i < len(jobs); i++ {
+		kernRow(jobs[i].row, jobs[i].in, lo, hi, jobs[i].out[lo:hi])
+	}
+}
+
+// sameChunks reports whether two job input sets are the same slice.
+func sameChunks(a, b [][]byte) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// kernRows4 computes four output rows over one span in a single pass:
+// outs[r][lo:hi] = sum_k coefs[r][k] * ins[k][lo:hi]. Fusing rows on
+// top of inputs amortizes every input-byte load across four outputs —
+// the 4x4 micro-kernel touches 16 product tables (4 KiB, L1-resident)
+// and performs one input load per four output bytes, where row-at-a-
+// time fusion performs four.
+func kernRows4(coefs *[4][]byte, ins [][]byte, lo, hi int, outs *[4][]byte) {
+	o0, o1, o2, o3 := outs[0][lo:hi], outs[1][lo:hi], outs[2][lo:hi], outs[3][lo:hi]
+	k := 0
+	for ; k+4 <= len(ins); k += 4 {
+		var cs [4][4]byte
+		for r := 0; r < 4; r++ {
+			copy(cs[r][:], coefs[r][k:k+4])
+		}
+		if k == 0 {
+			mul4x4(&cs, ins[k][lo:hi], ins[k+1][lo:hi], ins[k+2][lo:hi], ins[k+3][lo:hi], o0, o1, o2, o3, true)
+		} else {
+			mul4x4(&cs, ins[k][lo:hi], ins[k+1][lo:hi], ins[k+2][lo:hi], ins[k+3][lo:hi], o0, o1, o2, o3, false)
+		}
+	}
+	if k == 0 {
+		// Fewer than four inputs: fall back to row-at-a-time for the
+		// whole batch (assign semantics preserved).
+		for r := 0; r < 4; r++ {
+			kernRow(coefs[r], ins, lo, hi, outs[r][lo:hi])
+		}
+		return
+	}
+	// Remaining 1..3 inputs accumulate row by row.
+	for r := 0; r < 4; r++ {
+		switch len(ins) - k {
+		case 1:
+			kernMulAdd(coefs[r][k], ins[k][lo:hi], outs[r][lo:hi])
+		case 2:
+			mul2add(coefs[r][k:], ins[k][lo:hi], ins[k+1][lo:hi], outs[r][lo:hi])
+		case 3:
+			mul3add(coefs[r][k:], ins[k][lo:hi], ins[k+1][lo:hi], ins[k+2][lo:hi], outs[r][lo:hi])
+		}
+	}
+}
+
+// mul4x4 is the 4-row x 4-input micro-kernel: one pass over four input
+// spans producing four output spans. assign selects whether the first
+// input group overwrites (dirty buffers) or accumulates.
+func mul4x4(cs *[4][4]byte, a, b, c, d []byte, o0, o1, o2, o3 []byte, assign bool) {
+	// The 16 product tables are copied onto the stack: a fixed-offset
+	// stack array resolves each lookup with one load, where 16 table
+	// pointers would spill and cost a pointer reload per lookup. The
+	// 4 KiB copy amortizes over the span (kernRows4 calls this once
+	// per input group per span).
+	var tt [16][fieldSize]byte
+	for r := 0; r < 4; r++ {
+		for k := 0; k < 4; k++ {
+			tt[r*4+k] = mulTable[cs[r][k]]
+		}
+	}
+	t00, t01, t02, t03 := &tt[0], &tt[1], &tt[2], &tt[3]
+	t10, t11, t12, t13 := &tt[4], &tt[5], &tt[6], &tt[7]
+	t20, t21, t22, t23 := &tt[8], &tt[9], &tt[10], &tt[11]
+	t30, t31, t32, t33 := &tt[12], &tt[13], &tt[14], &tt[15]
+	size := len(o0)
+	a, b, c, d = a[:size], b[:size], c[:size], d[:size]
+	n := size - size%kernBlock
+	for i := 0; i < n; i += kernBlock {
+		ab := (*[kernBlock]byte)(a[i:])
+		bb := (*[kernBlock]byte)(b[i:])
+		cb := (*[kernBlock]byte)(c[i:])
+		db := (*[kernBlock]byte)(d[i:])
+		x0 := (*[kernBlock]byte)(o0[i:])
+		x1 := (*[kernBlock]byte)(o1[i:])
+		x2 := (*[kernBlock]byte)(o2[i:])
+		x3 := (*[kernBlock]byte)(o3[i:])
+		if assign {
+			for j := range x0 {
+				va, vb, vc, vd := ab[j], bb[j], cb[j], db[j]
+				x0[j] = t00[va] ^ t01[vb] ^ t02[vc] ^ t03[vd]
+				x1[j] = t10[va] ^ t11[vb] ^ t12[vc] ^ t13[vd]
+				x2[j] = t20[va] ^ t21[vb] ^ t22[vc] ^ t23[vd]
+				x3[j] = t30[va] ^ t31[vb] ^ t32[vc] ^ t33[vd]
+			}
+		} else {
+			for j := range x0 {
+				va, vb, vc, vd := ab[j], bb[j], cb[j], db[j]
+				x0[j] ^= t00[va] ^ t01[vb] ^ t02[vc] ^ t03[vd]
+				x1[j] ^= t10[va] ^ t11[vb] ^ t12[vc] ^ t13[vd]
+				x2[j] ^= t20[va] ^ t21[vb] ^ t22[vc] ^ t23[vd]
+				x3[j] ^= t30[va] ^ t31[vb] ^ t32[vc] ^ t33[vd]
+			}
+		}
+	}
+	for i := n; i < size; i++ {
+		va, vb, vc, vd := a[i], b[i], c[i], d[i]
+		if assign {
+			o0[i] = t00[va] ^ t01[vb] ^ t02[vc] ^ t03[vd]
+			o1[i] = t10[va] ^ t11[vb] ^ t12[vc] ^ t13[vd]
+			o2[i] = t20[va] ^ t21[vb] ^ t22[vc] ^ t23[vd]
+			o3[i] = t30[va] ^ t31[vb] ^ t32[vc] ^ t33[vd]
+		} else {
+			o0[i] ^= t00[va] ^ t01[vb] ^ t02[vc] ^ t03[vd]
+			o1[i] ^= t10[va] ^ t11[vb] ^ t12[vc] ^ t13[vd]
+			o2[i] ^= t20[va] ^ t21[vb] ^ t22[vc] ^ t23[vd]
+			o3[i] ^= t30[va] ^ t31[vb] ^ t32[vc] ^ t33[vd]
+		}
+	}
+}
+
+// kernMul sets out[i] = c*in[i]. len(in) must be >= len(out).
+func kernMul(c byte, in, out []byte) {
+	switch c {
+	case 0:
+		clear(out)
+		return
+	case 1:
+		copy(out, in)
+		return
+	}
+	tbl := &mulTable[c]
+	in = in[:len(out)] // hoist: every in[i] below is in range
+	n := len(out) - len(out)%kernBlock
+	for i := 0; i < n; i += kernBlock {
+		ib := (*[kernBlock]byte)(in[i:])
+		ob := (*[kernBlock]byte)(out[i:])
+		for j := range ob {
+			ob[j] = tbl[ib[j]]
+		}
+	}
+	for i := n; i < len(out); i++ {
+		out[i] = tbl[in[i]]
+	}
+}
+
+// kernMulAdd sets out[i] ^= c*in[i]. len(in) must be >= len(out).
+func kernMulAdd(c byte, in, out []byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorSlice(in, out)
+		return
+	}
+	tbl := &mulTable[c]
+	in = in[:len(out)]
+	n := len(out) - len(out)%kernBlock
+	for i := 0; i < n; i += kernBlock {
+		ib := (*[kernBlock]byte)(in[i:])
+		ob := (*[kernBlock]byte)(out[i:])
+		for j := range ob {
+			ob[j] ^= tbl[ib[j]]
+		}
+	}
+	for i := n; i < len(out); i++ {
+		out[i] ^= tbl[in[i]]
+	}
+}
+
+// xorSlice sets out[i] ^= in[i] — the c == 1 accumulate, common in
+// decode matrices and low-order Vandermonde columns.
+func xorSlice(in, out []byte) {
+	in = in[:len(out)]
+	n := len(out) - len(out)%kernBlock
+	for i := 0; i < n; i += kernBlock {
+		ib := (*[kernBlock]byte)(in[i:])
+		ob := (*[kernBlock]byte)(out[i:])
+		for j := range ob {
+			ob[j] ^= ib[j]
+		}
+	}
+	for i := n; i < len(out); i++ {
+		out[i] ^= in[i]
+	}
+}
+
+// The fused multi-input kernels below keep the output byte in a
+// register across all terms of the row sum: a two-input fuse halves,
+// and a four-input fuse quarters, the out-row load/store traffic of
+// term-at-a-time accumulation. Working-set per four-input pass is four
+// 256-byte tables plus five streams — comfortably L1-resident.
+
+func mul2(coefs []byte, a, b, out []byte) {
+	t0, t1 := &mulTable[coefs[0]], &mulTable[coefs[1]]
+	a, b = a[:len(out)], b[:len(out)]
+	n := len(out) - len(out)%kernBlock
+	for i := 0; i < n; i += kernBlock {
+		ab := (*[kernBlock]byte)(a[i:])
+		bb := (*[kernBlock]byte)(b[i:])
+		ob := (*[kernBlock]byte)(out[i:])
+		for j := range ob {
+			ob[j] = t0[ab[j]] ^ t1[bb[j]]
+		}
+	}
+	for i := n; i < len(out); i++ {
+		out[i] = t0[a[i]] ^ t1[b[i]]
+	}
+}
+
+func mul2add(coefs []byte, a, b, out []byte) {
+	t0, t1 := &mulTable[coefs[0]], &mulTable[coefs[1]]
+	a, b = a[:len(out)], b[:len(out)]
+	n := len(out) - len(out)%kernBlock
+	for i := 0; i < n; i += kernBlock {
+		ab := (*[kernBlock]byte)(a[i:])
+		bb := (*[kernBlock]byte)(b[i:])
+		ob := (*[kernBlock]byte)(out[i:])
+		for j := range ob {
+			ob[j] ^= t0[ab[j]] ^ t1[bb[j]]
+		}
+	}
+	for i := n; i < len(out); i++ {
+		out[i] ^= t0[a[i]] ^ t1[b[i]]
+	}
+}
+
+func mul3(coefs []byte, a, b, c, out []byte) {
+	t0, t1, t2 := &mulTable[coefs[0]], &mulTable[coefs[1]], &mulTable[coefs[2]]
+	a, b, c = a[:len(out)], b[:len(out)], c[:len(out)]
+	n := len(out) - len(out)%kernBlock
+	for i := 0; i < n; i += kernBlock {
+		ab := (*[kernBlock]byte)(a[i:])
+		bb := (*[kernBlock]byte)(b[i:])
+		cb := (*[kernBlock]byte)(c[i:])
+		ob := (*[kernBlock]byte)(out[i:])
+		for j := range ob {
+			ob[j] = t0[ab[j]] ^ t1[bb[j]] ^ t2[cb[j]]
+		}
+	}
+	for i := n; i < len(out); i++ {
+		out[i] = t0[a[i]] ^ t1[b[i]] ^ t2[c[i]]
+	}
+}
+
+func mul3add(coefs []byte, a, b, c, out []byte) {
+	t0, t1, t2 := &mulTable[coefs[0]], &mulTable[coefs[1]], &mulTable[coefs[2]]
+	a, b, c = a[:len(out)], b[:len(out)], c[:len(out)]
+	n := len(out) - len(out)%kernBlock
+	for i := 0; i < n; i += kernBlock {
+		ab := (*[kernBlock]byte)(a[i:])
+		bb := (*[kernBlock]byte)(b[i:])
+		cb := (*[kernBlock]byte)(c[i:])
+		ob := (*[kernBlock]byte)(out[i:])
+		for j := range ob {
+			ob[j] ^= t0[ab[j]] ^ t1[bb[j]] ^ t2[cb[j]]
+		}
+	}
+	for i := n; i < len(out); i++ {
+		out[i] ^= t0[a[i]] ^ t1[b[i]] ^ t2[c[i]]
+	}
+}
+
+func mul4(coefs []byte, a, b, c, d, out []byte) {
+	// Stack-resident tables, as in mul4x4: one load per lookup.
+	var tt [4][fieldSize]byte
+	tt[0], tt[1], tt[2], tt[3] = mulTable[coefs[0]], mulTable[coefs[1]], mulTable[coefs[2]], mulTable[coefs[3]]
+	t0, t1, t2, t3 := &tt[0], &tt[1], &tt[2], &tt[3]
+	a, b, c, d = a[:len(out)], b[:len(out)], c[:len(out)], d[:len(out)]
+	n := len(out) - len(out)%kernBlock
+	for i := 0; i < n; i += kernBlock {
+		ab := (*[kernBlock]byte)(a[i:])
+		bb := (*[kernBlock]byte)(b[i:])
+		cb := (*[kernBlock]byte)(c[i:])
+		db := (*[kernBlock]byte)(d[i:])
+		ob := (*[kernBlock]byte)(out[i:])
+		for j := range ob {
+			ob[j] = t0[ab[j]] ^ t1[bb[j]] ^ t2[cb[j]] ^ t3[db[j]]
+		}
+	}
+	for i := n; i < len(out); i++ {
+		out[i] = t0[a[i]] ^ t1[b[i]] ^ t2[c[i]] ^ t3[d[i]]
+	}
+}
+
+func mul4add(coefs []byte, a, b, c, d, out []byte) {
+	var tt [4][fieldSize]byte
+	tt[0], tt[1], tt[2], tt[3] = mulTable[coefs[0]], mulTable[coefs[1]], mulTable[coefs[2]], mulTable[coefs[3]]
+	t0, t1, t2, t3 := &tt[0], &tt[1], &tt[2], &tt[3]
+	a, b, c, d = a[:len(out)], b[:len(out)], c[:len(out)], d[:len(out)]
+	n := len(out) - len(out)%kernBlock
+	for i := 0; i < n; i += kernBlock {
+		ab := (*[kernBlock]byte)(a[i:])
+		bb := (*[kernBlock]byte)(b[i:])
+		cb := (*[kernBlock]byte)(c[i:])
+		db := (*[kernBlock]byte)(d[i:])
+		ob := (*[kernBlock]byte)(out[i:])
+		for j := range ob {
+			ob[j] ^= t0[ab[j]] ^ t1[bb[j]] ^ t2[cb[j]] ^ t3[db[j]]
+		}
+	}
+	for i := n; i < len(out); i++ {
+		out[i] ^= t0[a[i]] ^ t1[b[i]] ^ t2[c[i]] ^ t3[d[i]]
+	}
+}

@@ -1,0 +1,62 @@
+package erasure
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel-level benchmarks at the acceptance geometry (m=4, n=8, 4 MiB
+// stripe): the table-driven path against the retained scalar
+// reference. The root-package BenchmarkEncode/BenchmarkDecode feed the
+// CI bench-gate; these two exist to measure the kernel speedup itself.
+
+func benchStripe(b *testing.B, size int) (*Coder, []byte) {
+	b.Helper()
+	c, err := New(4, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, size)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	return c, data
+}
+
+func BenchmarkEncodeTable4MiB(b *testing.B) {
+	c, data := benchStripe(b, 4<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chunks, err := c.EncodePooled(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ReleaseChunks(chunks)
+	}
+}
+
+func BenchmarkEncodeScalarRef4MiB(b *testing.B) {
+	c, data := benchStripe(b, 4<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.encodeRef(data)
+	}
+}
+
+// BenchmarkEncodeSerial4MiB isolates the table kernels from the span
+// fan-out by disabling parallelism, so table-vs-scalar and
+// serial-vs-parallel contributions can be read separately.
+func BenchmarkEncodeSerial4MiB(b *testing.B) {
+	old := SpanThreshold()
+	SetSpanThreshold(0)
+	defer SetSpanThreshold(old)
+	c, data := benchStripe(b, 4<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chunks, err := c.EncodePooled(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ReleaseChunks(chunks)
+	}
+}

@@ -1,0 +1,38 @@
+//go:build erasure_ref
+
+package erasure
+
+// Scalar reference kernels: the textbook single-byte log/exp path the
+// table-driven kernels (kernel.go) must match byte for byte. Building
+// the whole module with -tags erasure_ref routes every encode,
+// reconstruct and verify through these, turning the full test suite
+// into a cross-check of everything above the kernel layer.
+
+// kernRow computes dst = sum_k coefs[k] * ins[k][lo:hi] via the scalar
+// reference path.
+func kernRow(coefs []byte, ins [][]byte, lo, hi int, dst []byte) {
+	if len(ins) == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	mulSlice(coefs[0], ins[0][lo:hi], dst)
+	for k := 1; k < len(ins); k++ {
+		mulAddSlice(coefs[k], ins[k][lo:hi], dst)
+	}
+}
+
+// runJobSpan computes all jobs over one span, row at a time (the
+// reference build has no fused micro-kernels).
+func runJobSpan(jobs []rsJob, lo, hi int) {
+	for _, j := range jobs {
+		kernRow(j.row, j.in, lo, hi, j.out[lo:hi])
+	}
+}
+
+// kernMul sets out[i] = c*in[i] via the scalar reference path.
+func kernMul(c byte, in, out []byte) { mulSlice(c, in[:len(out)], out) }
+
+// kernMulAdd sets out[i] ^= c*in[i] via the scalar reference path.
+func kernMulAdd(c byte, in, out []byte) { mulAddSlice(c, in[:len(out)], out) }

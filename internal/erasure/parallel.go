@@ -1,0 +1,135 @@
+package erasure
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Span-parallel kernel dispatch. Large stripes are split into
+// contiguous byte spans and fanned out across a small pool of
+// persistent workers; each worker computes ALL output rows for its
+// span, so every input byte a worker touches is read while hot in its
+// cache. Small stripes stay single-threaded: below the threshold the
+// handoff costs more than the arithmetic it hides. The workers are
+// long-lived and the dispatch path recycles its WaitGroups, so
+// parallel encode allocates nothing in steady state.
+
+// defaultSpanThreshold is the minimum number of bytes a worker must own
+// before encode/reconstruct/verify fan out. 128 KiB keeps a worker's
+// full input+output working set around L2 size at common (m,n).
+const defaultSpanThreshold = 128 << 10
+
+var spanThresholdBytes atomic.Int64
+
+func init() { spanThresholdBytes.Store(defaultSpanThreshold) }
+
+// SpanThreshold returns the current parallel span threshold in bytes.
+func SpanThreshold() int { return int(spanThresholdBytes.Load()) }
+
+// SetSpanThreshold sets the minimum per-worker span size in bytes for
+// parallel encode/reconstruct/verify. Chunks smaller than twice the
+// threshold are processed single-threaded. A non-positive value
+// disables parallelism entirely. Safe for concurrent use; intended for
+// deployment tuning and tests.
+func SetSpanThreshold(bytes int) { spanThresholdBytes.Store(int64(bytes)) }
+
+// spanWorkerCount returns how many workers a chunk of size bytes
+// should fan out over: enough that each owns at least the threshold,
+// capped at the core count. 1 means stay serial.
+func spanWorkerCount(size int) int {
+	t := SpanThreshold()
+	if t <= 0 || size < 2*t {
+		return 1
+	}
+	w := size / t
+	if p := runtime.GOMAXPROCS(0); w > p {
+		w = p
+	}
+	return w
+}
+
+// rsJob is one output row of a span-parallel matrix-vector product:
+// out = sum_k row[k] * in[k], assigned (not accumulated) on the first
+// term so dirty output buffers need no pre-zeroing.
+type rsJob struct {
+	row []byte   // coefficients, one per input
+	in  [][]byte // source chunks, len(row) of them
+	out []byte
+}
+
+// spanTask is one worker's share of a parallel call: either all rows of
+// a runJobs batch over one span, or an arbitrary fn (forEachSpan).
+type spanTask struct {
+	jobs   []rsJob
+	fn     func(lo, hi int)
+	lo, hi int
+	done   *sync.WaitGroup
+}
+
+var (
+	spanWorkersOnce sync.Once
+	spanWork        chan spanTask
+	wgPool          = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+)
+
+// startSpanWorkers lazily launches the persistent worker pool, sized to
+// the core count at first parallel use.
+func startSpanWorkers() {
+	spanWork = make(chan spanTask, 4*runtime.GOMAXPROCS(0))
+	for w := runtime.GOMAXPROCS(0); w > 0; w-- {
+		go func() {
+			for t := range spanWork {
+				if t.fn != nil {
+					t.fn(t.lo, t.hi)
+				} else {
+					runJobSpan(t.jobs, t.lo, t.hi)
+				}
+				t.done.Done()
+			}
+		}()
+	}
+}
+
+// runJobs computes every job over [0, size), fanning spans out to the
+// worker pool when size warrants it. All jobs share the same input
+// length, and outputs are disjoint from inputs.
+func runJobs(jobs []rsJob, size int) {
+	if len(jobs) == 0 {
+		return
+	}
+	workers := spanWorkerCount(size)
+	if workers <= 1 {
+		runJobSpan(jobs, 0, size)
+		return
+	}
+	spanWorkersOnce.Do(startSpanWorkers)
+	span := (size/workers + kernBlock - 1) &^ (kernBlock - 1)
+	wg := wgPool.Get().(*sync.WaitGroup)
+	for lo := 0; lo < size; lo += span {
+		wg.Add(1)
+		spanWork <- spanTask{jobs: jobs, lo: lo, hi: min(lo+span, size), done: wg}
+	}
+	wg.Wait()
+	wgPool.Put(wg)
+}
+
+// forEachSpan runs fn over [0, size) split into near-equal spans
+// aligned to the kernel block size, through the worker pool when size
+// warrants it. fn must be safe to call concurrently on disjoint spans.
+func forEachSpan(size int, fn func(lo, hi int)) {
+	workers := spanWorkerCount(size)
+	if workers <= 1 {
+		fn(0, size)
+		return
+	}
+	spanWorkersOnce.Do(startSpanWorkers)
+	span := (size/workers + kernBlock - 1) &^ (kernBlock - 1)
+	wg := wgPool.Get().(*sync.WaitGroup)
+	for lo := 0; lo < size; lo += span {
+		wg.Add(1)
+		spanWork <- spanTask{fn: fn, lo: lo, hi: min(lo+span, size), done: wg}
+	}
+	wg.Wait()
+	wgPool.Put(wg)
+}

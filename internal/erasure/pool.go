@@ -2,20 +2,41 @@ package erasure
 
 import "sync"
 
-// Encode scratch pooling. Every encoded stripe needs an n-chunk backing
-// array plus the chunk-slice header; on the streaming write path that
-// is two garbage allocations per stripe, and at production stripe sizes
-// the allocator — not the Galois arithmetic — shows up first in
-// BrokerPut's allocs/op. The pools below recycle both. Buffers of
-// mixed deployments converge to the largest stripe in use, which is
-// bounded by the deployment's configured stripe size.
+// Scratch pooling for the coding paths. Every encoded stripe needs an
+// n-chunk backing array plus the chunk-slice header; Verify needs a
+// parity-recompute buffer per span; Reconstruct needs a decode-matrix
+// workspace. At production stripe sizes the allocator — not the Galois
+// arithmetic — shows up first in BrokerPut's allocs/op, so all of that
+// is recycled here. The pools store pointer boxes and every Get/Put
+// cycle reuses the same box, so the steady-state pooled encode path
+// performs zero heap allocations. Buffers of mixed deployments
+// converge to the largest stripe in use, which is bounded by the
+// deployment's configured stripe size.
+
+// encodeScratch carries one pooled encode buffer set: the chunk
+// backing array and the chunk-slice headers.
+type encodeScratch struct {
+	backing []byte
+	chunks  [][]byte
+}
 
 var (
-	// backingPool recycles chunk backing arrays. *[]byte keeps the
-	// slice header off the heap on Put.
-	backingPool = sync.Pool{New: func() any { b := []byte(nil); return &b }}
-	// chunksPool recycles the chunk-slice headers.
-	chunksPool = sync.Pool{New: func() any { c := [][]byte(nil); return &c }}
+	// encScratchPool holds filled encodeScratch boxes (buffers attached);
+	// shellPool holds empty boxes. EncodePooled moves a box from the
+	// first to the second, ReleaseChunks moves it back — boxes circulate
+	// and are never re-allocated in steady state.
+	encScratchPool = sync.Pool{New: func() any { return new(encodeScratch) }}
+	shellPool      = sync.Pool{New: func() any { return new(encodeScratch) }}
+
+	// scratchPool recycles span-sized work buffers (Verify's parity
+	// recompute). Get and Put exchange the same *[]byte box.
+	scratchPool = sync.Pool{New: func() any { b := []byte(nil); return &b }}
+
+	// jobsPool recycles the kernel-job slices built per encode call.
+	jobsPool = sync.Pool{New: func() any { j := []rsJob(nil); return &j }}
+
+	// reconScratchPool recycles Reconstruct's decode-matrix workspace.
+	reconScratchPool = sync.Pool{New: func() any { return &reconScratch{} }}
 )
 
 // EncodePooled is Encode with the chunk array and its backing drawn
@@ -26,9 +47,11 @@ var (
 // beyond Put's return cannot be used with the pooled path — the
 // in-tree backends all copy or serialize before returning).
 func (c *Coder) EncodePooled(data []byte) ([][]byte, error) {
-	bp := backingPool.Get().(*[]byte)
-	cp := chunksPool.Get().(*[][]byte)
-	return c.encode(data, *bp, *cp)
+	sc := encScratchPool.Get().(*encodeScratch)
+	chunks, err := c.encode(data, sc.backing, sc.chunks)
+	sc.backing, sc.chunks = nil, nil
+	shellPool.Put(sc)
+	return chunks, err
 }
 
 // ReleaseChunks returns a chunk set obtained from EncodePooled to the
@@ -38,11 +61,66 @@ func ReleaseChunks(chunks [][]byte) {
 	if len(chunks) == 0 {
 		return
 	}
-	b := chunks[0][:0]
-	backingPool.Put(&b)
+	sc := shellPool.Get().(*encodeScratch)
+	sc.backing = chunks[0][:0]
 	for i := range chunks {
 		chunks[i] = nil
 	}
-	cs := chunks[:0]
-	chunksPool.Put(&cs)
+	sc.chunks = chunks[:0]
+	encScratchPool.Put(sc)
+}
+
+// getScratch returns a pooled buffer of length n. Contents are dirty:
+// callers must fully overwrite (the kernels' assign-first convention
+// makes that free). The buffer must not escape the call; hand the box
+// back with putScratch.
+func getScratch(n int) *[]byte {
+	bp := scratchPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putScratch(bp *[]byte) { scratchPool.Put(bp) }
+
+// getJobs draws a zero-length kernel-job slice box from the pool.
+func getJobs() *[]rsJob {
+	jb := jobsPool.Get().(*[]rsJob)
+	*jb = (*jb)[:0]
+	return jb
+}
+
+// putJobs drops the chunk references the jobs hold (so pooled headers
+// never pin stripes) and returns the box.
+func putJobs(jb *[]rsJob) {
+	for i := range *jb {
+		(*jb)[i] = rsJob{}
+	}
+	jobsPool.Put(jb)
+}
+
+// reconScratch is Reconstruct's per-call workspace: the decode
+// sub-matrix backing, the surviving-chunk references, and the kernel
+// job list. Pooling it keeps the slow path's fixed overhead off the
+// allocator; the reconstructed chunks themselves are NOT pooled — they
+// are handed to the caller.
+type reconScratch struct {
+	matData   []byte
+	chunkRefs [][]byte
+	jobs      []rsJob
+}
+
+// release drops chunk references (so the pool never pins stripe
+// buffers) and returns the scratch to the pool.
+func (sc *reconScratch) release() {
+	for i := range sc.chunkRefs {
+		sc.chunkRefs[i] = nil
+	}
+	for i := range sc.jobs {
+		sc.jobs[i] = rsJob{}
+	}
+	sc.jobs = sc.jobs[:0]
+	reconScratchPool.Put(sc)
 }

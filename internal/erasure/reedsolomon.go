@@ -1,8 +1,10 @@
 package erasure
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Coder is a systematic (m,n) Reed–Solomon erasure coder: Encode splits
@@ -60,9 +62,26 @@ func (c *Coder) Rate() float64 { return float64(c.m) / float64(c.n) }
 // Overhead returns the storage expansion factor n/m (the paper's 1/r).
 func (c *Coder) Overhead() float64 { return float64(c.n) / float64(c.m) }
 
-// ChunkSize returns the per-chunk size for an object of dataLen bytes.
+// ChunkSize returns the nominal per-chunk size for an object of dataLen
+// bytes: ceil(dataLen/m). Note ChunkSize(0) == 0, but Encode never
+// emits empty chunks — zero-length objects are encoded as one zero
+// byte per chunk so providers never store empty blobs. Metadata and
+// chunk-key accounting that needs the size of the chunks actually
+// written must use EncodedChunkSize.
 func (c *Coder) ChunkSize(dataLen int) int {
 	return (dataLen + c.m - 1) / c.m
+}
+
+// EncodedChunkSize returns the size of the chunks Encode actually
+// produces for an object of dataLen bytes: max(1, ChunkSize(dataLen)).
+// This makes the zero-length-object invariant explicit at the API:
+// an empty object still occupies n chunks of one zero byte each, and
+// Decode(chunks, 0) returns the empty object regardless.
+func (c *Coder) EncodedChunkSize(dataLen int) int {
+	if dataLen == 0 {
+		return 1
+	}
+	return c.ChunkSize(dataLen)
 }
 
 // Encode splits data into n chunks of equal size ceil(len(data)/m).
@@ -78,10 +97,7 @@ func (c *Coder) Encode(data []byte) ([][]byte, error) {
 // arbitrary — every byte of the output is written below) and replaced
 // with fresh allocations otherwise.
 func (c *Coder) encode(data, backing []byte, chunks [][]byte) ([][]byte, error) {
-	size := c.ChunkSize(len(data))
-	if size == 0 {
-		size = 1 // zero-length objects still produce 1-byte chunks
-	}
+	size := c.EncodedChunkSize(len(data))
 	if need := c.n * size; cap(backing) < need {
 		backing = make([]byte, need)
 	} else {
@@ -110,15 +126,19 @@ func (c *Coder) encode(data, backing []byte, chunks [][]byte) ([][]byte, error) 
 		clear(chunks[i][n:])
 	}
 	// Parity stripes: rows m..n-1 are linear combinations of the data
-	// rows. The first term assigns rather than accumulates, so parity
-	// rows of dirty pooled backing need no pre-zeroing either.
+	// rows, computed with the table-driven kernels and fanned out
+	// across cores for large stripes (each worker does all parity rows
+	// for its span, so data spans are read while cache-hot). The first
+	// term assigns rather than accumulates, so parity rows of dirty
+	// pooled backing need no pre-zeroing either.
+	jb := getJobs()
+	parity := *jb
 	for r := c.m; r < c.n; r++ {
-		row := c.enc.row(r)
-		mulSlice(row[0], chunks[0], chunks[r])
-		for k := 1; k < c.m; k++ {
-			mulAddSlice(row[k], chunks[k], chunks[r])
-		}
+		parity = append(parity, rsJob{row: c.enc.row(r), in: chunks[:c.m], out: chunks[r]})
 	}
+	runJobs(parity, size)
+	*jb = parity
+	putJobs(jb)
 	return chunks, nil
 }
 
@@ -147,49 +167,87 @@ func (c *Coder) Reconstruct(chunks [][]byte) error {
 	if present == c.n {
 		return nil // nothing missing
 	}
-	// Build the m x m decode matrix from the generator rows of m surviving
-	// chunks, invert it, and regenerate the data stripes.
-	sub := newMatrix(c.m, c.m)
-	subChunks := make([][]byte, c.m)
-	got := 0
-	for i := 0; i < c.n && got < c.m; i++ {
-		if chunks[i] != nil {
-			copy(sub.row(got), c.enc.row(i))
-			subChunks[got] = chunks[i]
-			got++
-		}
+	// One backing allocation serves every missing chunk. It is a plain
+	// allocation, not pooled scratch: ownership of the reconstructed
+	// chunks passes to the caller through the chunks slice, so the
+	// memory can never be recycled from here.
+	missing := c.n - present
+	backing := make([]byte, missing*size)
+	nextOut := func() []byte {
+		out := backing[:size:size]
+		backing = backing[size:]
+		return out
 	}
-	dec, err := sub.invert()
-	if err != nil {
-		return err
-	}
-	// Recover missing data stripes first.
-	data := make([][]byte, c.m)
+
+	// Fast path: all m data chunks survived (parity-only loss). The
+	// decode sub-matrix would be the identity — generator rows 0..m-1
+	// are the identity block of the systematic code — so skip the
+	// O(m^3) inversion and regenerate parity straight from the data.
+	dataIntact := true
 	for i := 0; i < c.m; i++ {
-		if chunks[i] != nil {
-			data[i] = chunks[i]
-			continue
+		if chunks[i] == nil {
+			dataIntact = false
+			break
 		}
-		out := make([]byte, size)
-		row := dec.row(i)
-		for k := 0; k < c.m; k++ {
-			mulAddSlice(row[k], subChunks[k], out)
-		}
-		data[i] = out
-		chunks[i] = out
 	}
-	// Then regenerate any missing parity stripes from the data stripes.
+	sc := reconScratchPool.Get().(*reconScratch)
+	defer sc.release()
+	if !dataIntact {
+		// Build the m x m decode matrix from the generator rows of m
+		// surviving chunks, invert it, and recover the data stripes.
+		if cap(sc.matData) < c.m*c.m {
+			sc.matData = make([]byte, c.m*c.m)
+		}
+		sub := matrix{rows: c.m, cols: c.m, data: sc.matData[:c.m*c.m]}
+		if cap(sc.chunkRefs) < c.m {
+			sc.chunkRefs = make([][]byte, c.m)
+		}
+		subChunks := sc.chunkRefs[:c.m]
+		got := 0
+		for i := 0; i < c.n && got < c.m; i++ {
+			if chunks[i] != nil {
+				copy(sub.row(got), c.enc.row(i))
+				subChunks[got] = chunks[i]
+				got++
+			}
+		}
+		dec, err := sub.invert()
+		if err != nil {
+			return err
+		}
+		jobs := sc.jobs[:0]
+		for i := 0; i < c.m; i++ {
+			if chunks[i] == nil {
+				jobs = append(jobs, rsJob{row: dec.row(i), in: subChunks, out: nextOut()})
+			}
+		}
+		runJobs(jobs, size)
+		ji := 0
+		for i := 0; i < c.m; i++ {
+			if chunks[i] == nil {
+				chunks[i] = jobs[ji].out
+				ji++
+			}
+		}
+		sc.jobs, sc.chunkRefs = jobs, subChunks
+	}
+	// Regenerate any missing parity stripes from the (now complete)
+	// data stripes.
+	jobs := sc.jobs[:0]
 	for r := c.m; r < c.n; r++ {
-		if chunks[r] != nil {
-			continue
+		if chunks[r] == nil {
+			jobs = append(jobs, rsJob{row: c.enc.row(r), in: chunks[:c.m], out: nextOut()})
 		}
-		out := make([]byte, size)
-		row := c.enc.row(r)
-		for k := 0; k < c.m; k++ {
-			mulAddSlice(row[k], data[k], out)
-		}
-		chunks[r] = out
 	}
+	runJobs(jobs, size)
+	ji := 0
+	for r := c.m; r < c.n; r++ {
+		if chunks[r] == nil {
+			chunks[r] = jobs[ji].out
+			ji++
+		}
+	}
+	sc.jobs = jobs
 	return nil
 }
 
@@ -204,13 +262,10 @@ func (c *Coder) Decode(chunks [][]byte, size int) ([]byte, error) {
 		return nil, fmt.Errorf("%w: chunks hold %d bytes, need %d",
 			ErrShortData, c.m*chunkSize, size)
 	}
-	out := make([]byte, 0, size)
-	for i := 0; i < c.m && len(out) < size; i++ {
-		need := size - len(out)
-		if need > chunkSize {
-			need = chunkSize
-		}
-		out = append(out, chunks[i][:need]...)
+	out := make([]byte, size)
+	done := 0
+	for i := 0; i < c.m && done < size; i++ {
+		done += copy(out[done:], chunks[i])
 	}
 	return out, nil
 }
@@ -230,20 +285,25 @@ func (c *Coder) Verify(chunks [][]byte) (bool, error) {
 			return false, ErrChunkSize
 		}
 	}
-	buf := make([]byte, size)
-	for r := c.m; r < c.n; r++ {
-		for i := range buf {
-			buf[i] = 0
+	// Each span worker recomputes every parity row for its span into a
+	// pooled scratch buffer (the first kernel term assigns, so the
+	// recycled buffer needs no clearing) and compares against the
+	// stored parity. A mismatch flips the shared verdict and later
+	// spans short-circuit; workers already running finish their row.
+	var bad atomic.Bool
+	forEachSpan(size, func(lo, hi int) {
+		if bad.Load() {
+			return
 		}
-		row := c.enc.row(r)
-		for k := 0; k < c.m; k++ {
-			mulAddSlice(row[k], chunks[k], buf)
-		}
-		for i := range buf {
-			if buf[i] != chunks[r][i] {
-				return false, nil
+		buf := getScratch(hi - lo)
+		defer putScratch(buf)
+		for r := c.m; r < c.n; r++ {
+			kernRow(c.enc.row(r), chunks[:c.m], lo, hi, *buf)
+			if !bytes.Equal(*buf, chunks[r][lo:hi]) {
+				bad.Store(true)
+				return
 			}
 		}
-	}
-	return true, nil
+	})
+	return !bad.Load(), nil
 }
